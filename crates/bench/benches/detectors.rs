@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the per-window detector costs (Table 2's
+//! measurement, statistically rigorous).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use funnel_detect::cusum::CusumDetector;
+use funnel_detect::mrls::MrlsDetector;
+use funnel_detect::sst_adapter::SstDetector;
+use funnel_detect::WindowScorer;
+use funnel_sst::{ClassicSst, FastSst, RobustSst, SstConfig};
+use funnel_timeseries::generate::{KpiClass, KpiGenerator};
+use std::hint::black_box;
+
+fn window_for(len: usize) -> Vec<f64> {
+    KpiGenerator::for_class(KpiClass::Variable, 500.0)
+        .generate(0, len, 0xBEEF)
+        .values()
+        .to_vec()
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_window");
+
+    let fast = SstDetector::fast(FastSst::new(SstConfig::paper_default()));
+    let w = window_for(fast.window_len());
+    g.bench_function("funnel_fast_sst_w34", |b| {
+        b.iter(|| black_box(fast.score(black_box(&w))))
+    });
+
+    let robust = SstDetector::robust(RobustSst::new(SstConfig::paper_default()));
+    g.bench_function("exact_robust_sst_w34", |b| {
+        b.iter(|| black_box(robust.score(black_box(&w))))
+    });
+
+    let classic = SstDetector::classic(ClassicSst::new(SstConfig::paper_default()));
+    g.bench_function("classic_sst_w34", |b| {
+        b.iter(|| black_box(classic.score(black_box(&w))))
+    });
+
+    let cusum = CusumDetector::paper_default();
+    let wc = window_for(cusum.window_len());
+    g.bench_function("cusum_bootstrap_w60", |b| {
+        b.iter(|| black_box(cusum.score(black_box(&wc))))
+    });
+
+    let cusum_raw = CusumDetector::with_params(60, 30, 0.5, None);
+    g.bench_function("cusum_raw_w60", |b| {
+        b.iter(|| black_box(cusum_raw.score(black_box(&wc))))
+    });
+
+    let mrls = MrlsDetector::paper_default();
+    let wm = window_for(mrls.window_len());
+    g.bench_function("mrls_w32", |b| b.iter(|| black_box(mrls.score(black_box(&wm)))));
+
+    g.finish();
+}
+
+fn bench_omega_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast_sst_omega");
+    for omega in [5, 9, 15, 25] {
+        let config = SstConfig::with_omega(omega);
+        let scorer = SstDetector::fast(FastSst::new(config.clone()));
+        let w = window_for(config.window_len());
+        g.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |b, _| {
+            b.iter(|| black_box(scorer.score(black_box(&w))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detectors, bench_omega_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the linear-algebra substrate: the IKA claim is
+//! that implicit Lanczos + tridiagonal QL beats a dense SVD per window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use funnel_linalg::{lanczos, svd, sym_eig, tridiag_eig, HankelMatrix};
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (0.37 * i as f64).sin() + 0.11 * i as f64).collect()
+}
+
+fn bench_svd_vs_ika(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svd_vs_ika");
+    for omega in [9usize, 15, 25, 50] {
+        let sig = signal(2 * omega - 1);
+        let h = HankelMatrix::new(&sig, omega, omega);
+        let dense = h.to_dense();
+
+        g.bench_with_input(BenchmarkId::new("jacobi_svd", omega), &omega, |b, _| {
+            b.iter(|| black_box(svd(black_box(&dense))))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("jacobi_symeig_gram", omega),
+            &omega,
+            |b, _| {
+                let gram = dense.gram();
+                b.iter(|| black_box(sym_eig(black_box(&gram))))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("lanczos_k5_ql", omega), &omega, |b, _| {
+            let gram_op = h.gram_operator();
+            let start: Vec<f64> = (0..omega).map(|i| 1.0 + i as f64 / omega as f64).collect();
+            b.iter(|| {
+                let lz = lanczos(black_box(&gram_op), black_box(&start), 5);
+                black_box(tridiag_eig(&lz.alpha, &lz.beta))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_svd_vs_ika
+}
+criterion_main!(benches);

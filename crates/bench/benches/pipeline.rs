@@ -1,0 +1,59 @@
+//! Criterion benchmarks for end-to-end pipeline stages: impact-set
+//! identification, a full change assessment, and DiD estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funnel_core::pipeline::Funnel;
+use funnel_did::did_estimate;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::world::{SimConfig, WorldBuilder};
+use funnel_topology::change::ChangeKind;
+use funnel_topology::impact::identify_impact_set;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut b = WorldBuilder::new(SimConfig::days(99, 8));
+    let svc = b.add_service("bench.svc", 8).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        80.0,
+    );
+    let change = b
+        .deploy_change(ChangeKind::Upgrade, svc, 3, 7 * 1440 + 200, effect, "bench")
+        .unwrap();
+    let world = b.build();
+    let record = world.change_log().get(change).unwrap().clone();
+    let funnel = Funnel::paper_default();
+
+    c.bench_function("impact_set_identification", |bch| {
+        bch.iter(|| black_box(identify_impact_set(world.topology(), black_box(&record))))
+    });
+
+    let mut g = c.benchmark_group("assessment");
+    g.sample_size(10);
+    g.bench_function("assess_change_full", |bch| {
+        bch.iter(|| black_box(funnel.assess_change(&world, change).unwrap()))
+    });
+    g.finish();
+
+    let tp: Vec<f64> = (0..60).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+    let tq: Vec<f64> = tp.iter().map(|x| x + 5.0).collect();
+    c.bench_function("did_estimate_240_samples", |bch| {
+        bch.iter(|| {
+            black_box(did_estimate(
+                black_box(&tp),
+                black_box(&tq),
+                black_box(&tp),
+                black_box(&tp),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

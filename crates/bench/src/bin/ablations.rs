@@ -1,0 +1,247 @@
+//! Ablations over FUNNEL's design choices (see DESIGN.md §1):
+//!
+//! 1. **Threshold sweeps** for every method on a held-out sub-cohort — the
+//!    paper sets "the values of other parameters … to the best for the
+//!    corresponding algorithm's accuracy" (§4.1); this is that sweep.
+//! 2. **Eigenvector selection** — the §3.2.2 text says "smallest"
+//!    eigenvalues but weights by eigenvalue and cites work using the
+//!    largest; compare both.
+//! 3. **Median/MAD filter** on/off (Eq. 11's contribution).
+//! 4. **IKA vs exact robust SST** — accuracy agreement and speedup of the
+//!    §3.2.3 approximation.
+//!
+//! Scores are computed once per (item, scorer) and the thresholds swept
+//! over the cached vectors, replicating the DetectorRunner's
+//! threshold+persistence semantics.
+//!
+//! Env knobs: FUNNEL_SEED (held-out default 77), FUNNEL_CHANGES (default 36).
+
+use funnel_bench::pct;
+use funnel_detect::WindowScorer;
+use funnel_detect::sst_adapter::SstDetector;
+use funnel_eval::confusion::ConfusionMatrix;
+use funnel_eval::methods::{Method, MethodRunner};
+use funnel_sim::scenario::{evaluation_world, CohortMeta};
+use funnel_sim::world::World;
+use funnel_sst::{EigSelection, FastSst, RobustSst, SstConfig, SstScorer};
+use std::time::Instant;
+
+/// One impact-set item with its detection span.
+struct Item {
+    actual: bool,
+    values: Vec<f64>,
+    /// Index into `values` of the first window whose decision minute is the
+    /// change minute (given window width w, window i ends at sample i+w-1).
+    change_offset: usize,
+}
+
+fn collect_items(world: &World, meta: &CohortMeta, span_w: u64) -> Vec<Item> {
+    let gt: std::collections::HashMap<_, _> = world
+        .ground_truth()
+        .into_iter()
+        .map(|g| ((g.change, g.key), g))
+        .collect();
+    let funnel = funnel_core::pipeline::Funnel::paper_default();
+    let mut items = Vec::new();
+    for &(change_id, _) in &meta.changes {
+        let assessment = funnel.assess_change(world, change_id).expect("assessable");
+        let change_minute = world.change_log().get(change_id).unwrap().minute;
+        for item in &assessment.items {
+            let actual = match gt.get(&(change_id, item.key)) {
+                Some(g) if g.is_prominent() => true,
+                Some(_) => continue,
+                None => false,
+            };
+            let series = funnel_core::source::KpiSource::series(&world, &item.key).unwrap();
+            let from = change_minute.saturating_sub(2 * span_w).max(series.start());
+            let values = series.slice(from, change_minute + 61).to_vec();
+            items.push(Item {
+                actual,
+                values,
+                change_offset: (change_minute - from) as usize,
+            });
+        }
+    }
+    items
+}
+
+/// Score every window of an item with `scorer`; returns (scores, first
+/// window index whose decision minute >= change minute).
+fn score_item(scorer: &dyn Fn(&[f64]) -> f64, w: usize, item: &Item) -> (Vec<f64>, usize) {
+    let scores: Vec<f64> = item.values.windows(w).map(scorer).collect();
+    // window i covers samples [i, i+w); decision minute index = i + w - 1.
+    let first_valid = item.change_offset.saturating_sub(w - 1);
+    (scores, first_valid)
+}
+
+/// DetectorRunner-equivalent prediction: a run of `persistence` scores
+/// >= threshold whose last window decides at/after the change minute.
+fn predict(scores: &[f64], first_valid: usize, threshold: f64, persistence: usize) -> bool {
+    let mut run = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if s >= threshold {
+            run += 1;
+            if run >= persistence && i >= first_valid {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+fn sweep(items: &[(bool, Vec<f64>, usize)], threshold: f64, persistence: usize) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::new();
+    for (actual, scores, first_valid) in items {
+        m.record(*actual, predict(scores, *first_valid, threshold, persistence));
+    }
+    m
+}
+
+fn main() {
+    let seed = std::env::var("FUNNEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(77);
+    let budget = std::env::var("FUNNEL_CHANGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(36);
+    let (world, mut meta) = evaluation_world(seed);
+    meta.changes.truncate(budget);
+    eprintln!("calibration cohort: seed {seed}, {} changes", meta.changes.len());
+
+    let items = collect_items(&world, &meta, 60);
+    eprintln!("{} items collected", items.len());
+
+    println!("\n== Ablation 1: threshold sweeps (accuracy/precision, unscaled sub-cohort) ==");
+    let grids: [(Method, &[f64]); 3] = [
+        (Method::ImprovedSst, &[0.5, 0.8, 1.0, 1.5, 2.0]),
+        (Method::Cusum, &[1.2, 1.5, 2.0, 2.5, 3.0]),
+        (Method::Mrls, &[9.0, 12.0, 16.0, 22.0, 30.0]),
+    ];
+    for (method, grid) in grids {
+        let runner = MethodRunner::new(method);
+        let w = runner.window_len();
+        let scored: Vec<(bool, Vec<f64>, usize)> = items
+            .iter()
+            .map(|it| {
+                let (s, fv) = score_item(&|win| runner.score_window(win), w, it);
+                (it.actual, s, fv)
+            })
+            .collect();
+        println!("{}:", method.name());
+        for &th in grid {
+            let m = sweep(&scored, th, method.persistence());
+            let r = m.rates();
+            println!(
+                "  th={th:<5} acc={} prec={} recall={}",
+                pct(r.accuracy),
+                pct(r.precision),
+                pct(r.recall)
+            );
+        }
+    }
+
+    println!("\n== Ablation 2: future-eigenvector selection (detector-only, th=1.0) ==");
+    for selection in [EigSelection::Largest, EigSelection::Smallest] {
+        let mut config = SstConfig::paper_default();
+        config.eig_selection = selection;
+        let scorer = SstDetector::fast(FastSst::new(config));
+        let w = scorer.window_len();
+        let scored: Vec<(bool, Vec<f64>, usize)> = items
+            .iter()
+            .map(|it| {
+                let (s, fv) = score_item(&|win| scorer.score(win), w, it);
+                (it.actual, s, fv)
+            })
+            .collect();
+        let r = sweep(&scored, 1.0, funnel_detect::PERSISTENCE_MINUTES).rates();
+        println!(
+            "{selection:?}: precision={} recall={} accuracy={}",
+            pct(r.precision),
+            pct(r.recall),
+            pct(r.accuracy)
+        );
+    }
+
+    println!("\n== Ablation 3: median/MAD filter (Eq. 11) ==");
+    for filter in [true, false] {
+        let mut config = SstConfig::paper_default();
+        config.median_mad_filter = filter;
+        // Raw scores live in [0,1]: sweep a small grid and report the best
+        // accuracy so the comparison is at each variant's own operating
+        // point.
+        let grid: &[f64] = if filter { &[0.5, 1.0, 1.5] } else { &[0.1, 0.2, 0.3, 0.5] };
+        let scorer = SstDetector::fast(FastSst::new(config));
+        let w = scorer.window_len();
+        let scored: Vec<(bool, Vec<f64>, usize)> = items
+            .iter()
+            .map(|it| {
+                let (s, fv) = score_item(&|win| scorer.score(win), w, it);
+                (it.actual, s, fv)
+            })
+            .collect();
+        let best = grid
+            .iter()
+            .map(|&th| (th, sweep(&scored, th, funnel_detect::PERSISTENCE_MINUTES).rates()))
+            .max_by(|a, b| a.1.accuracy.total_cmp(&b.1.accuracy))
+            .unwrap();
+        println!(
+            "filter={filter}: best th={} precision={} recall={} accuracy={}",
+            best.0,
+            pct(best.1.precision),
+            pct(best.1.recall),
+            pct(best.1.accuracy)
+        );
+    }
+
+    ika_vs_exact();
+}
+
+/// IKA vs exact robust SST: score agreement and single-thread speedup.
+fn ika_vs_exact() {
+    println!("\n== Ablation 4: IKA (fast) vs exact robust SST ==");
+    let config = SstConfig::paper_default();
+    let fast = FastSst::new(config.clone());
+    let exact = RobustSst::new(config.clone());
+    let gen = funnel_timeseries::generate::KpiGenerator::for_class(
+        funnel_timeseries::generate::KpiClass::Variable,
+        500.0,
+    );
+    let series = gen.generate(0, 1200, 0xAB1E);
+    let w = config.window_len();
+
+    let t0 = Instant::now();
+    let fast_scores: Vec<f64> =
+        series.values().windows(w).map(|win| fast.score_window(win)).collect();
+    let fast_time = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let exact_scores: Vec<f64> =
+        series.values().windows(w).map(|win| exact.score_window(win)).collect();
+    let exact_time = t1.elapsed().as_secs_f64();
+
+    let n = fast_scores.len() as f64;
+    let mae: f64 = fast_scores
+        .iter()
+        .zip(&exact_scores)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / n;
+    let agree = fast_scores
+        .iter()
+        .zip(&exact_scores)
+        .filter(|(a, b)| (**a >= 1.0) == (**b >= 1.0))
+        .count() as f64
+        / n;
+    println!(
+        "windows={} MAE={mae:.4} decision-agreement={} speedup={:.2}x \
+         ({:.1} µs vs {:.1} µs per window)",
+        fast_scores.len(),
+        pct(agree),
+        exact_time / fast_time,
+        fast_time / n * 1e6,
+        exact_time / n * 1e6,
+    );
+}

@@ -1,0 +1,73 @@
+//! Fig. 2 — examples of a level shift and a ramp-up in a normalized KPI.
+//!
+//! Regenerates the paper's illustrative series: a KPI that first ramps up
+//! over time and later takes a sudden level shift, plotted normalized to
+//! [0, 1] with the change onsets/ends labelled.
+
+use funnel_timeseries::generate::{KpiClass, KpiGenerator};
+use funnel_timeseries::inject::InjectedChange;
+
+/// Render a `[0,1]`-normalized series as a rows-of-dots terminal plot.
+fn ascii_plot(values: &[f64], height: usize, marks: &[(usize, &str)]) {
+    let cols = values.len();
+    for row in (0..height).rev() {
+        let lo = row as f64 / height as f64;
+        let line: String = values
+            .iter()
+            .map(|&v| if v >= lo { '█' } else { ' ' })
+            .collect();
+        println!("{:>4.2} |{line}|", lo);
+    }
+    let mut label_row = vec![' '; cols];
+    for &(pos, _) in marks {
+        if pos < cols {
+            label_row[pos] = '^';
+        }
+    }
+    println!("     |{}|", label_row.iter().collect::<String>());
+    for &(pos, text) in marks {
+        println!("      ^ at sample {pos}: {text}");
+    }
+}
+
+fn main() {
+    let gen = KpiGenerator::for_class(KpiClass::Stationary, 100.0);
+    let mut series = gen.generate(0, 1200, funnel_bench::seed());
+
+    // Fig. 2's two change archetypes.
+    let ramp_onset = 300u64;
+    let ramp = InjectedChange::ramp(ramp_onset, 25.0, 120);
+    let shift_onset = 800u64;
+    let shift = InjectedChange::level_shift(shift_onset, -35.0);
+    ramp.apply(&mut series, true);
+    shift.apply(&mut series, true);
+
+    let normalized = series.normalized();
+    println!("Fig. 2: level shift and ramp up/down in a normalized KPI\n");
+
+    // Downsample to an 80-column terminal plot.
+    let stride = normalized.len() / 80;
+    let sampled: Vec<f64> = normalized
+        .values()
+        .chunks(stride)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    ascii_plot(
+        &sampled,
+        12,
+        &[
+            (ramp_onset as usize / stride, "start of ramp up"),
+            ((ramp_onset as usize + 120) / stride, "end of ramp up"),
+            (shift_onset as usize / stride, "start of level shift"),
+        ],
+    );
+
+    // Machine-readable series for external plotting.
+    let csv: Vec<String> = normalized
+        .values()
+        .iter()
+        .step_by(10)
+        .map(|v| format!("{v:.4}"))
+        .collect();
+    println!("\nCSV (every 10th sample): {}", csv.join(","));
+}

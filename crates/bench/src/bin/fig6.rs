@@ -1,0 +1,59 @@
+//! Fig. 6 — KPI changes induced by a configuration change in the Redis
+//! query service.
+//!
+//! Class-A Redis servers ran their NICs near saturation while class B sat
+//! idle; a load-balancing configuration change swapped traffic between the
+//! classes. FUNNEL flagged the NIC-throughput level shifts (down on A, up
+//! on B) among the impact-set KPIs despite NIC throughput's strong
+//! variability. The paper reports 16 of 118 impact-set KPIs flagged.
+
+use funnel_core::pipeline::Funnel;
+use funnel_core::report;
+use funnel_core::FunnelConfig;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::scenario::redis_world;
+use funnel_topology::impact::Entity;
+
+fn main() {
+    let (world, class_a, class_b, change) = redis_world(funnel_bench::seed());
+    let minute = world.change_log().get(change).unwrap().minute;
+
+    let mut config = FunnelConfig::paper_default();
+    config.history_days = 2;
+    let funnel = Funnel::new(config);
+    let assessment = funnel.assess_change(&world, change).expect("assessable");
+
+    let flagged = assessment.caused_items().count();
+    println!(
+        "Fig. 6: Redis load-balancing config change @ minute {minute}\n\
+         impact-set KPIs assessed: {}, flagged as change-induced: {flagged}\n",
+        assessment.items.len()
+    );
+    println!("{}", report::render(world.topology(), &assessment));
+
+    // The paper's two panels: normalized NIC throughput of one server per
+    // class around the change.
+    for (label, server) in [("class A", class_a[0]), ("class B", class_b[0])] {
+        let key = KpiKey::new(Entity::Server(server), KpiKind::NicThroughput);
+        let s = world.series(&key).expect("exists");
+        let window = s.slice(minute - 120, minute + 120);
+        let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let norm: Vec<f64> = window.iter().map(|v| (v - lo) / (hi - lo).max(1e-9)).collect();
+        let sparkline: String = norm
+            .iter()
+            .step_by(3)
+            .map(|v| {
+                const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+                BARS[((v * 7.0).round() as usize).min(7)]
+            })
+            .collect();
+        let before = window[..120].iter().sum::<f64>() / 120.0;
+        let after = window[120..].iter().sum::<f64>() / 120.0;
+        println!(
+            "normalized NIC throughput, {label} (±120 min, change at center):\n  {sparkline}\n  \
+             mean before {before:.0} Mbit/s → after {after:.0} Mbit/s\n"
+        );
+    }
+    println!("paper: class A shifts down, class B up; 16/118 impact-set KPIs flagged");
+}

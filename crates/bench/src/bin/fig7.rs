@@ -1,0 +1,71 @@
+//! Fig. 7 — the advertising anti-cheat incident: effective clicks collapse
+//! after a faulty upgrade on a strongly seasonal KPI.
+//!
+//! The upgrade broke the anti-cheat JSON check on iPhone browsers, so all
+//! iPhone clicks were misclassified as cheats and the effective-click count
+//! dropped sharply the moment the upgrade rolled out. Manual inspection
+//! took 1.5 hours; FUNNEL declared the change within ~10 minutes. This
+//! regenerator reproduces the incident, reports FUNNEL's detection delay,
+//! and prints the normalized click series around the upgrade.
+
+use funnel_core::pipeline::Funnel;
+use funnel_core::FunnelConfig;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::scenario::ads_world;
+use funnel_topology::impact::Entity;
+
+fn main() {
+    let (world, ads, change) = ads_world(funnel_bench::seed());
+    let minute = world.change_log().get(change).unwrap().minute;
+
+    let mut config = FunnelConfig::paper_default();
+    config.history_days = 6;
+    let funnel = Funnel::new(config);
+    let assessment = funnel.assess_change(&world, change).expect("assessable");
+
+    let click_key = KpiKey::new(Entity::Service(ads), KpiKind::EffectiveClickCount);
+    let click_item = assessment
+        .items
+        .iter()
+        .find(|i| i.key == click_key)
+        .expect("click KPI in impact set");
+
+    println!("Fig. 7: advertising upgrade @ minute {minute} (14:00 on the deployment day)\n");
+    println!(
+        "impact-set KPIs assessed: {}, flagged as upgrade-induced: {}",
+        assessment.items.len(),
+        assessment.caused_items().count()
+    );
+    match (&click_item.detection, click_item.caused) {
+        (Some(d), true) => {
+            let delay = d.declared_at - minute;
+            println!(
+                "effective-click collapse declared {delay} min after the upgrade \
+                 (manual assessment in the paper took ~90 min; FUNNEL's case took <10)"
+            );
+            if let Some((v, _)) = &click_item.did {
+                println!("seasonal DiD impact estimator α = {:+.2} (normalized units)", v.alpha());
+            }
+        }
+        _ => println!("WARNING: click collapse not attributed — check calibration"),
+    }
+
+    // Normalized clicks ±3 hours around the upgrade.
+    let s = world.series(&click_key).expect("exists");
+    let window = s.slice(minute - 180, minute + 180);
+    let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sparkline: String = window
+        .iter()
+        .step_by(4)
+        .map(|v| {
+            const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+            BARS[(((v - lo) / (hi - lo).max(1e-9) * 7.0).round() as usize).min(7)]
+        })
+        .collect();
+    println!("\nnormalized effective clicks (±180 min, upgrade at center):\n  {sparkline}");
+
+    let before = window[..180].iter().sum::<f64>() / 180.0;
+    let after = window[180..].iter().sum::<f64>() / 180.0;
+    println!("mean before {before:.0} → after {after:.0} clicks/min");
+}

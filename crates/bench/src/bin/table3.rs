@@ -1,0 +1,101 @@
+//! Table 3 — one week of deployed operation.
+//!
+//! The paper's prototype watched a few dozen services for a week:
+//! 24 119 changes/day, 268 with impact, 2.26 M KPIs, 10 249 KPI changes,
+//! and 98.21 % precision on operator-verified detections. This regenerator
+//! replays a scaled-down deployment week (same structure, ~1 core instead
+//! of a production fleet) through the full FUNNEL pipeline and verifies
+//! every claimed KPI change against the simulator's ground truth — the role
+//! the operations team's verification plays in §5.
+//!
+//! Env knobs: FUNNEL_SEED (default 2015), FUNNEL_CPD (changes/day, 60).
+
+use funnel_core::pipeline::Funnel;
+use funnel_core::FunnelConfig;
+use funnel_sim::scenario::deployment_week;
+
+fn main() {
+    let seed = funnel_bench::seed();
+    let cpd = std::env::var("FUNNEL_CPD")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let (world, meta) = deployment_week(seed, cpd);
+    let gt: std::collections::HashMap<_, _> = world
+        .ground_truth()
+        .into_iter()
+        .map(|g| ((g.change, g.key), g))
+        .collect();
+
+    let mut config = FunnelConfig::paper_default();
+    config.history_days = meta.history_days;
+    let funnel = Funnel::new(config);
+
+    println!("Table 3: simulated deployment week (seed {seed}, {cpd} changes/day)\n");
+    println!(
+        "{:<6} {:>9} {:>14} {:>9} {:>12} {:>11}",
+        "day", "#changes", "#with impact", "#KPIs", "#KPI changes", "precision"
+    );
+
+    let (mut wk_changes, mut wk_impact, mut wk_kpis, mut wk_claims) = (0, 0, 0, 0);
+    let (mut wk_tp, mut wk_fp) = (0usize, 0usize);
+    for (day, ids) in meta.days.iter().enumerate() {
+        let mut kpis = 0usize;
+        let mut with_impact = 0usize;
+        let mut claims = 0usize;
+        let (mut tp, mut fp) = (0usize, 0usize);
+        for &id in ids {
+            let a = funnel.assess_change(&world, id).expect("assessable");
+            kpis += a.items.len();
+            if a.has_impact() {
+                with_impact += 1;
+            }
+            for item in a.items.iter().filter(|i| i.caused) {
+                claims += 1;
+                // "Operator" verification against ground truth.
+                let real = gt
+                    .get(&(id, item.key))
+                    .map(|g| g.is_prominent())
+                    .unwrap_or(false);
+                if real {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+        println!(
+            "{:<6} {:>9} {:>14} {:>9} {:>12} {:>10.2}%",
+            day + 1,
+            ids.len(),
+            with_impact,
+            kpis,
+            claims,
+            precision * 100.0
+        );
+        wk_changes += ids.len();
+        wk_impact += with_impact;
+        wk_kpis += kpis;
+        wk_claims += claims;
+        wk_tp += tp;
+        wk_fp += fp;
+    }
+    let wk_precision = if wk_tp + wk_fp > 0 {
+        wk_tp as f64 / (wk_tp + wk_fp) as f64
+    } else {
+        1.0
+    };
+    println!(
+        "{:<6} {:>9} {:>14} {:>9} {:>12} {:>10.2}%",
+        "week", wk_changes, wk_impact, wk_kpis, wk_claims, wk_precision * 100.0
+    );
+    println!(
+        "\npaper (daily, production scale): 24119 changes, 268 with impact, 2256390 KPIs, \
+         10249 KPI changes, 98.21% precision"
+    );
+    println!(
+        "JSON: {{\"changes\":{wk_changes},\"with_impact\":{wk_impact},\"kpis\":{wk_kpis},\
+         \"kpi_changes\":{wk_claims},\"precision\":{wk_precision:.4}}}"
+    );
+}

@@ -1,0 +1,52 @@
+//! FUNNEL — rapid and robust impact assessment of software changes in large
+//! internet-based services (Zhang et al., CoNEXT 2015).
+//!
+//! This crate is the end-to-end tool of the paper's Fig. 3. For each
+//! software change it:
+//!
+//! 1. identifies the **impact set** — tservers, tinstances, the changed
+//!    service, and transitively related (affected) services — from the
+//!    change log and the service topology (step 1; `funnel-topology`),
+//! 2. detects **KPI behaviour changes** in every impact-set KPI with the
+//!    improved, IKA-accelerated SST under the 7-minute persistence rule
+//!    (steps 2–3; `funnel-sst` + `funnel-detect`),
+//! 3. **determines causality** for each detected change with a
+//!    difference-in-differences comparison (steps 4–11; `funnel-did`):
+//!    against the dark-launch control group when one exists, against the
+//!    same clock windows on historical days otherwise,
+//! 4. **delivers** the per-KPI verdicts to the operations team (step 12;
+//!    [`report`]).
+//!
+//! Two driving modes are provided: [`pipeline::Funnel::assess_change`] runs
+//! the batch assessment the paper's evaluation uses, and
+//! [`online::OnlinePipeline`] consumes a live measurement subscription from
+//! the metric store, scoring every KPI minute by minute — the deployment
+//! mode of §5.
+//!
+//! # Quick start
+//!
+//! ```
+//! use funnel_core::pipeline::Funnel;
+//! use funnel_sim::scenario::ads_world;
+//!
+//! let (world, _ads, change) = ads_world(42);
+//! let funnel = Funnel::paper_default();
+//! let assessment = funnel.assess_change(&world, change).unwrap();
+//! // The broken upgrade's click collapse is detected and attributed:
+//! assert!(assessment.items.iter().any(|i| i.caused));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod online;
+pub mod online_assess;
+pub mod pipeline;
+pub mod quality;
+pub mod report;
+pub mod source;
+
+pub use config::FunnelConfig;
+pub use pipeline::{AssessmentMode, ChangeAssessment, Funnel, FunnelError, ItemAssessment};
+pub use source::KpiSource;

@@ -1,0 +1,211 @@
+//! The online pipeline — FUNNEL as deployed (paper §5).
+//!
+//! In deployment FUNNEL subscribes to the metric store and scores every
+//! watched KPI *as the measurements arrive*, minute by minute, declaring a
+//! KPI change the moment the filtered SST score has stayed above threshold
+//! for the persistence window. Each declaration is emitted on a crossbeam
+//! channel for the assessment layer (and ultimately the operations team);
+//! detection latency is therefore bounded by the persistence rule, not by
+//! any batch schedule — this is how the §5.2 incident went from a 1.5-hour
+//! manual discovery to a 10-minute automated one.
+
+use crate::config::FunnelConfig;
+use crossbeam::channel::{unbounded, Receiver};
+use funnel_detect::sst_adapter::SstDetector;
+use funnel_detect::WindowScorer;
+use funnel_sim::kpi::KpiKey;
+use funnel_sim::store::MetricStore;
+use funnel_sst::FastSst;
+use funnel_timeseries::series::MinuteBin;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A live KPI-change declaration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineDetection {
+    /// Which KPI changed.
+    pub key: KpiKey,
+    /// The minute the change was declared (end of the persistence run).
+    pub declared_at: MinuteBin,
+    /// The minute the score first exceeded the threshold.
+    pub first_exceeded_at: MinuteBin,
+    /// Peak filtered SST score in the run.
+    pub peak_score: f64,
+}
+
+/// Per-key streaming state: ring buffer + persistence counter.
+struct KeyState {
+    buf: Vec<f64>,
+    run_len: usize,
+    run_start: MinuteBin,
+    run_peak: f64,
+    armed: bool,
+}
+
+impl KeyState {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            run_len: 0,
+            run_start: 0,
+            run_peak: 0.0,
+            armed: true,
+        }
+    }
+}
+
+/// Handle to a running online pipeline; detections arrive on
+/// [`OnlinePipeline::detections`]. Dropping the handle does not stop the
+/// worker — it stops when the store's subscription closes.
+pub struct OnlinePipeline {
+    receiver: Receiver<OnlineDetection>,
+    worker: Option<JoinHandle<OnlineStats>>,
+}
+
+/// Counters from a finished online run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OnlineStats {
+    /// Measurements consumed.
+    pub measurements: usize,
+    /// Windows scored (measurements beyond each key's warm-up).
+    pub windows_scored: usize,
+    /// Detections emitted.
+    pub detections: usize,
+}
+
+impl OnlinePipeline {
+    /// Starts watching `keys` (or everything, if `None`) on `store`.
+    ///
+    /// The worker thread consumes the subscription until the store stops
+    /// publishing (all senders dropped ⇒ the replay finished) and then
+    /// returns its statistics via [`OnlinePipeline::join`].
+    pub fn start(store: &Arc<MetricStore>, keys: Option<Vec<KpiKey>>, config: FunnelConfig) -> Self {
+        let sub = store.subscribe(keys, 65_536);
+        let (tx, rx) = unbounded();
+        let worker = std::thread::spawn(move || {
+            let scorer = SstDetector::fast(FastSst::new(config.sst.clone()));
+            let w = scorer.window_len();
+            let mut states: HashMap<KpiKey, KeyState> = HashMap::new();
+            let mut stats = OnlineStats::default();
+
+            while let Some(m) = sub.recv() {
+                stats.measurements += 1;
+                let state = states.entry(m.key).or_insert_with(|| KeyState::new(w));
+                if state.buf.len() == w {
+                    state.buf.remove(0);
+                }
+                state.buf.push(m.value);
+                if state.buf.len() < w {
+                    continue; // warm-up
+                }
+                stats.windows_scored += 1;
+                let score = scorer.score(&state.buf);
+                if score >= config.sst_threshold {
+                    if state.run_len == 0 {
+                        state.run_start = m.minute;
+                        state.run_peak = score;
+                    } else {
+                        state.run_peak = state.run_peak.max(score);
+                    }
+                    state.run_len += 1;
+                    if state.armed && state.run_len >= config.persistence_minutes {
+                        stats.detections += 1;
+                        state.armed = false;
+                        let _ = tx.send(OnlineDetection {
+                            key: m.key,
+                            declared_at: m.minute,
+                            first_exceeded_at: state.run_start,
+                            peak_score: state.run_peak,
+                        });
+                    }
+                } else {
+                    state.run_len = 0;
+                    state.armed = true;
+                }
+            }
+            stats
+        });
+        Self { receiver: rx, worker: Some(worker) }
+    }
+
+    /// The detection stream.
+    pub fn detections(&self) -> &Receiver<OnlineDetection> {
+        &self.receiver
+    }
+
+    /// Waits for the worker to finish (the store must have stopped
+    /// publishing) and returns its statistics.
+    pub fn join(mut self) -> OnlineStats {
+        self.worker
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("online worker panicked")
+    }
+
+    /// Waits for the worker, then drains whatever detections are still
+    /// queued (declarations can land between a caller's last drain and the
+    /// stream's close).
+    pub fn finish(mut self) -> (Vec<OnlineDetection>, OnlineStats) {
+        let stats = self
+            .worker
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("online worker panicked");
+        let mut rest = Vec::new();
+        while let Ok(d) = self.receiver.try_recv() {
+            rest.push(d);
+        }
+        (rest, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_sim::agent::replay;
+    use funnel_sim::effect::{ChangeEffect, EffectScope};
+    use funnel_sim::kpi::KpiKind;
+    use funnel_sim::world::{SimConfig, WorldBuilder};
+    use funnel_topology::change::ChangeKind;
+    use funnel_topology::impact::Entity;
+
+    #[test]
+    fn online_detects_injected_shift_during_replay() {
+        let mut b = WorldBuilder::new(SimConfig { seed: 21, start: 0, duration: 300 });
+        let svc = b.add_service("prod.live", 3).unwrap();
+        let effect = ChangeEffect::none().with_level_shift(
+            KpiKind::PageViewResponseDelay,
+            EffectScope::TreatedInstances,
+            90.0,
+        );
+        b.deploy_change(ChangeKind::Upgrade, svc, 1, 150, effect, "latency bug")
+            .unwrap();
+        let world = b.build();
+        let treated = world.topology().instances_of(svc)[0].id;
+        let key = KpiKey::new(Entity::Instance(treated), KpiKind::PageViewResponseDelay);
+
+        let store = MetricStore::shared();
+        let pipeline = OnlinePipeline::start(&store, Some(vec![key]), FunnelConfig::paper_default());
+        replay(&world, &store, 2).unwrap();
+        // Replay done; drop our handle on the store so the subscription
+        // closes once drained... the subscription sender lives in the store;
+        // emulate shutdown by dropping the Arc clones we hold.
+        drop(store);
+        let mut declared = Vec::new();
+        while let Ok(d) = pipeline.detections().try_recv() {
+            declared.push(d.declared_at);
+        }
+        let stats = pipeline.join();
+        assert!(stats.measurements > 0);
+        assert!(stats.detections >= 1, "stats: {stats:?}");
+        // At least one declaration lands shortly after the minute-150 onset
+        // (the others, if any, are noise refires the DiD layer would kill).
+        assert!(
+            declared.iter().any(|&m| (150..=175).contains(&m)),
+            "declarations at {declared:?}"
+        );
+    }
+}

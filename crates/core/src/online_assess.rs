@@ -1,0 +1,296 @@
+//! Live assessment: online detection *plus* causality, per change.
+//!
+//! [`crate::online::OnlinePipeline`] is the raw streaming detector. This
+//! module adds the rest of Fig. 3 for the deployment mode of §5: when a
+//! software change is announced, an [`OnlineAssessor`] watches exactly the
+//! change's impact-set KPIs on the live store; each streaming declaration
+//! inside the assessment window is immediately DiD-tested against the
+//! change's control group (dark-launch peers, or the store's own history in
+//! the seasonal mode), and the attributed verdicts are pushed to the
+//! operations team's channel while the roll-out is still in progress.
+
+use crate::config::FunnelConfig;
+use crate::online::{OnlineDetection, OnlinePipeline};
+use crate::pipeline::AssessmentMode;
+use crate::source::KpiSource;
+use funnel_did::groups::{DidAssessor, DidVerdict};
+use funnel_did::seasonal::SeasonalControl;
+use funnel_did::DidEstimate;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::store::MetricStore;
+use funnel_timeseries::series::TimeSeries;
+use funnel_topology::change::{LaunchMode, SoftwareChange};
+use funnel_topology::impact::{identify_impact_set, Entity, ImpactSet};
+use funnel_topology::model::{ServiceId, Topology, TopologyError};
+use std::sync::Arc;
+
+/// A live, attributed KPI-change verdict.
+#[derive(Debug, Clone)]
+pub struct LiveVerdict {
+    /// The KPI that changed.
+    pub key: KpiKey,
+    /// The streaming detection that triggered the causality test.
+    pub detection: OnlineDetection,
+    /// The DiD outcome (None when no usable control data existed — the
+    /// detection is delivered raw, as the paper's tool does).
+    pub did: Option<(DidVerdict, DidEstimate)>,
+    /// Whether the change is attributed to the software change.
+    pub caused: bool,
+    /// Which control group was used.
+    pub mode: AssessmentMode,
+}
+
+/// Watches one software change live on a store.
+pub struct OnlineAssessor {
+    store: Arc<MetricStore>,
+    config: FunnelConfig,
+    change: SoftwareChange,
+    impact_set: ImpactSet,
+    pipeline: OnlinePipeline,
+    assessor: DidAssessor,
+}
+
+impl OnlineAssessor {
+    /// Starts watching `change`'s impact set on `store`. `service_kinds`
+    /// supplies the instance KPI kinds per service (as in the batch
+    /// pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates impact-set identification failures.
+    pub fn start(
+        store: &Arc<MetricStore>,
+        topology: &Topology,
+        change: SoftwareChange,
+        config: FunnelConfig,
+        service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
+    ) -> Result<Self, TopologyError> {
+        let impact_set = identify_impact_set(topology, &change)?;
+        let mut keys = Vec::new();
+        for &srv in &impact_set.tservers {
+            for kind in KpiKind::SERVER_KINDS {
+                keys.push(KpiKey::new(Entity::Server(srv), kind));
+            }
+        }
+        let changed_kinds = service_kinds(change.service);
+        for &inst in &impact_set.tinstances {
+            for &kind in &changed_kinds {
+                keys.push(KpiKey::new(Entity::Instance(inst), kind));
+            }
+        }
+        for &kind in &changed_kinds {
+            keys.push(KpiKey::new(Entity::Service(change.service), kind));
+        }
+        for &svc in &impact_set.affected_services {
+            for kind in service_kinds(svc) {
+                keys.push(KpiKey::new(Entity::Service(svc), kind));
+            }
+        }
+
+        let pipeline = OnlinePipeline::start(store, Some(keys), config.clone());
+        let assessor = DidAssessor::new(config.did.clone());
+        Ok(Self { store: Arc::clone(store), config, change, impact_set, pipeline, assessor })
+    }
+
+    /// The impact set being watched.
+    pub fn impact_set(&self) -> &ImpactSet {
+        &self.impact_set
+    }
+
+    /// Drains all streaming detections currently available and runs the
+    /// causality step on those declared within the assessment window
+    /// (`[change, change + assessment_minutes]`). Detections outside the
+    /// window are dropped (they belong to other causes).
+    pub fn drain_verdicts(&self) -> Vec<LiveVerdict> {
+        let mut out = Vec::new();
+        while let Ok(d) = self.pipeline.detections().try_recv() {
+            let window_end = self.change.minute + self.config.assessment_minutes;
+            if d.declared_at < self.change.minute || d.declared_at > window_end {
+                continue;
+            }
+            out.push(self.judge(d));
+        }
+        out
+    }
+
+    /// Runs DiD for one streaming detection against the store's current
+    /// contents.
+    fn judge(&self, detection: OnlineDetection) -> LiveVerdict {
+        JudgeView {
+            store: &self.store,
+            config: &self.config,
+            change: &self.change,
+            impact_set: &self.impact_set,
+            assessor: &self.assessor,
+        }
+        .judge(detection)
+    }
+
+    /// Stops watching (waits for the stream to close), judges every
+    /// remaining in-window detection, and returns the verdicts plus the
+    /// pipeline statistics.
+    pub fn finish(self) -> (Vec<LiveVerdict>, crate::online::OnlineStats) {
+        let mut verdicts = self.drain_verdicts();
+        let Self { store, config, change, impact_set, pipeline, assessor } = self;
+        let (rest, stats) = pipeline.finish();
+        // Re-assemble a borrow-only view to judge the stragglers.
+        let view = JudgeView { store: &store, config: &config, change: &change,
+            impact_set: &impact_set, assessor: &assessor };
+        for d in rest {
+            let window_end = change.minute + config.assessment_minutes;
+            if d.declared_at < change.minute || d.declared_at > window_end {
+                continue;
+            }
+            verdicts.push(view.judge(d));
+        }
+        (verdicts, stats)
+    }
+}
+
+/// Borrow-only view of the assessor's causality machinery, usable both
+/// while the pipeline runs and after it has been consumed by `finish`.
+struct JudgeView<'a> {
+    store: &'a MetricStore,
+    config: &'a FunnelConfig,
+    change: &'a SoftwareChange,
+    impact_set: &'a ImpactSet,
+    assessor: &'a DidAssessor,
+}
+
+impl JudgeView<'_> {
+    fn judge(&self, detection: OnlineDetection) -> LiveVerdict {
+        let key = detection.key;
+        let is_affected_service = matches!(key.entity, Entity::Service(s)
+            if s != self.change.service && self.impact_set.affected_services.contains(&s));
+        let seasonal = is_affected_service
+            || self.change.launch == LaunchMode::Full
+            || !self.impact_set.has_control_group();
+        let mode = if seasonal {
+            AssessmentMode::SeasonalHistory
+        } else {
+            AssessmentMode::DarkLaunchControl
+        };
+
+        let did = if seasonal {
+            self.store.series(&key).and_then(|series| {
+                SeasonalControl::new(self.config.history_days)
+                    .assess(self.assessor, &series, self.change.minute)
+                    .ok()
+            })
+        } else {
+            let control_keys: Vec<KpiKey> = match key.entity {
+                Entity::Server(_) => self
+                    .impact_set
+                    .cservers
+                    .iter()
+                    .map(|&s| KpiKey::new(Entity::Server(s), key.kind))
+                    .collect(),
+                Entity::Instance(_) | Entity::Service(_) => self
+                    .impact_set
+                    .cinstances
+                    .iter()
+                    .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+                    .collect(),
+            };
+            let treated_keys: Vec<KpiKey> = match key.entity {
+                Entity::Service(_) => self
+                    .impact_set
+                    .tinstances
+                    .iter()
+                    .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+                    .collect(),
+                _ => vec![key],
+            };
+            let fetch = |keys: &[KpiKey]| -> Vec<TimeSeries> {
+                keys.iter().filter_map(|k| self.store.series(k)).collect()
+            };
+            let treated = fetch(&treated_keys);
+            let control = fetch(&control_keys);
+            let tr: Vec<&TimeSeries> = treated.iter().collect();
+            let cr: Vec<&TimeSeries> = control.iter().collect();
+            self.assessor.assess(&tr, &cr, self.change.minute).ok()
+        };
+
+        let caused = did.as_ref().map_or(true, |(v, _)| v.is_caused());
+        LiveVerdict { key, detection, did, caused, mode }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_sim::agent::replay;
+    use funnel_sim::effect::{ChangeEffect, EffectScope};
+    use funnel_sim::world::{SimConfig, WorldBuilder};
+    use funnel_topology::change::ChangeKind;
+
+    #[test]
+    fn live_detection_and_attribution() {
+        // Dark launch with a real latency regression, replayed live.
+        let mut b = WorldBuilder::new(SimConfig { seed: 5, start: 0, duration: 400 });
+        let svc = b.add_service("live.assess", 6).unwrap();
+        let effect = ChangeEffect::none().with_level_shift(
+            KpiKind::PageViewResponseDelay,
+            EffectScope::TreatedInstances,
+            90.0,
+        );
+        let id = b
+            .deploy_change(ChangeKind::Upgrade, svc, 2, 200, effect, "live bug")
+            .unwrap();
+        let world = b.build();
+        let record = world.change_log().get(id).unwrap().clone();
+
+        let store = MetricStore::shared();
+        let mut config = FunnelConfig::paper_default();
+        config.assessment_minutes = 120;
+        let assessor = OnlineAssessor::start(&store, world.topology(), record, config, &|s| {
+            world.kinds_of_service(s).to_vec()
+        })
+        .unwrap();
+        assert_eq!(assessor.impact_set().tinstances.len(), 2);
+
+        replay(&world, &store, 2).unwrap();
+        store.close_subscriptions();
+        let (verdicts, stats) = assessor.finish();
+        assert!(stats.measurements > 0);
+
+        let attributed: Vec<_> = verdicts
+            .iter()
+            .filter(|v| v.caused && v.key.kind == KpiKind::PageViewResponseDelay)
+            .collect();
+        assert!(
+            !attributed.is_empty(),
+            "latency regression not attributed live: {verdicts:?}"
+        );
+        for v in &attributed {
+            assert_eq!(v.mode, AssessmentMode::DarkLaunchControl);
+            assert!(v.detection.declared_at >= 200);
+        }
+    }
+
+    #[test]
+    fn clean_change_yields_no_attributed_verdicts() {
+        let mut b = WorldBuilder::new(SimConfig { seed: 6, start: 0, duration: 400 });
+        let svc = b.add_service("live.clean", 6).unwrap();
+        let id = b
+            .deploy_change(ChangeKind::ConfigChange, svc, 2, 200, ChangeEffect::none(), "noop")
+            .unwrap();
+        let world = b.build();
+        let record = world.change_log().get(id).unwrap().clone();
+
+        let store = MetricStore::shared();
+        let assessor = OnlineAssessor::start(
+            &store,
+            world.topology(),
+            record,
+            FunnelConfig::paper_default(),
+            &|s| world.kinds_of_service(s).to_vec(),
+        )
+        .unwrap();
+        replay(&world, &store, 2).unwrap();
+        store.close_subscriptions();
+        let (verdicts, _) = assessor.finish();
+        let attributed = verdicts.iter().filter(|v| v.caused).count();
+        assert_eq!(attributed, 0, "clean change wrongly attributed: {verdicts:?}");
+    }
+}

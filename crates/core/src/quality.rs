@@ -1,0 +1,161 @@
+//! KPI data-quality screening.
+//!
+//! The paper notes that "there might exist some KPIs of dubious quality"
+//! and that FUNNEL deliberately "detects all KPI changes in the impact set
+//! regardless of the quality of the KPI, and delivers the results to the
+//! operations team" (§2.2). This module implements the screening step the
+//! paper leaves to the operators: it never suppresses a verdict, it only
+//! *annotates* KPIs whose data looks untrustworthy, so the operations team
+//! can triage deliveries faster.
+
+use funnel_timeseries::series::TimeSeries;
+use funnel_timeseries::stats::{mad, median};
+
+/// Reasons a KPI's data may be untrustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityIssue {
+    /// The series is (nearly) constant — a stuck collector or an unused
+    /// counter; change detection on it is vacuous.
+    Constant,
+    /// A large fraction of bins is exactly zero — usually gaps filled by
+    /// the collection substrate rather than real measurements.
+    MostlyZero,
+    /// The series takes very few distinct values — heavy quantization
+    /// (e.g. a gauge rounded to integers spanning three values) breaks the
+    /// SST's subspace geometry.
+    Quantized,
+    /// Extreme outliers dominate the series (max deviation over 50 robust
+    /// sigmas) — telemetry glitches that will dominate any matrix method.
+    GlitchOutliers,
+}
+
+/// The screening verdict for one KPI series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Issues found, in detection order; empty means the data looks sound.
+    pub issues: Vec<QualityIssue>,
+}
+
+impl QualityReport {
+    /// Whether the KPI passed every check.
+    pub fn is_good(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Screening thresholds (tuned loose — the goal is annotating clearly bad
+/// data, not judging marginal data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityConfig {
+    /// Flag when the robust coefficient of variation (MAD / |median|) is
+    /// below this and the absolute MAD is negligible.
+    pub constant_rel_mad: f64,
+    /// Flag when more than this fraction of bins is exactly zero.
+    pub zero_fraction: f64,
+    /// Flag when fewer than this many distinct values occur (and the series
+    /// is long enough for that to be suspicious).
+    pub min_distinct: usize,
+    /// Flag when any point deviates more than this many robust sigmas.
+    pub glitch_sigmas: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self { constant_rel_mad: 1e-6, zero_fraction: 0.5, min_distinct: 4, glitch_sigmas: 50.0 }
+    }
+}
+
+/// Screens one KPI series.
+pub fn assess_quality(series: &TimeSeries, config: &QualityConfig) -> QualityReport {
+    let xs = series.values();
+    let mut issues = Vec::new();
+    if xs.is_empty() {
+        return QualityReport { issues: vec![QualityIssue::Constant] };
+    }
+
+    let med = median(xs);
+    let m = mad(xs);
+
+    if m <= config.constant_rel_mad * med.abs().max(1.0) {
+        issues.push(QualityIssue::Constant);
+    }
+
+    let zeros = xs.iter().filter(|&&x| x == 0.0).count();
+    if zeros as f64 > config.zero_fraction * xs.len() as f64 {
+        issues.push(QualityIssue::MostlyZero);
+    }
+
+    if xs.len() >= 4 * config.min_distinct {
+        let mut distinct: Vec<u64> = xs.iter().map(|x| x.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < config.min_distinct && !issues.contains(&QualityIssue::Constant) {
+            issues.push(QualityIssue::Quantized);
+        }
+    }
+
+    if m > 0.0 {
+        let worst = xs.iter().map(|x| (x - med).abs()).fold(0.0, f64::max);
+        if worst > config.glitch_sigmas * m {
+            issues.push(QualityIssue::GlitchOutliers);
+        }
+    }
+
+    QualityReport { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(0, values)
+    }
+
+    fn check(values: Vec<f64>) -> QualityReport {
+        assess_quality(&series(values), &QualityConfig::default())
+    }
+
+    #[test]
+    fn healthy_series_is_good() {
+        let vals: Vec<f64> = (0..100).map(|i| 50.0 + ((i * 37) % 17) as f64 * 0.5).collect();
+        assert!(check(vals).is_good());
+    }
+
+    #[test]
+    fn constant_flagged() {
+        let r = check(vec![7.0; 60]);
+        assert!(r.issues.contains(&QualityIssue::Constant));
+    }
+
+    #[test]
+    fn mostly_zero_flagged() {
+        let mut vals = vec![0.0; 80];
+        for i in (0..80).step_by(5) {
+            vals[i] = 10.0 + i as f64;
+        }
+        let r = check(vals);
+        assert!(r.issues.contains(&QualityIssue::MostlyZero));
+    }
+
+    #[test]
+    fn quantized_flagged() {
+        let vals: Vec<f64> = (0..100).map(|i| (i % 3) as f64).collect();
+        let r = check(vals);
+        assert!(r.issues.contains(&QualityIssue::Quantized), "{r:?}");
+    }
+
+    #[test]
+    fn glitch_flagged() {
+        let mut vals: Vec<f64> = (0..100).map(|i| 50.0 + ((i * 13) % 7) as f64).collect();
+        vals[40] = 1e7;
+        let r = check(vals);
+        assert!(r.issues.contains(&QualityIssue::GlitchOutliers));
+    }
+
+    #[test]
+    fn empty_series_is_constant() {
+        let r = check(vec![]);
+        assert_eq!(r.issues, vec![QualityIssue::Constant]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Abstraction over where KPI series come from.
+//!
+//! The batch pipeline reads from either a frozen [`World`] (evaluation) or a
+//! live [`MetricStore`] (deployment). Both expose the same contract: a dense
+//! one-minute series per KPI key.
+
+use funnel_sim::kpi::KpiKey;
+use funnel_sim::store::MetricStore;
+use funnel_sim::world::World;
+use funnel_timeseries::series::TimeSeries;
+
+/// A provider of KPI series.
+pub trait KpiSource {
+    /// The full series for `key`, if the key exists.
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries>;
+}
+
+impl KpiSource for World {
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
+        World::series(self, key).ok()
+    }
+}
+
+impl KpiSource for MetricStore {
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
+        self.get(key)
+    }
+}
+
+impl<T: KpiSource + ?Sized> KpiSource for &T {
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
+        (**self).series(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_sim::kpi::KpiKind;
+    use funnel_sim::world::{SimConfig, WorldBuilder};
+    use funnel_topology::impact::Entity;
+    use funnel_topology::model::ServerId;
+
+    #[test]
+    fn world_and_store_agree() {
+        let mut b = WorldBuilder::new(SimConfig { seed: 2, start: 0, duration: 60 });
+        b.add_service("prod.t", 1).unwrap();
+        let world = b.build();
+        let store = world.materialize().unwrap();
+        let key = KpiKey::new(Entity::Server(ServerId(0)), KpiKind::CpuUtilization);
+        let a = KpiSource::series(&world, &key).unwrap();
+        let b2 = KpiSource::series(&store, &key).unwrap();
+        assert_eq!(a, b2);
+        // Unknown key yields None from both.
+        let bogus = KpiKey::new(Entity::Server(ServerId(99)), KpiKind::CpuUtilization);
+        assert!(KpiSource::series(&world, &bogus).is_none());
+        assert!(KpiSource::series(&store, &bogus).is_none());
+    }
+}

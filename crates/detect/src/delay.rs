@@ -1,0 +1,78 @@
+//! Detection-delay accounting (paper §4.4).
+//!
+//! "Suppose that a method correctly detects … a KPI change firstly when the
+//! input time window is x(i+1), …, x(i+w), and the KPI change starts at time
+//! c, then the detection delay is (w − c) minutes." I.e. the delay is the
+//! distance from the ground-truth onset to the *end of the first window*
+//! that correctly declares the change. Declarations strictly before the
+//! onset are false positives, not detections, and do not count.
+
+use crate::detector::ChangeEvent;
+use funnel_timeseries::series::MinuteBin;
+
+/// Outcome of matching declared events against a ground-truth onset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayOutcome {
+    /// Change detected `minutes` after its onset.
+    Detected {
+        /// Detection delay in minutes.
+        minutes: u64,
+    },
+    /// No event at or after the onset.
+    Missed,
+}
+
+impl DelayOutcome {
+    /// The delay in minutes, if detected.
+    pub fn minutes(&self) -> Option<u64> {
+        match self {
+            DelayOutcome::Detected { minutes } => Some(*minutes),
+            DelayOutcome::Missed => None,
+        }
+    }
+}
+
+/// Matches `events` (any order) against a ground-truth `onset`, returning
+/// the delay of the earliest event declared at or after the onset.
+pub fn detection_delay(events: &[ChangeEvent], onset: MinuteBin) -> DelayOutcome {
+    events
+        .iter()
+        .filter(|e| e.declared_at >= onset)
+        .map(|e| e.declared_at - onset)
+        .min()
+        .map_or(DelayOutcome::Missed, |minutes| DelayOutcome::Detected { minutes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: MinuteBin) -> ChangeEvent {
+        ChangeEvent { declared_at: at, first_exceeded_at: at, peak_score: 1.0 }
+    }
+
+    #[test]
+    fn earliest_valid_event_wins() {
+        let events = [ev(50), ev(45), ev(70)];
+        assert_eq!(detection_delay(&events, 40), DelayOutcome::Detected { minutes: 5 });
+    }
+
+    #[test]
+    fn pre_onset_events_are_ignored() {
+        let events = [ev(10), ev(20)];
+        assert_eq!(detection_delay(&events, 30), DelayOutcome::Missed);
+        let events = [ev(10), ev(35)];
+        assert_eq!(detection_delay(&events, 30), DelayOutcome::Detected { minutes: 5 });
+    }
+
+    #[test]
+    fn empty_events_is_missed() {
+        assert_eq!(detection_delay(&[], 5), DelayOutcome::Missed);
+        assert_eq!(DelayOutcome::Missed.minutes(), None);
+    }
+
+    #[test]
+    fn zero_delay_when_declared_at_onset() {
+        assert_eq!(detection_delay(&[ev(30)], 30), DelayOutcome::Detected { minutes: 0 });
+    }
+}

@@ -1,0 +1,229 @@
+//! Detector abstraction and the sliding-window driver.
+//!
+//! Every method in the paper's evaluation "took a time window of x(i), …,
+//! x(i+W) as its input" and "the time window moves forward every minute"
+//! (§4.1). [`WindowScorer`] is that pure function; [`DetectorRunner`] adds
+//! the operational policy: a declaration threshold, the 7-minute persistence
+//! rule that separates level shifts and ramps from one-off events, and
+//! re-arming so that one behaviour change produces one event.
+
+use funnel_timeseries::series::{MinuteBin, TimeSeries};
+use funnel_timeseries::window::SlidingWindows;
+
+/// A pure window → change-score function.
+pub trait WindowScorer {
+    /// The window width `W` this scorer expects.
+    fn window_len(&self) -> usize;
+
+    /// Scores one window of exactly [`WindowScorer::window_len`] samples;
+    /// higher means "more evidence of a behaviour change at/near the end of
+    /// this window".
+    fn score(&self, window: &[f64]) -> f64;
+
+    /// A short name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// A declared behaviour change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangeEvent {
+    /// Absolute minute at which the change was *declared* (the decision
+    /// minute of the window that completed the persistence run).
+    pub declared_at: MinuteBin,
+    /// Absolute minute of the first window in the persistent run — the
+    /// detector's estimate of when the change became visible.
+    pub first_exceeded_at: MinuteBin,
+    /// Peak score observed during the persistent run.
+    pub peak_score: f64,
+}
+
+/// Threshold + persistence + re-arm driver around a [`WindowScorer`].
+#[derive(Debug, Clone)]
+pub struct DetectorRunner<S> {
+    scorer: S,
+    threshold: f64,
+    persistence: usize,
+}
+
+impl<S: WindowScorer> DetectorRunner<S> {
+    /// Creates a runner declaring a change after `persistence` consecutive
+    /// windows score at or above `threshold`. `persistence` is clamped to a
+    /// minimum of 1.
+    pub fn new(scorer: S, threshold: f64, persistence: usize) -> Self {
+        Self { scorer, threshold, persistence: persistence.max(1) }
+    }
+
+    /// The wrapped scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+
+    /// The declaration threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The persistence requirement in windows (= minutes at 1-min bins).
+    pub fn persistence(&self) -> usize {
+        self.persistence
+    }
+
+    /// Runs the detector over a whole series, returning every declared
+    /// change. After a declaration the runner re-arms once the score falls
+    /// below threshold, so a single long-lived shift yields a single event.
+    pub fn run(&self, series: &TimeSeries) -> Vec<ChangeEvent> {
+        let mut events = Vec::new();
+        let mut run_len = 0usize;
+        let mut run_start: MinuteBin = 0;
+        let mut run_peak = 0.0f64;
+        let mut armed = true;
+
+        for w in SlidingWindows::new(series, self.scorer.window_len()) {
+            let s = self.scorer.score(w.values);
+            if s >= self.threshold {
+                if run_len == 0 {
+                    run_start = w.decision_minute;
+                    run_peak = s;
+                } else {
+                    run_peak = run_peak.max(s);
+                }
+                run_len += 1;
+                if armed && run_len >= self.persistence {
+                    events.push(ChangeEvent {
+                        declared_at: w.decision_minute,
+                        first_exceeded_at: run_start,
+                        peak_score: run_peak,
+                    });
+                    armed = false;
+                }
+            } else {
+                run_len = 0;
+                armed = true;
+            }
+        }
+        events
+    }
+
+    /// Convenience: whether the series contains at least one declared
+    /// change, and if so the first event.
+    pub fn first_change(&self, series: &TimeSeries) -> Option<ChangeEvent> {
+        // Early-exit variant of `run` (stops at the first declaration).
+        let mut run_len = 0usize;
+        let mut run_start: MinuteBin = 0;
+        let mut run_peak = 0.0f64;
+        for w in SlidingWindows::new(series, self.scorer.window_len()) {
+            let s = self.scorer.score(w.values);
+            if s >= self.threshold {
+                if run_len == 0 {
+                    run_start = w.decision_minute;
+                    run_peak = s;
+                } else {
+                    run_peak = run_peak.max(s);
+                }
+                run_len += 1;
+                if run_len >= self.persistence {
+                    return Some(ChangeEvent {
+                        declared_at: w.decision_minute,
+                        first_exceeded_at: run_start,
+                        peak_score: run_peak,
+                    });
+                }
+            } else {
+                run_len = 0;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scores 1.0 whenever the window mean exceeds 5, else 0.
+    struct MeanScorer;
+    impl WindowScorer for MeanScorer {
+        fn window_len(&self) -> usize {
+            4
+        }
+        fn score(&self, window: &[f64]) -> f64 {
+            let m = window.iter().sum::<f64>() / window.len() as f64;
+            if m > 5.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn name(&self) -> &'static str {
+            "mean"
+        }
+    }
+
+    fn step_series(pre: usize, post: usize) -> TimeSeries {
+        let mut v = vec![0.0; pre];
+        v.extend(vec![10.0; post]);
+        TimeSeries::new(0, v)
+    }
+
+    #[test]
+    fn persistence_filters_short_excursions() {
+        // A 4-sample bump yields exactly 3 consecutive windows with mean > 5
+        // (window width 4); persistence 5 ⇒ no event.
+        let mut v = vec![0.0; 10];
+        v.extend(vec![10.0; 4]);
+        v.extend(vec![0.0; 10]);
+        let series = TimeSeries::new(0, v);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 5);
+        assert!(r.run(&series).is_empty());
+        // Persistence 1 catches it.
+        let r1 = DetectorRunner::new(MeanScorer, 0.5, 1);
+        assert_eq!(r1.run(&series).len(), 1);
+    }
+
+    #[test]
+    fn declaration_time_includes_persistence_wait() {
+        let series = step_series(10, 20);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let events = r.run(&series);
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        // First window with mean > 5: some minutes after onset (10);
+        // declaration is persistence-1 windows later.
+        assert_eq!(e.declared_at, e.first_exceeded_at + 6);
+        assert!(e.peak_score >= 0.5);
+    }
+
+    #[test]
+    fn rearm_produces_one_event_per_excursion() {
+        let mut v = vec![0.0; 10];
+        v.extend(vec![10.0; 10]);
+        v.extend(vec![0.0; 10]);
+        v.extend(vec![10.0; 10]);
+        v.extend(vec![0.0; 5]);
+        let series = TimeSeries::new(0, v);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 3);
+        assert_eq!(r.run(&series).len(), 2);
+    }
+
+    #[test]
+    fn long_shift_is_single_event() {
+        let series = step_series(10, 50);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        assert_eq!(r.run(&series).len(), 1);
+    }
+
+    #[test]
+    fn first_change_matches_run() {
+        let series = step_series(10, 20);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        assert_eq!(r.first_change(&series), r.run(&series).first().copied());
+        let quiet = TimeSeries::new(0, vec![0.0; 30]);
+        assert_eq!(r.first_change(&quiet), None);
+    }
+
+    #[test]
+    fn persistence_clamped_to_one() {
+        let r = DetectorRunner::new(MeanScorer, 0.5, 0);
+        assert_eq!(r.persistence(), 1);
+    }
+}

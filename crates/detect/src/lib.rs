@@ -1,0 +1,44 @@
+//! Change detection for FUNNEL: the detector abstraction, the sliding-window
+//! driver with the paper's 7-minute persistence rule, and the two published
+//! baselines FUNNEL is evaluated against.
+//!
+//! * [`detector`] — [`WindowScorer`] (a pure window → score function),
+//!   [`DetectorRunner`] (threshold + persistence + re-arm logic), and
+//!   [`ChangeEvent`].
+//! * [`sst_adapter`] — wraps the `funnel-sst` scorers as [`WindowScorer`]s.
+//! * [`cusum`] — the CUmulative SUM detector used by MERCURY
+//!   (SIGCOMM 2010), the paper's "long detection delay" baseline.
+//! * [`mrls`] — Multiscale Robust Local Subspace, the PRISM (CoNEXT 2011)
+//!   detector: fast but SVD-iteration-heavy and spike-sensitive.
+//! * [`delay`] — detection-delay accounting against ground-truth onsets
+//!   (paper §4.4).
+//!
+//! The paper's evaluation window widths are exposed as constants:
+//! `W_FUNNEL = 34`, `W_MRLS = 32`, `W_CUSUM = 60` (§4.1).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cusum;
+pub mod delay;
+pub mod detector;
+pub mod mrls;
+pub mod sst_adapter;
+pub mod wow;
+
+pub use cusum::CusumDetector;
+pub use delay::{detection_delay, DelayOutcome};
+pub use detector::{ChangeEvent, DetectorRunner, WindowScorer};
+pub use mrls::{MrlsDetector, ScaleAggregation};
+pub use sst_adapter::SstDetector;
+pub use wow::WowDetector;
+
+/// Sliding-window width used for FUNNEL in the paper's evaluation (§4.1).
+pub const W_FUNNEL: usize = 34;
+/// Sliding-window width used for MRLS in the paper's evaluation (§4.1).
+pub const W_MRLS: usize = 32;
+/// Sliding-window width used for CUSUM in the paper's evaluation (§4.1).
+pub const W_CUSUM: usize = 60;
+/// The persistence threshold (minutes) FUNNEL uses to declare a level shift
+/// or ramp rather than a one-off event (§4.1).
+pub const PERSISTENCE_MINUTES: usize = 7;

@@ -1,0 +1,133 @@
+//! Week-over-week (period-over-period) change detection.
+//!
+//! The related-work baseline of Chen et al. (SIGCOMM 2013), cited by the
+//! paper for seasonal time series (§6): compare the most recent samples
+//! with the *same clock window one season earlier* and score the robust
+//! discrepancy. It handles seasonality by construction but needs a full
+//! period of history per window and reacts slowly to anything the period
+//! does not explain — the contrast that motivates FUNNEL's SST + DiD split.
+//!
+//! Implemented as a [`WindowScorer`] whose window spans one full period
+//! plus the comparison span: the leading `compare_span` samples are "the
+//! same window last period", the trailing `compare_span` samples are "now".
+
+use crate::detector::WindowScorer;
+use funnel_timeseries::stats::{mad, median};
+
+/// Period-over-period detector.
+#[derive(Debug, Clone)]
+pub struct WowDetector {
+    period: usize,
+    compare_span: usize,
+}
+
+impl WowDetector {
+    /// Creates a detector comparing `compare_span`-minute windows across a
+    /// `period` (e.g. 1440 for day-over-day, 10080 for week-over-week).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compare_span == 0` or `compare_span > period`.
+    pub fn new(period: usize, compare_span: usize) -> Self {
+        assert!(compare_span > 0, "compare span must be positive");
+        assert!(compare_span <= period, "compare span cannot exceed the period");
+        Self { period, compare_span }
+    }
+
+    /// Day-over-day with a 30-minute comparison window.
+    pub fn day_over_day() -> Self {
+        Self::new(funnel_timeseries::MINUTES_PER_DAY, 30)
+    }
+}
+
+impl WindowScorer for WowDetector {
+    fn window_len(&self) -> usize {
+        self.period + self.compare_span
+    }
+
+    /// Robust z-distance between "now" and "same time last period":
+    /// `|median_now − median_then| / max(MAD_now, MAD_then, ε)`.
+    fn score(&self, window: &[f64]) -> f64 {
+        assert_eq!(window.len(), self.window_len(), "WoW window length mismatch");
+        let then = &window[..self.compare_span];
+        let now = &window[window.len() - self.compare_span..];
+        let scale = mad(then).max(mad(now)).max(1e-9);
+        (median(now) - median(then)).abs() / scale
+    }
+
+    fn name(&self) -> &'static str {
+        "WoW"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_timeseries::MINUTES_PER_DAY;
+
+    /// Strongly seasonal signal: same value at the same clock minute.
+    fn diurnal(minute: usize) -> f64 {
+        let phase = (minute % MINUTES_PER_DAY) as f64 / MINUTES_PER_DAY as f64;
+        1000.0 + 400.0 * (phase * std::f64::consts::TAU).sin()
+    }
+
+    #[test]
+    fn pure_seasonality_scores_near_zero() {
+        let d = WowDetector::day_over_day();
+        // Steep morning ramp, but identical to yesterday's.
+        let start = 6 * 60;
+        let w: Vec<f64> = (0..d.window_len())
+            .map(|i| diurnal(start + i) + 0.5 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let s = d.score(&w);
+        assert!(s < 3.0, "seasonal score {s}");
+    }
+
+    #[test]
+    fn level_shift_on_seasonal_signal_scores_high() {
+        let d = WowDetector::day_over_day();
+        let start = 6 * 60;
+        let shift_at = d.window_len() - 20; // 20 minutes ago
+        let w: Vec<f64> = (0..d.window_len())
+            .map(|i| {
+                diurnal(start + i)
+                    + 0.5 * ((i % 7) as f64 - 3.0)
+                    + if i >= shift_at { -200.0 } else { 0.0 }
+            })
+            .collect();
+        let s = d.score(&w);
+        assert!(s > 10.0, "shift score {s}");
+    }
+
+    #[test]
+    fn needs_a_full_period_of_history() {
+        let d = WowDetector::day_over_day();
+        assert_eq!(d.window_len(), 1440 + 30);
+        assert_eq!(d.name(), "WoW");
+    }
+
+    #[test]
+    fn period_drift_fools_wow() {
+        // A pattern whose *period* changed (e.g. a holiday): WoW fires even
+        // though nothing is wrong with the service — the weakness that
+        // keeps it a baseline rather than the answer.
+        let d = WowDetector::day_over_day();
+        let w: Vec<f64> = (0..d.window_len())
+            .map(|i| {
+                // "Yesterday" trough, "today" peak at the same clock time.
+                if i < 30 {
+                    600.0 + (i % 5) as f64
+                } else {
+                    1400.0 + (i % 5) as f64
+                }
+            })
+            .collect();
+        assert!(d.score(&w) > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compare span")]
+    fn zero_span_rejected() {
+        let _ = WowDetector::new(1440, 0);
+    }
+}

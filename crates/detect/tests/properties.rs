@@ -1,0 +1,107 @@
+//! Property-based tests for the detectors and the driver.
+
+use funnel_detect::cusum::CusumDetector;
+use funnel_detect::detector::{DetectorRunner, WindowScorer};
+use funnel_detect::mrls::MrlsDetector;
+use funnel_timeseries::series::TimeSeries;
+use proptest::prelude::*;
+
+/// A scorer that fires exactly on values above a cutoff — lets the driver's
+/// threshold/persistence semantics be checked against a brute-force scan.
+struct CutoffScorer;
+impl WindowScorer for CutoffScorer {
+    fn window_len(&self) -> usize {
+        1
+    }
+    fn score(&self, window: &[f64]) -> f64 {
+        window[0]
+    }
+    fn name(&self) -> &'static str {
+        "cutoff"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The runner's events match a brute-force run-length scan.
+    #[test]
+    fn runner_matches_brute_force(
+        values in prop::collection::vec(0.0..2.0f64, 5..120),
+        threshold in 0.2..1.8f64,
+        persistence in 1usize..9,
+    ) {
+        let series = TimeSeries::new(0, values.clone());
+        let runner = DetectorRunner::new(CutoffScorer, threshold, persistence);
+        let events = runner.run(&series);
+
+        // Brute force: positions where a run of `persistence` consecutive
+        // above-threshold samples first completes, re-armed after dips.
+        let mut expected = Vec::new();
+        let mut run = 0;
+        let mut armed = true;
+        for (i, &v) in values.iter().enumerate() {
+            if v >= threshold {
+                run += 1;
+                if armed && run >= persistence {
+                    expected.push(i as u64);
+                    armed = false;
+                }
+            } else {
+                run = 0;
+                armed = true;
+            }
+        }
+        let got: Vec<u64> = events.iter().map(|e| e.declared_at).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Event invariants: declared_at ≥ first_exceeded_at, peak ≥ threshold.
+    #[test]
+    fn event_invariants(
+        values in prop::collection::vec(0.0..2.0f64, 5..120),
+        threshold in 0.2..1.8f64,
+        persistence in 1usize..9,
+    ) {
+        let series = TimeSeries::new(0, values);
+        let runner = DetectorRunner::new(CutoffScorer, threshold, persistence);
+        for e in runner.run(&series) {
+            prop_assert!(e.declared_at >= e.first_exceeded_at);
+            prop_assert_eq!(e.declared_at - e.first_exceeded_at, persistence as u64 - 1);
+            prop_assert!(e.peak_score >= threshold);
+        }
+    }
+
+    /// The rank-based CUSUM statistic is invariant under strictly monotone
+    /// transforms of the data (it only sees ranks).
+    #[test]
+    fn rank_cusum_monotone_invariant(
+        values in prop::collection::vec(-50.0..50.0f64, 60),
+        scale in 0.1..10.0f64,
+        offset in -100.0..100.0f64,
+    ) {
+        let d = CusumDetector::paper_default();
+        let transformed: Vec<f64> = values.iter().map(|x| x * scale + offset).collect();
+        let a = d.score(&values);
+        let b = d.score(&transformed);
+        // Ranks (and the rank-seeded bootstrap) are identical under strictly
+        // increasing transforms, so the scores match exactly.
+        prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    /// MRLS score is finite and non-negative-ish on arbitrary data, and
+    /// invariant under affine rescaling (robust standardization contract).
+    #[test]
+    fn mrls_affine_invariant(
+        values in prop::collection::vec(-100.0..100.0f64, 32),
+        scale in 0.1..100.0f64,
+        offset in -1000.0..1000.0f64,
+    ) {
+        let d = MrlsDetector::paper_default();
+        let transformed: Vec<f64> = values.iter().map(|x| x * scale + offset).collect();
+        let a = d.score(&values);
+        let b = d.score(&transformed);
+        prop_assert!(a.is_finite() && b.is_finite());
+        prop_assert!((a - b).abs() < 1e-5 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The 2×2 difference-in-differences estimator with panel-OLS inference.
+//!
+//! The design has four cells — {treated, control} × {pre, post} — and the
+//! linear model of paper Eq. 15,
+//!
+//! ```text
+//! Y(i,t) = θ(t) + α·D(i,t) + ξ(i) + υ(i,t),
+//! ```
+//!
+//! whose OLS estimate of the interaction coefficient is exactly the
+//! difference of differences of cell means (Eq. 16). The residual variance
+//! of the saturated 2×2 regression gives the standard error
+//! `SE(α̂) = σ̂·√(1/n₁₁ + 1/n₁₀ + 1/n₀₁ + 1/n₀₀)` and a t-statistic for the
+//! significance of the software-change impact.
+
+/// Result of a DiD fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DidEstimate {
+    /// The impact estimator α of Eq. 16 (post-pre change of treated relative
+    /// to control), in the units the samples were supplied in.
+    pub alpha: f64,
+    /// OLS standard error of α (0 when residual dof is 0).
+    pub std_err: f64,
+    /// `alpha / std_err`; ±∞ when `std_err == 0` and `alpha ≠ 0`.
+    pub t_stat: f64,
+    /// Total number of observations.
+    pub n: usize,
+    /// Cell means `[treated_pre, treated_post, control_pre, control_post]`.
+    pub cell_means: [f64; 4],
+}
+
+impl DidEstimate {
+    /// Whether the impact is significant: |α| materially larger than
+    /// `alpha_threshold` *and* either |t| above a strict bar (3.5 — FUNNEL
+    /// judges millions of KPI-hours per day, so per-test error rates must
+    /// be tiny) or |α| so large (3× the threshold) that no plausible
+    /// noise/autocorrelation structure explains it — the AR-corrected t can
+    /// be over-deflated when strong within-period trends (seasonal cells)
+    /// inflate the estimated autocorrelation, and a 10+-MAD relative shift
+    /// is categorical regardless.
+    pub fn is_significant(&self, alpha_threshold: f64) -> bool {
+        self.alpha.abs() > alpha_threshold
+            && (self.t_stat.abs() > 3.5 || self.alpha.abs() > 3.0 * alpha_threshold)
+    }
+}
+
+/// Errors from [`did_estimate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DidError {
+    /// One of the four cells has no observations.
+    EmptyCell {
+        /// Which cell: "treated_pre", "treated_post", "control_pre",
+        /// "control_post".
+        cell: &'static str,
+    },
+    /// A sample was NaN or infinite.
+    NonFiniteSample,
+}
+
+impl std::fmt::Display for DidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DidError::EmptyCell { cell } => write!(f, "DiD cell '{cell}' has no observations"),
+            DidError::NonFiniteSample => write!(f, "DiD received a non-finite sample"),
+        }
+    }
+}
+
+impl std::error::Error for DidError {}
+
+/// Fits the 2×2 DiD design from raw per-cell samples.
+///
+/// # Errors
+///
+/// [`DidError::EmptyCell`] when any cell is empty,
+/// [`DidError::NonFiniteSample`] when any sample is NaN/∞.
+pub fn did_estimate(
+    treated_pre: &[f64],
+    treated_post: &[f64],
+    control_pre: &[f64],
+    control_post: &[f64],
+) -> Result<DidEstimate, DidError> {
+    let cells: [(&'static str, &[f64]); 4] = [
+        ("treated_pre", treated_pre),
+        ("treated_post", treated_post),
+        ("control_pre", control_pre),
+        ("control_post", control_post),
+    ];
+    for (name, xs) in &cells {
+        if xs.is_empty() {
+            return Err(DidError::EmptyCell { cell: name });
+        }
+        if xs.iter().any(|x| !x.is_finite()) {
+            return Err(DidError::NonFiniteSample);
+        }
+    }
+
+    let m = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let m_t0 = m(treated_pre);
+    let m_t1 = m(treated_post);
+    let m_c0 = m(control_pre);
+    let m_c1 = m(control_post);
+
+    // Eq. 16.
+    let alpha = (m_t1 - m_c1) - (m_t0 - m_c0);
+
+    // Residual sum of squares of the saturated regression (each cell fitted
+    // by its own mean — equivalent to the Eq. 15 OLS fit for this design).
+    let rss: f64 = treated_pre.iter().map(|x| (x - m_t0) * (x - m_t0)).sum::<f64>()
+        + treated_post.iter().map(|x| (x - m_t1) * (x - m_t1)).sum::<f64>()
+        + control_pre.iter().map(|x| (x - m_c0) * (x - m_c0)).sum::<f64>()
+        + control_post.iter().map(|x| (x - m_c1) * (x - m_c1)).sum::<f64>();
+    let n = treated_pre.len() + treated_post.len() + control_pre.len() + control_post.len();
+    let dof = n.saturating_sub(4);
+
+    let (std_err, t_stat) = if dof == 0 {
+        (0.0, if alpha == 0.0 { 0.0 } else { f64::INFINITY.copysign(alpha) })
+    } else {
+        let sigma2 = rss / dof as f64;
+        // KPI noise is strongly autocorrelated minute to minute (AR-like),
+        // so the i.i.d. OLS standard error is overconfident by the classic
+        // factor √((1+ρ)/(1−ρ)). Estimate lag-1 autocorrelation from the
+        // within-cell residuals (a cheap Newey–West-style correction) and
+        // inflate the SE accordingly, clamped to [1, 5] for stability.
+        let rho = pooled_lag1_autocorr(&[treated_pre, treated_post, control_pre, control_post]);
+        let inflation = (((1.0 + rho) / (1.0 - rho)).max(1.0)).sqrt().clamp(1.0, 5.0);
+        let se = inflation
+            * (sigma2
+                * (1.0 / treated_pre.len() as f64
+                    + 1.0 / treated_post.len() as f64
+                    + 1.0 / control_pre.len() as f64
+                    + 1.0 / control_post.len() as f64))
+                .sqrt();
+        let t = if se > 0.0 {
+            alpha / se
+        } else if alpha == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(alpha)
+        };
+        (se, t)
+    };
+
+    Ok(DidEstimate { alpha, std_err, t_stat, n, cell_means: [m_t0, m_t1, m_c0, m_c1] })
+}
+
+/// Average lag-1 autocorrelation of the demeaned samples within each cell
+/// (cells are time-ordered measurement sequences). Returns 0 for cells too
+/// short to estimate; the result is clamped to `[0, 0.95]` — negative
+/// autocorrelation would *shrink* the SE, which we conservatively ignore.
+fn pooled_lag1_autocorr(cells: &[&[f64]]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for cell in cells {
+        if cell.len() < 3 {
+            continue;
+        }
+        let m = cell.iter().sum::<f64>() / cell.len() as f64;
+        for w in cell.windows(2) {
+            num += (w[0] - m) * (w[1] - m);
+        }
+        for x in cell.iter() {
+            den += (x - m) * (x - m);
+        }
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        (num / den).clamp(0.0, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_2x2() {
+        // Treated moves 10 → 15, control 20 → 22 ⇒ α = 5 − 2 = 3.
+        let e = did_estimate(&[10.0, 10.0], &[15.0, 15.0], &[20.0, 20.0], &[22.0, 22.0])
+            .unwrap();
+        assert!((e.alpha - 3.0).abs() < 1e-12);
+        assert_eq!(e.n, 8);
+        assert_eq!(e.cell_means, [10.0, 15.0, 20.0, 22.0]);
+    }
+
+    #[test]
+    fn shared_shock_cancels() {
+        // Both groups jump by 7 (a non-software factor): α = 0.
+        let e = did_estimate(&[1.0, 1.2], &[8.0, 8.2], &[5.0, 5.2], &[12.0, 12.2]).unwrap();
+        assert!(e.alpha.abs() < 1e-12);
+    }
+
+    #[test]
+    fn significance_needs_both_magnitude_and_tstat() {
+        // Large α, clean data ⇒ significant.
+        let tp: Vec<f64> = (0..30).map(|i| 10.0 + 0.1 * (i % 3) as f64).collect();
+        let tq: Vec<f64> = (0..30).map(|i| 15.0 + 0.1 * (i % 3) as f64).collect();
+        let cp: Vec<f64> = (0..30).map(|i| 10.0 + 0.1 * (i % 3) as f64).collect();
+        let cq: Vec<f64> = (0..30).map(|i| 10.0 + 0.1 * (i % 3) as f64).collect();
+        let e = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        assert!(e.is_significant(0.5));
+        // Tiny α ⇒ not significant at the 0.5 threshold even if precise.
+        let tq_small: Vec<f64> = tp.iter().map(|x| x + 0.2).collect();
+        let e2 = did_estimate(&tp, &tq_small, &cp, &cq).unwrap();
+        assert!(!e2.is_significant(0.5));
+    }
+
+    #[test]
+    fn noisy_null_is_insignificant() {
+        // Same noisy distribution in all cells: α near 0, |t| small.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut cell = |base: f64| -> Vec<f64> { (0..60).map(|_| base + next()).collect() };
+        let e = did_estimate(&cell(10.0), &cell(10.0), &cell(10.0), &cell(10.0)).unwrap();
+        assert!(!e.is_significant(0.5), "alpha {} t {}", e.alpha, e.t_stat);
+    }
+
+    #[test]
+    fn empty_cell_rejected() {
+        let err = did_estimate(&[], &[1.0], &[1.0], &[1.0]).unwrap_err();
+        assert_eq!(err, DidError::EmptyCell { cell: "treated_pre" });
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let err = did_estimate(&[1.0], &[f64::NAN], &[1.0], &[1.0]).unwrap_err();
+        assert_eq!(err, DidError::NonFiniteSample);
+    }
+
+    #[test]
+    fn dof_zero_edge() {
+        let e = did_estimate(&[1.0], &[5.0], &[2.0], &[2.0]).unwrap();
+        assert_eq!(e.std_err, 0.0);
+        assert!(e.t_stat.is_infinite() && e.t_stat > 0.0);
+    }
+
+    #[test]
+    fn std_err_shrinks_with_samples() {
+        let small = did_estimate(
+            &[9.0, 11.0],
+            &[14.0, 16.0],
+            &[10.0, 12.0],
+            &[10.0, 12.0],
+        )
+        .unwrap();
+        let tp: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let tq: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 14.0 } else { 16.0 }).collect();
+        let cp: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 10.0 } else { 12.0 }).collect();
+        let big = did_estimate(&tp, &tq, &cp, &cp.clone()).unwrap();
+        assert!(big.std_err < small.std_err);
+    }
+}

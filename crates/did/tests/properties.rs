@@ -1,0 +1,82 @@
+//! Property-based tests for the DiD estimator: the algebraic identities a
+//! difference-in-differences design must satisfy.
+
+use funnel_did::estimator::did_estimate;
+use proptest::prelude::*;
+
+fn cell() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// α equals the difference of cell-mean differences, exactly.
+    #[test]
+    fn alpha_is_difference_of_differences(
+        tp in cell(), tq in cell(), cp in cell(), cq in cell(),
+    ) {
+        let m = |xs: &Vec<f64>| xs.iter().sum::<f64>() / xs.len() as f64;
+        let est = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        let expect = (m(&tq) - m(&cq)) - (m(&tp) - m(&cp));
+        prop_assert!((est.alpha - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+    }
+
+    /// Adding the same time shock to both groups' post period leaves α
+    /// unchanged (the parallel-trends cancellation).
+    #[test]
+    fn common_shock_cancels(
+        tp in cell(), tq in cell(), cp in cell(), cq in cell(),
+        shock in -1e3..1e3f64,
+    ) {
+        let base = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        let tq2: Vec<f64> = tq.iter().map(|x| x + shock).collect();
+        let cq2: Vec<f64> = cq.iter().map(|x| x + shock).collect();
+        let shocked = did_estimate(&tp, &tq2, &cp, &cq2).unwrap();
+        prop_assert!((base.alpha - shocked.alpha).abs() < 1e-8 * (1.0 + base.alpha.abs()));
+    }
+
+    /// A pure treatment effect τ added to treated-post moves α by exactly τ.
+    #[test]
+    fn treatment_effect_recovered(
+        tp in cell(), tq in cell(), cp in cell(), cq in cell(),
+        tau in -1e3..1e3f64,
+    ) {
+        let base = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        let treated: Vec<f64> = tq.iter().map(|x| x + tau).collect();
+        let est = did_estimate(&tp, &treated, &cp, &cq).unwrap();
+        prop_assert!((est.alpha - base.alpha - tau).abs() < 1e-8 * (1.0 + tau.abs()));
+    }
+
+    /// Group-specific *fixed* differences (ξ(i) in Eq. 15) do not bias α:
+    /// shifting the whole treated group (pre and post) changes nothing.
+    #[test]
+    fn group_fixed_effects_cancel(
+        tp in cell(), tq in cell(), cp in cell(), cq in cell(),
+        xi in -1e3..1e3f64,
+    ) {
+        let base = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        let tp2: Vec<f64> = tp.iter().map(|x| x + xi).collect();
+        let tq2: Vec<f64> = tq.iter().map(|x| x + xi).collect();
+        let est = did_estimate(&tp2, &tq2, &cp, &cq).unwrap();
+        prop_assert!((base.alpha - est.alpha).abs() < 1e-8 * (1.0 + base.alpha.abs()));
+    }
+
+    /// The standard error is non-negative and the t-stat has α's sign.
+    #[test]
+    fn inference_sane(tp in cell(), tq in cell(), cp in cell(), cq in cell()) {
+        let est = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        prop_assert!(est.std_err >= 0.0);
+        if est.std_err > 0.0 && est.alpha != 0.0 {
+            prop_assert_eq!(est.t_stat.signum(), est.alpha.signum());
+        }
+    }
+
+    /// Swapping the roles of treated and control negates α.
+    #[test]
+    fn antisymmetry(tp in cell(), tq in cell(), cp in cell(), cq in cell()) {
+        let a = did_estimate(&tp, &tq, &cp, &cq).unwrap();
+        let b = did_estimate(&cp, &cq, &tp, &tq).unwrap();
+        prop_assert!((a.alpha + b.alpha).abs() < 1e-8 * (1.0 + a.alpha.abs()));
+    }
+}

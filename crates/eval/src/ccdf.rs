@@ -1,0 +1,60 @@
+//! Complementary CDFs and medians for detection delays (paper Fig. 5).
+
+/// Returns the CCDF of `delays` evaluated at every integer minute from 0 to
+/// `max_minute` inclusive: `(minute, fraction of delays > minute)` —
+/// matching Fig. 5's axes (CCDF in %, delay in minutes). Empty input yields
+/// an empty vector.
+pub fn ccdf_points(delays: &[u64], max_minute: u64) -> Vec<(u64, f64)> {
+    if delays.is_empty() {
+        return Vec::new();
+    }
+    let n = delays.len() as f64;
+    (0..=max_minute)
+        .map(|m| {
+            let above = delays.iter().filter(|&&d| d > m).count() as f64;
+            (m, above / n)
+        })
+        .collect()
+}
+
+/// Median delay in minutes (average of central order statistics for even
+/// counts); `None` for empty input.
+pub fn median_delay(delays: &[u64]) -> Option<f64> {
+    if delays.is_empty() {
+        return None;
+    }
+    let mut v = delays.to_vec();
+    v.sort_unstable();
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2] as f64
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) as f64 / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccdf_basic() {
+        let points = ccdf_points(&[1, 2, 2, 5], 5);
+        assert_eq!(points[0], (0, 1.0)); // all > 0
+        assert_eq!(points[1], (1, 0.75));
+        assert_eq!(points[2], (2, 0.25));
+        assert_eq!(points[5], (5, 0.0));
+    }
+
+    #[test]
+    fn ccdf_empty() {
+        assert!(ccdf_points(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median_delay(&[3, 1, 2]), Some(2.0));
+        assert_eq!(median_delay(&[1, 2, 3, 10]), Some(2.5));
+        assert_eq!(median_delay(&[]), None);
+    }
+}

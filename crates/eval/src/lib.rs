@@ -1,0 +1,29 @@
+//! Evaluation harness for the FUNNEL reproduction (paper §4–§5).
+//!
+//! * [`confusion`] — TP/TN/FP/FN bookkeeping, the Precision/Recall/TNR/
+//!   Accuracy definitions of §4.2, and the ×86 extrapolation of §4.2.1.
+//! * [`methods`] — the four compared methods (FUNNEL, improved SST without
+//!   DiD, CUSUM, MRLS) behind one interface, with per-method calibrated
+//!   thresholds.
+//! * [`cohort`] — runs a whole evaluation cohort against every method in
+//!   parallel, scoring each (change, entity, KPI) *item* against the
+//!   world's ground truth; produces Table 1 and the Fig. 5 delay samples.
+//! * [`ccdf`] — complementary CDFs and medians for detection delays.
+//! * [`timing`] — single-thread per-window wall-clock measurement and the
+//!   "cores for one million KPIs" projection of Table 2.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ccdf;
+pub mod cohort;
+pub mod confusion;
+pub mod methods;
+pub mod roc;
+pub mod timing;
+
+pub use ccdf::{ccdf_points, median_delay};
+pub use cohort::{evaluate_cohort, CohortResult, ItemOutcome};
+pub use confusion::{ConfusionMatrix, Rates};
+pub use methods::Method;
+pub use roc::{auc_by_ranks, roc_curve, RocCurve, RocPoint, ScoredItem};

@@ -1,0 +1,178 @@
+//! ROC analysis over declaration thresholds.
+//!
+//! §4.1 justifies fixing each method's parameters at its accuracy-best
+//! values by noting the conclusion matches "the method that \[changes\] the
+//! value of the parameters, calculating the accuracies and plotting the
+//! receiver operating characteristic (ROC) curves". This module is that
+//! alternative methodology: given per-item peak scores, sweep the threshold
+//! continuously and produce the ROC curve and its AUC, so methods can be
+//! compared independent of any single operating point.
+
+/// One scored item: the method's peak score over the assessment window and
+/// the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    /// Peak score the method assigned.
+    pub score: f64,
+    /// Whether the item truly has a software-caused KPI change.
+    pub actual: bool,
+}
+
+/// A point on the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Threshold that produces this point (items with `score >= threshold`
+    /// are predicted positive).
+    pub threshold: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate (recall).
+    pub tpr: f64,
+}
+
+/// The full curve plus its area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Points from the most permissive threshold (top right) to the most
+    /// conservative (bottom left), inclusive of the (0,0) and (1,1) ends.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve; 0.5 = chance, 1.0 = perfect ranking.
+    pub auc: f64,
+}
+
+/// Builds the ROC curve from scored items.
+///
+/// Returns `None` when the items are all-positive or all-negative (no curve
+/// exists). Ties in scores are handled by treating equal-scored items as one
+/// threshold step, which is the standard exact construction.
+pub fn roc_curve(items: &[ScoredItem]) -> Option<RocCurve> {
+    let positives = items.iter().filter(|i| i.actual).count();
+    let negatives = items.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return None;
+    }
+
+    // Sort by score descending; sweep thresholds at each distinct score.
+    let mut sorted: Vec<&ScoredItem> = items.iter().collect();
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
+
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        let score = sorted[i].score;
+        // Consume the whole tie group.
+        while i < sorted.len() && sorted[i].score == score {
+            if sorted[i].actual {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: score,
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+        });
+    }
+
+    // Trapezoidal AUC.
+    let mut auc = 0.0;
+    for w in points.windows(2) {
+        auc += (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0;
+    }
+
+    Some(RocCurve { points, auc })
+}
+
+/// AUC via the rank statistic (probability a random positive outranks a
+/// random negative, ties counted half) — an independent computation used to
+/// cross-check [`roc_curve`] in tests.
+pub fn auc_by_ranks(items: &[ScoredItem]) -> Option<f64> {
+    let pos: Vec<f64> = items.iter().filter(|i| i.actual).map(|i| i.score).collect();
+    let neg: Vec<f64> = items.iter().filter(|i| !i.actual).map(|i| i.score).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (pos.len() * neg.len()) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(score: f64, actual: bool) -> ScoredItem {
+        ScoredItem { score, actual }
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let items = vec![item(0.9, true), item(0.8, true), item(0.2, false), item(0.1, false)];
+        let roc = roc_curve(&items).unwrap();
+        assert!((roc.auc - 1.0).abs() < 1e-12);
+        assert_eq!(roc.points.first().unwrap().tpr, 0.0);
+        assert_eq!(roc.points.last().unwrap().tpr, 1.0);
+        assert_eq!(roc.points.last().unwrap().fpr, 1.0);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let items = vec![item(0.1, true), item(0.9, false)];
+        let roc = roc_curve(&items).unwrap();
+        assert!(roc.auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleaving_is_half() {
+        // Alternating equal-quality scores → AUC 0.5.
+        let items: Vec<ScoredItem> =
+            (0..100).map(|i| item(i as f64, i % 2 == 0)).collect();
+        let roc = roc_curve(&items).unwrap();
+        assert!((roc.auc - 0.5).abs() < 0.02, "auc {}", roc.auc);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(roc_curve(&[item(1.0, true)]).is_none());
+        assert!(roc_curve(&[item(1.0, false)]).is_none());
+        assert!(roc_curve(&[]).is_none());
+    }
+
+    #[test]
+    fn curve_auc_matches_rank_auc() {
+        // Deterministic pseudo-random mixture, including ties.
+        let items: Vec<ScoredItem> = (0..200)
+            .map(|i| {
+                let score = ((i * 37) % 50) as f64 / 10.0;
+                let actual = (i * 17) % 3 == 0 && score > 1.0;
+                item(score, actual)
+            })
+            .collect();
+        let roc = roc_curve(&items).unwrap();
+        let rank = auc_by_ranks(&items).unwrap();
+        assert!((roc.auc - rank).abs() < 1e-9, "{} vs {rank}", roc.auc);
+    }
+
+    #[test]
+    fn monotone_curve() {
+        let items: Vec<ScoredItem> = (0..50)
+            .map(|i| item(((i * 13) % 23) as f64, (i * 7) % 4 == 0))
+            .collect();
+        let roc = roc_curve(&items).unwrap();
+        for w in roc.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+}

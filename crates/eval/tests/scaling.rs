@@ -1,0 +1,68 @@
+//! Tests for the §4.2.1 extrapolation mechanics and ROC/confusion
+//! interplay.
+
+use funnel_eval::cohort::MethodResult;
+use funnel_eval::confusion::ConfusionMatrix;
+use funnel_eval::roc::{roc_curve, ScoredItem};
+use funnel_timeseries::generate::KpiClass;
+
+#[test]
+fn scaled_matrices_compose_linearly() {
+    let mut result = MethodResult::default();
+    let mut eff = ConfusionMatrix::new();
+    eff.record(true, true);
+    eff.record(false, true); // 1 FP among effecting changes
+    result.effecting.insert(KpiClass::Stationary, eff);
+    let mut clean = ConfusionMatrix::new();
+    clean.record(false, false);
+    clean.record(false, true); // 1 FP among clean changes
+    result.clean.insert(KpiClass::Stationary, clean);
+
+    let unscaled = result.scaled(KpiClass::Stationary, 1.0);
+    assert_eq!(unscaled.fp, 2.0);
+    assert_eq!(unscaled.total(), 4.0);
+
+    let scaled = result.scaled(KpiClass::Stationary, 86.0);
+    assert_eq!(scaled.fp, 1.0 + 86.0);
+    assert_eq!(scaled.tn, 86.0);
+    assert_eq!(scaled.tp, 1.0);
+
+    // Scaling clean counts can only lower precision, never raise it.
+    assert!(scaled.rates().precision < unscaled.rates().precision);
+    // Overall equals the sum over classes (only one class here).
+    let overall = result.scaled_overall(86.0);
+    assert_eq!(overall.total(), scaled.total());
+}
+
+#[test]
+fn empty_class_reads_as_perfect() {
+    let result = MethodResult::default();
+    let m = result.scaled(KpiClass::Seasonal, 86.0);
+    assert_eq!(m.total(), 0.0);
+    assert_eq!(m.rates().accuracy, 1.0);
+}
+
+#[test]
+fn roc_consistent_with_thresholded_confusion() {
+    // Every ROC point's (FPR, TPR) must equal the confusion matrix computed
+    // at that threshold.
+    let items: Vec<ScoredItem> = (0..60)
+        .map(|i| ScoredItem {
+            score: ((i * 7) % 30) as f64,
+            actual: (i * 11) % 4 == 0,
+        })
+        .collect();
+    let roc = roc_curve(&items).expect("mixed items");
+    for p in &roc.points {
+        if !p.threshold.is_finite() {
+            continue;
+        }
+        let mut m = ConfusionMatrix::new();
+        for it in &items {
+            m.record(it.actual, it.score >= p.threshold);
+        }
+        let r = m.rates();
+        assert!((r.recall - p.tpr).abs() < 1e-12, "tpr at {}", p.threshold);
+        assert!(((1.0 - r.tnr) - p.fpr).abs() < 1e-12, "fpr at {}", p.threshold);
+    }
+}

@@ -1,0 +1,177 @@
+//! Implicit Hankel trajectory matrices — IKA's "matrix compression".
+//!
+//! SST builds the `ω×δ` trajectory matrix `B(t) = [q(t−δ), …, q(t−1)]` with
+//! `q(τ) = [x(τ−ω+1), …, x(τ)]ᵀ` (paper Eq. 1). Because consecutive columns
+//! overlap, the whole matrix is determined by the `ω+δ−1` samples it covers:
+//! entry `(i, j)` is `signal[i + j]`. [`HankelMatrix`] stores only that
+//! signal slice and applies `B·v` / `Bᵀ·u` directly — `O(ωδ)` work and
+//! `O(ω+δ)` memory, never materializing the matrix. [`GramOperator`] exposes
+//! `C = BBᵀ` the same way, which is what Lanczos and the power iteration
+//! consume ("implicit inner product calculation", §3.2.3).
+
+use crate::matrix::Mat;
+use crate::op::LinearOperator;
+
+/// An `ω×δ` Hankel matrix stored as its generating signal.
+#[derive(Debug, Clone)]
+pub struct HankelMatrix {
+    signal: Vec<f64>,
+    omega: usize,
+    delta: usize,
+}
+
+impl HankelMatrix {
+    /// Builds the trajectory matrix with window length `omega` and `delta`
+    /// lagged columns over `signal`, which must hold exactly
+    /// `omega + delta − 1` samples: column `j` is
+    /// `signal[j .. j+omega]`, oldest samples first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the signal length does not match or either dimension is
+    /// zero.
+    pub fn new(signal: &[f64], omega: usize, delta: usize) -> Self {
+        assert!(omega > 0 && delta > 0, "Hankel dimensions must be positive");
+        assert_eq!(
+            signal.len(),
+            omega + delta - 1,
+            "signal length must be omega + delta - 1"
+        );
+        Self { signal: signal.to_vec(), omega, delta }
+    }
+
+    /// Row count `ω`.
+    pub fn omega(&self) -> usize {
+        self.omega
+    }
+
+    /// Column count `δ`.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Entry `(i, j) = signal[i + j]`.
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.omega && j < self.delta, "Hankel index out of bounds");
+        self.signal[i + j]
+    }
+
+    /// `B · v` for `v ∈ R^δ`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.delta, "Hankel matvec dimension mismatch");
+        (0..self.omega)
+            .map(|i| v.iter().enumerate().map(|(j, &vj)| self.signal[i + j] * vj).sum())
+            .collect()
+    }
+
+    /// `Bᵀ · u` for `u ∈ R^ω`.
+    pub fn matvec_t(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.omega, "Hankel matvec_t dimension mismatch");
+        (0..self.delta)
+            .map(|j| u.iter().enumerate().map(|(i, &ui)| self.signal[i + j] * ui).sum())
+            .collect()
+    }
+
+    /// Materializes the dense matrix (tests and the exact SVD path).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.omega, self.delta);
+        for i in 0..self.omega {
+            for j in 0..self.delta {
+                m[(i, j)] = self.signal[i + j];
+            }
+        }
+        m
+    }
+
+    /// The Gram operator `C = BBᵀ` over this matrix (borrows `self`).
+    pub fn gram_operator(&self) -> GramOperator<'_> {
+        GramOperator { hankel: self }
+    }
+}
+
+/// `C = BBᵀ ∈ R^{ω×ω}` applied implicitly: `C·v = B(Bᵀv)` in `O(ωδ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct GramOperator<'a> {
+    hankel: &'a HankelMatrix,
+}
+
+impl LinearOperator for GramOperator<'_> {
+    fn dim(&self) -> usize {
+        self.hankel.omega
+    }
+
+    fn apply(&self, v: &[f64], out: &mut [f64]) {
+        let bt_v = self.hankel.matvec_t(v);
+        let b_btv = self.hankel.matvec(&bt_v);
+        out.copy_from_slice(&b_btv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::LinearOperator;
+
+    #[test]
+    fn entries_follow_hankel_structure() {
+        let h = HankelMatrix::new(&[1.0, 2.0, 3.0, 4.0, 5.0], 3, 3);
+        assert_eq!(h.entry(0, 0), 1.0);
+        assert_eq!(h.entry(2, 0), 3.0);
+        assert_eq!(h.entry(0, 2), 3.0);
+        assert_eq!(h.entry(2, 2), 5.0);
+        // Anti-diagonals are constant.
+        assert_eq!(h.entry(1, 1), h.entry(0, 2));
+        assert_eq!(h.entry(1, 1), h.entry(2, 0));
+    }
+
+    #[test]
+    fn implicit_matvec_matches_dense() {
+        let sig: Vec<f64> = (0..10).map(|i| (i as f64).sin() + 0.1 * i as f64).collect();
+        let h = HankelMatrix::new(&sig, 4, 7);
+        let dense = h.to_dense();
+        let v: Vec<f64> = (0..7).map(|i| 0.5 - 0.1 * i as f64).collect();
+        let u: Vec<f64> = (0..4).map(|i| 1.0 + i as f64).collect();
+        let hv = h.matvec(&v);
+        let dv = dense.matvec(&v);
+        for (a, b) in hv.iter().zip(dv.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let htu = h.matvec_t(&u);
+        let dtu = dense.matvec_t(&u);
+        for (a, b) in htu.iter().zip(dtu.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_operator_matches_dense_gram() {
+        let sig: Vec<f64> = (0..12).map(|i| (0.7 * i as f64).cos()).collect();
+        let h = HankelMatrix::new(&sig, 5, 8);
+        let c = h.gram_operator();
+        let dense_gram = h.to_dense().gram();
+        let v: Vec<f64> = (0..5).map(|i| (i as f64) - 2.0).collect();
+        let cv = c.apply_vec(&v);
+        let dv = dense_gram.matvec(&v);
+        for (a, b) in cv.iter().zip(dv.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert_eq!(c.dim(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal length")]
+    fn wrong_signal_length_panics() {
+        let _ = HankelMatrix::new(&[1.0, 2.0, 3.0], 3, 3);
+    }
+
+    #[test]
+    fn column_matches_paper_definition() {
+        // Column j is q(t-δ+j): ω consecutive samples starting at offset j.
+        let sig = [10.0, 20.0, 30.0, 40.0];
+        let h = HankelMatrix::new(&sig, 2, 3);
+        let dense = h.to_dense();
+        assert_eq!(dense.col(0), vec![10.0, 20.0]);
+        assert_eq!(dense.col(1), vec![20.0, 30.0]);
+        assert_eq!(dense.col(2), vec![30.0, 40.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Lanczos tridiagonalization with full reorthogonalization.
+//!
+//! IKA (paper §3.2.3) runs `Lanczos(C, β(t), k)` to compress the implicit
+//! covariance operator `C = BBᵀ` to a `k×k` symmetric tridiagonal `T_k`
+//! whose eigen-structure, expressed in the Krylov basis started at the
+//! future-direction vector `β(t)`, approximates the projection SST needs.
+//! With `k = 2η−1 = 5`, full reorthogonalization costs almost nothing and
+//! removes the classic Lanczos ghost-eigenvalue problem entirely.
+
+use crate::matrix::{axpy, dot, normalize};
+use crate::op::LinearOperator;
+
+/// Output of [`lanczos`]: the tridiagonal `T_k` (diagonal `alpha`,
+/// subdiagonal `beta`) and the orthonormal Krylov basis `q[0..k]`, where
+/// `q[0]` is the normalized start vector.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Diagonal of `T_k` (length = steps actually taken).
+    pub alpha: Vec<f64>,
+    /// Subdiagonal of `T_k` (length = steps − 1).
+    pub beta: Vec<f64>,
+    /// Krylov basis vectors, `basis[i] ∈ R^dim`, mutually orthonormal.
+    pub basis: Vec<Vec<f64>>,
+}
+
+impl LanczosResult {
+    /// Number of Lanczos steps actually taken (may be < requested `k` when
+    /// the Krylov space is exhausted early).
+    pub fn steps(&self) -> usize {
+        self.alpha.len()
+    }
+}
+
+/// Runs `k` Lanczos steps of `op` from `start`.
+///
+/// Returns fewer than `k` steps when the Krylov subspace closes early (the
+/// residual underflows), which is exact convergence, not failure. A zero
+/// `start` vector yields an empty result.
+pub fn lanczos(op: &impl LinearOperator, start: &[f64], k: usize) -> LanczosResult {
+    let n = op.dim();
+    assert_eq!(start.len(), n, "start vector dimension mismatch");
+    let mut q = start.to_vec();
+    if normalize(&mut q) == 0.0 || k == 0 {
+        return LanczosResult { alpha: Vec::new(), beta: Vec::new(), basis: Vec::new() };
+    }
+
+    let mut alpha = Vec::with_capacity(k);
+    let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k);
+    basis.push(q.clone());
+
+    let mut w = vec![0.0; n];
+    for step in 0..k {
+        op.apply(&basis[step], &mut w);
+        let a = dot(&basis[step], &w);
+        alpha.push(a);
+        if step + 1 == k {
+            break;
+        }
+        // w ← w − a·q_step − b_{step−1}·q_{step−1}
+        axpy(-a, &basis[step], &mut w);
+        if step > 0 {
+            axpy(-beta[step - 1], &basis[step - 1], &mut w);
+        }
+        // Full reorthogonalization (twice is enough; k is tiny).
+        for _ in 0..2 {
+            for qi in &basis {
+                let c = dot(qi, &w);
+                axpy(-c, qi, &mut w);
+            }
+        }
+        let b = normalize(&mut w);
+        // Breakdown = invariant subspace found; T is exact at this size.
+        let scale = alpha.iter().fold(1e-300_f64, |m, a| m.max(a.abs()));
+        if b <= f64::EPSILON * scale * 16.0 {
+            break;
+        }
+        beta.push(b);
+        basis.push(w.clone());
+    }
+
+    LanczosResult { alpha, beta, basis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+    use crate::op::DenseOperator;
+    use crate::tridiag::tridiag_eig;
+
+    fn diag_op(d: &[f64]) -> DenseOperator {
+        let n = d.len();
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = d[i];
+        }
+        DenseOperator::new(m)
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let m = Mat::from_rows(
+            4,
+            4,
+            vec![4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 1.0, 0.5, 0.5, 1.0, 2.0, 1.0, 0.0, 0.5, 1.0, 1.0],
+        );
+        let op = DenseOperator::new(m);
+        let r = lanczos(&op, &[1.0, 0.5, -0.5, 0.25], 4);
+        assert_eq!(r.steps(), 4);
+        for i in 0..r.basis.len() {
+            for j in i..r.basis.len() {
+                let d = dot(&r.basis[i], &r.basis[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-10, "q{i}·q{j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_run_recovers_spectrum() {
+        let op = diag_op(&[5.0, 3.0, 2.0, 1.0]);
+        // Start with weight in every eigendirection.
+        let r = lanczos(&op, &[0.5, 0.5, 0.5, 0.5], 4);
+        let e = tridiag_eig(&r.alpha, &r.beta);
+        let mut got = e.values.clone();
+        got.sort_by(|a, b| b.total_cmp(a));
+        for (g, w) in got.iter().zip([5.0, 3.0, 2.0, 1.0]) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn early_breakdown_on_invariant_subspace() {
+        // Start vector is an exact eigenvector: Krylov space has dim 1.
+        let op = diag_op(&[5.0, 3.0, 2.0]);
+        let r = lanczos(&op, &[1.0, 0.0, 0.0], 3);
+        assert_eq!(r.steps(), 1);
+        assert!((r.alpha[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_start_vector_yields_empty() {
+        let op = diag_op(&[1.0, 2.0]);
+        let r = lanczos(&op, &[0.0, 0.0], 2);
+        assert_eq!(r.steps(), 0);
+    }
+
+    #[test]
+    fn tridiagonal_reproduces_operator_in_krylov_basis() {
+        // Qᵀ A Q should equal T.
+        let m = Mat::from_rows(3, 3, vec![2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0]);
+        let op = DenseOperator::new(m.clone());
+        let r = lanczos(&op, &[1.0, 1.0, 0.0], 3);
+        let k = r.steps();
+        for i in 0..k {
+            let aqi = op.apply_vec(&r.basis[i]);
+            for j in 0..k {
+                let tij = dot(&r.basis[j], &aqi);
+                let want = if i == j {
+                    r.alpha[i]
+                } else if j + 1 == i || i + 1 == j {
+                    r.beta[i.min(j)]
+                } else {
+                    0.0
+                };
+                assert!((tij - want).abs() < 1e-10, "T[{j},{i}] = {tij}, want {want}");
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Dense row-major matrices and vector helpers.
+//!
+//! SST's matrices are tiny (`ω×δ` with `ω ≈ 9..100`), so a simple contiguous
+//! row-major layout with bounds-checked accessors is both fast enough and
+//! easy to audit. The free functions at the bottom are the vector kernel the
+//! iterative solvers are built from.
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row-major data. Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix whose columns are the given equal-length vectors.
+    /// Panics when columns disagree on length or none are given.
+    pub fn from_cols(cols: &[Vec<f64>]) -> Self {
+        let n = cols.len();
+        assert!(n > 0, "from_cols needs at least one column");
+        let m = cols[0].len();
+        let mut out = Self::zeros(m, n);
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(col.len(), m, "column length mismatch");
+            for (i, &v) in col.iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i`-th row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies the `j`-th column into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`. Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`. Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v`.
+    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "matvec_t dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * vi;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Gram matrix `self * selfᵀ` (symmetric, `rows × rows`).
+    pub fn gram(&self) -> Mat {
+        let mut g = Mat::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            for j in i..self.rows {
+                let v = dot(self.row(i), self.row(j));
+                g[(i, j)] = v;
+                g[(j, i)] = v;
+            }
+        }
+        g
+    }
+
+    /// Maximum absolute entry difference against `other`; `∞` when shapes
+    /// differ. Intended for tests and convergence checks.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        if self.rows != other.rows || self.cols != other.cols {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product. Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// `y += alpha * x`. Panics on length mismatch.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `v` in place by `alpha`.
+pub fn scale(v: &mut [f64], alpha: f64) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Normalizes `v` in place; returns the original norm. A zero vector is left
+/// untouched and `0.0` is returned.
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let n = norm(v);
+    if n > 0.0 {
+        scale(v, 1.0 / n);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Mat::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn matvec_and_matvec_t_agree_with_transpose() {
+        let a = Mat::from_rows(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let v = vec![2.0, 1.0, 0.0];
+        assert_eq!(a.matvec(&v), vec![2.0, 1.0]);
+        let w = vec![1.0, -1.0];
+        assert_eq!(a.matvec_t(&w), a.transpose().matvec(&w));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Mat::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gram();
+        let explicit = a.matmul(&a.transpose());
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn from_cols_lays_out_columns() {
+        let m = Mat::from_cols(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m.col(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn vector_kernels() {
+        let mut v = vec![3.0, 4.0];
+        assert_eq!(norm(&v), 5.0);
+        assert_eq!(normalize(&mut v), 5.0);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = Mat::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

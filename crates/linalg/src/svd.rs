@@ -1,0 +1,231 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! Classic SST (paper Eq. 2) needs `B(t) = U S Vᵀ` for the `ω×δ` Hankel
+//! trajectory matrix; the MRLS baseline needs SVDs of similarly small
+//! matrices, repeatedly. One-sided Jacobi (Hestenes rotations) is simple,
+//! unconditionally stable, and the most accurate dense SVD for small
+//! matrices — rotations are applied to columns until all pairs are mutually
+//! orthogonal, at which point the column norms are the singular values.
+
+use crate::matrix::{dot, norm, Mat};
+
+/// Result of [`svd`]: `a == u * diag(s) * vᵀ` with `u` (m×r), `s` descending,
+/// `v` (n×r), where `r = min(m, n)`. Columns of `u` and `v` are orthonormal.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, one column per singular value.
+    pub u: Mat,
+    /// Singular values, descending, non-negative.
+    pub s: Vec<f64>,
+    /// Right singular vectors, one column per singular value.
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstructs `u * diag(s) * vᵀ` (testing helper).
+    pub fn reconstruct(&self) -> Mat {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..r {
+            for i in 0..us.rows() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// The first `k` left singular vectors as columns (`k ≤ s.len()`).
+    pub fn left_vectors(&self, k: usize) -> Mat {
+        assert!(k <= self.s.len(), "requested more singular vectors than available");
+        let mut out = Mat::zeros(self.u.rows(), k);
+        for j in 0..k {
+            for i in 0..self.u.rows() {
+                out[(i, j)] = self.u[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` by one-sided Jacobi.
+///
+/// Works on columns; when `a` is wide (`m < n`) the transpose is decomposed
+/// and the factors are swapped, so the caller always receives the thin
+/// factorization of the original matrix.
+pub fn svd(a: &Mat) -> Svd {
+    if a.rows() < a.cols() {
+        let t = svd(&a.transpose());
+        return Svd { u: t.v, s: t.s, v: t.u };
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    // Work array: columns of `a` that will be rotated into U * diag(s).
+    let mut w: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = Mat::identity(n);
+
+    let tol = f64::EPSILON * (m as f64).sqrt();
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let alpha = dot(&w[p], &w[p]);
+                let beta = dot(&w[q], &w[q]);
+                let gamma = dot(&w[p], &w[q]);
+                if gamma.abs() <= tol * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation that orthogonalizes columns p and q.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[p][i];
+                    let wq = w[q][i];
+                    w[p][i] = c * wp - s * wq;
+                    w[q][i] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values are the column norms; sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = w.iter().map(|c| norm(c)).collect();
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
+
+    let mut u = Mat::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut v_sorted = Mat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        let nrm = norms[src];
+        s.push(nrm);
+        if nrm > 0.0 {
+            for i in 0..m {
+                u[(i, dst)] = w[src][i] / nrm;
+            }
+        } else {
+            // Null singular value: complete U with a deterministic unit
+            // vector orthogonal to the previous columns (Gram–Schmidt over
+            // the standard basis).
+            'basis: for b in 0..m {
+                let mut cand = vec![0.0; m];
+                cand[b] = 1.0;
+                for j in 0..dst {
+                    let proj = (0..m).map(|i| u[(i, j)] * cand[i]).sum::<f64>();
+                    for (i, ci) in cand.iter_mut().enumerate() {
+                        *ci -= proj * u[(i, j)];
+                    }
+                }
+                let nn = norm(&cand);
+                if nn > 1e-8 {
+                    for i in 0..m {
+                        u[(i, dst)] = cand[i] / nn;
+                    }
+                    break 'basis;
+                }
+            }
+        }
+        for i in 0..n {
+            v_sorted[(i, dst)] = v[(i, src)];
+        }
+    }
+
+    Svd { u, s, v: v_sorted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(m: &Mat, tol: f64) {
+        for p in 0..m.cols() {
+            for q in p..m.cols() {
+                let d: f64 = (0..m.rows()).map(|i| m[(i, p)] * m[(i, q)]).sum();
+                let want = if p == q { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < tol, "col {p}·col {q} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = Mat::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let f = svd(&a);
+        assert!((f.s[0] - 3.0).abs() < 1e-12);
+        assert!((f.s[1] - 2.0).abs() < 1e-12);
+        assert!((f.s[2] - 1.0).abs() < 1e-12);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_tall_matrix() {
+        let a = Mat::from_rows(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let f = svd(&a);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-10);
+        assert_orthonormal_cols(&f.u, 1e-10);
+        assert_orthonormal_cols(&f.v, 1e-10);
+        assert!(f.s[0] >= f.s[1]);
+    }
+
+    #[test]
+    fn reconstruction_wide_matrix() {
+        let a = Mat::from_rows(2, 4, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0]);
+        let f = svd(&a);
+        assert_eq!(f.u.rows(), 2);
+        assert_eq!(f.v.rows(), 4);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_matrix_gets_zero_singular_value() {
+        // Second column is 2× the first: rank 1.
+        let a = Mat::from_rows(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        let f = svd(&a);
+        assert!(f.s[1].abs() < 1e-10, "s = {:?}", f.s);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-10);
+        assert_orthonormal_cols(&f.u, 1e-8);
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram() {
+        let a = Mat::from_rows(3, 3, vec![2.0, -1.0, 0.5, 0.0, 1.0, 4.0, -2.0, 3.0, 1.0]);
+        let f = svd(&a);
+        let g = a.gram();
+        // Tr(AAᵀ) = Σ σ².
+        let trace: f64 = (0..3).map(|i| g[(i, i)]).sum();
+        let sumsq: f64 = f.s.iter().map(|s| s * s).sum();
+        assert!((trace - sumsq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn left_vectors_truncates() {
+        let a = Mat::from_rows(3, 3, vec![5.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 1.0]);
+        let f = svd(&a);
+        let u2 = f.left_vectors(2);
+        assert_eq!(u2.cols(), 2);
+        assert!((u2[(0, 0)].abs() - 1.0).abs() < 1e-12);
+        assert!((u2[(1, 1)].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Mat::zeros(3, 2);
+        let f = svd(&a);
+        assert!(f.s.iter().all(|&s| s == 0.0));
+        assert_orthonormal_cols(&f.u, 1e-10);
+    }
+}

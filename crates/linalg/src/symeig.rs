@@ -1,0 +1,204 @@
+//! Cyclic Jacobi eigendecomposition for dense symmetric matrices.
+//!
+//! The exact robust-SST path (paper §3.2.2) needs the η extreme eigenpairs
+//! of `A(t)A(t)ᵀ`, an `ω×ω` symmetric positive semi-definite matrix with
+//! `ω ≈ 9..15`. At that size a full cyclic Jacobi diagonalization is cheap
+//! and gives every eigenpair at machine precision, which also makes it the
+//! reference oracle that the Lanczos/QL fast path is tested against.
+
+use crate::matrix::Mat;
+
+/// Result of [`sym_eig`]: `a == vectors * diag(values) * vectorsᵀ`, with
+/// `values` sorted **descending** and `vectors` column `j` the eigenvector
+/// for `values[j]`.
+#[derive(Debug, Clone)]
+pub struct SymEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one column per eigenvalue.
+    pub vectors: Mat,
+}
+
+impl SymEig {
+    /// Eigenvalues sorted ascending (convenience for "smallest-η" selection).
+    pub fn values_ascending(&self) -> Vec<f64> {
+        let mut v = self.values.clone();
+        v.reverse();
+        v
+    }
+
+    /// The eigenvector for the `j`-th **largest** eigenvalue.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+
+    /// The eigenvector for the `j`-th **smallest** eigenvalue.
+    pub fn vector_from_smallest(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(self.values.len() - 1 - j)
+    }
+}
+
+const MAX_SWEEPS: usize = 64;
+
+/// Diagonalizes a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Panics if `a` is not square. Symmetry is assumed (only the upper triangle
+/// drives the rotations); feed `(A + Aᵀ)/2` if in doubt.
+pub fn sym_eig(a: &Mat) -> SymEig {
+    assert_eq!(a.rows(), a.cols(), "sym_eig requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm; converged when negligible relative to
+        // the diagonal scale.
+        let mut off = 0.0;
+        let mut diag_scale: f64 = 1e-300;
+        for i in 0..n {
+            diag_scale = diag_scale.max(m[(i, i)].abs());
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= f64::EPSILON * diag_scale * n as f64 {
+            break;
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                if apq.abs() <= f64::EPSILON * (app.abs() + aqq.abs()) {
+                    m[(p, q)] = 0.0;
+                    m[(q, p)] = 0.0;
+                    continue;
+                }
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update the matrix: M ← Jᵀ M J for the (p,q) rotation.
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)];
+                    m[(i, p)] = c * mip - s * miq;
+                    m[(i, q)] = s * mip + c * miq;
+                }
+                for i in 0..n {
+                    let mpi = m[(p, i)];
+                    let mqi = m[(q, i)];
+                    m[(p, i)] = c * mpi - s * mqi;
+                    m[(q, i)] = s * mpi + c * mqi;
+                }
+                // Accumulate eigenvectors: V ← V J.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = c * vip - s * viq;
+                    v[(i, q)] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].total_cmp(&diag[i]));
+
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Mat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        values.push(diag[src]);
+        for i in 0..n {
+            vectors[(i, dst)] = v[(i, src)];
+        }
+    }
+    SymEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEig) -> Mat {
+        let n = e.values.len();
+        let mut vd = e.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                vd[(i, j)] *= e.values[j];
+            }
+        }
+        vd.matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Mat::from_rows(3, 3, vec![1.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 3.0]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for 3 is (1,1)/√2 up to sign.
+        let v0 = e.vector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_holds() {
+        let a = Mat::from_rows(
+            4,
+            4,
+            vec![
+                4.0, 1.0, -2.0, 0.5, 1.0, 3.0, 0.0, 1.0, -2.0, 0.0, 2.5, -1.0, 0.5, 1.0, -1.0,
+                1.5,
+            ],
+        );
+        let e = sym_eig(&a);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-9);
+        // Orthonormality.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Mat::identity(4)) < 1e-10);
+    }
+
+    #[test]
+    fn negative_eigenvalues_sorted_descending() {
+        let a = Mat::from_rows(2, 2, vec![0.0, 2.0, 2.0, 0.0]); // eigenvalues ±2
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 2.0).abs() < 1e-12);
+        assert!((e.values[1] + 2.0).abs() < 1e-12);
+        assert_eq!(e.values_ascending()[0], e.values[1]);
+    }
+
+    #[test]
+    fn vector_from_smallest_indexes_backwards() {
+        let a = Mat::from_rows(3, 3, vec![1.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 3.0]);
+        let e = sym_eig(&a);
+        let smallest = e.vector_from_smallest(0);
+        // Smallest eigenvalue 1 has eigenvector e1 (up to sign).
+        assert!((smallest[0].abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gram_of_hankel_like_matrix_is_psd() {
+        let b = Mat::from_rows(3, 4, vec![1.0, 2.0, 3.0, 4.0, 2.0, 3.0, 4.0, 5.0, 3.0, 4.0, 5.0, 6.0]);
+        let e = sym_eig(&b.gram());
+        assert!(e.values.iter().all(|&l| l > -1e-9));
+    }
+}

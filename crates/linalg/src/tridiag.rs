@@ -1,0 +1,212 @@
+//! Implicit-shift QL eigensolver for symmetric tridiagonal matrices.
+//!
+//! This is the "QL iteration" of paper §3.2.3: after Lanczos compresses the
+//! covariance operator to a `k×k` tridiagonal `T_k` (with `k = 5` for
+//! `η = 3`), "the eigenvectors of the tridiagonal matrix T_k can be
+//! calculated extremely fast" by QL with implicit Wilkinson shifts — the
+//! classic `tql2` algorithm.
+
+use crate::matrix::Mat;
+
+/// Result of [`tridiag_eig`]: eigenvalues **descending**, with orthonormal
+/// eigenvectors as columns in the same order (expressed in the basis in
+/// which the tridiagonal was given, i.e. the Lanczos basis for IKA).
+#[derive(Debug, Clone)]
+pub struct TridiagEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors, one column per eigenvalue.
+    pub vectors: Mat,
+}
+
+/// Maximum QL iterations per eigenvalue before declaring non-convergence.
+const MAX_ITER: usize = 50;
+
+/// Diagonalizes the symmetric tridiagonal matrix with diagonal `diag` and
+/// subdiagonal `subdiag` (`subdiag[i]` couples rows `i` and `i+1`).
+///
+/// Panics if `subdiag.len() + 1 != diag.len()` (except the `n = 0` case) or
+/// if QL fails to converge (which cannot happen for finite input in
+/// practice; the iteration cap matches LAPACK's).
+pub fn tridiag_eig(diag: &[f64], subdiag: &[f64]) -> TridiagEig {
+    let n = diag.len();
+    if n == 0 {
+        return TridiagEig { values: Vec::new(), vectors: Mat::zeros(0, 0) };
+    }
+    assert_eq!(subdiag.len() + 1, n, "subdiagonal must have n-1 entries");
+
+    let mut d = diag.to_vec();
+    // Working copy of the subdiagonal, padded so e[n-1] exists (always 0).
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(subdiag);
+    let mut z = Mat::identity(n);
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first negligible subdiagonal element at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break; // d[l] has converged.
+            }
+            iter += 1;
+            assert!(iter <= MAX_ITER, "QL iteration failed to converge");
+
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0_f64, 1.0_f64);
+            let mut p = 0.0_f64;
+
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Deflate: rescue the eigenvalue and restart this l.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort descending, carrying eigenvectors along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].total_cmp(&d[i]));
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Mat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        values.push(d[src]);
+        for i in 0..n {
+            vectors[(i, dst)] = z[(i, src)];
+        }
+    }
+    TridiagEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symeig::sym_eig;
+
+    fn tridiag_mat(diag: &[f64], sub: &[f64]) -> Mat {
+        let n = diag.len();
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        for i in 0..n - 1 {
+            m[(i, i + 1)] = sub[i];
+            m[(i + 1, i)] = sub[i];
+        }
+        m
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = tridiag_eig(&[], &[]);
+        assert!(e.values.is_empty());
+        let e = tridiag_eig(&[4.2], &[]);
+        assert_eq!(e.values, vec![4.2]);
+        assert_eq!(e.vectors[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[1,2],[2,1]] → eigenvalues 3, -1.
+        let e = tridiag_eig(&[1.0, 1.0], &[2.0]);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_tridiagonal() {
+        let diag = [2.0, -1.0, 3.5, 0.7, 1.2, -0.4];
+        let sub = [1.1, 0.3, -2.0, 0.9, 1.7];
+        let ql = tridiag_eig(&diag, &sub);
+        let jac = sym_eig(&tridiag_mat(&diag, &sub));
+        for (a, b) in ql.values.iter().zip(jac.values.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let diag = [4.0, 1.0, -2.0, 0.5];
+        let sub = [0.8, -1.5, 2.2];
+        let m = tridiag_mat(&diag, &sub);
+        let e = tridiag_eig(&diag, &sub);
+        for j in 0..4 {
+            let v = e.vectors.col(j);
+            let mv = m.matvec(&v);
+            for i in 0..4 {
+                assert!(
+                    (mv[i] - e.values[j] * v[i]).abs() < 1e-9,
+                    "Av != λv at ({i},{j})"
+                );
+            }
+        }
+        // Orthonormality.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_abs_diff(&Mat::identity(4)) < 1e-10);
+    }
+
+    #[test]
+    fn decoupled_blocks_via_zero_subdiagonal() {
+        // e[1] = 0 splits into two independent blocks.
+        let e = tridiag_eig(&[5.0, 5.0, 1.0], &[0.0, 0.0]);
+        assert!((e.values[0] - 5.0).abs() < 1e-12);
+        assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ika_sized_problem_k5() {
+        // The k = 2η−1 = 5 case FUNNEL actually solves each window.
+        let diag = [3.0, 2.5, 2.0, 1.5, 1.0];
+        let sub = [0.5, 0.4, 0.3, 0.2];
+        let e = tridiag_eig(&diag, &sub);
+        assert_eq!(e.values.len(), 5);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let m = tridiag_mat(&diag, &sub);
+        let jac = sym_eig(&m);
+        for (a, b) in e.values.iter().zip(jac.values.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check the algebraic contracts the SST implementations rely on:
+//! SVD factorizations must reconstruct their input, eigen-solvers must agree
+//! with each other, and implicit Hankel operators must match their dense
+//! materializations on arbitrary signals.
+
+use funnel_linalg::matrix::{dot, Mat};
+use funnel_linalg::op::DenseOperator;
+use funnel_linalg::{lanczos, svd, sym_eig, tridiag_eig, HankelMatrix, LinearOperator};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs_random_matrices(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in finite_vec(64),
+    ) {
+        let data: Vec<f64> = seed.iter().take(rows * cols).copied().collect();
+        prop_assume!(data.len() == rows * cols);
+        let a = Mat::from_rows(rows, cols, data);
+        let f = svd(&a);
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(f.reconstruct().max_abs_diff(&a) < 1e-9 * scale);
+        // Singular values descending and non-negative.
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(f.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_left_vectors_orthonormal(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        seed in finite_vec(64),
+    ) {
+        let data: Vec<f64> = seed.iter().take(rows * cols).copied().collect();
+        prop_assume!(data.len() == rows * cols);
+        let f = svd(&Mat::from_rows(rows, cols, data));
+        let r = f.s.len();
+        for p in 0..r {
+            for q in p..r {
+                let d: f64 = (0..f.u.rows()).map(|i| f.u[(i, p)] * f.u[(i, q)]).sum();
+                let want = if p == q { 1.0 } else { 0.0 };
+                prop_assert!((d - want).abs() < 1e-8, "u{p}·u{q} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn symeig_matches_svd_singular_values_on_gram(
+        n in 2usize..6,
+        seed in finite_vec(36),
+    ) {
+        let data: Vec<f64> = seed.iter().take(n * n).copied().collect();
+        prop_assume!(data.len() == n * n);
+        let a = Mat::from_rows(n, n, data);
+        // Eigenvalues of AAᵀ are squared singular values of A.
+        let e = sym_eig(&a.gram());
+        let f = svd(&a);
+        let scale = a.frobenius_norm().powi(2).max(1.0);
+        for (l, s) in e.values.iter().zip(f.s.iter()) {
+            prop_assert!((l - s * s).abs() < 1e-8 * scale, "{l} vs {}", s * s);
+        }
+    }
+
+    #[test]
+    fn tridiag_eig_matches_jacobi(
+        n in 2usize..8,
+        dseed in finite_vec(8),
+        eseed in finite_vec(7),
+    ) {
+        let diag: Vec<f64> = dseed.iter().take(n).copied().collect();
+        let sub: Vec<f64> = eseed.iter().take(n - 1).copied().collect();
+        prop_assume!(diag.len() == n && sub.len() == n - 1);
+        let mut dense = Mat::zeros(n, n);
+        for i in 0..n {
+            dense[(i, i)] = diag[i];
+        }
+        for i in 0..n - 1 {
+            dense[(i, i + 1)] = sub[i];
+            dense[(i + 1, i)] = sub[i];
+        }
+        let ql = tridiag_eig(&diag, &sub);
+        let jac = sym_eig(&dense);
+        let scale = dense.frobenius_norm().max(1.0);
+        for (a, b) in ql.values.iter().zip(jac.values.iter()) {
+            prop_assert!((a - b).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn hankel_implicit_matches_dense(
+        omega in 2usize..8,
+        delta in 2usize..8,
+        seed in finite_vec(20),
+        vseed in finite_vec(8),
+    ) {
+        let sig: Vec<f64> = seed.iter().take(omega + delta - 1).copied().collect();
+        prop_assume!(sig.len() == omega + delta - 1);
+        let v: Vec<f64> = vseed.iter().take(delta).copied().collect();
+        prop_assume!(v.len() == delta);
+        let h = HankelMatrix::new(&sig, omega, delta);
+        let dense = h.to_dense();
+        let hv = h.matvec(&v);
+        let dv = dense.matvec(&v);
+        for (a, b) in hv.iter().zip(dv.iter()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+        // Gram operator agrees with the dense Gram matrix.
+        let u: Vec<f64> = vseed.iter().take(omega).copied().collect();
+        prop_assume!(u.len() == omega);
+        let cu = h.gram_operator().apply_vec(&u);
+        let du = dense.gram().matvec(&u);
+        for (a, b) in cu.iter().zip(du.iter()) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn lanczos_eigenvalues_bounded_by_operator_spectrum(
+        n in 2usize..7,
+        seed in finite_vec(49),
+        sseed in finite_vec(7),
+    ) {
+        let data: Vec<f64> = seed.iter().take(n * n).copied().collect();
+        prop_assume!(data.len() == n * n);
+        let raw = Mat::from_rows(n, n, data);
+        let spd = raw.gram(); // symmetric PSD
+        let exact = sym_eig(&spd);
+        let start: Vec<f64> = sseed.iter().take(n).copied().collect();
+        prop_assume!(start.len() == n);
+        prop_assume!(start.iter().any(|&x| x.abs() > 1e-6));
+        let op = DenseOperator::new(spd.clone());
+        let r = lanczos(&op, &start, n);
+        prop_assume!(r.steps() > 0);
+        let ritz = tridiag_eig(&r.alpha, &r.beta);
+        // Ritz values interlace: all lie within [λ_min, λ_max].
+        let lo = exact.values.last().copied().unwrap_or(0.0);
+        let hi = exact.values.first().copied().unwrap_or(0.0);
+        let tol = 1e-6 * hi.abs().max(1.0);
+        for v in &ritz.values {
+            prop_assert!(*v >= lo - tol && *v <= hi + tol, "ritz {v} outside [{lo}, {hi}]");
+        }
+        // Basis orthonormal.
+        for i in 0..r.basis.len() {
+            for j in i..r.basis.len() {
+                let d = dot(&r.basis[i], &r.basis[j]);
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - want).abs() < 1e-7);
+            }
+        }
+    }
+}

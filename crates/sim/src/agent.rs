@@ -1,0 +1,348 @@
+//! Agents and the collector: the live ingestion path.
+//!
+//! "The operations team deploys an agent on each server to monitor the
+//! status of each instance and collect the KPIs of all instances
+//! continuously. … the agent on each server delivers the measurements to a
+//! centralized Hadoop-based database, which also stores the service KPIs
+//! aggregated based on the KPIs of the instances" (§2.2).
+//!
+//! [`replay`] reproduces that dataflow over a frozen [`World`]: agent
+//! threads (one per shard of servers) walk the timeline minute by minute,
+//! encode each server's measurements into a [`crate::wire`] frame, and send
+//! the frames over a crossbeam channel to a collector thread. The collector
+//! decodes, appends server/instance measurements to the [`MetricStore`]
+//! (which pushes to subscribers), and — once every shard has reported a
+//! minute — computes and appends the service-level aggregates for that
+//! minute.
+
+use crate::kpi::{Aggregation, KpiKey, KpiKind};
+use crate::store::MetricStore;
+use crate::wire::{decode_frame, encode_frame, WireRecord};
+use crate::world::{SimError, World};
+use bytes::Bytes;
+use crossbeam::channel::bounded;
+use funnel_timeseries::series::TimeSeries;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::{ServerId, ServiceId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters describing one replay run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Wire frames delivered (one per shard per minute).
+    pub frames: usize,
+    /// Individual measurements ingested (before aggregation).
+    pub records: usize,
+    /// Minutes replayed.
+    pub minutes: usize,
+    /// Service-aggregate measurements produced by the collector.
+    pub aggregates: usize,
+}
+
+/// Deterministic fault injection for the agent path: real agents lose
+/// frames (host reboots, network blips). The collector and store must
+/// tolerate both; [`replay_with_faults`] exercises them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability (per agent frame) that the frame is silently dropped
+    /// before reaching the collector.
+    pub drop_frame_prob: f64,
+    /// Extra deterministic per-frame seed so distinct runs drop different
+    /// frames.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the frame for (`shard`, `minute`) is dropped.
+    fn drops(&self, shard: usize, minute: u64) -> bool {
+        if self.drop_frame_prob <= 0.0 {
+            return false;
+        }
+        let h = splitmix(self.seed ^ splitmix(shard as u64) ^ splitmix(minute));
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.drop_frame_prob
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Replays the whole world through the agent → collector path into `store`,
+/// using `shards` agent threads.
+///
+/// # Errors
+///
+/// Propagates series-generation errors (cannot occur for a well-formed
+/// world).
+pub fn replay(world: &World, store: &MetricStore, shards: usize) -> Result<ReplayStats, SimError> {
+    replay_with_faults(world, store, shards, FaultPlan::none())
+}
+
+/// [`replay`] with deterministic fault injection: dropped agent frames.
+///
+/// The collector uses a watermark (one minute behind the newest frame seen)
+/// to finalize minutes whose frames will never arrive, so a lossy agent
+/// cannot stall service aggregation; service aggregates are only emitted
+/// for minutes where *every* instance reported (partial minutes leave a gap
+/// the store fills forward, exactly like the production substrate).
+///
+/// # Errors
+///
+/// Propagates series-generation errors (cannot occur for a well-formed
+/// world).
+pub fn replay_with_faults(
+    world: &World,
+    store: &MetricStore,
+    shards: usize,
+    faults: FaultPlan,
+) -> Result<ReplayStats, SimError> {
+    let shards = shards.max(1);
+    let duration = world.config().duration;
+    let start = world.config().start;
+
+    // Pre-generate per-server payload series (the "agent's local state").
+    struct ShardData {
+        // (key, series) pairs this shard reports, grouped by server.
+        servers: Vec<Vec<(KpiKey, TimeSeries)>>,
+    }
+    let mut shard_data: Vec<ShardData> = (0..shards).map(|_| ShardData { servers: Vec::new() }).collect();
+
+    for sid in 0..world.topology().server_count() {
+        let server = ServerId(sid as u32);
+        let mut payload = Vec::new();
+        for kind in KpiKind::SERVER_KINDS {
+            let key = KpiKey::new(Entity::Server(server), kind);
+            payload.push((key, world.series(&key)?));
+        }
+        for inst in world.topology().instances() {
+            if inst.server != server {
+                continue;
+            }
+            for &kind in world.kinds_of_service(inst.service) {
+                let key = KpiKey::new(Entity::Instance(inst.id), kind);
+                payload.push((key, world.series(&key)?));
+            }
+        }
+        shard_data[sid % shards].servers.push(payload);
+    }
+
+    // instance → (service, kinds) map for the collector's aggregation.
+    let mut instance_service: HashMap<u32, ServiceId> = HashMap::new();
+    for inst in world.topology().instances() {
+        instance_service.insert(inst.id.0, inst.service);
+    }
+    let service_sizes: HashMap<ServiceId, usize> = world
+        .topology()
+        .services()
+        .map(|(id, _)| (id, world.topology().instances_of(id).len()))
+        .collect();
+
+    let (tx, rx) = bounded::<Bytes>(shards * 4);
+    let mut stats = ReplayStats { minutes: duration, ..Default::default() };
+
+    std::thread::scope(|scope| {
+        // Agent shards.
+        for (shard_idx, data) in shard_data.iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for minute_idx in 0..duration {
+                    let minute = start + minute_idx as u64;
+                    if faults.drops(shard_idx, minute) {
+                        continue; // frame lost in transit
+                    }
+                    let mut records = Vec::new();
+                    for server_payload in &data.servers {
+                        for (key, series) in server_payload {
+                            if let Some(value) = series.at(minute) {
+                                records.push(WireRecord { key: *key, value });
+                            }
+                        }
+                    }
+                    // One frame per shard per minute (empty shards included,
+                    // so the collector's completeness count works).
+                    let frame = encode_frame(minute, shard_idx as u32, &records);
+                    if tx.send(frame).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Collector: decode, store, aggregate when a minute completes.
+        // sum/count accumulators keyed by (service, kind) per minute.
+        type MinuteAccs = HashMap<(ServiceId, KpiKind), (f64, u32)>;
+        let mut pending: BTreeMap<u64, (usize, MinuteAccs)> = BTreeMap::new();
+        // Per-agent watermark: frames within one agent arrive in minute
+        // order, so once agent a's watermark passes minute m without a
+        // frame for m, that frame is lost — scheduling skew between agents
+        // can never be mistaken for loss.
+        let mut watermarks: Vec<Option<u64>> = vec![None; shards];
+
+        let finalize =
+            |minute: u64, accs: MinuteAccs, stats: &mut ReplayStats| {
+                for ((svc, kind), (sum, count)) in accs {
+                    // Only aggregate when every instance reported.
+                    if count as usize != *service_sizes.get(&svc).unwrap_or(&0) || count == 0 {
+                        continue;
+                    }
+                    let value = match kind.aggregation() {
+                        Aggregation::Sum => sum,
+                        Aggregation::Mean => sum / count as f64,
+                    };
+                    store.append(KpiKey::new(Entity::Service(svc), kind), minute, value);
+                    stats.aggregates += 1;
+                }
+            };
+
+        while let Ok(frame) = rx.recv() {
+            let decoded = decode_frame(frame).expect("agents produce valid frames");
+            stats.frames += 1;
+            if let Some(w) = watermarks.get_mut(decoded.agent_id as usize) {
+                *w = Some(w.map_or(decoded.minute, |x| x.max(decoded.minute)));
+            }
+            let entry = pending.entry(decoded.minute).or_default();
+            entry.0 += 1;
+            for rec in &decoded.records {
+                stats.records += 1;
+                store.append(rec.key, decoded.minute, rec.value);
+                if let Entity::Instance(i) = rec.key.entity {
+                    if let Some(&svc) = instance_service.get(&i.0) {
+                        let acc = entry.1.entry((svc, rec.key.kind)).or_insert((0.0, 0));
+                        acc.0 += rec.value;
+                        acc.1 += 1;
+                    }
+                }
+            }
+            // Finalize a minute once every agent has either delivered it or
+            // demonstrably moved past it (its own watermark is beyond the
+            // minute) — exact under any thread scheduling, robust to loss.
+            while let Some((&minute, entry)) = pending.iter().next() {
+                let complete = entry.0 >= shards;
+                let all_past = watermarks.iter().all(|w| w.is_some_and(|x| x >= minute));
+                if !complete && !all_past {
+                    break;
+                }
+                let (_, accs) = pending.remove(&minute).expect("entry exists");
+                finalize(minute, accs, &mut stats);
+            }
+        }
+        // Channel closed: flush everything left.
+        for (minute, (_, accs)) in std::mem::take(&mut pending) {
+            finalize(minute, accs, &mut stats);
+        }
+    });
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effect::{ChangeEffect, EffectScope};
+    use crate::world::{SimConfig, WorldBuilder};
+    use funnel_topology::change::ChangeKind;
+
+    fn test_world() -> World {
+        let mut b = WorldBuilder::new(SimConfig { seed: 11, start: 0, duration: 120 });
+        let svc = b.add_service("prod.web", 3).unwrap();
+        let effect = ChangeEffect::none().with_level_shift(
+            KpiKind::PageViewCount,
+            EffectScope::TreatedInstances,
+            -400.0,
+        );
+        b.deploy_change(ChangeKind::Upgrade, svc, 1, 60, effect, "pvc drop").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn replay_matches_direct_generation() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let stats = replay(&world, &store, 2).unwrap();
+        assert_eq!(stats.minutes, 120);
+        assert!(stats.frames >= 240, "frames {}", stats.frames);
+        assert!(stats.records > 0);
+        assert!(stats.aggregates > 0);
+
+        // Every key the world defines must be in the store, equal to the
+        // directly-generated series.
+        for key in world.all_keys() {
+            let direct = world.series(&key).unwrap();
+            let stored = store.get(&key).unwrap_or_else(|| panic!("{key:?} missing"));
+            assert_eq!(stored.len(), direct.len(), "{key:?} length");
+            for (a, b) in stored.values().iter().zip(direct.values()) {
+                assert!((a - b).abs() < 1e-9, "{key:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn subscribers_see_live_measurements() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let svc = world.topology().services().next().unwrap().0;
+        let key = KpiKey::new(Entity::Service(svc), KpiKind::PageViewCount);
+        let sub = store.subscribe(Some(vec![key]), 256);
+        replay(&world, &store, 3).unwrap();
+        // All 120 service aggregates should have been pushed in order.
+        let mut minutes = Vec::new();
+        while let Ok(m) = sub.receiver().try_recv() {
+            minutes.push(m.minute);
+        }
+        assert_eq!(minutes.len(), 120);
+        assert!(minutes.windows(2).all(|w| w[0] < w[1]), "out of order");
+    }
+
+    #[test]
+    fn single_shard_replay_works() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let stats = replay(&world, &store, 1).unwrap();
+        assert_eq!(stats.frames, 120);
+    }
+
+    #[test]
+    fn lossy_agents_do_not_stall_and_store_self_heals() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let faults = FaultPlan { drop_frame_prob: 0.1, seed: 99 };
+        let stats = replay_with_faults(&world, &store, 3, faults).unwrap();
+        // ~10 % of frames lost.
+        assert!(stats.frames < 3 * 120, "no frames were dropped");
+        assert!(stats.frames > 3 * 120 * 7 / 10, "too many frames dropped");
+        // Every key still holds a full-length series: the store fills the
+        // gaps forward, so downstream windows never see holes.
+        for key in world.all_keys() {
+            let stored = store.get(&key).unwrap_or_else(|| panic!("{key:?} missing"));
+            let direct = world.series(&key).unwrap();
+            // The tail can be short when the final minutes' frames dropped.
+            assert!(
+                stored.len() + 4 >= direct.len(),
+                "{key:?}: stored {} vs {}",
+                stored.len(),
+                direct.len()
+            );
+            assert!(stored.values().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let p = FaultPlan { drop_frame_prob: 0.3, seed: 5 };
+        let a: Vec<bool> = (0..100).map(|m| p.drops(1, m)).collect();
+        let b: Vec<bool> = (0..100).map(|m| p.drops(1, m)).collect();
+        assert_eq!(a, b);
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!((15..=45).contains(&dropped), "dropped {dropped}/100");
+        assert!(!FaultPlan::none().drops(0, 0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated datacenter telemetry — the substrate FUNNEL runs on.
+//!
+//! The paper's FUNNEL consumes Baidu production telemetry: per-server agents
+//! sample every KPI once a minute and push the measurements to a central
+//! Hadoop-based store, which fans them out to subscribers such as FUNNEL
+//! within a second (§2.2). That pipeline is proprietary, so this crate
+//! rebuilds its observable behaviour end to end:
+//!
+//! * [`kpi`] — the KPI catalogue: server KPIs (CPU/memory/NIC/context
+//!   switches), instance KPIs (page views, response delay, failures,
+//!   effective clicks), their character classes and service-level
+//!   aggregation rules.
+//! * [`effect`] — what a software change (or an external shock) does to
+//!   KPIs: shapes, delays, and scopes.
+//! * [`world`] — the deterministic generator: topology + change log +
+//!   effects + shocks → every KPI series, with exact ground truth of which
+//!   (change, entity, KPI) items were truly impacted.
+//! * [`store`] — the central metric store with a crossbeam-channel
+//!   subscription API (the "database + subscription tool" of §2.2).
+//! * [`agent`] — per-server agents that encode measurements into a compact
+//!   wire format ([`wire`]) and stream them to a collector thread, minute
+//!   by minute: the live ingestion path used by the online pipeline.
+//! * [`scenario`] — canned worlds: the Table-1/Fig-5 evaluation cohort, the
+//!   Redis load-balancing case (Fig. 6), and the advertising anti-cheat
+//!   incident (Fig. 7).
+//!
+//! Everything is seeded and deterministic; two runs of any scenario produce
+//! bit-identical series.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod effect;
+pub mod kpi;
+pub mod scenario;
+pub mod spec;
+pub mod store;
+pub mod wire;
+pub mod world;
+
+pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
+pub use kpi::{Aggregation, KpiKey, KpiKind};
+pub use store::{MetricStore, Subscription};
+pub use world::{GroundTruthItem, SimConfig, World, WorldBuilder};

@@ -1,0 +1,273 @@
+//! The central metric store with a subscription API.
+//!
+//! The paper's substrate is "a centralized Hadoop-based database … \[that\]
+//! provides a subscription tool for other systems, such as FUNNEL, to
+//! periodically receive the subscribed measurements" (§2.2). This in-memory
+//! reproduction keeps one dense [`TimeSeries`] per KPI key behind a
+//! read–write lock and fans out live appends to subscribers over bounded
+//! crossbeam channels — the same push-within-a-second contract FUNNEL's
+//! online pipeline consumes.
+
+use crate::kpi::KpiKey;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use funnel_timeseries::series::{MinuteBin, TimeSeries};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One live measurement pushed to subscribers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Which KPI.
+    pub key: KpiKey,
+    /// The minute the measurement covers.
+    pub minute: MinuteBin,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// A live subscription handle; drop it to unsubscribe.
+#[derive(Debug)]
+pub struct Subscription {
+    id: u64,
+    receiver: Receiver<Measurement>,
+}
+
+impl Subscription {
+    /// The receiving end of the measurement stream.
+    pub fn receiver(&self) -> &Receiver<Measurement> {
+        &self.receiver
+    }
+
+    /// Blocking receive of the next measurement (None when the store shuts
+    /// down or this subscription lags so far it was dropped).
+    pub fn recv(&self) -> Option<Measurement> {
+        self.receiver.recv().ok()
+    }
+}
+
+struct Subscriber {
+    id: u64,
+    filter: Option<Vec<KpiKey>>,
+    sender: Sender<Measurement>,
+}
+
+/// The in-memory metric store.
+#[derive(Default)]
+pub struct MetricStore {
+    series: RwLock<HashMap<KpiKey, TimeSeries>>,
+    subscribers: RwLock<Vec<Subscriber>>,
+    next_sub: AtomicU64,
+}
+
+impl std::fmt::Debug for MetricStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricStore")
+            .field("keys", &self.series.read().len())
+            .field("subscribers", &self.subscribers.read().len())
+            .finish()
+    }
+}
+
+impl MetricStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared-ownership constructor (the usual deployment: one store, many
+    /// agent/collector/pipeline threads).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Replaces the entire series for `key` (used by batch materialization).
+    pub fn insert(&self, key: KpiKey, series: TimeSeries) {
+        self.series.write().insert(key, series);
+    }
+
+    /// Appends one live measurement, growing the series (gaps are filled by
+    /// repeating the last value, matching the upstream interpolation the
+    /// paper's agents perform), and pushes it to matching subscribers.
+    pub fn append(&self, key: KpiKey, minute: MinuteBin, value: f64) {
+        {
+            let mut map = self.series.write();
+            let series = map.entry(key).or_insert_with(|| TimeSeries::empty(minute));
+            if series.is_empty() {
+                // Re-anchor an empty placeholder at the first real minute.
+                *series = TimeSeries::empty(minute);
+            }
+            let mut end = series.end();
+            if minute < end {
+                // Late measurement for an already-filled minute: ignore
+                // (first write wins, as in the real store).
+                return;
+            }
+            let last = series.values().last().copied().unwrap_or(value);
+            while end < minute {
+                series.push(last);
+                end += 1;
+            }
+            series.push(value);
+        }
+        self.publish(Measurement { key, minute, value });
+    }
+
+    fn publish(&self, m: Measurement) {
+        let mut dead = Vec::new();
+        {
+            let subs = self.subscribers.read();
+            for s in subs.iter() {
+                let wants = s.filter.as_ref().is_none_or(|f| f.contains(&m.key));
+                if !wants {
+                    continue;
+                }
+                match s.sender.try_send(m) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Lagging subscriber: drop the measurement for it
+                        // rather than blocking ingestion (the store favours
+                        // liveness; FUNNEL re-reads history on demand).
+                    }
+                    Err(TrySendError::Disconnected(_)) => dead.push(s.id),
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.subscribers.write().retain(|s| !dead.contains(&s.id));
+        }
+    }
+
+    /// Subscribes to live measurements; `filter = None` means everything.
+    /// The channel holds up to `capacity` undelivered measurements.
+    pub fn subscribe(&self, filter: Option<Vec<KpiKey>>, capacity: usize) -> Subscription {
+        let (tx, rx) = bounded(capacity.max(1));
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.subscribers.write().push(Subscriber { id, filter, sender: tx });
+        Subscription { id, receiver: rx }
+    }
+
+    /// Cancels a subscription explicitly (dropping the [`Subscription`]
+    /// also works — the dead channel is reaped on the next publish).
+    pub fn unsubscribe(&self, sub: &Subscription) {
+        self.subscribers.write().retain(|s| s.id != sub.id);
+    }
+
+    /// Closes every live subscription: all receivers see end-of-stream
+    /// after draining. Call when ingestion is finished (end of a replay,
+    /// shutdown) so consumers holding their own `Arc<MetricStore>` can
+    /// terminate instead of blocking on a feed that will never resume.
+    pub fn close_subscriptions(&self) {
+        self.subscribers.write().clear();
+    }
+
+    /// A full copy of the series for `key`.
+    pub fn get(&self, key: &KpiKey) -> Option<TimeSeries> {
+        self.series.read().get(key).cloned()
+    }
+
+    /// The values of `key` over `[from, to)` (clamped), if the key exists.
+    pub fn range(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> Option<Vec<f64>> {
+        self.series.read().get(key).map(|s| s.slice(from, to).to_vec())
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.series.read().len()
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.read().is_empty()
+    }
+
+    /// All keys currently held, in arbitrary order.
+    pub fn keys(&self) -> Vec<KpiKey> {
+        self.series.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kpi::KpiKind;
+    use funnel_topology::impact::Entity;
+    use funnel_topology::model::ServerId;
+
+    fn key(n: u32) -> KpiKey {
+        KpiKey::new(Entity::Server(ServerId(n)), KpiKind::CpuUtilization)
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let store = MetricStore::new();
+        store.insert(key(0), TimeSeries::new(10, vec![1.0, 2.0, 3.0]));
+        assert_eq!(store.range(&key(0), 11, 13), Some(vec![2.0, 3.0]));
+        assert_eq!(store.range(&key(1), 0, 5), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn append_grows_and_fills_gaps() {
+        let store = MetricStore::new();
+        store.append(key(0), 5, 1.0);
+        store.append(key(0), 6, 2.0);
+        store.append(key(0), 9, 5.0); // gap at 7, 8 → repeat 2.0
+        let s = store.get(&key(0)).unwrap();
+        assert_eq!(s.start(), 5);
+        assert_eq!(s.values(), &[1.0, 2.0, 2.0, 2.0, 5.0]);
+        // Late write ignored.
+        store.append(key(0), 6, 99.0);
+        assert_eq!(store.get(&key(0)).unwrap().values()[1], 2.0);
+    }
+
+    #[test]
+    fn subscription_receives_matching_only() {
+        let store = MetricStore::new();
+        let sub = store.subscribe(Some(vec![key(1)]), 16);
+        store.append(key(0), 0, 1.0);
+        store.append(key(1), 0, 2.0);
+        let m = sub.recv().unwrap();
+        assert_eq!(m.key, key(1));
+        assert_eq!(m.value, 2.0);
+        assert!(sub.receiver().try_recv().is_err());
+    }
+
+    #[test]
+    fn unfiltered_subscription_sees_everything() {
+        let store = MetricStore::new();
+        let sub = store.subscribe(None, 16);
+        store.append(key(0), 0, 1.0);
+        store.append(key(7), 0, 2.0);
+        assert_eq!(sub.recv().unwrap().key, key(0));
+        assert_eq!(sub.recv().unwrap().key, key(7));
+    }
+
+    #[test]
+    fn lagging_subscriber_drops_not_blocks() {
+        let store = MetricStore::new();
+        let sub = store.subscribe(None, 2);
+        for m in 0..10 {
+            store.append(key(0), m, m as f64);
+        }
+        // Only the first two made it; ingestion never blocked.
+        assert_eq!(sub.recv().unwrap().minute, 0);
+        assert_eq!(sub.recv().unwrap().minute, 1);
+        assert!(sub.receiver().try_recv().is_err());
+        // Store itself has all ten.
+        assert_eq!(store.get(&key(0)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn dropped_subscription_is_reaped() {
+        let store = MetricStore::new();
+        let sub = store.subscribe(None, 4);
+        drop(sub);
+        store.append(key(0), 0, 1.0); // triggers reap, must not panic
+        let sub2 = store.subscribe(None, 4);
+        store.unsubscribe(&sub2);
+        store.append(key(0), 1, 1.0);
+        assert!(sub2.receiver().try_recv().is_err());
+    }
+}

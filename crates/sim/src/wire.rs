@@ -1,0 +1,200 @@
+//! Compact wire format for agent → collector measurement batches.
+//!
+//! Each simulated agent serializes its one-minute batch of measurements into
+//! a length-prefixed binary frame before sending it to the collector,
+//! mirroring the real agents that ship measurements off-box every minute
+//! (§2.2). Layout (all little-endian):
+//!
+//! ```text
+//! frame   := u64 minute, u32 agent_id, u32 count, record*
+//! record  := u8 entity_tag, u32 entity_id, u8 kpi_tag, f64 value
+//! ```
+//!
+//! `entity_tag`: 0 = server, 1 = instance, 2 = service.
+
+use crate::kpi::{KpiKey, KpiKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use funnel_timeseries::series::MinuteBin;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::{InstanceId, ServerId, ServiceId};
+
+/// One decoded measurement record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRecord {
+    /// Which KPI.
+    pub key: KpiKey,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// A decoded frame: one agent's batch for one minute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame {
+    /// The minute the batch covers.
+    pub minute: MinuteBin,
+    /// The sending agent (collectors track per-agent watermarks with it).
+    pub agent_id: u32,
+    /// The measurements.
+    pub records: Vec<WireRecord>,
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the declared record count was read.
+    Truncated,
+    /// An unknown entity tag was encountered.
+    BadEntityTag(u8),
+    /// An unknown KPI tag was encountered.
+    BadKpiTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire frame"),
+            WireError::BadEntityTag(t) => write!(f, "unknown entity tag {t}"),
+            WireError::BadKpiTag(t) => write!(f, "unknown KPI tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn entity_tag(e: Entity) -> (u8, u32) {
+    match e {
+        Entity::Server(s) => (0, s.0),
+        Entity::Instance(i) => (1, i.0),
+        Entity::Service(s) => (2, s.0),
+    }
+}
+
+fn entity_from(tag: u8, id: u32) -> Result<Entity, WireError> {
+    Ok(match tag {
+        0 => Entity::Server(ServerId(id)),
+        1 => Entity::Instance(InstanceId(id)),
+        2 => Entity::Service(ServiceId(id)),
+        t => return Err(WireError::BadEntityTag(t)),
+    })
+}
+
+/// Encodes one frame.
+pub fn encode_frame(minute: MinuteBin, agent_id: u32, records: &[WireRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 14);
+    buf.put_u64_le(minute);
+    buf.put_u32_le(agent_id);
+    buf.put_u32_le(records.len() as u32);
+    for r in records {
+        let (tag, id) = entity_tag(r.key.entity);
+        buf.put_u8(tag);
+        buf.put_u32_le(id);
+        buf.put_u8(r.key.kind.tag());
+        buf.put_f64_le(r.value);
+    }
+    buf.freeze()
+}
+
+/// Decodes one frame.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or unknown tags.
+pub fn decode_frame(mut buf: Bytes) -> Result<WireFrame, WireError> {
+    if buf.remaining() < 16 {
+        return Err(WireError::Truncated);
+    }
+    let minute = buf.get_u64_le();
+    let agent_id = buf.get_u32_le();
+    let count = buf.get_u32_le() as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 14 {
+            return Err(WireError::Truncated);
+        }
+        let etag = buf.get_u8();
+        let id = buf.get_u32_le();
+        let ktag = buf.get_u8();
+        let value = buf.get_f64_le();
+        let entity = entity_from(etag, id)?;
+        let kind = KpiKind::from_tag(ktag).ok_or(WireError::BadKpiTag(ktag))?;
+        records.push(WireRecord { key: KpiKey::new(entity, kind), value });
+    }
+    Ok(WireFrame { minute, agent_id, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WireRecord> {
+        vec![
+            WireRecord {
+                key: KpiKey::new(Entity::Server(ServerId(3)), KpiKind::CpuUtilization),
+                value: 47.25,
+            },
+            WireRecord {
+                key: KpiKey::new(Entity::Instance(InstanceId(12)), KpiKind::PageViewCount),
+                value: 1234.0,
+            },
+            WireRecord {
+                key: KpiKey::new(Entity::Service(ServiceId(2)), KpiKind::AccessFailureCount),
+                value: 0.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = sample_records();
+        let frame = encode_frame(777, 42, &recs);
+        let decoded = decode_frame(frame).unwrap();
+        assert_eq!(decoded.minute, 777);
+        assert_eq!(decoded.agent_id, 42);
+        assert_eq!(decoded.records, recs);
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let frame = encode_frame(1, 0, &[]);
+        let d = decode_frame(frame).unwrap();
+        assert_eq!(d.minute, 1);
+        assert!(d.records.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let frame = encode_frame(777, 0, &sample_records());
+        let cut = frame.slice(0..10);
+        assert_eq!(decode_frame(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let frame = encode_frame(777, 0, &sample_records());
+        let cut = frame.slice(0..frame.len() - 3);
+        assert_eq!(decode_frame(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u8(9); // bad entity tag
+        buf.put_u32_le(0);
+        buf.put_u8(0);
+        buf.put_f64_le(0.0);
+        assert_eq!(decode_frame(buf.freeze()), Err(WireError::BadEntityTag(9)));
+
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u8(0);
+        buf.put_u32_le(0);
+        buf.put_u8(99); // bad kpi tag
+        buf.put_f64_le(0.0);
+        assert_eq!(decode_frame(buf.freeze()), Err(WireError::BadKpiTag(99)));
+    }
+}

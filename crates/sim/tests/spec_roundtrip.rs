@@ -1,0 +1,73 @@
+//! JSON round-trip tests for the declarative world spec.
+
+use funnel_sim::spec::*;
+
+fn demo_json() -> &'static str {
+    r#"{
+        "seed": 11,
+        "days": 8,
+        "services": [
+            {"name": "pay.gateway", "instances": 6},
+            {"name": "pay.ledger", "instances": 3, "extra_kinds": ["effective_click_count"]}
+        ],
+        "relations": [["pay.gateway", "pay.ledger"]],
+        "changes": [
+            {
+                "service": "pay.gateway",
+                "kind": "upgrade",
+                "targets": 2,
+                "day": 7,
+                "minute_of_day": 540,
+                "description": "gateway v9",
+                "effects": [
+                    {"kpi": "access_failure_count", "scope": "treated_instances", "delta": 40.0},
+                    {"kpi": "memory_utilization", "scope": "treated_servers", "delta": 12.0, "ramp_minutes": 30}
+                ]
+            },
+            {
+                "service": "pay.ledger",
+                "kind": "config_change",
+                "targets": 3,
+                "day": 7,
+                "minute_of_day": 700
+            }
+        ],
+        "shocks": [
+            {"services": ["pay.ledger"], "kpi": "page_view_count", "delta": -200.0,
+             "day": 7, "minute_of_day": 800, "spike_minutes": 4}
+        ]
+    }"#
+}
+
+#[test]
+fn json_parses_and_builds() {
+    let spec: WorldSpec = serde_json::from_str(demo_json()).expect("valid JSON spec");
+    assert_eq!(spec.services.len(), 2);
+    assert_eq!(spec.changes.len(), 2);
+    let built = spec.build().expect("buildable");
+    assert_eq!(built.changes.len(), 2);
+    let log = built.world.change_log();
+    // Change 0 is a dark launch (2 of 6), change 1 full (3 of 3).
+    use funnel_topology::change::LaunchMode;
+    assert_eq!(log.get(built.changes[0]).unwrap().launch, LaunchMode::Dark);
+    assert_eq!(log.get(built.changes[1]).unwrap().launch, LaunchMode::Full);
+    // Ground truth: 2 instance failures + service + 2 servers (memory ramp).
+    assert_eq!(built.world.ground_truth().len(), 5);
+}
+
+#[test]
+fn serialize_roundtrip_preserves_spec() {
+    let spec: WorldSpec = serde_json::from_str(demo_json()).unwrap();
+    let text = serde_json::to_string_pretty(&spec).unwrap();
+    let again: WorldSpec = serde_json::from_str(&text).unwrap();
+    assert_eq!(spec, again);
+}
+
+#[test]
+fn built_world_assessable_end_to_end() {
+    let spec: WorldSpec = serde_json::from_str(demo_json()).unwrap();
+    let built = spec.build().unwrap();
+    let funnel = funnel_core::pipeline::Funnel::paper_default();
+    let a = funnel.assess_change(&built.world, built.changes[0]).expect("assessable");
+    assert!(a.has_impact(), "the 40-unit failure surge should be attributed");
+}

@@ -1,0 +1,106 @@
+//! Concurrency tests for the central metric store: many agent threads
+//! appending while subscribers consume — the contention pattern of the real
+//! deployment (§2.2: every server's agent pushes once a minute while FUNNEL
+//! and other systems subscribe).
+
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::store::MetricStore;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::ServerId;
+use std::sync::Arc;
+
+fn key(n: u32) -> KpiKey {
+    KpiKey::new(Entity::Server(ServerId(n)), KpiKind::CpuUtilization)
+}
+
+#[test]
+fn parallel_appenders_disjoint_keys() {
+    let store = MetricStore::shared();
+    let threads = 8;
+    let minutes = 500u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for m in 0..minutes {
+                    store.append(key(t), m, (t as f64) * 1000.0 + m as f64);
+                }
+            });
+        }
+    });
+    for t in 0..threads {
+        let series = store.get(&key(t)).expect("series exists");
+        assert_eq!(series.len(), minutes as usize);
+        assert_eq!(series.at(7), Some((t as f64) * 1000.0 + 7.0));
+    }
+}
+
+#[test]
+fn subscriber_sees_every_update_for_its_key_under_load() {
+    let store = MetricStore::shared();
+    let watched = key(0);
+    let sub = store.subscribe(Some(vec![watched]), 4096);
+    let minutes = 300u64;
+    std::thread::scope(|s| {
+        // Noisy neighbours on other keys.
+        for t in 1..6 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for m in 0..minutes {
+                    store.append(key(t), m, m as f64);
+                }
+            });
+        }
+        // The watched key's writer.
+        let store2 = Arc::clone(&store);
+        s.spawn(move || {
+            for m in 0..minutes {
+                store2.append(watched, m, m as f64 * 2.0);
+            }
+        });
+    });
+    let mut got = Vec::new();
+    while let Ok(m) = sub.receiver().try_recv() {
+        assert_eq!(m.key, watched);
+        got.push(m.minute);
+    }
+    assert_eq!(got.len(), minutes as usize);
+    assert!(got.windows(2).all(|w| w[0] < w[1]), "updates out of order");
+}
+
+#[test]
+fn many_subscribers_shared_feed() {
+    let store = MetricStore::shared();
+    let subs: Vec<_> = (0..10).map(|_| store.subscribe(None, 1024)).collect();
+    for m in 0..200 {
+        store.append(key(1), m, m as f64);
+    }
+    for sub in &subs {
+        let mut count = 0;
+        while sub.receiver().try_recv().is_ok() {
+            count += 1;
+        }
+        assert_eq!(count, 200);
+    }
+}
+
+#[test]
+fn unsubscribe_during_publishing_is_safe() {
+    let store = MetricStore::shared();
+    let publisher = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            for m in 0..2000 {
+                store.append(key(2), m, m as f64);
+            }
+        })
+    };
+    // Subscribe/unsubscribe churn while the publisher runs.
+    for _ in 0..50 {
+        let s = store.subscribe(None, 8);
+        let _ = s.receiver().try_recv();
+        store.unsubscribe(&s);
+    }
+    publisher.join().expect("publisher ok");
+    assert_eq!(store.get(&key(2)).unwrap().len(), 2000);
+}

@@ -1,0 +1,302 @@
+//! Fast SST — the Implicit Krylov Approximation (paper §3.2.3, after
+//! Idé & Tsuda 2007).
+//!
+//! The exact robust scorer diagonalizes two `ω×ω` Grams per window. IKA
+//! avoids even that:
+//!
+//! * **Matrix compression** — `B(t)` and `A(t)` stay as their generating
+//!   signal slices ([`HankelMatrix`]); `C = BBᵀ` is only ever *applied*.
+//! * **Implicit inner products** — `Lanczos(C, β_i(t), k)` compresses `C`
+//!   to a `k×k` tridiagonal `T_k` with `k = 2η−1 = 5` (Eq. 14); every
+//!   `C·v` is two Hankel matvecs.
+//! * **QL iteration** — `T_k`'s eigenvectors come from the tridiagonal QL
+//!   solver. Because the first Lanczos basis vector *is* `β_i`, the first
+//!   component of `T_k`'s `j`-th eigenvector approximates `β_i · u_j`, so
+//!   Eq. 13 reads off the discordance directly:
+//!   `ϕ_i ≈ 1 − Σ_{j≤η} x_j(1)²`.
+//!
+//! The future directions `β_i` are themselves obtained by a small Lanczos
+//! run on the future Gram — still implicit, still `O(k·ω²)` per window.
+//! The median/MAD filter and the eigenvalue weighting are identical to
+//! [`crate::robust::RobustSst`], which is the oracle this module is tested
+//! against.
+
+use crate::config::{EigSelection, SstConfig};
+use crate::filter::apply_filter;
+use crate::layout::{split, standardize_by_past};
+use crate::SstScorer;
+use funnel_linalg::hankel::HankelMatrix;
+use funnel_linalg::lanczos::lanczos;
+use funnel_linalg::matrix::normalize;
+use funnel_linalg::tridiag::tridiag_eig;
+
+/// The IKA-accelerated SST scorer FUNNEL deploys online.
+#[derive(Debug, Clone)]
+pub struct FastSst {
+    config: SstConfig,
+}
+
+impl FastSst {
+    /// Creates a fast scorer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration fails [`SstConfig::validate`].
+    pub fn new(config: SstConfig) -> Self {
+        config.validate().expect("invalid SST configuration");
+        Self { config }
+    }
+
+    /// Creates the scorer with the paper's evaluation configuration
+    /// (`ω = 9`, `W = 34`).
+    pub fn paper_default() -> Self {
+        Self::new(SstConfig::paper_default())
+    }
+
+    /// Ritz approximations `(λ_i, β_i)` of the selected η future eigenpairs,
+    /// computed via Lanczos on the *implicit* future Gram.
+    fn future_directions(&self, future_sig: &[f64]) -> Vec<(f64, Vec<f64>)> {
+        let c = &self.config;
+        let a = HankelMatrix::new(future_sig, c.omega, c.gamma);
+        let gram = a.gram_operator();
+        // Deterministic full-support start vector.
+        let start: Vec<f64> = (0..c.omega).map(|i| 1.0 + (i as f64) / c.omega as f64).collect();
+        let k = c.krylov_dim().max(c.effective_eta()).min(c.omega);
+        let lz = lanczos(&gram, &start, k);
+        if lz.steps() == 0 {
+            return Vec::new();
+        }
+        let eig = tridiag_eig(&lz.alpha, &lz.beta);
+        let steps = lz.steps();
+        let eta = c.effective_eta().min(steps);
+
+        let pick = |rank_from_top: usize| -> (f64, Vec<f64>) {
+            let col = match c.eig_selection {
+                EigSelection::Largest => rank_from_top,
+                EigSelection::Smallest => steps - 1 - rank_from_top,
+            };
+            // Map the Ritz vector back to R^ω through the Lanczos basis.
+            let mut v = vec![0.0; c.omega];
+            for (m, q) in lz.basis.iter().enumerate() {
+                let ym = eig.vectors[(m, col)];
+                for (vi, qi) in v.iter_mut().zip(q.iter()) {
+                    *vi += ym * qi;
+                }
+            }
+            normalize(&mut v);
+            (eig.values[col].max(0.0), v)
+        };
+        (0..eta).map(pick).collect()
+    }
+
+    /// Eq. 13: discordance of one future direction against the past signal
+    /// subspace, via `Lanczos(C, β_i, k)` and QL on `T_k`.
+    fn phi(&self, past_gram: &funnel_linalg::hankel::GramOperator<'_>, beta: &[f64]) -> f64 {
+        let c = &self.config;
+        let k = c.krylov_dim().min(c.omega);
+        let lz = lanczos(past_gram, beta, k);
+        if lz.steps() == 0 {
+            return 0.0;
+        }
+        let eig = tridiag_eig(&lz.alpha, &lz.beta);
+        let eta = c.effective_eta().min(lz.steps());
+        // First components of the top-η eigenvectors of T_k approximate
+        // β_i · u_j (the Lanczos basis starts at β_i).
+        let proj_sq: f64 = (0..eta).map(|j| eig.vectors[(0, j)].powi(2)).sum();
+        (1.0 - proj_sq).clamp(0.0, 1.0)
+    }
+
+    /// The raw (unfiltered) Eq. 9 score; exposed for ablations and the
+    /// robust-oracle comparison tests.
+    pub fn raw_score(&self, window: &[f64]) -> f64 {
+        let c = &self.config;
+        let standardized;
+        let window = if c.standardize {
+            standardized = standardize_by_past(window, c.past_len());
+            &standardized[..]
+        } else {
+            window
+        };
+        self.raw_score_prepared(window)
+    }
+
+    fn raw_score_prepared(&self, window: &[f64]) -> f64 {
+        let c = &self.config;
+        let sw = split(c, window);
+        let b = HankelMatrix::new(sw.past, c.omega, c.delta);
+        let past_gram = b.gram_operator();
+        let dirs = self.future_directions(&sw.future[c.rho..]);
+        if dirs.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (lambda, beta) in &dirs {
+            let phi = self.phi(&past_gram, beta);
+            num += lambda * phi;
+            den += lambda;
+        }
+        if den <= 0.0 {
+            0.0
+        } else {
+            (num / den).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl SstScorer for FastSst {
+    fn config(&self) -> &SstConfig {
+        &self.config
+    }
+
+    fn score_window(&self, window: &[f64]) -> f64 {
+        let c = &self.config;
+        let standardized;
+        let window = if c.standardize {
+            standardized = standardize_by_past(window, c.past_len());
+            &standardized[..]
+        } else {
+            window
+        };
+        let raw = self.raw_score_prepared(window);
+        if !c.median_mad_filter {
+            return raw;
+        }
+        let sw = split(c, window);
+        apply_filter(raw, sw.past, sw.future)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robust::RobustSst;
+
+    fn lcg_window(c: &SstConfig, noise: f64, shift: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let p = c.past_len();
+        (0..c.window_len())
+            .map(|i| {
+                let base = 50.0 + noise * next() + 0.3 * ((i as f64) * 0.7).sin();
+                if i >= p {
+                    base + shift
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    /// Noisy series with a level shift at `onset` (usize::MAX = no shift).
+    fn lcg_series(len: usize, noise: f64, onset: usize, shift: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..len)
+            .map(|i| {
+                let base = 50.0 + noise * next() + 0.3 * ((i as f64) * 0.7).sin();
+                if i >= onset {
+                    base + shift
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_ranks_windows_like_exact_robust_scorer() {
+        // The IKA approximation (k = 5 Krylov dim) need not match the exact
+        // Eq. 9 score pointwise on dense-spectrum noise windows, but it must
+        // preserve the decision structure: the peak score of a shifted
+        // series must agree with the exact scorer's peak on strong signals.
+        let mut c = SstConfig::paper_default();
+        c.median_mad_filter = false;
+        let fast = FastSst::new(c.clone());
+        let exact = RobustSst::new(c.clone());
+        for seed in 0..6 {
+            let shifted = lcg_series(120, 1.0, 60, 8.0, seed);
+            let fast_peak = fast.score_series(&shifted).into_iter().fold(0.0, f64::max);
+            let exact_peak = exact.score_series(&shifted).into_iter().fold(0.0, f64::max);
+            assert!(
+                (fast_peak - exact_peak).abs() < 0.25,
+                "seed {seed}: fast peak {fast_peak} vs exact peak {exact_peak}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_shift_peak_scores_above_noise_peak() {
+        let c = SstConfig::paper_default();
+        let s = FastSst::new(c.clone());
+        let mut min_shift_peak: f64 = f64::INFINITY;
+        let mut max_noise_peak: f64 = 0.0;
+        for seed in 0..6 {
+            let sp = s
+                .score_series(&lcg_series(120, 1.0, 60, 10.0, seed))
+                .into_iter()
+                .fold(0.0, f64::max);
+            let np = s
+                .score_series(&lcg_series(120, 1.0, usize::MAX, 0.0, seed))
+                .into_iter()
+                .fold(0.0, f64::max);
+            min_shift_peak = min_shift_peak.min(sp);
+            max_noise_peak = max_noise_peak.max(np);
+        }
+        assert!(
+            min_shift_peak > max_noise_peak,
+            "shift peak {min_shift_peak} vs noise peak {max_noise_peak}"
+        );
+    }
+
+    #[test]
+    fn ramp_detected() {
+        let c = SstConfig::paper_default();
+        let s = FastSst::new(c.clone());
+        let p = c.past_len();
+        let w: Vec<f64> = (0..c.window_len())
+            .map(|i| {
+                let base = 20.0 + 0.05 * ((i * 3) % 7) as f64;
+                if i >= p {
+                    base + 0.8 * (i - p + 1) as f64
+                } else {
+                    base
+                }
+            })
+            .collect();
+        assert!(s.score_window(&w) > 0.5);
+    }
+
+    #[test]
+    fn constant_window_scores_zero() {
+        let s = FastSst::paper_default();
+        assert_eq!(s.score_window(&vec![42.0; 34]), 0.0);
+    }
+
+    #[test]
+    fn quick_and_precise_configs_run() {
+        for c in [SstConfig::quick(), SstConfig::precise()] {
+            let s = FastSst::new(c.clone());
+            let w = lcg_window(&c, 1.0, 5.0, 1);
+            let score = s.score_window(&w);
+            assert!(score.is_finite() && score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn score_series_matches_window_scores() {
+        let c = SstConfig::quick();
+        let s = FastSst::new(c.clone());
+        let values: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).cos() * 3.0).collect();
+        let series_scores = s.score_series(&values);
+        assert_eq!(series_scores.len(), 30 - c.window_len() + 1);
+        let first_window = &values[..c.window_len()];
+        assert_eq!(series_scores[0], s.score_window(first_window));
+    }
+}

@@ -1,0 +1,69 @@
+//! Singular Spectrum Transform (SST) change-point scoring — classic, robust,
+//! and IKA-accelerated, as used by FUNNEL (CoNEXT 2015, §3.2).
+//!
+//! SST compares the dynamics of a short *past* segment of a time series with
+//! the dynamics of the *future* segment around a candidate point. The past
+//! dynamics are summarized by the top-η left singular vectors of a Hankel
+//! trajectory matrix (the "signal subspace"); the future dynamics by extreme
+//! eigenvectors of the future trajectory matrix's Gram. When nothing changed,
+//! the dominant future directions lie inside the past signal subspace and the
+//! discordance score is near zero; a level shift or ramp rotates the future
+//! directions out of the subspace and the score approaches one.
+//!
+//! Three implementations share one [`SstConfig`] and one window layout:
+//!
+//! * [`ClassicSst`] — Moskvina–Zhigljavsky/Idé SST: dense SVD of the past
+//!   Hankel matrix, single dominant future direction (paper §3.2.1). The
+//!   accuracy/efficiency baseline labelled "SST" in the paper's narrative.
+//! * [`RobustSst`] — the paper's §3.2.2 improvements: η future eigenvectors
+//!   weighted by eigenvalue (Eq. 9–10) and the median/MAD score filter
+//!   (Eq. 11–12). Exact dense eigendecompositions; the reference the fast
+//!   path is validated against.
+//! * [`FastSst`] — §3.2.3: the Implicit Krylov Approximation. Hankel
+//!   matrices stay compressed as signal slices, covariances are applied
+//!   implicitly, Lanczos compresses to a `k×k` tridiagonal (`k = 2η−1`),
+//!   and a QL eigensolver finishes. This is the detector FUNNEL deploys.
+//!
+//! All scorers implement [`SstScorer`], mapping a window of
+//! [`SstConfig::window_len`] samples to a score (≥ 0; raw subspace
+//! discordance is in `[0, 1]`, the robust filter rescales it by the robust
+//! effect size, see [`filter`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classic;
+pub mod config;
+pub mod fast;
+pub mod filter;
+pub mod layout;
+pub mod robust;
+
+pub use classic::ClassicSst;
+pub use config::{EigSelection, SstConfig};
+pub use fast::FastSst;
+pub use robust::RobustSst;
+
+/// A change-point scorer over fixed-width windows.
+pub trait SstScorer {
+    /// The configuration in effect.
+    fn config(&self) -> &SstConfig;
+
+    /// Scores one window of exactly [`SstConfig::window_len`] samples.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `window.len()` differs from the
+    /// configured window length; the sliding-window driver guarantees it.
+    fn score_window(&self, window: &[f64]) -> f64;
+
+    /// Scores every sliding window of a series; `out[i]` is the score of the
+    /// window ending at sample `i + window_len − 1`.
+    fn score_series(&self, values: &[f64]) -> Vec<f64> {
+        let w = self.config().window_len();
+        if values.len() < w {
+            return Vec::new();
+        }
+        values.windows(w).map(|win| self.score_window(win)).collect()
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain and robust summary statistics.
+//!
+//! The improved SST (paper §3.2.2) filters its change score with the median
+//! and the median absolute deviation (MAD) because "the mean and standard
+//! deviation for Gaussian distribution are not very robust in the presence of
+//! large changes or outliers". These helpers are shared by the SST filter,
+//! MRLS's robust subspace fit, and the evaluation harness.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (divides by `n`); `0.0` for fewer than two
+/// points.
+pub fn population_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median by partial sort; `0.0` for an empty slice. Even-length slices
+/// return the mean of the two central order statistics.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    let n = v.len();
+    let mid = n / 2;
+    let (_, m, _) = v.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let hi = *m;
+    if n % 2 == 1 {
+        hi
+    } else {
+        // Largest element of the lower half.
+        let lo = v[..mid]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo + hi) / 2.0
+    }
+}
+
+/// Median absolute deviation around the median (paper Eq. 12), without the
+/// Gaussian consistency constant: `median(|x_i - median(x)|)`.
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&devs)
+}
+
+/// Median and MAD of one window, computed together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSummary {
+    /// Window median.
+    pub median: f64,
+    /// Window median absolute deviation.
+    pub mad: f64,
+}
+
+impl RobustSummary {
+    /// Summarizes `xs`. Empty input yields zeros.
+    pub fn of(xs: &[f64]) -> Self {
+        Self { median: median(xs), mad: mad(xs) }
+    }
+}
+
+/// Robust z-score of `x` against a window summary: `(x - median) / MAD`,
+/// with a MAD floor of `1e-9` to keep constant windows finite.
+pub fn robust_zscore(x: f64, summary: RobustSummary) -> f64 {
+    (x - summary.median) / summary.mad.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(population_std(&[5.0]), 0.0);
+        let s = population_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_resists_outlier() {
+        let clean = median(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let dirty = median(&[1.0, 2.0, 3.0, 4.0, 1e9]);
+        assert_eq!(clean, 3.0);
+        assert_eq!(dirty, 3.0);
+    }
+
+    #[test]
+    fn mad_of_symmetric_window() {
+        // median = 3, deviations = [2,1,0,1,2], MAD = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+        assert_eq!(mad(&[5.0; 6]), 0.0);
+    }
+
+    #[test]
+    fn robust_zscore_floors_mad() {
+        let s = RobustSummary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.mad, 0.0);
+        assert!(robust_zscore(2.0, s).is_finite());
+        assert!(robust_zscore(2.0, s) > 1e6);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let xs = [9.0, 1.0, 4.0, 4.0, 2.0];
+        let s = RobustSummary::of(&xs);
+        assert_eq!(s.median, median(&xs));
+        assert_eq!(s.mad, mad(&xs));
+    }
+}

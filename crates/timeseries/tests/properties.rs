@@ -1,0 +1,129 @@
+//! Property-based tests for the time-series substrate.
+
+use funnel_timeseries::generate::{KpiClass, KpiGenerator, SeasonalProfile};
+use funnel_timeseries::inject::{ChangeShape, InjectedChange};
+use funnel_timeseries::series::{BinMode, EventBinner, TimeSeries};
+use funnel_timeseries::stats::{mad, mean, median, population_std};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn median_is_order_statistic(mut xs in prop::collection::vec(-1e6..1e6f64, 1..40)) {
+        let m = median(&xs);
+        xs.sort_by(|a, b| a.total_cmp(b));
+        // At least half the points are ≤ m and at least half are ≥ m.
+        let le = xs.iter().filter(|&&x| x <= m + 1e-9).count();
+        let ge = xs.iter().filter(|&&x| x >= m - 1e-9).count();
+        prop_assert!(le * 2 >= xs.len());
+        prop_assert!(ge * 2 >= xs.len());
+    }
+
+    #[test]
+    fn median_bounded_by_extremes(xs in prop::collection::vec(-1e6..1e6f64, 1..40)) {
+        let m = median(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    #[test]
+    fn mad_translation_invariant(
+        xs in prop::collection::vec(-1e3..1e3f64, 2..30),
+        shift in -1e3..1e3f64,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mad(&xs) - mad(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mad_never_exceeds_range(xs in prop::collection::vec(-1e3..1e3f64, 1..30)) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mad(&xs) <= (hi - lo) + 1e-12);
+    }
+
+    #[test]
+    fn mean_std_translation(xs in prop::collection::vec(-1e3..1e3f64, 2..30), c in -10.0..10.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - c).abs() < 1e-6);
+        prop_assert!((population_std(&shifted) - population_std(&xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_series_in_unit_interval(vals in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+        let s = TimeSeries::new(0, vals).normalized();
+        prop_assert!(s.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn level_shift_injection_changes_only_after_onset(
+        base in prop::collection::vec(0.0..100.0f64, 10..60),
+        onset_frac in 0.0..1.0f64,
+        delta in -50.0..50.0f64,
+    ) {
+        let onset = (base.len() as f64 * onset_frac) as u64;
+        let mut s = TimeSeries::new(0, base.clone());
+        InjectedChange::level_shift(onset, delta).apply(&mut s, false);
+        for (i, (&got, &want)) in s.values().iter().zip(base.iter()).enumerate() {
+            if (i as u64) < onset {
+                prop_assert_eq!(got, want);
+            } else {
+                prop_assert!((got - want - delta).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_is_monotone_toward_delta(
+        onset in 0u64..50,
+        delta in 1.0..100.0f64,
+        duration in 1u32..60,
+    ) {
+        let shape = ChangeShape::Ramp { delta, duration_minutes: duration };
+        let mut prev = 0.0;
+        for t in 0..(duration as u64 + 10) {
+            let o = shape.offset_at(t);
+            prop_assert!(o >= prev - 1e-12, "ramp decreased");
+            prop_assert!(o <= delta + 1e-12);
+            prev = o;
+        }
+        prop_assert!((shape.offset_at(duration as u64 + 100) - delta).abs() < 1e-12);
+        let _ = onset;
+    }
+
+    #[test]
+    fn generator_deterministic_any_seed(seed in any::<u64>()) {
+        let g = KpiGenerator::for_class(KpiClass::Seasonal, 500.0);
+        prop_assert_eq!(g.generate(0, 64, seed), g.generate(0, 64, seed));
+    }
+
+    #[test]
+    fn seasonal_profile_factor_positive(
+        peak in 0u32..1440,
+        amp in 0.0..0.95f64,
+        weekend in 0.1..1.0f64,
+        minute in 0u64..100_000,
+    ) {
+        let p = SeasonalProfile {
+            peak_minute_of_day: peak,
+            daily_amplitude: amp,
+            weekend_factor: weekend,
+        };
+        prop_assert!(p.factor_at(minute) > 0.0);
+    }
+
+    #[test]
+    fn binner_count_equals_events(
+        events in prop::collection::vec(0u64..50, 0..200),
+    ) {
+        let mut b = EventBinner::new(0, BinMode::Count);
+        for &m in &events {
+            b.record(m, 1.0);
+        }
+        let s = b.finish();
+        let total: f64 = s.values().iter().sum();
+        prop_assert_eq!(total as usize, events.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! The Fig. 7 case study as a library walkthrough: a faulty advertising
+//! upgrade silently breaks the anti-cheat check for one device class, and
+//! the strongly seasonal effective-click KPI collapses. FUNNEL's seasonal
+//! DiD separates the collapse from the diurnal pattern and attributes it to
+//! the upgrade within minutes (the manual process in the paper took 1.5 h).
+//!
+//! ```bash
+//! cargo run --release --example ad_anticheat_incident
+//! ```
+
+use funnel_suite::core::pipeline::{AssessmentMode, Funnel};
+use funnel_suite::core::FunnelConfig;
+use funnel_suite::sim::kpi::{KpiKey, KpiKind};
+use funnel_suite::sim::scenario::ads_world;
+use funnel_suite::topology::impact::Entity;
+
+fn main() {
+    let (world, ads, change) = ads_world(42);
+    let record = world.change_log().get(change).expect("logged");
+    println!(
+        "upgrade \"{}\" deployed at minute {} ({} instances, full launch)",
+        record.description,
+        record.minute,
+        record.targets.len()
+    );
+
+    let mut config = FunnelConfig::paper_default();
+    config.history_days = 6; // the scenario world carries 7 days of history
+    let funnel = Funnel::new(config);
+    let assessment = funnel.assess_change(&world, change).expect("assessable");
+
+    let click_key = KpiKey::new(Entity::Service(ads), KpiKind::EffectiveClickCount);
+    let item = assessment
+        .items
+        .iter()
+        .find(|i| i.key == click_key)
+        .expect("click KPI is monitored");
+
+    let detection = item.detection.as_ref().expect("collapse detected");
+    println!(
+        "effective clicks: change declared {} minutes after the deployment",
+        detection.declared_at - record.minute
+    );
+    assert_eq!(item.mode, AssessmentMode::SeasonalHistory, "full launch ⇒ seasonal control");
+    assert!(item.caused, "the collapse is the upgrade's fault");
+    if let Some((verdict, estimate)) = &item.did {
+        println!(
+            "seasonal DiD: α = {:+.1} normalized units (t = {:+.1}) over {} samples",
+            verdict.alpha(),
+            estimate.t_stat,
+            estimate.n
+        );
+    }
+
+    // Detection speed is the headline: well under the 90 manual minutes.
+    let delay = detection.declared_at - record.minute;
+    assert!(delay <= 30, "detection took {delay} minutes");
+    println!("\n(manual assessment took ~90 minutes in the paper's incident)");
+}

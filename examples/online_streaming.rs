@@ -1,0 +1,81 @@
+//! FUNNEL online: agents → wire frames → central store → subscription →
+//! streaming SST, exactly the deployment dataflow of §5.
+//!
+//! A world is replayed minute-by-minute through per-shard agent threads
+//! (binary wire frames over channels, decoded by a collector that also
+//! aggregates service KPIs), while the online pipeline consumes the store's
+//! subscription feed and declares KPI changes in real time.
+//!
+//! ```bash
+//! cargo run --release --example online_streaming
+//! ```
+
+use funnel_suite::core::online::OnlinePipeline;
+use funnel_suite::core::FunnelConfig;
+use funnel_suite::sim::agent::replay;
+use funnel_suite::sim::effect::{ChangeEffect, EffectScope};
+use funnel_suite::sim::kpi::{KpiKey, KpiKind};
+use funnel_suite::sim::store::MetricStore;
+use funnel_suite::sim::world::{SimConfig, WorldBuilder};
+use funnel_suite::topology::change::ChangeKind;
+use funnel_suite::topology::impact::Entity;
+
+fn main() {
+    // A service with a memory leak introduced at minute 240.
+    let mut b = WorldBuilder::new(SimConfig { seed: 3, start: 0, duration: 480 });
+    let svc = b.add_service("stream.api", 4).expect("fresh");
+    let effect = ChangeEffect::none().with_ramp(
+        KpiKind::MemoryUtilization,
+        EffectScope::TreatedServers,
+        25.0,
+        40,
+    );
+    b.deploy_change(ChangeKind::Upgrade, svc, 2, 240, effect, "leaky build")
+        .expect("valid");
+    let world = b.build();
+
+    // Watch the treated servers' memory KPIs.
+    let treated: Vec<KpiKey> = world
+        .topology()
+        .instances_of(svc)
+        .iter()
+        .take(2)
+        .map(|i| KpiKey::new(Entity::Server(i.server), KpiKind::MemoryUtilization))
+        .collect();
+
+    let store = MetricStore::shared();
+    let pipeline = OnlinePipeline::start(&store, Some(treated.clone()), FunnelConfig::paper_default());
+
+    // Replay the world through the agent → collector path (3 shards).
+    let stats = replay(&world, &store, 3).expect("replay succeeds");
+    println!(
+        "replayed {} minutes: {} wire frames, {} measurements, {} service aggregates",
+        stats.minutes, stats.frames, stats.records, stats.aggregates
+    );
+
+    // Drain the detections and shut the pipeline down.
+    drop(store);
+    let mut declared = Vec::new();
+    while let Ok(d) = pipeline.detections().try_recv() {
+        declared.push(d);
+    }
+    let online_stats = pipeline.join();
+    println!(
+        "online pipeline scored {} windows, emitted {} detections",
+        online_stats.windows_scored, online_stats.detections
+    );
+    for d in &declared {
+        println!(
+            "  {:?} declared at minute {} (score ran from minute {}, peak {:.2})",
+            d.key.entity, d.declared_at, d.first_exceeded_at, d.peak_score
+        );
+    }
+
+    // The leak starts at 240 and ramps over 40 minutes; the stream must
+    // catch it on both treated servers, within the ramp.
+    assert!(
+        declared.iter().filter(|d| (240..320).contains(&d.declared_at)).count() >= 2,
+        "both leaking servers should be flagged during the ramp: {declared:?}"
+    );
+    println!("\nleak caught mid-ramp on the live stream.");
+}

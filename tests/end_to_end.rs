@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: the full FUNNEL pipeline over simulated
+//! worlds, exercising every crate together.
+
+use funnel_suite::core::pipeline::{AssessmentMode, Funnel};
+use funnel_suite::core::FunnelConfig;
+use funnel_suite::detect::delay::{detection_delay, DelayOutcome};
+use funnel_suite::sim::effect::{ChangeEffect, EffectScope, ExternalShock};
+use funnel_suite::sim::kpi::{KpiKey, KpiKind};
+use funnel_suite::sim::world::{SimConfig, WorldBuilder};
+use funnel_suite::timeseries::inject::ChangeShape;
+use funnel_suite::topology::change::{ChangeKind, LaunchMode};
+use funnel_suite::topology::impact::Entity;
+
+/// A dark launch with a real regression: detected, attributed, and the
+/// detection delay is operationally small.
+#[test]
+fn regression_detected_attributed_and_fast() {
+    let mut b = WorldBuilder::new(SimConfig::days(11, 8));
+    let svc = b.add_service("it.web", 6).unwrap();
+    let minute = 7 * 1440 + 11 * 60;
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        90.0,
+    );
+    let change = b
+        .deploy_change(ChangeKind::Upgrade, svc, 2, minute, effect, "slow build")
+        .unwrap();
+    let world = b.build();
+
+    let funnel = Funnel::paper_default();
+    let a = funnel.assess_change(&world, change).unwrap();
+    assert!(a.has_impact());
+
+    let item = a
+        .caused_items()
+        .find(|i| {
+            i.key.kind == KpiKind::PageViewResponseDelay
+                && matches!(i.key.entity, Entity::Instance(_))
+        })
+        .expect("treated instance delay attributed");
+    let event = item.detection.expect("detected");
+    let outcome = detection_delay(&[event], minute);
+    match outcome {
+        DelayOutcome::Detected { minutes } => {
+            assert!(minutes <= 30, "delay {minutes} min too long");
+        }
+        DelayOutcome::Missed => panic!("detection exists but delay says missed"),
+    }
+}
+
+/// A change with no effect on a service hit by an external shock: the
+/// detector fires, DiD exonerates — no impact attributed.
+#[test]
+fn external_shock_not_blamed_on_software() {
+    let mut b = WorldBuilder::new(SimConfig::days(13, 8));
+    let svc = b.add_service("it.shocked", 6).unwrap();
+    let minute = 7 * 1440 + 600;
+    let change = b
+        .deploy_change(ChangeKind::ConfigChange, svc, 2, minute, ChangeEffect::none(), "noop")
+        .unwrap();
+    b.add_shock(ExternalShock {
+        services: vec![svc],
+        kind: KpiKind::AccessFailureCount,
+        shape: ChangeShape::LevelShift { delta: 40.0 },
+        onset: minute + 10,
+    });
+    let world = b.build();
+
+    let funnel = Funnel::paper_default();
+    let a = funnel.assess_change(&world, change).unwrap();
+    // The shock is detected on failure-count KPIs...
+    let failure_detections = a
+        .items
+        .iter()
+        .filter(|i| i.key.kind == KpiKind::AccessFailureCount && i.detection.is_some())
+        .count();
+    assert!(failure_detections > 0, "shock invisible to the detector?");
+    // ...but none of it is attributed to the software change.
+    let failure_blamed = a
+        .caused_items()
+        .filter(|i| i.key.kind == KpiKind::AccessFailureCount)
+        .count();
+    assert_eq!(failure_blamed, 0, "external shock wrongly attributed");
+}
+
+/// Full launch on a seasonal KPI: the seasonal-history mode handles the
+/// missing control group, and the diurnal pattern alone is never blamed.
+#[test]
+fn full_launch_seasonal_mode() {
+    let mut b = WorldBuilder::new(SimConfig::days(17, 9));
+    let svc = b.add_service("it.seasonal", 5).unwrap();
+    let minute = 8 * 1440 + 9 * 60; // morning ramp of day 8
+    // Change 1: no effect, full launch, deployed on the steep diurnal rise.
+    let clean = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            usize::MAX,
+            minute,
+            ChangeEffect::none(),
+            "harmless",
+        )
+        .unwrap();
+    // Change 2: real PVC drop, full launch, an hour and a half later.
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewCount,
+        EffectScope::TreatedInstances,
+        -500.0,
+    );
+    let buggy = b
+        .deploy_change(ChangeKind::Upgrade, svc, usize::MAX, minute + 90, effect, "lossy")
+        .unwrap();
+    let world = b.build();
+
+    let mut config = FunnelConfig::paper_default();
+    config.history_days = 7;
+    let funnel = Funnel::new(config);
+
+    let a_clean = funnel.assess_change(&world, clean).unwrap();
+    assert!(
+        a_clean.items.iter().all(|i| i.mode == AssessmentMode::SeasonalHistory),
+        "full launch must use the seasonal mode everywhere"
+    );
+    let pvc_blamed = a_clean
+        .caused_items()
+        .filter(|i| i.key.kind == KpiKind::PageViewCount)
+        .count();
+    assert_eq!(pvc_blamed, 0, "diurnal ramp blamed on a harmless change");
+
+    let a_buggy = funnel.assess_change(&world, buggy).unwrap();
+    assert!(
+        a_buggy
+            .caused_items()
+            .any(|i| i.key.kind == KpiKind::PageViewCount),
+        "real PVC drop missed"
+    );
+}
+
+/// Launch-mode bookkeeping: dark launches expose a control group, full
+/// launches do not; the impact set reflects §3.1 exactly.
+#[test]
+fn impact_set_shapes() {
+    let mut b = WorldBuilder::new(SimConfig::days(23, 8));
+    let a = b.add_service("it.a", 6).unwrap();
+    let rel = b.add_service("it.b", 3).unwrap();
+    b.relate(a, rel).unwrap();
+    let dark = b
+        .deploy_change(ChangeKind::Upgrade, a, 2, 7 * 1440 + 100, ChangeEffect::none(), "dark")
+        .unwrap();
+    let world = b.build();
+
+    let record = world.change_log().get(dark).unwrap();
+    assert_eq!(record.launch, LaunchMode::Dark);
+    let funnel = Funnel::paper_default();
+    let assessment = funnel.assess_change(&world, dark).unwrap();
+    let set = &assessment.impact_set;
+    assert_eq!(set.tinstances.len(), 2);
+    assert_eq!(set.cinstances.len(), 4);
+    assert_eq!(set.affected_services, vec![rel]);
+    // Monitored items: 2 servers × 4 + 2 instances × 3 + changed service × 3
+    // + affected service × 3.
+    assert_eq!(assessment.items.len(), 8 + 6 + 3 + 3);
+    // Affected-service items are assessed seasonally even under dark launch.
+    for item in &assessment.items {
+        if item.key.entity == Entity::Service(rel) {
+            assert_eq!(item.mode, AssessmentMode::SeasonalHistory);
+        }
+    }
+}
+
+/// Determinism across the whole stack: same seed ⇒ identical assessments.
+#[test]
+fn pipeline_is_deterministic() {
+    let build = || {
+        let mut b = WorldBuilder::new(SimConfig::days(31, 8));
+        let svc = b.add_service("it.det", 4).unwrap();
+        let effect = ChangeEffect::none().with_ramp(
+            KpiKind::MemoryUtilization,
+            EffectScope::TreatedServers,
+            18.0,
+            25,
+        );
+        let id = b
+            .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 60, effect, "leak")
+            .unwrap();
+        (b.build(), id)
+    };
+    let funnel = Funnel::paper_default();
+    let (w1, c1) = build();
+    let (w2, c2) = build();
+    let a1 = funnel.assess_change(&w1, c1).unwrap();
+    let a2 = funnel.assess_change(&w2, c2).unwrap();
+    assert_eq!(a1.items.len(), a2.items.len());
+    for (x, y) in a1.items.iter().zip(a2.items.iter()) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.caused, y.caused);
+        assert_eq!(x.detection.map(|d| d.declared_at), y.detection.map(|d| d.declared_at));
+    }
+}
+
+/// The store-backed path equals the world-backed path: materialize the
+/// world into the central store and assess from there.
+#[test]
+fn store_backed_assessment_matches_world_backed() {
+    let mut b = WorldBuilder::new(SimConfig::days(37, 8));
+    let svc = b.add_service("it.store", 4).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::AccessFailureCount,
+        EffectScope::TreatedInstances,
+        30.0,
+    );
+    let id = b
+        .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 200, effect, "flaky")
+        .unwrap();
+    let world = b.build();
+    let store = world.materialize().unwrap();
+
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(id).unwrap();
+    let from_world = funnel.assess_change(&world, id).unwrap();
+    let from_store = funnel
+        .assess_change_with(&store, world.topology(), record, &|s| {
+            world.kinds_of_service(s).to_vec()
+        })
+        .unwrap();
+    assert_eq!(from_world.items.len(), from_store.items.len());
+    for (a, b) in from_world.items.iter().zip(from_store.items.iter()) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.caused, b.caused);
+    }
+}
