@@ -49,7 +49,9 @@ fn bench_detectors(c: &mut Criterion) {
 
     let mrls = MrlsDetector::paper_default();
     let wm = window_for(mrls.window_len());
-    g.bench_function("mrls_w32", |b| b.iter(|| black_box(mrls.score(black_box(&wm)))));
+    g.bench_function("mrls_w32", |b| {
+        b.iter(|| black_box(mrls.score(black_box(&wm))))
+    });
 
     g.finish();
 }

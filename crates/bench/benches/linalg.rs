@@ -6,7 +6,9 @@ use funnel_linalg::{lanczos, svd, sym_eig, tridiag_eig, HankelMatrix};
 use std::hint::black_box;
 
 fn signal(n: usize) -> Vec<f64> {
-    (0..n).map(|i| (0.37 * i as f64).sin() + 0.11 * i as f64).collect()
+    (0..n)
+        .map(|i| (0.37 * i as f64).sin() + 0.11 * i as f64)
+        .collect()
 }
 
 fn bench_svd_vs_ika(c: &mut Criterion) {

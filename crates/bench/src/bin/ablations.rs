@@ -17,8 +17,8 @@
 //! Env knobs: FUNNEL_SEED (held-out default 77), FUNNEL_CHANGES (default 36).
 
 use funnel_bench::pct;
-use funnel_detect::WindowScorer;
 use funnel_detect::sst_adapter::SstDetector;
+use funnel_detect::WindowScorer;
 use funnel_eval::confusion::ConfusionMatrix;
 use funnel_eval::methods::{Method, MethodRunner};
 use funnel_sim::scenario::{evaluation_world, CohortMeta};
@@ -94,7 +94,10 @@ fn predict(scores: &[f64], first_valid: usize, threshold: f64, persistence: usiz
 fn sweep(items: &[(bool, Vec<f64>, usize)], threshold: f64, persistence: usize) -> ConfusionMatrix {
     let mut m = ConfusionMatrix::new();
     for (actual, scores, first_valid) in items {
-        m.record(*actual, predict(scores, *first_valid, threshold, persistence));
+        m.record(
+            *actual,
+            predict(scores, *first_valid, threshold, persistence),
+        );
     }
     m
 }
@@ -110,7 +113,10 @@ fn main() {
         .unwrap_or(36);
     let (world, mut meta) = evaluation_world(seed);
     meta.changes.truncate(budget);
-    eprintln!("calibration cohort: seed {seed}, {} changes", meta.changes.len());
+    eprintln!(
+        "calibration cohort: seed {seed}, {} changes",
+        meta.changes.len()
+    );
 
     let items = collect_items(&world, &meta, 60);
     eprintln!("{} items collected", items.len());
@@ -173,7 +179,11 @@ fn main() {
         // Raw scores live in [0,1]: sweep a small grid and report the best
         // accuracy so the comparison is at each variant's own operating
         // point.
-        let grid: &[f64] = if filter { &[0.5, 1.0, 1.5] } else { &[0.1, 0.2, 0.3, 0.5] };
+        let grid: &[f64] = if filter {
+            &[0.5, 1.0, 1.5]
+        } else {
+            &[0.1, 0.2, 0.3, 0.5]
+        };
         let scorer = SstDetector::fast(FastSst::new(config));
         let w = scorer.window_len();
         let scored: Vec<(bool, Vec<f64>, usize)> = items
@@ -185,7 +195,12 @@ fn main() {
             .collect();
         let best = grid
             .iter()
-            .map(|&th| (th, sweep(&scored, th, funnel_detect::PERSISTENCE_MINUTES).rates()))
+            .map(|&th| {
+                (
+                    th,
+                    sweep(&scored, th, funnel_detect::PERSISTENCE_MINUTES).rates(),
+                )
+            })
             .max_by(|a, b| a.1.accuracy.total_cmp(&b.1.accuracy))
             .unwrap();
         println!(
@@ -214,12 +229,18 @@ fn ika_vs_exact() {
     let w = config.window_len();
 
     let t0 = Instant::now();
-    let fast_scores: Vec<f64> =
-        series.values().windows(w).map(|win| fast.score_window(win)).collect();
+    let fast_scores: Vec<f64> = series
+        .values()
+        .windows(w)
+        .map(|win| fast.score_window(win))
+        .collect();
     let fast_time = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let exact_scores: Vec<f64> =
-        series.values().windows(w).map(|win| exact.score_window(win)).collect();
+    let exact_scores: Vec<f64> = series
+        .values()
+        .windows(w)
+        .map(|win| exact.score_window(win))
+        .collect();
     let exact_time = t1.elapsed().as_secs_f64();
 
     let n = fast_scores.len() as f64;

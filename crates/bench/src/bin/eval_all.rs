@@ -32,9 +32,7 @@ fn main() {
     );
 
     // ---- Table 1 ----
-    println!(
-        "Table 1: accuracy by KPI class (clean-change cohort scaled ×{CLEAN_SCALE:.0})\n"
-    );
+    println!("Table 1: accuracy by KPI class (clean-change cohort scaled ×{CLEAN_SCALE:.0})\n");
     println!(
         "{:<14} {:<11} {:>9} {:>10} {:>10} {:>10} {:>10}",
         "Algorithm", "Type", "Total", "Precision", "Recall", "TNR", "Accuracy"
@@ -66,7 +64,10 @@ fn main() {
     // ---- Fig. 5 ----
     println!("\nFig. 5: CCDF of detection delay (minutes)\n");
     let delay_methods = [Method::Funnel, Method::Cusum, Method::Mrls];
-    println!("{:<8} {:>8} {:>8} {:>8}", "minute", "FUNNEL", "CUSUM", "MRLS");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}",
+        "minute", "FUNNEL", "CUSUM", "MRLS"
+    );
     let per: Vec<Vec<(u64, f64)>> = delay_methods
         .iter()
         .map(|&m| ccdf_points(&res.method(m).expect("evaluated").delays, 60))

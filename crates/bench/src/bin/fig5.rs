@@ -18,7 +18,10 @@ use funnel_sim::scenario::evaluation_world;
 fn main() {
     let (world, mut meta) = evaluation_world(seed());
     meta.changes.truncate(change_budget());
-    eprintln!("evaluating {} changes for delay CCDFs ...", meta.changes.len());
+    eprintln!(
+        "evaluating {} changes for delay CCDFs ...",
+        meta.changes.len()
+    );
     let opts = CohortOptions {
         methods: vec![Method::Funnel, Method::Cusum, Method::Mrls],
         ..CohortOptions::default()
@@ -26,7 +29,10 @@ fn main() {
     let res = evaluate_cohort(&world, &meta, &opts);
 
     println!("Fig. 5: CCDF of detection delay (minutes)\n");
-    println!("{:<8} {:>8} {:>8} {:>8}", "minute", "FUNNEL", "CUSUM", "MRLS");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}",
+        "minute", "FUNNEL", "CUSUM", "MRLS"
+    );
     let per: Vec<(Method, Vec<(u64, f64)>)> = opts
         .methods
         .iter()

@@ -39,7 +39,10 @@ fn main() {
         let window = s.slice(minute - 120, minute + 120);
         let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let norm: Vec<f64> = window.iter().map(|v| (v - lo) / (hi - lo).max(1e-9)).collect();
+        let norm: Vec<f64> = window
+            .iter()
+            .map(|v| (v - lo) / (hi - lo).max(1e-9))
+            .collect();
         let sparkline: String = norm
             .iter()
             .step_by(3)

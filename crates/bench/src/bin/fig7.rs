@@ -44,7 +44,10 @@ fn main() {
                  (manual assessment in the paper took ~90 min; FUNNEL's case took <10)"
             );
             if let Some((v, _)) = &click_item.did {
-                println!("seasonal DiD impact estimator α = {:+.2} (normalized units)", v.alpha());
+                println!(
+                    "seasonal DiD impact estimator α = {:+.2} (normalized units)",
+                    v.alpha()
+                );
             }
         }
         _ => println!("WARNING: click collapse not attributed — check calibration"),

@@ -13,9 +13,7 @@
 use funnel_core::pipeline::Funnel;
 use funnel_core::report;
 use funnel_core::FunnelConfig;
-use funnel_sim::spec::{
-    ChangeKindSpec, ChangeSpec, EffectSpec, ScopeSpec, ServiceSpec, WorldSpec,
-};
+use funnel_sim::spec::{ChangeKindSpec, ChangeSpec, EffectSpec, ScopeSpec, ServiceSpec, WorldSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,7 +42,11 @@ fn template_spec() -> WorldSpec {
     WorldSpec {
         seed: 42,
         days: 8,
-        services: vec![ServiceSpec { name: "shop.web".into(), instances: 6, extra_kinds: vec![] }],
+        services: vec![ServiceSpec {
+            name: "shop.web".into(),
+            instances: 6,
+            extra_kinds: vec![],
+        }],
         relations: vec![],
         changes: vec![ChangeSpec {
             service: "shop.web".into(),
@@ -147,7 +149,11 @@ fn run_spec(spec: &WorldSpec, only_change: Option<usize>, history_days: u32) -> 
     let mut any_impact = false;
     for i in indices {
         let id = built.changes[i];
-        let record = built.world.change_log().get(id).expect("spec change exists");
+        let record = built
+            .world
+            .change_log()
+            .get(id)
+            .expect("spec change exists");
         println!(
             "--- change #{i}: \"{}\" on service #{} at minute {} ({:?}) ---",
             record.description, record.service.0, record.minute, record.launch

@@ -33,9 +33,7 @@ fn main() {
         start.elapsed().as_secs_f64()
     );
 
-    println!(
-        "Table 1: accuracy by KPI class (clean-change cohort scaled ×{CLEAN_SCALE:.0})\n"
-    );
+    println!("Table 1: accuracy by KPI class (clean-change cohort scaled ×{CLEAN_SCALE:.0})\n");
     println!(
         "{:<14} {:<11} {:>9} {:>10} {:>10} {:>10} {:>10}",
         "Algorithm", "Type", "Total", "Precision", "Recall", "TNR", "Accuracy"

@@ -21,8 +21,8 @@ fn main() {
     );
 
     let budget = |m: Method| match m {
-        Method::Mrls => 200,    // ms-scale windows
-        _ => 5000,              // µs-scale windows
+        Method::Mrls => 200, // ms-scale windows
+        _ => 5000,           // µs-scale windows
     };
 
     let mut rows = Vec::new();
@@ -34,7 +34,11 @@ fn main() {
             t.per_window_display(),
             t.cores_for_million_kpis()
         );
-        rows.push((method.name(), t.seconds_per_window, t.cores_for_million_kpis()));
+        rows.push((
+            method.name(),
+            t.seconds_per_window,
+            t.cores_for_million_kpis(),
+        ));
     }
 
     println!("\npaper: FUNNEL 401.8 µs / 7 cores; CUSUM 1.846 ms / 31; MRLS 2.852 s / 47526");

@@ -64,7 +64,11 @@ fn main() {
                 }
             }
         }
-        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 1.0 };
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            1.0
+        };
         println!(
             "{:<6} {:>9} {:>14} {:>9} {:>12} {:>10.2}%",
             day + 1,
@@ -88,7 +92,12 @@ fn main() {
     };
     println!(
         "{:<6} {:>9} {:>14} {:>9} {:>12} {:>10.2}%",
-        "week", wk_changes, wk_impact, wk_kpis, wk_claims, wk_precision * 100.0
+        "week",
+        wk_changes,
+        wk_impact,
+        wk_kpis,
+        wk_claims,
+        wk_precision * 100.0
     );
     println!(
         "\npaper (daily, production scale): 24119 changes, 268 with impact, 2256390 KPIs, \

@@ -24,6 +24,12 @@ pub struct FunnelConfig {
     /// How long after the deployment FUNNEL watches for KPI changes
     /// ("the operators think that 1 hour is enough", §4.1).
     pub assessment_minutes: u64,
+    /// Minimum fraction of truly measured minutes an assessment window
+    /// needs before its verdict is trusted. Below it the item is reported
+    /// `Inconclusive` rather than attributed (or cleared) on interpolated
+    /// data, and a dark-launch control group that falls below it is
+    /// abandoned for the seasonal history.
+    pub min_coverage: f64,
 }
 
 impl FunnelConfig {
@@ -42,6 +48,7 @@ impl FunnelConfig {
             did: DidConfig::default(),
             history_days: 30,
             assessment_minutes: 60,
+            min_coverage: 0.8,
         }
     }
 
@@ -70,5 +77,6 @@ mod tests {
         assert_eq!(c.did.period_minutes, 60);
         assert_eq!(c.assessment_minutes, 60);
         assert_eq!(c.warmup_minutes(), 34);
+        assert_eq!(c.min_coverage, 0.8);
     }
 }

@@ -48,5 +48,7 @@ pub mod report;
 pub mod source;
 
 pub use config::FunnelConfig;
-pub use pipeline::{AssessmentMode, ChangeAssessment, Funnel, FunnelError, ItemAssessment};
+pub use pipeline::{
+    AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
+};
 pub use source::KpiSource;

@@ -80,7 +80,11 @@ impl OnlinePipeline {
     /// The worker thread consumes the subscription until the store stops
     /// publishing (all senders dropped ⇒ the replay finished) and then
     /// returns its statistics via [`OnlinePipeline::join`].
-    pub fn start(store: &Arc<MetricStore>, keys: Option<Vec<KpiKey>>, config: FunnelConfig) -> Self {
+    pub fn start(
+        store: &Arc<MetricStore>,
+        keys: Option<Vec<KpiKey>>,
+        config: FunnelConfig,
+    ) -> Self {
         let sub = store.subscribe(keys, 65_536);
         let (tx, rx) = unbounded();
         let worker = std::thread::spawn(move || {
@@ -126,7 +130,10 @@ impl OnlinePipeline {
             }
             stats
         });
-        Self { receiver: rx, worker: Some(worker) }
+        Self {
+            receiver: rx,
+            worker: Some(worker),
+        }
     }
 
     /// The detection stream.
@@ -174,7 +181,11 @@ mod tests {
 
     #[test]
     fn online_detects_injected_shift_during_replay() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 21, start: 0, duration: 300 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 21,
+            start: 0,
+            duration: 300,
+        });
         let svc = b.add_service("prod.live", 3).unwrap();
         let effect = ChangeEffect::none().with_level_shift(
             KpiKind::PageViewResponseDelay,
@@ -188,7 +199,8 @@ mod tests {
         let key = KpiKey::new(Entity::Instance(treated), KpiKind::PageViewResponseDelay);
 
         let store = MetricStore::shared();
-        let pipeline = OnlinePipeline::start(&store, Some(vec![key]), FunnelConfig::paper_default());
+        let pipeline =
+            OnlinePipeline::start(&store, Some(vec![key]), FunnelConfig::paper_default());
         replay(&world, &store, 2).unwrap();
         // Replay done; drop our handle on the store so the subscription
         // closes once drained... the subscription sender lives in the store;
@@ -198,7 +210,10 @@ mod tests {
         while let Ok(d) = pipeline.detections().try_recv() {
             declared.push(d.declared_at);
         }
-        let stats = pipeline.join();
+        // The worker may still be scoring queued measurements; finish()
+        // joins it and drains whatever was declared after our early drain.
+        let (rest, stats) = pipeline.finish();
+        declared.extend(rest.iter().map(|d| d.declared_at));
         assert!(stats.measurements > 0);
         assert!(stats.detections >= 1, "stats: {stats:?}");
         // At least one declaration lands shortly after the minute-150 onset

@@ -89,7 +89,14 @@ impl OnlineAssessor {
 
         let pipeline = OnlinePipeline::start(store, Some(keys), config.clone());
         let assessor = DidAssessor::new(config.did.clone());
-        Ok(Self { store: Arc::clone(store), config, change, impact_set, pipeline, assessor })
+        Ok(Self {
+            store: Arc::clone(store),
+            config,
+            change,
+            impact_set,
+            pipeline,
+            assessor,
+        })
     }
 
     /// The impact set being watched.
@@ -131,11 +138,23 @@ impl OnlineAssessor {
     /// pipeline statistics.
     pub fn finish(self) -> (Vec<LiveVerdict>, crate::online::OnlineStats) {
         let mut verdicts = self.drain_verdicts();
-        let Self { store, config, change, impact_set, pipeline, assessor } = self;
+        let Self {
+            store,
+            config,
+            change,
+            impact_set,
+            pipeline,
+            assessor,
+        } = self;
         let (rest, stats) = pipeline.finish();
         // Re-assemble a borrow-only view to judge the stragglers.
-        let view = JudgeView { store: &store, config: &config, change: &change,
-            impact_set: &impact_set, assessor: &assessor };
+        let view = JudgeView {
+            store: &store,
+            config: &config,
+            change: &change,
+            impact_set: &impact_set,
+            assessor: &assessor,
+        };
         for d in rest {
             let window_end = change.minute + config.assessment_minutes;
             if d.declared_at < change.minute || d.declared_at > window_end {
@@ -211,8 +230,14 @@ impl JudgeView<'_> {
             self.assessor.assess(&tr, &cr, self.change.minute).ok()
         };
 
-        let caused = did.as_ref().map_or(true, |(v, _)| v.is_caused());
-        LiveVerdict { key, detection, did, caused, mode }
+        let caused = did.as_ref().is_none_or(|(v, _)| v.is_caused());
+        LiveVerdict {
+            key,
+            detection,
+            did,
+            caused,
+            mode,
+        }
     }
 }
 
@@ -227,7 +252,11 @@ mod tests {
     #[test]
     fn live_detection_and_attribution() {
         // Dark launch with a real latency regression, replayed live.
-        let mut b = WorldBuilder::new(SimConfig { seed: 5, start: 0, duration: 400 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 5,
+            start: 0,
+            duration: 400,
+        });
         let svc = b.add_service("live.assess", 6).unwrap();
         let effect = ChangeEffect::none().with_level_shift(
             KpiKind::PageViewResponseDelay,
@@ -270,10 +299,21 @@ mod tests {
 
     #[test]
     fn clean_change_yields_no_attributed_verdicts() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 6, start: 0, duration: 400 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 6,
+            start: 0,
+            duration: 400,
+        });
         let svc = b.add_service("live.clean", 6).unwrap();
         let id = b
-            .deploy_change(ChangeKind::ConfigChange, svc, 2, 200, ChangeEffect::none(), "noop")
+            .deploy_change(
+                ChangeKind::ConfigChange,
+                svc,
+                2,
+                200,
+                ChangeEffect::none(),
+                "noop",
+            )
             .unwrap();
         let world = b.build();
         let record = world.change_log().get(id).unwrap().clone();
@@ -291,6 +331,9 @@ mod tests {
         store.close_subscriptions();
         let (verdicts, _) = assessor.finish();
         let attributed = verdicts.iter().filter(|v| v.caused).count();
-        assert_eq!(attributed, 0, "clean change wrongly attributed: {verdicts:?}");
+        assert_eq!(
+            attributed, 0,
+            "clean change wrongly attributed: {verdicts:?}"
+        );
     }
 }

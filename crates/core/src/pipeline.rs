@@ -7,6 +7,7 @@
 //! seasonal history for affected-service KPIs (which have no cinstances).
 
 use crate::config::FunnelConfig;
+use crate::quality::{assess_quality, QualityConfig, QualityReport};
 use crate::source::KpiSource;
 use funnel_detect::detector::{ChangeEvent, DetectorRunner};
 use funnel_detect::sst_adapter::SstDetector;
@@ -31,6 +32,43 @@ pub enum AssessmentMode {
     SeasonalHistory,
 }
 
+/// Final per-item verdict, coverage-aware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A KPI change exists *and* it is attributed to the software change.
+    Caused,
+    /// No attributed KPI change (nothing detected, or DiD cleared it).
+    NotCaused,
+    /// The telemetry behind the assessment window was mostly interpolation:
+    /// neither attribution nor a clean bill can be trusted, so the item is
+    /// handed to the operations team unresolved instead of asserting either.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Whether the item was attributed to the software change.
+    pub fn is_caused(self) -> bool {
+        self == Verdict::Caused
+    }
+
+    /// Whether the data was too degraded to decide.
+    pub fn is_inconclusive(self) -> bool {
+        self == Verdict::Inconclusive
+    }
+}
+
+/// Provenance annotations attached to each item so operators can weigh the
+/// verdict against the data behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataQuality {
+    /// Fraction of the assessment window backed by real measurements
+    /// (1.0 for sources without degradation tracking).
+    pub coverage: f64,
+    /// Statistical screening of the assessment window (constant / mostly
+    /// zero / quantized / glitch-dominated data).
+    pub report: QualityReport,
+}
+
 /// The per-KPI outcome delivered to the operations team.
 #[derive(Debug, Clone)]
 pub struct ItemAssessment {
@@ -44,8 +82,13 @@ pub struct ItemAssessment {
     /// Which control group was used.
     pub mode: AssessmentMode,
     /// Final verdict: a KPI change exists *and* it is attributed to the
-    /// software change.
+    /// software change. (`false` also for [`Verdict::Inconclusive`]; check
+    /// [`ItemAssessment::verdict`] to distinguish.)
     pub caused: bool,
+    /// The coverage-aware verdict.
+    pub verdict: Verdict,
+    /// Telemetry coverage and data-quality screening for this item.
+    pub quality: DataQuality,
 }
 
 /// The full assessment of one software change.
@@ -68,6 +111,11 @@ impl ChangeAssessment {
     /// Whether the software change had any attributed KPI impact.
     pub fn has_impact(&self) -> bool {
         self.items.iter().any(|i| i.caused)
+    }
+
+    /// Items whose telemetry was too degraded to decide either way.
+    pub fn inconclusive_items(&self) -> impl Iterator<Item = &ItemAssessment> {
+        self.items.iter().filter(|i| i.verdict.is_inconclusive())
     }
 }
 
@@ -189,10 +237,15 @@ impl Funnel {
             items.push(item);
         }
 
-        Ok(ChangeAssessment { change: change.id, impact_set, items })
+        Ok(ChangeAssessment {
+            change: change.id,
+            impact_set,
+            items,
+        })
     }
 
-    /// Assesses one impact-set KPI: detection, then causality.
+    /// Assesses one impact-set KPI: detection, then causality, both
+    /// tempered by how much of the window was really measured.
     fn assess_item(
         &self,
         source: &impl KpiSource,
@@ -201,7 +254,25 @@ impl Funnel {
         key: KpiKey,
     ) -> Result<ItemAssessment, FunnelError> {
         let series = source.series(&key).ok_or(FunnelError::MissingSeries(key))?;
-        let detection = self.detect(&series, change.minute);
+
+        // The assessment window: enough pre-change data to warm the
+        // detector up, plus the post-change watch period.
+        let w = self.config.sst.window_len() as u64;
+        let from = change
+            .minute
+            .saturating_sub(w + self.config.warmup_minutes());
+        let to = change.minute + self.config.assessment_minutes + 1;
+        let lo = from.max(series.start());
+        let window = TimeSeries::new(lo, series.slice(lo, to).to_vec());
+
+        let coverage = source.coverage(&key, lo, to);
+        let quality = DataQuality {
+            coverage,
+            report: assess_quality(&window, &QualityConfig::default()),
+        };
+        let adequate = coverage >= self.config.min_coverage;
+
+        let detection = self.detect(&window, change.minute);
 
         let is_affected_service = matches!(key.entity, Entity::Service(s)
             if s != change.service && impact_set.affected_services.contains(&s));
@@ -214,33 +285,49 @@ impl Funnel {
             AssessmentMode::DarkLaunchControl
         };
 
-        // Steps 4–11: only determine causality when a change was detected.
-        let (did, caused) = if detection.is_some() {
+        // Steps 4–11: only determine causality when a change was detected,
+        // and only trust either direction when the window is mostly real
+        // data — an apparent shift (or apparent quiet) made of gap-fills
+        // must reach the operations team as `Inconclusive`, not as a
+        // verdict.
+        let (did, verdict) = if !adequate {
+            (None, Verdict::Inconclusive)
+        } else if detection.is_some() {
             match self.determine(source, change, impact_set, key, &series, mode) {
-                Ok((verdict, est)) => {
-                    let caused = verdict.is_caused();
-                    (Some((verdict, est)), caused)
+                Ok((v, est)) => {
+                    let verdict = if v.is_caused() {
+                        Verdict::Caused
+                    } else {
+                        Verdict::NotCaused
+                    };
+                    (Some((v, est)), verdict)
                 }
-                // No usable control data: deliver the raw detection to the
-                // operations team (they adjudicate), per the paper's
-                // deliver-everything stance on dubious data.
-                Err(_) => (None, true),
+                // Control coverage shortfalls mean no trustworthy contrast
+                // exists anywhere (the seasonal fallback already ran).
+                Err(DidError::InsufficientCoverage { .. }) => (None, Verdict::Inconclusive),
+                // Other failures (e.g. series misalignment): deliver the
+                // raw detection to the operations team (they adjudicate),
+                // per the paper's deliver-everything stance on dubious data.
+                Err(_) => (None, Verdict::Caused),
             }
         } else {
-            (None, false)
+            (None, Verdict::NotCaused)
         };
 
-        Ok(ItemAssessment { key, detection, did, mode, caused })
+        Ok(ItemAssessment {
+            key,
+            detection,
+            did,
+            mode,
+            caused: verdict.is_caused(),
+            verdict,
+            quality,
+        })
     }
 
-    /// Steps 2–3: SST + persistence over the assessment window.
-    fn detect(&self, series: &TimeSeries, change_minute: MinuteBin) -> Option<ChangeEvent> {
-        let w = self.config.sst.window_len() as u64;
-        let from = change_minute.saturating_sub(w + self.config.warmup_minutes());
-        let to = change_minute + self.config.assessment_minutes + 1;
-        let lo = from.max(series.start());
-        let slice = TimeSeries::new(lo, series.slice(lo, to).to_vec());
-
+    /// Steps 2–3: SST + persistence over the (pre-sliced) assessment
+    /// window.
+    fn detect(&self, window: &TimeSeries, change_minute: MinuteBin) -> Option<ChangeEvent> {
         let scorer = SstDetector::fast(FastSst::new(self.config.sst.clone()));
         let runner = DetectorRunner::new(
             scorer,
@@ -248,7 +335,7 @@ impl Funnel {
             self.config.persistence_minutes,
         );
         runner
-            .run(&slice)
+            .run(window)
             .into_iter()
             .find(|e| e.declared_at >= change_minute)
     }
@@ -303,22 +390,54 @@ impl Funnel {
                             .collect(),
                     ),
                 };
-                let fetch = |keys: &[KpiKey]| -> Vec<TimeSeries> {
-                    keys.iter().filter_map(|k| source.series(k)).collect()
+                // A contrast against a control group that was itself mostly
+                // gap-filled proves nothing: measure the control group's
+                // coverage over the DiD periods first and bail out (into
+                // the seasonal fallback below) when it falls short.
+                let period = self.config.did.period_minutes;
+                let did_from = change.minute.saturating_sub(period);
+                let did_to = change.minute + period + 1;
+                let ctl_coverage = if control_keys.is_empty() {
+                    0.0
+                } else {
+                    control_keys
+                        .iter()
+                        .map(|k| source.coverage(k, did_from, did_to))
+                        .sum::<f64>()
+                        / control_keys.len() as f64
                 };
-                let treated = fetch(&treated_keys);
-                let control = fetch(&control_keys);
-                let tr: Vec<&TimeSeries> = treated.iter().collect();
-                let cr: Vec<&TimeSeries> = control.iter().collect();
-                self.assessor.assess(&tr, &cr, change.minute)
+                if ctl_coverage < self.config.min_coverage {
+                    Err(DidError::InsufficientCoverage {
+                        group: "control",
+                        required_pct: (self.config.min_coverage * 100.0).round() as u8,
+                        got_pct: (ctl_coverage * 100.0).round().clamp(0.0, 100.0) as u8,
+                    })
+                } else {
+                    let fetch = |keys: &[KpiKey]| -> Vec<TimeSeries> {
+                        keys.iter().filter_map(|k| source.series(k)).collect()
+                    };
+                    let treated = fetch(&treated_keys);
+                    let control = fetch(&control_keys);
+                    let tr: Vec<&TimeSeries> = treated.iter().collect();
+                    let cr: Vec<&TimeSeries> = control.iter().collect();
+                    self.assessor.assess(&tr, &cr, change.minute)
+                }
             }
         }
         .or_else(|err| {
-            // Dark-launch control unusable (e.g. series misalignment):
-            // fall back to the seasonal mode before giving up.
+            // Dark-launch control unusable (series misalignment, coverage
+            // shortfall): fall back to the seasonal mode before giving up —
+            // but keep the coverage complaint if the fallback also fails.
             if mode == AssessmentMode::DarkLaunchControl {
                 let ctl = SeasonalControl::new(self.config.history_days);
                 ctl.assess(&self.assessor, series, change.minute)
+                    .map_err(|fallback_err| {
+                        if matches!(err, DidError::InsufficientCoverage { .. }) {
+                            err
+                        } else {
+                            fallback_err
+                        }
+                    })
             } else {
                 Err(err)
             }
@@ -398,6 +517,69 @@ mod tests {
     }
 
     #[test]
+    fn degraded_telemetry_reports_inconclusive_not_caused() {
+        use funnel_sim::agent::{replay_with_faults, FaultPlan};
+        use funnel_sim::MetricStore;
+
+        let (world, change) = dark_world(80.0);
+        let store = MetricStore::new();
+        let plan = FaultPlan {
+            seed: 3,
+            drop_frame_prob: 0.4,
+            ..FaultPlan::none()
+        };
+        replay_with_faults(&world, &store, 3, plan).unwrap();
+
+        let funnel = Funnel::paper_default();
+        let record = world.change_log().get(change).unwrap();
+        let a = funnel
+            .assess_change_with(&store, world.topology(), record, &|svc| {
+                world.kinds_of_service(svc).to_vec()
+            })
+            .unwrap();
+
+        // Hard guarantee: no attribution rests on a window below the
+        // coverage threshold — those items are Inconclusive instead.
+        let min_cov = funnel.config().min_coverage;
+        for item in &a.items {
+            assert!(
+                !(item.caused && item.quality.coverage < min_cov),
+                "{:?} attributed on {:.0}% coverage",
+                item.key,
+                item.quality.coverage * 100.0
+            );
+            if item.verdict == Verdict::Inconclusive {
+                assert!(!item.caused);
+            }
+        }
+        // 40% frame loss leaves most windows under the threshold.
+        assert!(
+            a.inconclusive_items().count() > 0,
+            "heavy loss must yield inconclusive items"
+        );
+    }
+
+    #[test]
+    fn clean_store_assessment_matches_world_assessment() {
+        let (world, change) = dark_world(80.0);
+        let store = world.materialize().unwrap();
+        let funnel = Funnel::paper_default();
+        let record = world.change_log().get(change).unwrap();
+        let via_store = funnel
+            .assess_change_with(&store, world.topology(), record, &|svc| {
+                world.kinds_of_service(svc).to_vec()
+            })
+            .unwrap();
+        let via_world = funnel.assess_change(&world, change).unwrap();
+        assert_eq!(via_store.items.len(), via_world.items.len());
+        for (s, w) in via_store.items.iter().zip(&via_world.items) {
+            assert_eq!(s.key, w.key);
+            assert_eq!(s.verdict, w.verdict, "{:?}", s.key);
+            assert_eq!(s.quality.coverage, 1.0, "{:?}", s.key);
+        }
+    }
+
+    #[test]
     fn ads_incident_detected_seasonally() {
         let (world, ads, change) = ads_world(42);
         let mut config = FunnelConfig::paper_default();
@@ -408,9 +590,7 @@ mod tests {
         let click_item = a
             .items
             .iter()
-            .find(|i| {
-                i.key == KpiKey::new(Entity::Service(ads), KpiKind::EffectiveClickCount)
-            })
+            .find(|i| i.key == KpiKey::new(Entity::Service(ads), KpiKind::EffectiveClickCount))
             .expect("click item assessed");
         assert!(click_item.caused, "click collapse not attributed");
         assert_eq!(click_item.mode, AssessmentMode::SeasonalHistory);
@@ -433,8 +613,14 @@ mod tests {
         // The paper's Fig. 6 case flagged 16 of 118 impact-set KPIs — not
         // every server individually clears the bar on variable NIC data, so
         // require a majority signal per class rather than a clean sweep.
-        let a_hits = class_a.iter().filter(|s| caused_servers.contains(s)).count();
-        let b_hits = class_b.iter().filter(|s| caused_servers.contains(s)).count();
+        let a_hits = class_a
+            .iter()
+            .filter(|s| caused_servers.contains(s))
+            .count();
+        let b_hits = class_b
+            .iter()
+            .filter(|s| caused_servers.contains(s))
+            .count();
         assert!(a_hits >= 3, "class A hits {a_hits}");
         assert!(b_hits >= 3, "class B hits {b_hits}");
         assert!(a_hits + b_hits >= 8, "total NIC hits {}", a_hits + b_hits);

@@ -61,7 +61,12 @@ pub struct QualityConfig {
 
 impl Default for QualityConfig {
     fn default() -> Self {
-        Self { constant_rel_mad: 1e-6, zero_fraction: 0.5, min_distinct: 4, glitch_sigmas: 50.0 }
+        Self {
+            constant_rel_mad: 1e-6,
+            zero_fraction: 0.5,
+            min_distinct: 4,
+            glitch_sigmas: 50.0,
+        }
     }
 }
 
@@ -70,7 +75,9 @@ pub fn assess_quality(series: &TimeSeries, config: &QualityConfig) -> QualityRep
     let xs = series.values();
     let mut issues = Vec::new();
     if xs.is_empty() {
-        return QualityReport { issues: vec![QualityIssue::Constant] };
+        return QualityReport {
+            issues: vec![QualityIssue::Constant],
+        };
     }
 
     let med = median(xs);
@@ -118,7 +125,9 @@ mod tests {
 
     #[test]
     fn healthy_series_is_good() {
-        let vals: Vec<f64> = (0..100).map(|i| 50.0 + ((i * 37) % 17) as f64 * 0.5).collect();
+        let vals: Vec<f64> = (0..100)
+            .map(|i| 50.0 + ((i * 37) % 17) as f64 * 0.5)
+            .collect();
         assert!(check(vals).is_good());
     }
 

@@ -1,7 +1,7 @@
 //! Operator-facing rendering of assessments (Fig. 3, step 12: "Deliver to
 //! OP").
 
-use crate::pipeline::{AssessmentMode, ChangeAssessment};
+use crate::pipeline::{AssessmentMode, ChangeAssessment, Verdict};
 use funnel_sim::kpi::KpiKey;
 use funnel_topology::impact::Entity;
 use funnel_topology::model::Topology;
@@ -35,20 +35,23 @@ pub fn describe_key(topology: &Topology, key: &KpiKey) -> String {
 pub fn render(topology: &Topology, assessment: &ChangeAssessment) -> String {
     let mut out = String::new();
     let caused: Vec<_> = assessment.caused_items().collect();
+    let inconclusive = assessment.inconclusive_items().count();
     out.push_str(&format!(
-        "change #{}: {} impact-set KPIs assessed, {} KPI change(s) attributed\n",
+        "change #{}: {} impact-set KPIs assessed, {} KPI change(s) attributed, {} inconclusive\n",
         assessment.change.0,
         assessment.items.len(),
-        caused.len()
+        caused.len(),
+        inconclusive
     ));
     for item in &assessment.items {
-        if !item.caused && item.detection.is_none() {
+        if item.verdict == Verdict::NotCaused && item.detection.is_none() {
             continue; // quiet KPIs are summarized by the count above
         }
-        let status = match (&item.detection, item.caused) {
-            (Some(_), true) => "CAUSED ",
-            (Some(_), false) => "external",
-            _ => "-",
+        let status = match (item.verdict, &item.detection) {
+            (Verdict::Caused, _) => "CAUSED  ",
+            (Verdict::Inconclusive, _) => "INCONCL.",
+            (Verdict::NotCaused, Some(_)) => "external",
+            (Verdict::NotCaused, None) => "-",
         };
         let mode = match item.mode {
             AssessmentMode::DarkLaunchControl => "dark-launch control",
@@ -64,8 +67,17 @@ pub fn render(topology: &Topology, assessment: &ChangeAssessment) -> String {
             .as_ref()
             .map(|d| format!("declared@{}", d.declared_at))
             .unwrap_or_default();
+        // Data-provenance annotations: coverage when the window had gaps,
+        // plus any statistical quality flags.
+        let mut notes = String::new();
+        if item.quality.coverage < 0.999 {
+            notes.push_str(&format!(" cov={:.0}%", item.quality.coverage * 100.0));
+        }
+        if !item.quality.report.is_good() {
+            notes.push_str(&format!(" quality:{:?}", item.quality.report.issues));
+        }
         out.push_str(&format!(
-            "  [{status}] {} ({mode}, {alpha}) {when}\n",
+            "  [{status}] {} ({mode}, {alpha}) {when}{notes}\n",
             describe_key(topology, &item.key)
         ));
     }
@@ -91,7 +103,9 @@ pub enum Recommendation {
 
 /// Summarizes an assessment into a recommendation, with attributed items
 /// ranked by |α| (most severe first).
-pub fn recommend(assessment: &ChangeAssessment) -> (Recommendation, Vec<&crate::pipeline::ItemAssessment>) {
+pub fn recommend(
+    assessment: &ChangeAssessment,
+) -> (Recommendation, Vec<&crate::pipeline::ItemAssessment>) {
     let mut caused: Vec<_> = assessment.caused_items().collect();
     caused.sort_by(|a, b| {
         let alpha = |i: &crate::pipeline::ItemAssessment| {
@@ -107,7 +121,13 @@ pub fn recommend(assessment: &ChangeAssessment) -> (Recommendation, Vec<&crate::
             .and_then(|i| i.did.as_ref())
             .map(|(v, _)| v.alpha().abs())
             .unwrap_or(0.0);
-        (Recommendation::Review { kpis: caused.len(), worst_alpha: worst }, caused)
+        (
+            Recommendation::Review {
+                kpis: caused.len(),
+                worst_alpha: worst,
+            },
+            caused,
+        )
     }
 }
 
@@ -151,7 +171,11 @@ mod tests {
                 EffectScope::TreatedInstances,
                 90.0,
             )
-            .with_level_shift(KpiKind::AccessFailureCount, EffectScope::TreatedInstances, 25.0);
+            .with_level_shift(
+                KpiKind::AccessFailureCount,
+                EffectScope::TreatedInstances,
+                25.0,
+            );
         let id = b
             .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 100, effect, "x")
             .unwrap();
@@ -196,13 +220,20 @@ mod tests {
 
     #[test]
     fn describe_key_handles_all_entities() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 1, start: 0, duration: 10 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 1,
+            start: 0,
+            duration: 10,
+        });
         let svc = b.add_service("prod.nm", 1).unwrap();
         let world = b.build();
         let t = world.topology();
         let inst = t.instances_of(svc)[0];
-        assert!(describe_key(t, &KpiKey::new(Entity::Service(svc), KpiKind::PageViewCount))
-            .contains("service prod.nm"));
+        assert!(describe_key(
+            t,
+            &KpiKey::new(Entity::Service(svc), KpiKind::PageViewCount)
+        )
+        .contains("service prod.nm"));
         assert!(describe_key(
             t,
             &KpiKey::new(Entity::Instance(inst.id), KpiKind::PageViewCount)

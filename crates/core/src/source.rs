@@ -7,12 +7,21 @@
 use funnel_sim::kpi::KpiKey;
 use funnel_sim::store::MetricStore;
 use funnel_sim::world::World;
-use funnel_timeseries::series::TimeSeries;
+use funnel_timeseries::series::{MinuteBin, TimeSeries};
 
 /// A provider of KPI series.
 pub trait KpiSource {
     /// The full series for `key`, if the key exists.
     fn series(&self, key: &KpiKey) -> Option<TimeSeries>;
+
+    /// Fraction of `[from, to)` backed by real measurements for `key`.
+    /// Sources that cannot degrade (a frozen [`World`]) report full
+    /// coverage; the live [`MetricStore`] reports its coverage mask, so the
+    /// pipeline can tell measured data from substrate gap-fills.
+    fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        let _ = (key, from, to);
+        1.0
+    }
 }
 
 impl KpiSource for World {
@@ -25,11 +34,19 @@ impl KpiSource for MetricStore {
     fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
         self.get(key)
     }
+
+    fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        MetricStore::coverage(self, key, from, to)
+    }
 }
 
 impl<T: KpiSource + ?Sized> KpiSource for &T {
     fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
         (**self).series(key)
+    }
+
+    fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        (**self).coverage(key, from, to)
     }
 }
 
@@ -43,7 +60,11 @@ mod tests {
 
     #[test]
     fn world_and_store_agree() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 2, start: 0, duration: 60 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 2,
+            start: 0,
+            duration: 60,
+        });
         b.add_service("prod.t", 1).unwrap();
         let world = b.build();
         let store = world.materialize().unwrap();
@@ -55,5 +76,24 @@ mod tests {
         let bogus = KpiKey::new(Entity::Server(ServerId(99)), KpiKind::CpuUtilization);
         assert!(KpiSource::series(&world, &bogus).is_none());
         assert!(KpiSource::series(&store, &bogus).is_none());
+    }
+
+    #[test]
+    fn coverage_defaults_full_and_store_reports_mask() {
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 2,
+            start: 0,
+            duration: 60,
+        });
+        b.add_service("prod.t", 1).unwrap();
+        let world = b.build();
+        let key = KpiKey::new(Entity::Server(ServerId(0)), KpiKind::CpuUtilization);
+        // A frozen world cannot degrade.
+        assert_eq!(KpiSource::coverage(&world, &key, 0, 60), 1.0);
+        // A store reports only the minutes really appended.
+        let store = funnel_sim::MetricStore::new();
+        store.append(key, 0, 1.0);
+        store.append(key, 3, 1.0); // 1, 2 are fills
+        assert_eq!(KpiSource::coverage(&store, &key, 0, 4), 0.5);
     }
 }

@@ -85,7 +85,13 @@ impl CusumDetector {
             (2..=window_len - 2).contains(&baseline_len),
             "baseline must leave at least 2 test samples"
         );
-        Self { window_len, baseline_len, drift, bootstrap, rank_based: false }
+        Self {
+            window_len,
+            baseline_len,
+            drift,
+            bootstrap,
+            rank_based: false,
+        }
     }
 
     /// Peak two-sided excursion of the standardized test segment.
@@ -158,7 +164,11 @@ impl WindowScorer for CusumDetector {
     /// of 1.0 means "as large as the 95 % quantile under the no-change
     /// hypothesis". Shuffles are deterministic in the window contents.
     fn score(&self, window: &[f64]) -> f64 {
-        assert_eq!(window.len(), self.window_len, "CUSUM window length mismatch");
+        assert_eq!(
+            window.len(),
+            self.window_len,
+            "CUSUM window length mismatch"
+        );
 
         if self.rank_based {
             // Compute ranks once; shuffling the window is equivalent to
@@ -260,8 +270,12 @@ mod tests {
     #[test]
     fn upward_shift_accumulates() {
         let d = raw(20);
-        let pre: Vec<f64> = (0..10).map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
-        let post: Vec<f64> = (0..10).map(|i| 8.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
+        let pre: Vec<f64> = (0..10)
+            .map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let post: Vec<f64> = (0..10)
+            .map(|i| 8.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
         let score = d.score(&window(&pre, &post));
         assert!(score > 10.0, "score {score}");
     }
@@ -269,7 +283,9 @@ mod tests {
     #[test]
     fn downward_shift_also_detected() {
         let d = raw(20);
-        let pre: Vec<f64> = (0..10).map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
+        let pre: Vec<f64> = (0..10)
+            .map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
         let post: Vec<f64> = pre.iter().map(|x| x - 3.0).collect();
         assert!(d.score(&window(&pre, &post)) > 10.0);
     }
@@ -278,7 +294,9 @@ mod tests {
     fn score_grows_with_time_since_shift() {
         // The "long detection delay" property: the cumulative sum needs time.
         let d = raw(20);
-        let pre: Vec<f64> = (0..10).map(|i| 5.0 + 0.2 * ((i % 5) as f64 - 2.0)).collect();
+        let pre: Vec<f64> = (0..10)
+            .map(|i| 5.0 + 0.2 * ((i % 5) as f64 - 2.0))
+            .collect();
         let shift = 1.0;
         // Shift visible for 2 samples vs for 10 samples.
         let mut short = pre.clone();
@@ -302,13 +320,20 @@ mod tests {
     #[test]
     fn bootstrap_score_is_deterministic_and_significant_on_shift() {
         let d = CusumDetector::new(20);
-        let pre: Vec<f64> = (0..10).map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
-        let post: Vec<f64> = (0..10).map(|i| 8.0 + 0.1 * ((i % 5) as f64 - 2.0)).collect();
+        let pre: Vec<f64> = (0..10)
+            .map(|i| 5.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let post: Vec<f64> = (0..10)
+            .map(|i| 8.0 + 0.1 * ((i % 5) as f64 - 2.0))
+            .collect();
         let w = window(&pre, &post);
         let a = d.score(&w);
         let b = d.score(&w);
         assert_eq!(a, b, "bootstrap must be deterministic");
-        assert!(a > 1.0, "a 30σ mid-window shift must be significant, got {a}");
+        assert!(
+            a > 1.0,
+            "a 30σ mid-window shift must be significant, got {a}"
+        );
     }
 
     #[test]

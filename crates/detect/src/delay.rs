@@ -40,7 +40,9 @@ pub fn detection_delay(events: &[ChangeEvent], onset: MinuteBin) -> DelayOutcome
         .filter(|e| e.declared_at >= onset)
         .map(|e| e.declared_at - onset)
         .min()
-        .map_or(DelayOutcome::Missed, |minutes| DelayOutcome::Detected { minutes })
+        .map_or(DelayOutcome::Missed, |minutes| DelayOutcome::Detected {
+            minutes,
+        })
 }
 
 #[cfg(test)]
@@ -48,13 +50,20 @@ mod tests {
     use super::*;
 
     fn ev(at: MinuteBin) -> ChangeEvent {
-        ChangeEvent { declared_at: at, first_exceeded_at: at, peak_score: 1.0 }
+        ChangeEvent {
+            declared_at: at,
+            first_exceeded_at: at,
+            peak_score: 1.0,
+        }
     }
 
     #[test]
     fn earliest_valid_event_wins() {
         let events = [ev(50), ev(45), ev(70)];
-        assert_eq!(detection_delay(&events, 40), DelayOutcome::Detected { minutes: 5 });
+        assert_eq!(
+            detection_delay(&events, 40),
+            DelayOutcome::Detected { minutes: 5 }
+        );
     }
 
     #[test]
@@ -62,7 +71,10 @@ mod tests {
         let events = [ev(10), ev(20)];
         assert_eq!(detection_delay(&events, 30), DelayOutcome::Missed);
         let events = [ev(10), ev(35)];
-        assert_eq!(detection_delay(&events, 30), DelayOutcome::Detected { minutes: 5 });
+        assert_eq!(
+            detection_delay(&events, 30),
+            DelayOutcome::Detected { minutes: 5 }
+        );
     }
 
     #[test]
@@ -73,6 +85,9 @@ mod tests {
 
     #[test]
     fn zero_delay_when_declared_at_onset() {
-        assert_eq!(detection_delay(&[ev(30)], 30), DelayOutcome::Detected { minutes: 0 });
+        assert_eq!(
+            detection_delay(&[ev(30)], 30),
+            DelayOutcome::Detected { minutes: 0 }
+        );
     }
 }

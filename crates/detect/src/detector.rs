@@ -7,6 +7,7 @@
 //! rule that separates level shifts and ramps from one-off events, and
 //! re-arming so that one behaviour change produces one event.
 
+use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 use funnel_timeseries::window::SlidingWindows;
 
@@ -37,6 +38,31 @@ pub struct ChangeEvent {
     pub peak_score: f64,
 }
 
+/// Result of a coverage-aware detector run ([`DetectorRunner::run_masked`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedRun {
+    /// Declared changes (only from windows with adequate coverage).
+    pub events: Vec<ChangeEvent>,
+    /// Windows skipped because their measured-minute coverage fell below
+    /// the threshold. A skipped window breaks any persistence run in
+    /// progress: interpolated data must not count toward the 7-minute rule.
+    pub skipped_windows: usize,
+    /// Total windows the series yielded.
+    pub total_windows: usize,
+}
+
+impl MaskedRun {
+    /// Fraction of windows that were scoreable (1.0 = nothing skipped,
+    /// 0.0 when the series yielded no windows at all).
+    pub fn scored_fraction(&self) -> f64 {
+        if self.total_windows == 0 {
+            0.0
+        } else {
+            1.0 - self.skipped_windows as f64 / self.total_windows as f64
+        }
+    }
+}
+
 /// Threshold + persistence + re-arm driver around a [`WindowScorer`].
 #[derive(Debug, Clone)]
 pub struct DetectorRunner<S> {
@@ -50,7 +76,11 @@ impl<S: WindowScorer> DetectorRunner<S> {
     /// windows score at or above `threshold`. `persistence` is clamped to a
     /// minimum of 1.
     pub fn new(scorer: S, threshold: f64, persistence: usize) -> Self {
-        Self { scorer, threshold, persistence: persistence.max(1) }
+        Self {
+            scorer,
+            threshold,
+            persistence: persistence.max(1),
+        }
     }
 
     /// The wrapped scorer.
@@ -102,6 +132,78 @@ impl<S: WindowScorer> DetectorRunner<S> {
             }
         }
         events
+    }
+
+    /// Coverage-aware [`DetectorRunner::run`]: windows whose fraction of
+    /// truly measured minutes (per `mask`) falls below `min_coverage` are
+    /// skipped instead of scored — forward-filled gaps carry no evidence,
+    /// and scoring them manufactures both false positives (a fill plateau
+    /// looks like a level shift ending) and false negatives (a real shift
+    /// hidden inside a gap). Skipping a window also resets the persistence
+    /// run, so a declaration always rests on `persistence` consecutive
+    /// *measured* windows. With a fully-present mask the events are
+    /// identical to [`DetectorRunner::run`].
+    pub fn run_masked(
+        &self,
+        series: &TimeSeries,
+        mask: &CoverageMask,
+        min_coverage: f64,
+    ) -> MaskedRun {
+        let width = self.scorer.window_len();
+        // O(1) per-window coverage via prefix sums over the mask.
+        let pfx = mask.prefix_counts();
+        let coverage_of = |from: MinuteBin, to: MinuteBin| -> f64 {
+            debug_assert!(from < to);
+            let lo = from.clamp(mask.start(), mask.end());
+            let hi = to.clamp(mask.start(), mask.end());
+            let present = pfx[(hi - mask.start()) as usize] - pfx[(lo - mask.start()) as usize];
+            f64::from(present) / (to - from) as f64
+        };
+
+        let mut out = MaskedRun {
+            events: Vec::new(),
+            skipped_windows: 0,
+            total_windows: 0,
+        };
+        let mut run_len = 0usize;
+        let mut run_start: MinuteBin = 0;
+        let mut run_peak = 0.0f64;
+        let mut armed = true;
+
+        for w in SlidingWindows::new(series, width) {
+            out.total_windows += 1;
+            let first_minute = w.decision_minute + 1 - width as u64;
+            if coverage_of(first_minute, w.decision_minute + 1) < min_coverage {
+                out.skipped_windows += 1;
+                // Too much interpolation to score; the persistence run is
+                // broken, but a declared event stays declared (no re-arm —
+                // a gap is not evidence the shift ended).
+                run_len = 0;
+                continue;
+            }
+            let s = self.scorer.score(w.values);
+            if s >= self.threshold {
+                if run_len == 0 {
+                    run_start = w.decision_minute;
+                    run_peak = s;
+                } else {
+                    run_peak = run_peak.max(s);
+                }
+                run_len += 1;
+                if armed && run_len >= self.persistence {
+                    out.events.push(ChangeEvent {
+                        declared_at: w.decision_minute,
+                        first_exceeded_at: run_start,
+                        peak_score: run_peak,
+                    });
+                    armed = false;
+                }
+            } else {
+                run_len = 0;
+                armed = true;
+            }
+        }
+        out
     }
 
     /// Convenience: whether the series contains at least one declared
@@ -225,5 +327,57 @@ mod tests {
     fn persistence_clamped_to_one() {
         let r = DetectorRunner::new(MeanScorer, 0.5, 0);
         assert_eq!(r.persistence(), 1);
+    }
+
+    #[test]
+    fn full_mask_matches_unmasked_run() {
+        let series = step_series(10, 20);
+        let mask = CoverageMask::all_present(0, series.len());
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let masked = r.run_masked(&series, &mask, 0.8);
+        assert_eq!(masked.events, r.run(&series));
+        assert_eq!(masked.skipped_windows, 0);
+        assert_eq!(masked.scored_fraction(), 1.0);
+    }
+
+    #[test]
+    fn low_coverage_windows_are_skipped_not_scored() {
+        let series = step_series(10, 20);
+        // Nothing was really measured: every window must be skipped and no
+        // change declared, even though the (filled) values contain a step.
+        let mask = CoverageMask::new(0);
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let masked = r.run_masked(&series, &mask, 0.8);
+        assert!(masked.events.is_empty());
+        assert_eq!(masked.skipped_windows, masked.total_windows);
+        assert_eq!(masked.scored_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gap_breaks_persistence_run() {
+        // Step at minute 10; persistence 7 with window width 4 ⇒ declaration
+        // needs 7 consecutive scoreable windows after onset. Punch a hole in
+        // the middle of that run: the declaration must come later than with
+        // a full mask (the run restarts after the gap).
+        let series = step_series(10, 30);
+        let full = CoverageMask::all_present(0, series.len());
+        let mut holed = CoverageMask::new(0);
+        for minute in 0..series.len() as u64 {
+            if !(16..=17).contains(&minute) {
+                holed.mark(minute);
+            }
+        }
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let clean = r.run_masked(&series, &full, 0.95);
+        let degraded = r.run_masked(&series, &holed, 0.95);
+        assert_eq!(clean.events.len(), 1);
+        assert_eq!(degraded.events.len(), 1);
+        assert!(degraded.skipped_windows > 0);
+        assert!(
+            degraded.events[0].declared_at > clean.events[0].declared_at,
+            "gap must delay the declaration ({} vs {})",
+            degraded.events[0].declared_at,
+            clean.events[0].declared_at
+        );
     }
 }

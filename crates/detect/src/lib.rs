@@ -28,7 +28,7 @@ pub mod wow;
 
 pub use cusum::CusumDetector;
 pub use delay::{detection_delay, DelayOutcome};
-pub use detector::{ChangeEvent, DetectorRunner, WindowScorer};
+pub use detector::{ChangeEvent, DetectorRunner, MaskedRun, WindowScorer};
 pub use mrls::{MrlsDetector, ScaleAggregation};
 pub use sst_adapter::SstDetector;
 pub use wow::WowDetector;

@@ -69,7 +69,13 @@ impl MrlsDetector {
             (window_len / 4).max(3),
             (window_len / 2).max(4),
         ];
-        Self { window_len, scales, rank: 2, iterations: 10, aggregation: ScaleAggregation::Mean }
+        Self {
+            window_len,
+            scales,
+            rank: 2,
+            iterations: 10,
+            aggregation: ScaleAggregation::Mean,
+        }
     }
 
     /// Overrides the cross-scale aggregation.
@@ -95,12 +101,24 @@ impl MrlsDetector {
         rank: usize,
         iterations: usize,
     ) -> Self {
-        assert!(rank > 0 && iterations > 0, "rank and iterations must be positive");
+        assert!(
+            rank > 0 && iterations > 0,
+            "rank and iterations must be positive"
+        );
         for &s in &scales {
             assert!(s >= 2, "scale must be at least 2");
-            assert!(window_len >= s + 1, "scale {s} leaves no columns in window {window_len}");
+            assert!(
+                window_len > s,
+                "scale {s} leaves no columns in window {window_len}"
+            );
         }
-        Self { window_len, scales, rank, iterations, aggregation: ScaleAggregation::Mean }
+        Self {
+            window_len,
+            scales,
+            rank,
+            iterations,
+            aggregation: ScaleAggregation::Mean,
+        }
     }
 
     /// Robust residual score of the newest column at one scale.
@@ -181,7 +199,10 @@ impl WindowScorer for MrlsDetector {
         let m = median(window);
         let s = mad(window).max(1e-9);
         let std_window: Vec<f64> = window.iter().map(|x| (x - m) / s).collect();
-        let scores = self.scales.iter().map(|&omega| self.scale_score(&std_window, omega));
+        let scores = self
+            .scales
+            .iter()
+            .map(|&omega| self.scale_score(&std_window, omega));
         match self.aggregation {
             ScaleAggregation::Max => scores.fold(0.0, f64::max),
             ScaleAggregation::Min => scores.fold(f64::INFINITY, f64::min),

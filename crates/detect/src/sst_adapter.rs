@@ -13,7 +13,10 @@ pub struct SstDetector<S> {
 impl SstDetector<FastSst> {
     /// The detector FUNNEL deploys: IKA-accelerated robust SST.
     pub fn fast(inner: FastSst) -> Self {
-        Self { inner, name: "FUNNEL-SST" }
+        Self {
+            inner,
+            name: "FUNNEL-SST",
+        }
     }
 }
 
@@ -21,14 +24,20 @@ impl SstDetector<RobustSst> {
     /// Exact robust SST (the "Improved SST" row of Table 1 when run without
     /// DiD).
     pub fn robust(inner: RobustSst) -> Self {
-        Self { inner, name: "Improved-SST" }
+        Self {
+            inner,
+            name: "Improved-SST",
+        }
     }
 }
 
 impl SstDetector<ClassicSst> {
     /// Classic SST (pre-§3.2.2 formulation).
     pub fn classic(inner: ClassicSst) -> Self {
-        Self { inner, name: "Classic-SST" }
+        Self {
+            inner,
+            name: "Classic-SST",
+        }
     }
 }
 
@@ -66,7 +75,9 @@ mod tests {
         assert_eq!(scorer.window_len(), 34);
         assert_eq!(scorer.name(), "FUNNEL-SST");
 
-        let mut v: Vec<f64> = (0..80).map(|i| 10.0 + 0.2 * ((i as f64) * 0.8).sin()).collect();
+        let mut v: Vec<f64> = (0..80)
+            .map(|i| 10.0 + 0.2 * ((i as f64) * 0.8).sin())
+            .collect();
         for x in v.iter_mut().skip(40) {
             *x += 8.0;
         }
@@ -81,7 +92,9 @@ mod tests {
     #[test]
     fn quiet_series_stays_quiet() {
         let scorer = SstDetector::robust(RobustSst::new(SstConfig::paper_default()));
-        let v: Vec<f64> = (0..80).map(|i| 10.0 + 0.2 * ((i as f64) * 0.8).sin()).collect();
+        let v: Vec<f64> = (0..80)
+            .map(|i| 10.0 + 0.2 * ((i as f64) * 0.8).sin())
+            .collect();
         let runner = DetectorRunner::new(scorer, 0.5, 3);
         assert!(runner.run(&TimeSeries::new(0, v)).is_empty());
     }

@@ -30,8 +30,14 @@ impl WowDetector {
     /// Panics if `compare_span == 0` or `compare_span > period`.
     pub fn new(period: usize, compare_span: usize) -> Self {
         assert!(compare_span > 0, "compare span must be positive");
-        assert!(compare_span <= period, "compare span cannot exceed the period");
-        Self { period, compare_span }
+        assert!(
+            compare_span <= period,
+            "compare span cannot exceed the period"
+        );
+        Self {
+            period,
+            compare_span,
+        }
     }
 
     /// Day-over-day with a 30-minute comparison window.
@@ -48,7 +54,11 @@ impl WindowScorer for WowDetector {
     /// Robust z-distance between "now" and "same time last period":
     /// `|median_now − median_then| / max(MAD_now, MAD_then, ε)`.
     fn score(&self, window: &[f64]) -> f64 {
-        assert_eq!(window.len(), self.window_len(), "WoW window length mismatch");
+        assert_eq!(
+            window.len(),
+            self.window_len(),
+            "WoW window length mismatch"
+        );
         let then = &window[..self.compare_span];
         let now = &window[window.len() - self.compare_span..];
         let scale = mad(then).max(mad(now)).max(1e-9);

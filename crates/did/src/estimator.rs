@@ -55,6 +55,18 @@ pub enum DidError {
     },
     /// A sample was NaN or infinite.
     NonFiniteSample,
+    /// The telemetry behind one of the groups was mostly interpolation:
+    /// fewer than the required fraction of its minutes carried real
+    /// measurements, so the contrast would compare fills, not data.
+    /// Percentages are rounded to whole points (keeps the error `Eq`).
+    InsufficientCoverage {
+        /// Which group fell short: "treated" or "control".
+        group: &'static str,
+        /// Required coverage, in whole percent.
+        required_pct: u8,
+        /// Observed coverage, in whole percent.
+        got_pct: u8,
+    },
 }
 
 impl std::fmt::Display for DidError {
@@ -62,6 +74,14 @@ impl std::fmt::Display for DidError {
         match self {
             DidError::EmptyCell { cell } => write!(f, "DiD cell '{cell}' has no observations"),
             DidError::NonFiniteSample => write!(f, "DiD received a non-finite sample"),
+            DidError::InsufficientCoverage {
+                group,
+                required_pct,
+                got_pct,
+            } => write!(
+                f,
+                "DiD {group} group has {got_pct}% telemetry coverage (needs {required_pct}%)"
+            ),
         }
     }
 }
@@ -106,15 +126,34 @@ pub fn did_estimate(
 
     // Residual sum of squares of the saturated regression (each cell fitted
     // by its own mean — equivalent to the Eq. 15 OLS fit for this design).
-    let rss: f64 = treated_pre.iter().map(|x| (x - m_t0) * (x - m_t0)).sum::<f64>()
-        + treated_post.iter().map(|x| (x - m_t1) * (x - m_t1)).sum::<f64>()
-        + control_pre.iter().map(|x| (x - m_c0) * (x - m_c0)).sum::<f64>()
-        + control_post.iter().map(|x| (x - m_c1) * (x - m_c1)).sum::<f64>();
+    let rss: f64 = treated_pre
+        .iter()
+        .map(|x| (x - m_t0) * (x - m_t0))
+        .sum::<f64>()
+        + treated_post
+            .iter()
+            .map(|x| (x - m_t1) * (x - m_t1))
+            .sum::<f64>()
+        + control_pre
+            .iter()
+            .map(|x| (x - m_c0) * (x - m_c0))
+            .sum::<f64>()
+        + control_post
+            .iter()
+            .map(|x| (x - m_c1) * (x - m_c1))
+            .sum::<f64>();
     let n = treated_pre.len() + treated_post.len() + control_pre.len() + control_post.len();
     let dof = n.saturating_sub(4);
 
     let (std_err, t_stat) = if dof == 0 {
-        (0.0, if alpha == 0.0 { 0.0 } else { f64::INFINITY.copysign(alpha) })
+        (
+            0.0,
+            if alpha == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY.copysign(alpha)
+            },
+        )
     } else {
         let sigma2 = rss / dof as f64;
         // KPI noise is strongly autocorrelated minute to minute (AR-like),
@@ -123,7 +162,9 @@ pub fn did_estimate(
         // within-cell residuals (a cheap Newey–West-style correction) and
         // inflate the SE accordingly, clamped to [1, 5] for stability.
         let rho = pooled_lag1_autocorr(&[treated_pre, treated_post, control_pre, control_post]);
-        let inflation = (((1.0 + rho) / (1.0 - rho)).max(1.0)).sqrt().clamp(1.0, 5.0);
+        let inflation = (((1.0 + rho) / (1.0 - rho)).max(1.0))
+            .sqrt()
+            .clamp(1.0, 5.0);
         let se = inflation
             * (sigma2
                 * (1.0 / treated_pre.len() as f64
@@ -141,7 +182,13 @@ pub fn did_estimate(
         (se, t)
     };
 
-    Ok(DidEstimate { alpha, std_err, t_stat, n, cell_means: [m_t0, m_t1, m_c0, m_c1] })
+    Ok(DidEstimate {
+        alpha,
+        std_err,
+        t_stat,
+        n,
+        cell_means: [m_t0, m_t1, m_c0, m_c1],
+    })
 }
 
 /// Average lag-1 autocorrelation of the demeaned samples within each cell
@@ -177,8 +224,7 @@ mod tests {
     #[test]
     fn textbook_2x2() {
         // Treated moves 10 → 15, control 20 → 22 ⇒ α = 5 − 2 = 3.
-        let e = did_estimate(&[10.0, 10.0], &[15.0, 15.0], &[20.0, 20.0], &[22.0, 22.0])
-            .unwrap();
+        let e = did_estimate(&[10.0, 10.0], &[15.0, 15.0], &[20.0, 20.0], &[22.0, 22.0]).unwrap();
         assert!((e.alpha - 3.0).abs() < 1e-12);
         assert_eq!(e.n, 8);
         assert_eq!(e.cell_means, [10.0, 15.0, 20.0, 22.0]);
@@ -211,7 +257,9 @@ mod tests {
         // Same noisy distribution in all cells: α near 0, |t| small.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut cell = |base: f64| -> Vec<f64> { (0..60).map(|_| base + next()).collect() };
@@ -222,7 +270,12 @@ mod tests {
     #[test]
     fn empty_cell_rejected() {
         let err = did_estimate(&[], &[1.0], &[1.0], &[1.0]).unwrap_err();
-        assert_eq!(err, DidError::EmptyCell { cell: "treated_pre" });
+        assert_eq!(
+            err,
+            DidError::EmptyCell {
+                cell: "treated_pre"
+            }
+        );
     }
 
     #[test]
@@ -240,16 +293,17 @@ mod tests {
 
     #[test]
     fn std_err_shrinks_with_samples() {
-        let small = did_estimate(
-            &[9.0, 11.0],
-            &[14.0, 16.0],
-            &[10.0, 12.0],
-            &[10.0, 12.0],
-        )
-        .unwrap();
-        let tp: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
-        let tq: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 14.0 } else { 16.0 }).collect();
-        let cp: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 10.0 } else { 12.0 }).collect();
+        let small =
+            did_estimate(&[9.0, 11.0], &[14.0, 16.0], &[10.0, 12.0], &[10.0, 12.0]).unwrap();
+        let tp: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 9.0 } else { 11.0 })
+            .collect();
+        let tq: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 14.0 } else { 16.0 })
+            .collect();
+        let cp: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 12.0 })
+            .collect();
         let big = did_estimate(&tp, &tq, &cp, &cp.clone()).unwrap();
         assert!(big.std_err < small.std_err);
     }

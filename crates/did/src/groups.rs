@@ -29,7 +29,11 @@ pub struct DidConfig {
 
 impl Default for DidConfig {
     fn default() -> Self {
-        Self { period_minutes: 60, alpha_threshold: 2.0, normalize: true }
+        Self {
+            period_minutes: 60,
+            alpha_threshold: 2.0,
+            normalize: true,
+        }
     }
 }
 
@@ -128,14 +132,16 @@ impl DidAssessor {
         let est = if self.config.normalize {
             // Robust scale from the pooled pre-change cells: stable under a
             // handful of contaminated baseline samples.
-            let mut baseline: Vec<f64> =
-                control_pre.iter().chain(treated_pre.iter()).copied().collect();
+            let mut baseline: Vec<f64> = control_pre
+                .iter()
+                .chain(treated_pre.iter())
+                .copied()
+                .collect();
             let center = median(&baseline);
             let scale = mad(&baseline).max(1e-9);
             baseline.clear();
-            let norm = |xs: &[f64]| -> Vec<f64> {
-                xs.iter().map(|x| (x - center) / scale).collect()
-            };
+            let norm =
+                |xs: &[f64]| -> Vec<f64> { xs.iter().map(|x| (x - center) / scale).collect() };
             did_estimate(
                 &norm(treated_pre),
                 &norm(treated_post),
@@ -147,7 +153,10 @@ impl DidAssessor {
         };
 
         let verdict = if est.is_significant(self.config.alpha_threshold) {
-            DidVerdict::CausedBySoftwareChange { alpha: est.alpha, t_stat: est.t_stat }
+            DidVerdict::CausedBySoftwareChange {
+                alpha: est.alpha,
+                t_stat: est.t_stat,
+            }
         } else {
             DidVerdict::NotCaused { alpha: est.alpha }
         };
@@ -179,16 +188,18 @@ mod tests {
             .map(|k| {
                 series(
                     0,
-                    move |m| {
-                        100.0 + lcg_noise(k, m) + if m >= change { 10.0 } else { 0.0 }
-                    },
+                    move |m| 100.0 + lcg_noise(k, m) + if m >= change { 10.0 } else { 0.0 },
                     240,
                 )
             })
             .collect();
-        let control: Vec<TimeSeries> =
-            (10..14).map(|k| series(0, move |m| 100.0 + lcg_noise(k, m), 240)).collect();
-        let a = DidAssessor::new(DidConfig { period_minutes: 60, ..Default::default() });
+        let control: Vec<TimeSeries> = (10..14)
+            .map(|k| series(0, move |m| 100.0 + lcg_noise(k, m), 240))
+            .collect();
+        let a = DidAssessor::new(DidConfig {
+            period_minutes: 60,
+            ..Default::default()
+        });
         let tr: Vec<&TimeSeries> = treated.iter().collect();
         let cr: Vec<&TimeSeries> = control.iter().collect();
         let (v, est) = a.assess(&tr, &cr, change).unwrap();
@@ -201,10 +212,12 @@ mod tests {
         // Both groups ride the same diurnal swing: α ≈ 0.
         let change = 120;
         let swing = |m: u64| 100.0 + 30.0 * ((m as f64 / 1440.0) * std::f64::consts::TAU).sin();
-        let treated: Vec<TimeSeries> =
-            (0..3).map(|k| series(0, move |m| swing(m) + lcg_noise(k, m), 240)).collect();
-        let control: Vec<TimeSeries> =
-            (10..13).map(|k| series(0, move |m| swing(m) + lcg_noise(k, m), 240)).collect();
+        let treated: Vec<TimeSeries> = (0..3)
+            .map(|k| series(0, move |m| swing(m) + lcg_noise(k, m), 240))
+            .collect();
+        let control: Vec<TimeSeries> = (10..13)
+            .map(|k| series(0, move |m| swing(m) + lcg_noise(k, m), 240))
+            .collect();
         let a = DidAssessor::default();
         let tr: Vec<&TimeSeries> = treated.iter().collect();
         let cr: Vec<&TimeSeries> = control.iter().collect();
@@ -266,8 +279,9 @@ mod tests {
         // (§3.2.4 observation 4).
         let change = 100;
         let treated = series(0, move |m| 50.0 + lcg_noise(7, m), 200);
-        let mut controls: Vec<TimeSeries> =
-            (20..39).map(|k| series(0, move |m| 50.0 + lcg_noise(k, m), 200)).collect();
+        let mut controls: Vec<TimeSeries> = (20..39)
+            .map(|k| series(0, move |m| 50.0 + lcg_noise(k, m), 200))
+            .collect();
         controls.push(series(
             0,
             move |m| 50.0 + lcg_noise(39, m) + if m >= change { 3.0 } else { 0.0 },

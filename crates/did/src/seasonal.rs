@@ -31,7 +31,9 @@ impl Default for SeasonalControl {
 impl SeasonalControl {
     /// Creates a seasonal control over `history_days` previous days.
     pub fn new(history_days: u32) -> Self {
-        Self { history_days: history_days.max(1) }
+        Self {
+            history_days: history_days.max(1),
+        }
     }
 
     /// Number of historical days that actually fit inside `series` for a
@@ -67,7 +69,9 @@ impl SeasonalControl {
         change_minute: MinuteBin,
     ) -> Result<(DidVerdict, DidEstimate), DidError> {
         let w = assessor.config().period_minutes;
-        let treated_pre = series.slice(change_minute.saturating_sub(w), change_minute).to_vec();
+        let treated_pre = series
+            .slice(change_minute.saturating_sub(w), change_minute)
+            .to_vec();
         let treated_post = series.slice(change_minute, change_minute + w).to_vec();
 
         let mut control_pre = Vec::new();
@@ -122,7 +126,10 @@ mod tests {
     }
 
     fn assessor() -> DidAssessor {
-        DidAssessor::new(DidConfig { period_minutes: 60, ..Default::default() })
+        DidAssessor::new(DidConfig {
+            period_minutes: 60,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -160,7 +167,7 @@ mod tests {
         let s = seasonal_series(10, None, 0.0);
         let ctl = SeasonalControl::new(30);
         let days = ctl.available_days(&s, 9 * DAY + 6 * 60, 60);
-        assert!(days >= 8 && days <= 9, "days {days}");
+        assert!((8..=9).contains(&days), "days {days}");
         assert_eq!(ctl.available_days(&s, 60, 60), 0);
     }
 

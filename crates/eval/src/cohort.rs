@@ -105,7 +105,10 @@ pub struct CohortResult {
 impl CohortResult {
     /// The result for one method.
     pub fn method(&self, m: Method) -> Option<&MethodResult> {
-        self.per_method.iter().find(|(mm, _)| *mm == m).map(|(_, r)| r)
+        self.per_method
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .map(|(_, r)| r)
     }
 }
 
@@ -129,7 +132,8 @@ pub fn evaluate_cohort(world: &World, meta: &CohortMeta, opts: &CohortOptions) -
         changes.chunks(changes.len().div_ceil(threads)).collect();
 
     // Each worker returns (per-method result, items, skipped).
-    let worker_out: Vec<(Vec<(Method, MethodResult)>, usize, usize)> = std::thread::scope(|s| {
+    type WorkerOut = (Vec<(Method, MethodResult)>, usize, usize);
+    let worker_out: Vec<WorkerOut> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
@@ -137,10 +141,8 @@ pub fn evaluate_cohort(world: &World, meta: &CohortMeta, opts: &CohortOptions) -
                 let funnel = &funnel;
                 let methods = &opts.methods;
                 s.spawn(move || {
-                    let runners: Vec<(Method, MethodRunner)> = methods
-                        .iter()
-                        .map(|&m| (m, MethodRunner::new(m)))
-                        .collect();
+                    let runners: Vec<(Method, MethodRunner)> =
+                        methods.iter().map(|&m| (m, MethodRunner::new(m))).collect();
                     let mut results: Vec<(Method, MethodResult)> = methods
                         .iter()
                         .map(|&m| (m, MethodResult::default()))
@@ -199,10 +201,8 @@ pub fn evaluate_cohort(world: &World, meta: &CohortMeta, opts: &CohortOptions) -
                                         let from =
                                             change_minute.saturating_sub(2 * w).max(series.start());
                                         let to = change_minute + assessment_minutes + 1;
-                                        let slice = TimeSeries::new(
-                                            from,
-                                            series.slice(from, to).to_vec(),
-                                        );
+                                        let slice =
+                                            TimeSeries::new(from, series.slice(from, to).to_vec());
                                         match runner.first_event_after(&slice, change_minute) {
                                             Some(e) => {
                                                 (true, Some(e.declared_at.saturating_sub(onset)))
@@ -229,7 +229,10 @@ pub fn evaluate_cohort(world: &World, meta: &CohortMeta, opts: &CohortOptions) -
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker ok")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok"))
+            .collect()
     });
 
     // Merge workers.
@@ -254,7 +257,11 @@ pub fn evaluate_cohort(world: &World, meta: &CohortMeta, opts: &CohortOptions) -
         }
     }
 
-    CohortResult { per_method, items_total, items_skipped }
+    CohortResult {
+        per_method,
+        items_total,
+        items_skipped,
+    }
 }
 
 #[cfg(test)]

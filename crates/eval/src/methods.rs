@@ -32,7 +32,12 @@ pub enum Method {
 
 impl Method {
     /// All four, in Table-1 row order.
-    pub const ALL: [Method; 4] = [Method::Funnel, Method::ImprovedSst, Method::Cusum, Method::Mrls];
+    pub const ALL: [Method; 4] = [
+        Method::Funnel,
+        Method::ImprovedSst,
+        Method::Cusum,
+        Method::Mrls,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -133,9 +138,7 @@ impl MethodRunner {
     /// The underlying window width.
     pub fn window_len(&self) -> usize {
         match self {
-            MethodRunner::Sst(r) => {
-                funnel_detect::WindowScorer::window_len(r.scorer())
-            }
+            MethodRunner::Sst(r) => funnel_detect::WindowScorer::window_len(r.scorer()),
             MethodRunner::Cusum(r) => funnel_detect::WindowScorer::window_len(r.scorer()),
             MethodRunner::Mrls(r) => funnel_detect::WindowScorer::window_len(r.scorer()),
         }
@@ -162,7 +165,9 @@ impl MethodRunner {
 
     /// First event declared at or after `minute`, over the detection span.
     pub fn first_event_after(&self, series: &TimeSeries, minute: MinuteBin) -> Option<ChangeEvent> {
-        self.run(series).into_iter().find(|e| e.declared_at >= minute)
+        self.run(series)
+            .into_iter()
+            .find(|e| e.declared_at >= minute)
     }
 }
 

@@ -56,7 +56,11 @@ pub fn roc_curve(items: &[ScoredItem]) -> Option<RocCurve> {
     let mut sorted: Vec<&ScoredItem> = items.iter().collect();
     sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
 
-    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut points = vec![RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
     while i < sorted.len() {
@@ -91,7 +95,11 @@ pub fn roc_curve(items: &[ScoredItem]) -> Option<RocCurve> {
 /// cross-check [`roc_curve`] in tests.
 pub fn auc_by_ranks(items: &[ScoredItem]) -> Option<f64> {
     let pos: Vec<f64> = items.iter().filter(|i| i.actual).map(|i| i.score).collect();
-    let neg: Vec<f64> = items.iter().filter(|i| !i.actual).map(|i| i.score).collect();
+    let neg: Vec<f64> = items
+        .iter()
+        .filter(|i| !i.actual)
+        .map(|i| i.score)
+        .collect();
     if pos.is_empty() || neg.is_empty() {
         return None;
     }
@@ -118,7 +126,12 @@ mod tests {
 
     #[test]
     fn perfect_separation_gives_auc_one() {
-        let items = vec![item(0.9, true), item(0.8, true), item(0.2, false), item(0.1, false)];
+        let items = vec![
+            item(0.9, true),
+            item(0.8, true),
+            item(0.2, false),
+            item(0.1, false),
+        ];
         let roc = roc_curve(&items).unwrap();
         assert!((roc.auc - 1.0).abs() < 1e-12);
         assert_eq!(roc.points.first().unwrap().tpr, 0.0);
@@ -136,8 +149,7 @@ mod tests {
     #[test]
     fn random_interleaving_is_half() {
         // Alternating equal-quality scores → AUC 0.5.
-        let items: Vec<ScoredItem> =
-            (0..100).map(|i| item(i as f64, i % 2 == 0)).collect();
+        let items: Vec<ScoredItem> = (0..100).map(|i| item(i as f64, i % 2 == 0)).collect();
         let roc = roc_curve(&items).unwrap();
         assert!((roc.auc - 0.5).abs() < 0.02, "auc {}", roc.auc);
     }

@@ -71,7 +71,11 @@ pub fn time_method(method: Method, windows: usize) -> MethodTiming {
     // Keep the optimizer honest.
     assert!(sink.is_finite());
 
-    MethodTiming { method, seconds_per_window: elapsed / windows as f64, windows }
+    MethodTiming {
+        method,
+        seconds_per_window: elapsed / windows as f64,
+        windows,
+    }
 }
 
 #[cfg(test)]
@@ -80,15 +84,27 @@ mod tests {
 
     #[test]
     fn cores_projection_math() {
-        let t = MethodTiming { method: Method::Funnel, seconds_per_window: 401.8e-6, windows: 1 };
+        let t = MethodTiming {
+            method: Method::Funnel,
+            seconds_per_window: 401.8e-6,
+            windows: 1,
+        };
         assert_eq!(t.cores_for_million_kpis(), 7); // the paper's own row
-        let t = MethodTiming { method: Method::Mrls, seconds_per_window: 2.852, windows: 1 };
+        let t = MethodTiming {
+            method: Method::Mrls,
+            seconds_per_window: 2.852,
+            windows: 1,
+        };
         assert_eq!(t.cores_for_million_kpis(), 47_534); // ⌈2.852e6/60⌉
     }
 
     #[test]
     fn display_units() {
-        let mk = |s| MethodTiming { method: Method::Funnel, seconds_per_window: s, windows: 1 };
+        let mk = |s| MethodTiming {
+            method: Method::Funnel,
+            seconds_per_window: s,
+            windows: 1,
+        };
         assert!(mk(2.0).per_window_display().ends_with('s'));
         assert!(mk(2e-3).per_window_display().contains("ms"));
         assert!(mk(2e-6).per_window_display().contains("µs"));

@@ -63,6 +63,10 @@ fn roc_consistent_with_thresholded_confusion() {
         }
         let r = m.rates();
         assert!((r.recall - p.tpr).abs() < 1e-12, "tpr at {}", p.threshold);
-        assert!(((1.0 - r.tnr) - p.fpr).abs() < 1e-12, "fpr at {}", p.threshold);
+        assert!(
+            ((1.0 - r.tnr) - p.fpr).abs() < 1e-12,
+            "fpr at {}",
+            p.threshold
+        );
     }
 }

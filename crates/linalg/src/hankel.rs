@@ -37,7 +37,11 @@ impl HankelMatrix {
             omega + delta - 1,
             "signal length must be omega + delta - 1"
         );
-        Self { signal: signal.to_vec(), omega, delta }
+        Self {
+            signal: signal.to_vec(),
+            omega,
+            delta,
+        }
     }
 
     /// Row count `ω`.
@@ -52,7 +56,10 @@ impl HankelMatrix {
 
     /// Entry `(i, j) = signal[i + j]`.
     pub fn entry(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.omega && j < self.delta, "Hankel index out of bounds");
+        assert!(
+            i < self.omega && j < self.delta,
+            "Hankel index out of bounds"
+        );
         self.signal[i + j]
     }
 
@@ -60,7 +67,12 @@ impl HankelMatrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.delta, "Hankel matvec dimension mismatch");
         (0..self.omega)
-            .map(|i| v.iter().enumerate().map(|(j, &vj)| self.signal[i + j] * vj).sum())
+            .map(|i| {
+                v.iter()
+                    .enumerate()
+                    .map(|(j, &vj)| self.signal[i + j] * vj)
+                    .sum()
+            })
             .collect()
     }
 
@@ -68,7 +80,12 @@ impl HankelMatrix {
     pub fn matvec_t(&self, u: &[f64]) -> Vec<f64> {
         assert_eq!(u.len(), self.omega, "Hankel matvec_t dimension mismatch");
         (0..self.delta)
-            .map(|j| u.iter().enumerate().map(|(i, &ui)| self.signal[i + j] * ui).sum())
+            .map(|j| {
+                u.iter()
+                    .enumerate()
+                    .map(|(i, &ui)| self.signal[i + j] * ui)
+                    .sum()
+            })
             .collect()
     }
 

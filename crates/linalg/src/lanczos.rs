@@ -41,7 +41,11 @@ pub fn lanczos(op: &impl LinearOperator, start: &[f64], k: usize) -> LanczosResu
     assert_eq!(start.len(), n, "start vector dimension mismatch");
     let mut q = start.to_vec();
     if normalize(&mut q) == 0.0 || k == 0 {
-        return LanczosResult { alpha: Vec::new(), beta: Vec::new(), basis: Vec::new() };
+        return LanczosResult {
+            alpha: Vec::new(),
+            beta: Vec::new(),
+            basis: Vec::new(),
+        };
     }
 
     let mut alpha = Vec::with_capacity(k);
@@ -103,7 +107,9 @@ mod tests {
         let m = Mat::from_rows(
             4,
             4,
-            vec![4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 1.0, 0.5, 0.5, 1.0, 2.0, 1.0, 0.0, 0.5, 1.0, 1.0],
+            vec![
+                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 1.0, 0.5, 0.5, 1.0, 2.0, 1.0, 0.0, 0.5, 1.0, 1.0,
+            ],
         );
         let op = DenseOperator::new(m);
         let r = lanczos(&op, &[1.0, 0.5, -0.5, 0.25], 4);
@@ -164,7 +170,10 @@ mod tests {
                 } else {
                     0.0
                 };
-                assert!((tij - want).abs() < 1e-10, "T[{j},{i}] = {tij}, want {want}");
+                assert!(
+                    (tij - want).abs() < 1e-10,
+                    "T[{j},{i}] = {tij}, want {want}"
+                );
             }
         }
     }

@@ -16,7 +16,11 @@ pub struct Mat {
 impl Mat {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -109,8 +113,7 @@ impl Mat {
     pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "matvec_t dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let vi = v[i];
+        for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
             }

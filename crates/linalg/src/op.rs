@@ -37,7 +37,11 @@ pub struct DenseOperator {
 impl DenseOperator {
     /// Wraps a square matrix. Panics if `mat` is not square.
     pub fn new(mat: Mat) -> Self {
-        assert_eq!(mat.rows(), mat.cols(), "DenseOperator requires a square matrix");
+        assert_eq!(
+            mat.rows(),
+            mat.cols(),
+            "DenseOperator requires a square matrix"
+        );
         Self { mat }
     }
 

@@ -19,7 +19,9 @@ const MAX_ITERS: usize = 500;
 /// support is unknown), iterates `v ← Av / ‖Av‖` until the Rayleigh quotient
 /// stabilizes to relative `tol`. Returns `(0, e₁)` for the zero operator.
 pub fn dominant_eigenpair(op: &impl LinearOperator, tol: f64) -> (f64, Vec<f64>) {
-    top_eigenpairs(op, 1, tol).pop().unwrap_or((0.0, Vec::new()))
+    top_eigenpairs(op, 1, tol)
+        .pop()
+        .unwrap_or((0.0, Vec::new()))
 }
 
 /// Finds the `m` largest eigenpairs of a symmetric PSD operator by power
@@ -37,7 +39,9 @@ pub fn top_eigenpairs(op: &impl LinearOperator, m: usize, tol: f64) -> Vec<(f64,
         // Deterministic start: a ramp shifted per eigenpair index so that
         // after deflation the start is never the zero vector.
         let mut v: Vec<f64> = (0..n)
-            .map(|i| 1.0 + (i as f64 + 1.0) / n as f64 + if (i + idx) % 2 == 0 { 0.25 } else { 0.0 })
+            .map(|i| {
+                1.0 + (i as f64 + 1.0) / n as f64 + if (i + idx) % 2 == 0 { 0.25 } else { 0.0 }
+            })
             .collect();
         deflate(&mut v, &pairs);
         if normalize(&mut v) == 0.0 {
@@ -153,7 +157,12 @@ mod tests {
         let op = DenseOperator::new(g.clone());
         let pairs = top_eigenpairs(&op, 3, 1e-14);
         for (p, want) in pairs.iter().zip(exact.values.iter()) {
-            assert!((p.0 - want).abs() < 1e-6 * want.max(1.0), "{} vs {}", p.0, want);
+            assert!(
+                (p.0 - want).abs() < 1e-6 * want.max(1.0),
+                "{} vs {}",
+                p.0,
+                want
+            );
         }
     }
 }

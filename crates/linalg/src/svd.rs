@@ -36,7 +36,10 @@ impl Svd {
 
     /// The first `k` left singular vectors as columns (`k ≤ s.len()`).
     pub fn left_vectors(&self, k: usize) -> Mat {
-        assert!(k <= self.s.len(), "requested more singular vectors than available");
+        assert!(
+            k <= self.s.len(),
+            "requested more singular vectors than available"
+        );
         let mut out = Mat::zeros(self.u.rows(), k);
         for j in 0..k {
             for i in 0..self.u.rows() {
@@ -57,7 +60,11 @@ const MAX_SWEEPS: usize = 60;
 pub fn svd(a: &Mat) -> Svd {
     if a.rows() < a.cols() {
         let t = svd(&a.transpose());
-        return Svd { u: t.v, s: t.s, v: t.u };
+        return Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        };
     }
 
     let m = a.rows();
@@ -83,11 +90,11 @@ pub fn svd(a: &Mat) -> Svd {
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for i in 0..m {
-                    let wp = w[p][i];
-                    let wq = w[q][i];
-                    w[p][i] = c * wp - s * wq;
-                    w[q][i] = s * wp + c * wq;
+                let (left, right) = w.split_at_mut(q);
+                for (a, b) in left[p].iter_mut().zip(right[0].iter_mut()) {
+                    let (wp, wq) = (*a, *b);
+                    *a = c * wp - s * wq;
+                    *b = s * wp + c * wq;
                 }
                 for i in 0..n {
                     let vp = v[(i, p)];

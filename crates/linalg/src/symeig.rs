@@ -166,8 +166,7 @@ mod tests {
             4,
             4,
             vec![
-                4.0, 1.0, -2.0, 0.5, 1.0, 3.0, 0.0, 1.0, -2.0, 0.0, 2.5, -1.0, 0.5, 1.0, -1.0,
-                1.5,
+                4.0, 1.0, -2.0, 0.5, 1.0, 3.0, 0.0, 1.0, -2.0, 0.0, 2.5, -1.0, 0.5, 1.0, -1.0, 1.5,
             ],
         );
         let e = sym_eig(&a);
@@ -197,7 +196,11 @@ mod tests {
 
     #[test]
     fn gram_of_hankel_like_matrix_is_psd() {
-        let b = Mat::from_rows(3, 4, vec![1.0, 2.0, 3.0, 4.0, 2.0, 3.0, 4.0, 5.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_rows(
+            3,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 2.0, 3.0, 4.0, 5.0, 3.0, 4.0, 5.0, 6.0],
+        );
         let e = sym_eig(&b.gram());
         assert!(e.values.iter().all(|&l| l > -1e-9));
     }

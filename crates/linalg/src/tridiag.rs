@@ -25,13 +25,19 @@ const MAX_ITER: usize = 50;
 /// Diagonalizes the symmetric tridiagonal matrix with diagonal `diag` and
 /// subdiagonal `subdiag` (`subdiag[i]` couples rows `i` and `i+1`).
 ///
-/// Panics if `subdiag.len() + 1 != diag.len()` (except the `n = 0` case) or
-/// if QL fails to converge (which cannot happen for finite input in
-/// practice; the iteration cap matches LAPACK's).
+/// Panics if `subdiag.len() + 1 != diag.len()` (except the `n = 0` case).
+/// Non-finite input (overflowed covariances from telemetry carrying
+/// corrupted magnitudes) and the theoretical non-convergence case degrade
+/// gracefully instead of panicking: the current (possibly NaN) diagonal is
+/// returned, which downstream scoring treats as "no evidence" because NaN
+/// fails every threshold comparison.
 pub fn tridiag_eig(diag: &[f64], subdiag: &[f64]) -> TridiagEig {
     let n = diag.len();
     if n == 0 {
-        return TridiagEig { values: Vec::new(), vectors: Mat::zeros(0, 0) };
+        return TridiagEig {
+            values: Vec::new(),
+            vectors: Mat::zeros(0, 0),
+        };
     }
     assert_eq!(subdiag.len() + 1, n, "subdiagonal must have n-1 entries");
 
@@ -41,7 +47,15 @@ pub fn tridiag_eig(diag: &[f64], subdiag: &[f64]) -> TridiagEig {
     e[..n - 1].copy_from_slice(subdiag);
     let mut z = Mat::identity(n);
 
-    for l in 0..n {
+    // Garbage in, NaN out — but never a hang or a panic: the QL recurrence
+    // cannot converge on non-finite entries, so poison the diagonal up
+    // front and skip the iteration entirely.
+    if d.iter().chain(e.iter()).any(|x| !x.is_finite()) {
+        d.fill(f64::NAN);
+        return sorted_eig(&d, &z, n);
+    }
+
+    'outer: for l in 0..n {
         let mut iter = 0;
         loop {
             // Find the first negligible subdiagonal element at or after l.
@@ -57,7 +71,13 @@ pub fn tridiag_eig(diag: &[f64], subdiag: &[f64]) -> TridiagEig {
                 break; // d[l] has converged.
             }
             iter += 1;
-            assert!(iter <= MAX_ITER, "QL iteration failed to converge");
+            if iter > MAX_ITER {
+                // LAPACK-style iteration cap exceeded (finite input makes
+                // this practically unreachable, but rounding pathologies
+                // exist): accept the current approximation rather than
+                // aborting the caller.
+                break 'outer;
+            }
 
             // Wilkinson shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -104,7 +124,11 @@ pub fn tridiag_eig(diag: &[f64], subdiag: &[f64]) -> TridiagEig {
         }
     }
 
-    // Sort descending, carrying eigenvectors along.
+    sorted_eig(&d, &z, n)
+}
+
+/// Sorts eigenvalues descending, carrying eigenvector columns along.
+fn sorted_eig(d: &[f64], z: &Mat, n: usize) -> TridiagEig {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| d[j].total_cmp(&d[i]));
     let mut values = Vec::with_capacity(n);
@@ -191,6 +215,28 @@ mod tests {
         let e = tridiag_eig(&[5.0, 5.0, 1.0], &[0.0, 0.0]);
         assert!((e.values[0] - 5.0).abs() < 1e-12);
         assert!((e.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_input_degrades_to_nan_without_panicking() {
+        // Corrupted telemetry bytes can decode to ±huge f64s; squaring them
+        // in a covariance overflows to infinity. The solver must not hang
+        // or abort — it returns NaNs, which fail every downstream
+        // threshold comparison.
+        let e = tridiag_eig(&[f64::INFINITY, 1.0, 2.0], &[0.5, f64::NAN]);
+        assert_eq!(e.values.len(), 3);
+        assert!(e.values.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn extreme_finite_magnitudes_do_not_panic() {
+        // Magnitudes near f64::MAX (what a corrupted-but-valid frame can
+        // carry) must complete within the iteration cap or bail out
+        // gracefully — either way, no panic.
+        let diag = [1e300, -1e300, 1e-300, 0.0, 1e308];
+        let sub = [1e290, 1e150, 1e-290, 1e300];
+        let e = tridiag_eig(&diag, &sub);
+        assert_eq!(e.values.len(), 5);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the real API this workspace uses: cheaply
+//! clonable immutable [`Bytes`], a growable [`BytesMut`] builder, and the
+//! [`Buf`]/[`BufMut`] cursor traits with little-endian accessors. The
+//! container has no network access, so external crates are replaced by
+//! small vendored equivalents; see `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable, sliceable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-slice sharing the same backing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds of {}",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_ref())
+    }
+}
+
+/// A growable byte buffer used to build frames.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte buffer; all multi-byte accessors advance.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.start += n;
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u64_le(77);
+        b.put_u32_le(5);
+        b.put_u8(3);
+        b.put_f64_le(1.5);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 21);
+        assert_eq!(frozen.get_u64_le(), 77);
+        assert_eq!(frozen.get_u32_le(), 5);
+        assert_eq!(frozen.get_u8(), 3);
+        assert_eq!(frozen.get_f64_le(), 1.5);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        let s2 = s.slice(0..2);
+        assert_eq!(s2.as_ref(), &[2, 3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(0..4);
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal functional bench harness covering the builder/macro surface
+//! this workspace's benches use. It times each benchmark over
+//! `sample_size` iterations and prints a mean per-iteration figure — no
+//! statistics, plots, or baselines. See `crates/shims/README.md` for why
+//! external crates are vendored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] for call-site compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark label, possibly parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock cost.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.nanos_per_iter = total.as_nanos() as f64 / self.iters.max(1) as f64;
+    }
+}
+
+fn run_one(full_label: &str, iters: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        nanos_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.nanos_per_iter.is_finite() {
+        println!(
+            "bench {full_label:<48} {:>14.1} ns/iter ({iters} iters)",
+            b.nanos_per_iter
+        );
+    } else {
+        println!("bench {full_label:<48} (no measurement)");
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for each benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().label, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group; member labels are prefixed with the group name.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? $(;)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * x));
+        g.bench_with_input(BenchmarkId::from_parameter(9), &9, |b, &x| b.iter(|| x + x));
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = trivial,
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        configured();
+    }
+}

@@ -1,0 +1,545 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize`/`serde::Deserialize` traits (which
+//! round-trip through an owned `serde::Value` tree) by parsing the item's
+//! token stream directly — `syn`/`quote` are unavailable offline. Supported
+//! shapes are exactly what this workspace uses: named/tuple/unit structs
+//! and enums with unit, tuple, and struct variants; the `#[serde(default)]`
+//! field attribute and `#[serde(rename_all = "snake_case")]` container
+//! attribute. Generics are not supported. See `crates/shims/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    rename_snake: bool,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Default)]
+struct Attrs {
+    rename_snake: bool,
+    default: bool,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn consume_attrs(tokens: &[TokenTree], i: &mut usize, out: &mut Attrs) {
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde shim derive: expected [...] after #");
+        };
+        assert_eq!(
+            g.delimiter(),
+            Delimiter::Bracket,
+            "expected #[...] attribute"
+        );
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.first().and_then(ident_text).as_deref() == Some("serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(args.stream(), out);
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, out: &mut Attrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        match ident_text(&toks[j]).as_deref() {
+            Some("default") => {
+                out.default = true;
+                j += 1;
+            }
+            Some("rename_all") => {
+                // rename_all = "snake_case"
+                assert!(
+                    j + 2 < toks.len() && is_punct(&toks[j + 1], '='),
+                    "serde shim derive: malformed rename_all"
+                );
+                let style = toks[j + 2].to_string();
+                assert!(
+                    style.contains("snake_case"),
+                    "serde shim derive: only rename_all = \"snake_case\" is supported, got {style}"
+                );
+                out.rename_snake = true;
+                j += 3;
+            }
+            Some(other) => {
+                panic!("serde shim derive: unsupported serde attribute `{other}`")
+            }
+            None => j += 1, // separators
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if tokens.get(*i).and_then(ident_text).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    let id = tokens
+        .get(*i)
+        .and_then(ident_text)
+        .unwrap_or_else(|| panic!("serde shim derive: expected {what}"));
+    *i += 1;
+    id
+}
+
+/// Skips one field type, honouring `<...>` nesting; stops after the
+/// top-level `,` (consumed) or at end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let mut attrs = Attrs::default();
+        consume_attrs(&tokens, &mut i, &mut attrs);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i, "field name");
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde shim derive: expected `:` after field {name}"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle: i32 = 0;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if pending {
+                    count += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let mut attrs = Attrs::default();
+        consume_attrs(&tokens, &mut i, &mut attrs);
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if i < tokens.len() && is_punct(&tokens[i], '=') {
+            // Explicit discriminant: skip to the separating comma.
+            i += 1;
+            while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = Attrs::default();
+    consume_attrs(&tokens, &mut i, &mut attrs);
+    skip_visibility(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "item name");
+    if tokens.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => ItemKind::UnitStruct,
+            _ => panic!("serde shim derive: unsupported struct body for `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde shim derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        rename_snake: attrs.rename_snake,
+        kind,
+    }
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (idx, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if idx > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(item: &Item, variant: &Variant) -> String {
+    if item.rename_snake {
+        snake_case(&variant.name)
+    } else {
+        variant.name.clone()
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((\"{0}\".to_string(), \
+                     ::serde::Serialize::serialize(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let mut s = String::from(
+                "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for idx in 0..*n {
+                s.push_str(&format!(
+                    "__items.push(::serde::Serialize::serialize(&self.{idx}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Array(__items)");
+            s
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let key = variant_key(item, v);
+                match &v.shape {
+                    Shape::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         __outer.push((\"{key}\".to_string(), ::serde::Serialize::serialize(__f0)));\n\
+                         ::serde::Value::Object(__outer)\n\
+                         }}\n",
+                        v = v.name
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!("{name}::{v}({}) => {{\n", binders.join(", "), v = v.name);
+                        arm.push_str(
+                            "let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "__items.push(::serde::Serialize::serialize({b}));\n"
+                            ));
+                        }
+                        arm.push_str(
+                            "let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        arm.push_str(&format!(
+                            "__outer.push((\"{key}\".to_string(), ::serde::Value::Array(__items)));\n"
+                        ));
+                        arm.push_str("::serde::Value::Object(__outer)\n}\n");
+                        s.push_str(&arm);
+                    }
+                    Shape::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {binds} }} => {{\n",
+                            v = v.name,
+                            binds = names.join(", ")
+                        );
+                        arm.push_str(
+                            "let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in &names {
+                            arm.push_str(&format!(
+                                "__inner.push((\"{f}\".to_string(), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arm.push_str(
+                            "let mut __outer: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        arm.push_str(&format!(
+                            "__outer.push((\"{key}\".to_string(), ::serde::Value::Object(__inner)));\n"
+                        ));
+                        arm.push_str("::serde::Value::Object(__outer)\n}\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_field_inits(fields: &[Field], obj: &str, ty: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!("::serde::Deserialize::missing(\"{ty}::{f}\")?", f = f.name)
+        };
+        s.push_str(&format!(
+            "{f}: match ::serde::find_field({obj}, \"{f}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f = f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits = gen_named_field_inits(fields, "__obj", name);
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants.iter().filter(|v| matches!(v.shape, Shape::Unit)) {
+                unit_arms.push_str(&format!(
+                    "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                    key = variant_key(item, v),
+                    v = v.name
+                ));
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let key = variant_key(item, v);
+                let arm = match &v.shape {
+                    Shape::Unit => format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize(__payload)?)),\n",
+                        v = v.name
+                    ),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{key}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload for {name}::{v}\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong payload arity for {name}::{v}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{v}({elems}))\n}}\n",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        )
+                    }
+                    Shape::Struct(fields) => {
+                        let inits = gen_named_field_inits(fields, "__inner", name);
+                        format!(
+                            "\"{key}\" => {{\n\
+                             let __inner = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object payload for {name}::{v}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}}\n",
+                            v = v.name
+                        )
+                    }
+                };
+                tagged_arms.push_str(&arm);
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n\
+                 if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                 if __obj.len() == 1 {{\n\
+                 let __payload = &__obj[0].1;\n\
+                 return match __obj[0].0.as_str() {{\n{tagged_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown variant for {name}\")),\n}};\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unsupported encoding for enum {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -14,6 +14,16 @@
 //! (which pushes to subscribers), and — once every shard has reported a
 //! minute — computes and appends the service-level aggregates for that
 //! minute.
+//!
+//! [`replay_with_faults`] runs the same dataflow through a deterministic
+//! [`crate::faults::FaultSchedule`]: agents skip dropped frames, glitch sensor readings,
+//! mangle bytes in flight, hold delayed frames back, and send duplicates.
+//! The collector is hardened accordingly — undecodable frames are
+//! quarantined (never panic), duplicates are suppressed per agent,
+//! non-finite values are rejected, and minute finalization waits out the
+//! schedule's reorder horizon so a delayed frame is never mistaken for a
+//! lost one. Service aggregation sums instance values in instance-id order,
+//! so the aggregate bytes are identical no matter how threads interleave.
 
 use crate::kpi::{Aggregation, KpiKey, KpiKind};
 use crate::store::MetricStore;
@@ -24,12 +34,20 @@ use crossbeam::channel::bounded;
 use funnel_timeseries::series::TimeSeries;
 use funnel_topology::impact::Entity;
 use funnel_topology::model::{ServerId, ServiceId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub use crate::faults::FaultPlan;
+
+/// Largest record magnitude the collector accepts. Anything beyond this is
+/// treated as corruption, not measurement — see the rejection site for the
+/// rationale.
+const MAX_PLAUSIBLE_VALUE: f64 = 1e12;
 
 /// Counters describing one replay run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReplayStats {
-    /// Wire frames delivered (one per shard per minute).
+    /// Unique wire frames the collector accepted (dropped, duplicate, and
+    /// quarantined frames excluded).
     pub frames: usize,
     /// Individual measurements ingested (before aggregation).
     pub records: usize,
@@ -37,42 +55,21 @@ pub struct ReplayStats {
     pub minutes: usize,
     /// Service-aggregate measurements produced by the collector.
     pub aggregates: usize,
-}
-
-/// Deterministic fault injection for the agent path: real agents lose
-/// frames (host reboots, network blips). The collector and store must
-/// tolerate both; [`replay_with_faults`] exercises them.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct FaultPlan {
-    /// Probability (per agent frame) that the frame is silently dropped
-    /// before reaching the collector.
-    pub drop_frame_prob: f64,
-    /// Extra deterministic per-frame seed so distinct runs drop different
-    /// frames.
-    pub seed: u64,
-}
-
-impl FaultPlan {
-    /// No faults.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Whether the frame for (`shard`, `minute`) is dropped.
-    fn drops(&self, shard: usize, minute: u64) -> bool {
-        if self.drop_frame_prob <= 0.0 {
-            return false;
-        }
-        let h = splitmix(self.seed ^ splitmix(shard as u64) ^ splitmix(minute));
-        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.drop_frame_prob
-    }
-}
-
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
+    /// Frames the fault schedule dropped before delivery.
+    pub dropped_frames: usize,
+    /// Frames the fault schedule held back and delivered late.
+    pub delayed_frames: usize,
+    /// Duplicate deliveries the collector suppressed.
+    pub duplicate_frames: usize,
+    /// Frames that failed to decode and were quarantined.
+    pub quarantined_frames: usize,
+    /// Records whose value was scaled by an injected sensor glitch.
+    pub glitched_records: usize,
+    /// Records the collector rejected for carrying a non-finite or
+    /// implausibly large value (byte corruption can turn a valid f64 into
+    /// NaN/∞ — or into a "valid" number of magnitude 1e300 that would
+    /// silently poison every aggregate it touches).
+    pub invalid_records: usize,
 }
 
 /// Replays the whole world through the agent → collector path into `store`,
@@ -86,13 +83,16 @@ pub fn replay(world: &World, store: &MetricStore, shards: usize) -> Result<Repla
     replay_with_faults(world, store, shards, FaultPlan::none())
 }
 
-/// [`replay`] with deterministic fault injection: dropped agent frames.
+/// [`replay`] under a deterministic [`FaultPlan`].
 ///
-/// The collector uses a watermark (one minute behind the newest frame seen)
-/// to finalize minutes whose frames will never arrive, so a lossy agent
-/// cannot stall service aggregation; service aggregates are only emitted
-/// for minutes where *every* instance reported (partial minutes leave a gap
-/// the store fills forward, exactly like the production substrate).
+/// The collector uses per-agent watermarks (frames within one agent arrive
+/// in send order) to finalize minutes whose frames will never arrive, so a
+/// lossy agent cannot stall service aggregation. When the plan delays
+/// frames, finalization additionally waits out the schedule's reorder
+/// horizon before declaring a frame lost. Service aggregates are only
+/// emitted for minutes where *every* instance reported (partial minutes
+/// leave a gap the store fills forward — and records in its coverage mask —
+/// exactly like the production substrate).
 ///
 /// # Errors
 ///
@@ -107,13 +107,22 @@ pub fn replay_with_faults(
     let shards = shards.max(1);
     let duration = world.config().duration;
     let start = world.config().start;
+    if faults.subscriber_capacity.is_some() {
+        store.set_subscription_capacity_limit(faults.subscriber_capacity);
+    }
+    let schedule = faults.schedule();
+    let horizon = schedule.reorder_horizon();
 
     // Pre-generate per-server payload series (the "agent's local state").
     struct ShardData {
         // (key, series) pairs this shard reports, grouped by server.
         servers: Vec<Vec<(KpiKey, TimeSeries)>>,
     }
-    let mut shard_data: Vec<ShardData> = (0..shards).map(|_| ShardData { servers: Vec::new() }).collect();
+    let mut shard_data: Vec<ShardData> = (0..shards)
+        .map(|_| ShardData {
+            servers: Vec::new(),
+        })
+        .collect();
 
     for sid in 0..world.topology().server_count() {
         let server = ServerId(sid as u32);
@@ -134,7 +143,7 @@ pub fn replay_with_faults(
         shard_data[sid % shards].servers.push(payload);
     }
 
-    // instance → (service, kinds) map for the collector's aggregation.
+    // instance → service map for the collector's aggregation.
     let mut instance_service: HashMap<u32, ServiceId> = HashMap::new();
     for inst in world.topology().instances() {
         instance_service.insert(inst.id.0, inst.service);
@@ -146,88 +155,189 @@ pub fn replay_with_faults(
         .collect();
 
     let (tx, rx) = bounded::<Bytes>(shards * 4);
-    let mut stats = ReplayStats { minutes: duration, ..Default::default() };
+    let mut stats = ReplayStats {
+        minutes: duration,
+        ..Default::default()
+    };
+
+    /// Per-agent counters returned by each shard thread.
+    #[derive(Default)]
+    struct AgentStats {
+        dropped: usize,
+        delayed: usize,
+        glitched: usize,
+    }
 
     std::thread::scope(|scope| {
         // Agent shards.
+        let mut handles = Vec::with_capacity(shards);
         for (shard_idx, data) in shard_data.iter().enumerate() {
             let tx = tx.clone();
-            scope.spawn(move || {
+            let schedule = &schedule;
+            handles.push(scope.spawn(move || {
+                let mut local = AgentStats::default();
+                // Frames held back by the transport: (release minute, bytes).
+                let mut held: Vec<(u64, Bytes)> = Vec::new();
+                let send = |frame: Bytes, copies: u32| {
+                    for _ in 0..=copies {
+                        if tx.send(frame.clone()).is_err() {
+                            return false;
+                        }
+                    }
+                    true
+                };
                 for minute_idx in 0..duration {
                     let minute = start + minute_idx as u64;
-                    if faults.drops(shard_idx, minute) {
+                    // Release previously delayed frames whose time has come
+                    // (before this minute's frame, preserving the reorder
+                    // horizon: a frame for m arrives by agent minute
+                    // m + max_delay).
+                    held.sort_by_key(|(release, _)| *release);
+                    while held.first().is_some_and(|(release, _)| *release <= minute) {
+                        let (_, frame) = held.remove(0);
+                        if !send(frame, 0) {
+                            return local;
+                        }
+                    }
+                    let fate = schedule.frame_fate(shard_idx, minute);
+                    if fate.dropped {
+                        local.dropped += 1;
                         continue; // frame lost in transit
                     }
                     let mut records = Vec::new();
                     for server_payload in &data.servers {
                         for (key, series) in server_payload {
-                            if let Some(value) = series.at(minute) {
+                            if let Some(mut value) = series.at(minute) {
+                                if let Some(factor) =
+                                    schedule.glitch(shard_idx, minute, records.len())
+                                {
+                                    value *= factor;
+                                    local.glitched += 1;
+                                }
                                 records.push(WireRecord { key: *key, value });
                             }
                         }
                     }
                     // One frame per shard per minute (empty shards included,
                     // so the collector's completeness count works).
-                    let frame = encode_frame(minute, shard_idx as u32, &records);
-                    if tx.send(frame).is_err() {
-                        return;
+                    let mut frame = encode_frame(minute, shard_idx as u32, &records);
+                    if fate.truncate_frac.is_some() || fate.corrupt.is_some() {
+                        frame = Bytes::from(schedule.mangle(&fate, &frame));
+                    }
+                    if fate.delay_minutes > 0 {
+                        local.delayed += 1;
+                        held.push((minute + fate.delay_minutes, frame));
+                        continue;
+                    }
+                    if !send(frame, fate.duplicates) {
+                        return local;
                     }
                 }
-            });
+                // Timeline over: flush anything still in flight, in release
+                // order.
+                held.sort_by_key(|(release, _)| *release);
+                for (_, frame) in held {
+                    if !send(frame, 0) {
+                        return local;
+                    }
+                }
+                local
+            }));
         }
         drop(tx);
 
         // Collector: decode, store, aggregate when a minute completes.
-        // sum/count accumulators keyed by (service, kind) per minute.
-        type MinuteAccs = HashMap<(ServiceId, KpiKind), (f64, u32)>;
+        // Per (service, kind): the (instance id, value) pairs seen so far.
+        // Summation happens in instance-id order at finalize time, so the
+        // aggregate is bit-identical no matter how frames interleave.
+        type MinuteAccs = HashMap<(ServiceId, KpiKind), Vec<(u32, f64)>>;
         let mut pending: BTreeMap<u64, (usize, MinuteAccs)> = BTreeMap::new();
-        // Per-agent watermark: frames within one agent arrive in minute
-        // order, so once agent a's watermark passes minute m without a
-        // frame for m, that frame is lost — scheduling skew between agents
-        // can never be mistaken for loss.
+        // Per-agent watermark: frames within one agent arrive in send order,
+        // so once agent a's watermark passes minute m + reorder horizon
+        // without a frame for m, that frame is lost — scheduling skew
+        // between agents can never be mistaken for loss, and a delayed frame
+        // is never declared lost inside the horizon.
         let mut watermarks: Vec<Option<u64>> = vec![None; shards];
+        // Per-agent minutes already accepted, for duplicate suppression.
+        let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); shards];
 
-        let finalize =
-            |minute: u64, accs: MinuteAccs, stats: &mut ReplayStats| {
-                for ((svc, kind), (sum, count)) in accs {
-                    // Only aggregate when every instance reported.
-                    if count as usize != *service_sizes.get(&svc).unwrap_or(&0) || count == 0 {
-                        continue;
-                    }
-                    let value = match kind.aggregation() {
-                        Aggregation::Sum => sum,
-                        Aggregation::Mean => sum / count as f64,
-                    };
-                    store.append(KpiKey::new(Entity::Service(svc), kind), minute, value);
-                    stats.aggregates += 1;
+        let finalize = |minute: u64, accs: MinuteAccs, stats: &mut ReplayStats| {
+            for ((svc, kind), mut cells) in accs {
+                // Only aggregate when every instance reported.
+                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) || cells.is_empty() {
+                    continue;
                 }
-            };
+                cells.sort_by_key(|(id, _)| *id);
+                let sum: f64 = cells.iter().map(|(_, v)| v).sum();
+                let value = match kind.aggregation() {
+                    Aggregation::Sum => sum,
+                    Aggregation::Mean => sum / cells.len() as f64,
+                };
+                store.append(KpiKey::new(Entity::Service(svc), kind), minute, value);
+                stats.aggregates += 1;
+            }
+        };
 
         while let Ok(frame) = rx.recv() {
-            let decoded = decode_frame(frame).expect("agents produce valid frames");
-            stats.frames += 1;
-            if let Some(w) = watermarks.get_mut(decoded.agent_id as usize) {
-                *w = Some(w.map_or(decoded.minute, |x| x.max(decoded.minute)));
+            let decoded = match decode_frame(frame) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Undecodable bytes: quarantine, never panic. The frame
+                    // is gone; the watermark mechanism treats it as lost.
+                    stats.quarantined_frames += 1;
+                    store.note_quarantined_frame();
+                    continue;
+                }
+            };
+            let agent = decoded.agent_id as usize;
+            if agent >= shards {
+                // Header claims an agent we never started: quarantine.
+                stats.quarantined_frames += 1;
+                store.note_quarantined_frame();
+                continue;
             }
+            if !seen[agent].insert(decoded.minute) {
+                stats.duplicate_frames += 1;
+                continue;
+            }
+            stats.frames += 1;
+            let w = &mut watermarks[agent];
+            *w = Some(w.map_or(decoded.minute, |x| x.max(decoded.minute)));
             let entry = pending.entry(decoded.minute).or_default();
             entry.0 += 1;
             for rec in &decoded.records {
+                // Plausibility gate, not just finiteness: corrupted bytes
+                // can decode to a perfectly valid f64 of magnitude ~1e300,
+                // which would dominate every sum, mean, and DiD estimate
+                // downstream. No KPI this pipeline measures (counts,
+                // millisecond delays, utilization percentages) comes within
+                // orders of magnitude of the bound, even glitch-amplified.
+                if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
+                    stats.invalid_records += 1;
+                    continue;
+                }
                 stats.records += 1;
                 store.append(rec.key, decoded.minute, rec.value);
                 if let Entity::Instance(i) = rec.key.entity {
                     if let Some(&svc) = instance_service.get(&i.0) {
-                        let acc = entry.1.entry((svc, rec.key.kind)).or_insert((0.0, 0));
-                        acc.0 += rec.value;
-                        acc.1 += 1;
+                        entry
+                            .1
+                            .entry((svc, rec.key.kind))
+                            .or_default()
+                            .push((i.0, rec.value));
                     }
                 }
             }
             // Finalize a minute once every agent has either delivered it or
-            // demonstrably moved past it (its own watermark is beyond the
-            // minute) — exact under any thread scheduling, robust to loss.
+            // demonstrably moved past its reorder horizon (its own watermark
+            // is beyond minute + horizon) — exact under any thread
+            // scheduling, robust to loss, and safe under delay-induced
+            // reordering.
             while let Some((&minute, entry)) = pending.iter().next() {
                 let complete = entry.0 >= shards;
-                let all_past = watermarks.iter().all(|w| w.is_some_and(|x| x >= minute));
+                let all_past = watermarks
+                    .iter()
+                    .all(|w| w.is_some_and(|x| x >= minute + horizon));
                 if !complete && !all_past {
                     break;
                 }
@@ -238,6 +348,12 @@ pub fn replay_with_faults(
         // Channel closed: flush everything left.
         for (minute, (_, accs)) in std::mem::take(&mut pending) {
             finalize(minute, accs, &mut stats);
+        }
+        for handle in handles {
+            let local = handle.join().expect("agent thread panicked");
+            stats.dropped_frames += local.dropped;
+            stats.delayed_frames += local.delayed;
+            stats.glitched_records += local.glitched;
         }
     });
 
@@ -252,14 +368,19 @@ mod tests {
     use funnel_topology::change::ChangeKind;
 
     fn test_world() -> World {
-        let mut b = WorldBuilder::new(SimConfig { seed: 11, start: 0, duration: 120 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 11,
+            start: 0,
+            duration: 120,
+        });
         let svc = b.add_service("prod.web", 3).unwrap();
         let effect = ChangeEffect::none().with_level_shift(
             KpiKind::PageViewCount,
             EffectScope::TreatedInstances,
             -400.0,
         );
-        b.deploy_change(ChangeKind::Upgrade, svc, 1, 60, effect, "pvc drop").unwrap();
+        b.deploy_change(ChangeKind::Upgrade, svc, 1, 60, effect, "pvc drop")
+            .unwrap();
         b.build()
     }
 
@@ -272,6 +393,8 @@ mod tests {
         assert!(stats.frames >= 240, "frames {}", stats.frames);
         assert!(stats.records > 0);
         assert!(stats.aggregates > 0);
+        assert_eq!(stats.quarantined_frames, 0);
+        assert_eq!(stats.duplicate_frames, 0);
 
         // Every key the world defines must be in the store, equal to the
         // directly-generated series.
@@ -282,6 +405,8 @@ mod tests {
             for (a, b) in stored.values().iter().zip(direct.values()) {
                 assert!((a - b).abs() < 1e-9, "{key:?}: {a} vs {b}");
             }
+            // A clean replay measures every minute.
+            assert_eq!(store.coverage(&key, 0, 120), 1.0, "{key:?} coverage");
         }
     }
 
@@ -300,6 +425,7 @@ mod tests {
         }
         assert_eq!(minutes.len(), 120);
         assert!(minutes.windows(2).all(|w| w[0] < w[1]), "out of order");
+        assert_eq!(sub.dropped(), 0);
     }
 
     #[test]
@@ -314,11 +440,16 @@ mod tests {
     fn lossy_agents_do_not_stall_and_store_self_heals() {
         let world = test_world();
         let store = MetricStore::new();
-        let faults = FaultPlan { drop_frame_prob: 0.1, seed: 99 };
+        let faults = FaultPlan {
+            drop_frame_prob: 0.1,
+            seed: 99,
+            ..FaultPlan::none()
+        };
         let stats = replay_with_faults(&world, &store, 3, faults).unwrap();
         // ~10 % of frames lost.
         assert!(stats.frames < 3 * 120, "no frames were dropped");
         assert!(stats.frames > 3 * 120 * 7 / 10, "too many frames dropped");
+        assert_eq!(stats.frames + stats.dropped_frames, 3 * 120);
         // Every key still holds a full-length series: the store fills the
         // gaps forward, so downstream windows never see holes.
         for key in world.all_keys() {
@@ -332,17 +463,123 @@ mod tests {
                 direct.len()
             );
             assert!(stored.values().iter().all(|v| v.is_finite()));
+            // ... but the coverage mask remembers what was really measured.
+            let coverage = store.coverage(&key, 0, 120);
+            assert!(coverage < 1.0, "{key:?}: loss must show in the mask");
+            assert!(coverage > 0.5, "{key:?}: coverage {coverage}");
         }
     }
 
     #[test]
-    fn fault_plan_is_deterministic() {
-        let p = FaultPlan { drop_frame_prob: 0.3, seed: 5 };
-        let a: Vec<bool> = (0..100).map(|m| p.drops(1, m)).collect();
-        let b: Vec<bool> = (0..100).map(|m| p.drops(1, m)).collect();
-        assert_eq!(a, b);
-        let dropped = a.iter().filter(|&&d| d).count();
-        assert!((15..=45).contains(&dropped), "dropped {dropped}/100");
-        assert!(!FaultPlan::none().drops(0, 0));
+    fn faulted_replay_is_deterministic_and_measured_minutes_are_exact() {
+        let world = test_world();
+        let plan = FaultPlan {
+            seed: 42,
+            drop_frame_prob: 0.15,
+            delay_prob: 0.2,
+            max_delay_minutes: 3,
+            duplicate_prob: 0.2,
+            ..FaultPlan::none()
+        };
+
+        let store_a = MetricStore::new();
+        let stats_a = replay_with_faults(&world, &store_a, 3, plan.clone()).unwrap();
+        let store_b = MetricStore::new();
+        let stats_b = replay_with_faults(&world, &store_b, 3, plan.clone()).unwrap();
+
+        // Same seed + plan ⇒ identical stats and bit-identical series.
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.delayed_frames > 0, "delay channel never fired");
+        assert!(
+            stats_a.duplicate_frames > 0,
+            "duplicate channel never fired"
+        );
+        for key in world.all_keys() {
+            assert_eq!(store_a.get(&key), store_b.get(&key), "{key:?} diverged");
+            assert_eq!(
+                store_a.mask(&key),
+                store_b.mask(&key),
+                "{key:?} mask diverged"
+            );
+        }
+
+        // Every minute the mask says was measured carries the true value:
+        // duplicates were not double-counted and reordering did not
+        // misattribute minutes. (Service aggregates included — sorted-sum
+        // keeps them exact.)
+        for key in world.all_keys() {
+            let direct = world.series(&key).unwrap();
+            let stored = store_a.get(&key).unwrap();
+            let mask = store_a.mask(&key).unwrap();
+            for minute in 0..120u64 {
+                if !mask.is_present(minute) {
+                    continue;
+                }
+                let (Some(got), Some(want)) = (stored.at(minute), direct.at(minute)) else {
+                    panic!("{key:?}@{minute} missing despite mask");
+                };
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{key:?}@{minute}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_faults_match_clean_replay_exactly() {
+        let world = test_world();
+        let clean = MetricStore::new();
+        let clean_stats = replay(&world, &clean, 2).unwrap();
+        let faulted = MetricStore::new();
+        let none_stats = replay_with_faults(&world, &faulted, 2, FaultPlan::none()).unwrap();
+        assert_eq!(clean_stats, none_stats);
+        for key in world.all_keys() {
+            assert_eq!(clean.get(&key), faulted.get(&key), "{key:?} diverged");
+        }
+    }
+
+    #[test]
+    fn corruption_is_quarantined_never_panics() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let plan = FaultPlan {
+            seed: 7,
+            truncate_prob: 0.15,
+            corrupt_prob: 0.15,
+            ..FaultPlan::none()
+        };
+        let stats = replay_with_faults(&world, &store, 3, plan).unwrap();
+        assert!(
+            stats.quarantined_frames > 0,
+            "corruption channel never fired"
+        );
+        assert_eq!(
+            store.stats().quarantined_frames as usize,
+            stats.quarantined_frames
+        );
+        // Whatever survived decoding is finite (non-finite corrupted values
+        // are rejected at the collector).
+        for key in world.all_keys() {
+            if let Some(series) = store.get(&key) {
+                assert!(series.values().iter().all(|v| v.is_finite()), "{key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn glitches_scale_measured_values() {
+        let world = test_world();
+        let store = MetricStore::new();
+        let plan = FaultPlan {
+            seed: 5,
+            glitch_prob: 0.05,
+            glitch_factor: 100.0,
+            ..FaultPlan::none()
+        };
+        let stats = replay_with_faults(&world, &store, 2, plan).unwrap();
+        assert!(stats.glitched_records > 0, "glitch channel never fired");
+        // No loss channels: every frame still arrives.
+        assert_eq!(stats.frames, 2 * 120);
     }
 }

@@ -84,7 +84,10 @@ impl ChangeEffect {
         self.effects.push(KpiEffect {
             kind,
             scope,
-            shape: ChangeShape::Ramp { delta, duration_minutes: duration },
+            shape: ChangeShape::Ramp {
+                delta,
+                duration_minutes: duration,
+            },
             delay_minutes: 0,
         });
         self
@@ -118,11 +121,26 @@ mod tests {
     #[test]
     fn builder_accumulates_effects() {
         let e = ChangeEffect::none()
-            .with_level_shift(KpiKind::MemoryUtilization, EffectScope::TreatedServers, 12.0)
-            .with_ramp(KpiKind::PageViewResponseDelay, EffectScope::TreatedInstances, 40.0, 30);
+            .with_level_shift(
+                KpiKind::MemoryUtilization,
+                EffectScope::TreatedServers,
+                12.0,
+            )
+            .with_ramp(
+                KpiKind::PageViewResponseDelay,
+                EffectScope::TreatedInstances,
+                40.0,
+                30,
+            );
         assert_eq!(e.effects.len(), 2);
         assert!(!e.is_empty());
         assert!(ChangeEffect::none().is_empty());
-        assert!(matches!(e.effects[1].shape, ChangeShape::Ramp { duration_minutes: 30, .. }));
+        assert!(matches!(
+            e.effects[1].shape,
+            ChangeShape::Ramp {
+                duration_minutes: 30,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,398 @@
+//! Deterministic telemetry fault injection.
+//!
+//! Production telemetry pipelines degrade in well-known ways: agents reboot
+//! and lose minutes, the transport delays/reorders/duplicates frames, bytes
+//! get truncated or flipped in flight, sensors glitch, and slow consumers
+//! fall behind the subscription feed. The paper's FUNNEL runs on exactly
+//! such a substrate ("there might exist some KPIs of dubious quality",
+//! §2.2), so a faithful reproduction must be assessed under those faults —
+//! reproducibly.
+//!
+//! A [`FaultPlan`] declares fault *rates*; a [`FaultSchedule`] derives from
+//! it every concrete per-frame and per-record decision as a pure function
+//! of `(seed, shard, minute[, record])` via splitmix64 hashing. No RNG
+//! state is threaded anywhere, so two runs with the same plan make
+//! bit-identical decisions regardless of thread scheduling, and a schedule
+//! can be queried out of order or from several threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Declarative fault rates for one replay. All fields default to zero /
+/// disabled, so `FaultPlan::default()` (= [`FaultPlan::none`]) reproduces
+/// the clean path exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every fault decision; distinct seeds fault different
+    /// frames at the same rates.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability (per agent frame) that the frame is silently dropped
+    /// before reaching the collector.
+    #[serde(default)]
+    pub drop_frame_prob: f64,
+    /// Probability (per surviving frame) that delivery is delayed.
+    #[serde(default)]
+    pub delay_prob: f64,
+    /// Maximum delay in minutes for delayed frames (uniform in
+    /// `1..=max_delay_minutes`). Delayed frames arrive out of order
+    /// relative to the agent's later minutes.
+    #[serde(default)]
+    pub max_delay_minutes: u64,
+    /// Probability (per surviving frame) that the transport delivers one
+    /// extra copy.
+    #[serde(default)]
+    pub duplicate_prob: f64,
+    /// Probability (per surviving frame) that the frame is truncated at a
+    /// pseudorandom byte offset (such frames never decode).
+    #[serde(default)]
+    pub truncate_prob: f64,
+    /// Probability (per surviving frame) that one payload byte is
+    /// corrupted (XORed with a nonzero mask). Corruption hits the record
+    /// region, which either breaks decoding (quarantine) or silently
+    /// alters a record.
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Probability (per record) that the sensor glitches, scaling the
+    /// measured value by [`FaultPlan::glitch_factor`].
+    #[serde(default)]
+    pub glitch_prob: f64,
+    /// Multiplier applied to glitched measurements (e.g. `100.0` for the
+    /// classic stuck-exponent spike). Ignored while `glitch_prob` is zero.
+    #[serde(default)]
+    pub glitch_factor: f64,
+    /// When set, caps the channel capacity of every store subscription
+    /// created while the plan is active — a deterministic stand-in for a
+    /// consumer that cannot keep up (the store drops, never blocks).
+    #[serde(default)]
+    pub subscriber_capacity: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_frame_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay_minutes: 0,
+            duplicate_prob: 0.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+            glitch_prob: 0.0,
+            glitch_factor: 0.0,
+            subscriber_capacity: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// No faults: the replay is byte-for-byte the clean path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A typical lossy-network profile: `rate` of frames dropped, half of
+    /// `rate` corrupted, with everything else clean.
+    pub fn lossy(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            drop_frame_prob: rate,
+            corrupt_prob: rate * 0.5,
+            ..Self::default()
+        }
+    }
+
+    /// Whether every fault channel is disabled.
+    pub fn is_none(&self) -> bool {
+        self.drop_frame_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.glitch_prob <= 0.0
+            && self.subscriber_capacity.is_none()
+    }
+
+    /// Freezes the plan into a queryable schedule.
+    pub fn schedule(&self) -> FaultSchedule {
+        FaultSchedule { plan: self.clone() }
+    }
+}
+
+/// What the transport does to one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameFate {
+    /// Frame never reaches the collector.
+    pub dropped: bool,
+    /// Minutes of transit delay (0 = on time).
+    pub delay_minutes: u64,
+    /// Extra copies delivered (0 = exactly once).
+    pub duplicates: u32,
+    /// Truncate to this fraction of the encoded length, in `[0, 1)`.
+    pub truncate_frac: Option<f64>,
+    /// Corrupt one payload byte: (position fraction within the payload
+    /// region, nonzero XOR mask).
+    pub corrupt: Option<(f64, u8)>,
+}
+
+impl FrameFate {
+    /// The fate of a frame on a fault-free transport.
+    pub fn clean() -> Self {
+        Self {
+            dropped: false,
+            delay_minutes: 0,
+            duplicates: 0,
+            truncate_frac: None,
+            corrupt: None,
+        }
+    }
+}
+
+/// A frozen [`FaultPlan`]: answers "what happens to frame (shard, minute)"
+/// and "does record `i` glitch" as pure functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    plan: FaultPlan,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultSchedule {
+    /// The plan this schedule was frozen from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Independent hash stream per (fault channel, shard, minute).
+    fn hash(&self, channel: u64, shard: usize, minute: u64) -> u64 {
+        splitmix(
+            self.plan.seed
+                ^ splitmix(channel)
+                ^ splitmix(shard as u64 ^ 0xA5A5_5A5A)
+                ^ splitmix(minute),
+        )
+    }
+
+    /// The transport's decisions for the frame agent `shard` sends for
+    /// `minute`.
+    pub fn frame_fate(&self, shard: usize, minute: u64) -> FrameFate {
+        let mut fate = FrameFate::clean();
+        let p = &self.plan;
+        if p.drop_frame_prob > 0.0 && unit(self.hash(1, shard, minute)) < p.drop_frame_prob {
+            fate.dropped = true;
+            return fate;
+        }
+        if p.delay_prob > 0.0 && p.max_delay_minutes > 0 {
+            let h = self.hash(2, shard, minute);
+            if unit(h) < p.delay_prob {
+                fate.delay_minutes = 1 + splitmix(h) % p.max_delay_minutes;
+            }
+        }
+        if p.duplicate_prob > 0.0 && unit(self.hash(3, shard, minute)) < p.duplicate_prob {
+            fate.duplicates = 1;
+        }
+        if p.truncate_prob > 0.0 {
+            let h = self.hash(4, shard, minute);
+            if unit(h) < p.truncate_prob {
+                fate.truncate_frac = Some(unit(splitmix(h)));
+            }
+        }
+        if p.corrupt_prob > 0.0 {
+            let h = self.hash(5, shard, minute);
+            if unit(h) < p.corrupt_prob {
+                let pos = unit(splitmix(h));
+                let mask = (splitmix(h ^ 0xC0DE) % 255) as u8 + 1; // never 0
+                fate.corrupt = Some((pos, mask));
+            }
+        }
+        fate
+    }
+
+    /// Sensor-glitch multiplier for record `index` of frame
+    /// (`shard`, `minute`); `None` means the sensor read true.
+    pub fn glitch(&self, shard: usize, minute: u64, index: usize) -> Option<f64> {
+        let p = &self.plan;
+        if p.glitch_prob <= 0.0 {
+            return None;
+        }
+        let h = splitmix(self.hash(6, shard, minute) ^ splitmix(index as u64));
+        (unit(h) < p.glitch_prob).then_some(p.glitch_factor)
+    }
+
+    /// The reorder horizon the collector must respect: a frame for minute
+    /// `m` can arrive as late as the sending agent's minute
+    /// `m + horizon`, so per-agent watermarks only prove loss once they
+    /// pass `m + horizon`.
+    pub fn reorder_horizon(&self) -> u64 {
+        if self.plan.delay_prob > 0.0 {
+            self.plan.max_delay_minutes
+        } else {
+            0
+        }
+    }
+
+    /// Applies [`FrameFate::truncate_frac`] / [`FrameFate::corrupt`] to an
+    /// encoded frame, returning the (possibly mangled) bytes. Corruption is
+    /// confined to offsets `>= 12` (record count + records): the minute and
+    /// agent-id header stays intact so a mangled frame cannot poison the
+    /// collector's watermark bookkeeping — mirroring transports that
+    /// checksum routing headers but not payloads.
+    pub fn mangle(&self, fate: &FrameFate, bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if let Some((pos_frac, mask)) = fate.corrupt {
+            if out.len() > 12 {
+                let span = out.len() - 12;
+                let idx = 12 + ((pos_frac * span as f64) as usize).min(span - 1);
+                out[idx] ^= mask;
+            }
+        }
+        if let Some(frac) = fate.truncate_frac {
+            let keep = ((frac * out.len() as f64) as usize).min(out.len().saturating_sub(1));
+            out.truncate(keep);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_frame_prob: 0.1,
+            delay_prob: 0.2,
+            max_delay_minutes: 3,
+            duplicate_prob: 0.1,
+            truncate_prob: 0.05,
+            corrupt_prob: 0.05,
+            glitch_prob: 0.01,
+            glitch_factor: 100.0,
+            subscriber_capacity: Some(8),
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = busy_plan(7).schedule();
+        let b = busy_plan(7).schedule();
+        for shard in 0..4 {
+            for minute in 0..500 {
+                assert_eq!(a.frame_fate(shard, minute), b.frame_fate(shard, minute));
+                for idx in 0..10 {
+                    assert_eq!(a.glitch(shard, minute, idx), b.glitch(shard, minute, idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = busy_plan(1).schedule();
+        let b = busy_plan(2).schedule();
+        let fates_a: Vec<_> = (0..300).map(|m| a.frame_fate(0, m)).collect();
+        let fates_b: Vec<_> = (0..300).map(|m| b.frame_fate(0, m)).collect();
+        assert_ne!(fates_a, fates_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let s = busy_plan(42).schedule();
+        let n = 4000u64;
+        let mut dropped = 0;
+        let mut delayed = 0;
+        let mut duplicated = 0;
+        for m in 0..n {
+            let f = s.frame_fate(0, m);
+            dropped += usize::from(f.dropped);
+            delayed += usize::from(f.delay_minutes > 0);
+            duplicated += usize::from(f.duplicates > 0);
+            if f.delay_minutes > 0 {
+                assert!((1..=3).contains(&f.delay_minutes));
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!(
+            (0.07..0.13).contains(&frac(dropped)),
+            "drop {}",
+            frac(dropped)
+        );
+        // Delay/duplicate are evaluated on surviving frames only here, so
+        // allow generous bands around the nominal 0.2 / 0.1.
+        assert!(
+            (0.14..0.26).contains(&frac(delayed)),
+            "delay {}",
+            frac(delayed)
+        );
+        assert!(
+            (0.06..0.14).contains(&frac(duplicated)),
+            "dup {}",
+            frac(duplicated)
+        );
+    }
+
+    #[test]
+    fn none_plan_is_clean_everywhere() {
+        let s = FaultPlan::none().schedule();
+        assert!(s.plan().is_none());
+        assert_eq!(s.reorder_horizon(), 0);
+        for m in 0..200 {
+            assert_eq!(s.frame_fate(3, m), FrameFate::clean());
+            assert_eq!(s.glitch(3, m, 0), None);
+        }
+    }
+
+    #[test]
+    fn mangle_truncates_and_corrupts() {
+        let s = busy_plan(3).schedule();
+        let bytes: Vec<u8> = (0..100).collect();
+
+        let trunc = FrameFate {
+            truncate_frac: Some(0.5),
+            ..FrameFate::clean()
+        };
+        let out = s.mangle(&trunc, &bytes);
+        assert_eq!(out.len(), 50);
+        assert_eq!(&out[..], &bytes[..50]);
+
+        let corrupt = FrameFate {
+            corrupt: Some((0.0, 0xFF)),
+            ..FrameFate::clean()
+        };
+        let out = s.mangle(&corrupt, &bytes);
+        assert_eq!(out.len(), bytes.len());
+        // Header (first 12 bytes) untouched.
+        assert_eq!(&out[..12], &bytes[..12]);
+        let flipped: Vec<usize> = (0..out.len()).filter(|&i| out[i] != bytes[i]).collect();
+        assert_eq!(flipped.len(), 1);
+        assert!(flipped[0] >= 12);
+
+        let clean = s.mangle(&FrameFate::clean(), &bytes);
+        assert_eq!(clean, bytes);
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = busy_plan(99);
+        let json = serde_json::to_string_pretty(&plan).unwrap();
+        let again: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, again);
+        // Sparse JSON fills defaults.
+        let sparse: FaultPlan =
+            serde_json::from_str(r#"{"seed": 5, "drop_frame_prob": 0.25}"#).unwrap();
+        assert_eq!(sparse.seed, 5);
+        assert_eq!(sparse.drop_frame_prob, 0.25);
+        assert_eq!(sparse.max_delay_minutes, 0);
+        assert_eq!(sparse.subscriber_capacity, None);
+    }
+}

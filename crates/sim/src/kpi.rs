@@ -90,9 +90,9 @@ impl KpiKind {
     /// How the service KPI aggregates instance measurements.
     pub fn aggregation(self) -> Aggregation {
         match self {
-            KpiKind::PageViewCount
-            | KpiKind::AccessFailureCount
-            | KpiKind::EffectiveClickCount => Aggregation::Sum,
+            KpiKind::PageViewCount | KpiKind::AccessFailureCount | KpiKind::EffectiveClickCount => {
+                Aggregation::Sum
+            }
             KpiKind::PageViewResponseDelay
             | KpiKind::CpuUtilization
             | KpiKind::MemoryUtilization
@@ -106,7 +106,7 @@ impl KpiKind {
         match self {
             KpiKind::CpuUtilization => 45.0,
             KpiKind::MemoryUtilization => 62.0,
-            KpiKind::NicThroughput => 480.0,  // Mbit/s
+            KpiKind::NicThroughput => 480.0,      // Mbit/s
             KpiKind::CpuContextSwitch => 9_000.0, // per minute
             KpiKind::PageViewCount => 1_200.0,
             KpiKind::PageViewResponseDelay => 180.0, // ms
@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn counts_sum_delays_average() {
         assert_eq!(KpiKind::PageViewCount.aggregation(), Aggregation::Sum);
-        assert_eq!(KpiKind::PageViewResponseDelay.aggregation(), Aggregation::Mean);
+        assert_eq!(
+            KpiKind::PageViewResponseDelay.aggregation(),
+            Aggregation::Mean
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`agent`] — per-server agents that encode measurements into a compact
 //!   wire format ([`wire`]) and stream them to a collector thread, minute
 //!   by minute: the live ingestion path used by the online pipeline.
+//! * [`faults`] — seeded, deterministic telemetry fault injection (frame
+//!   drop/delay/duplication/corruption, sensor glitches, slow subscribers)
+//!   applied to the agent→collector path to exercise FUNNEL under the
+//!   degraded telemetry the paper warns about (§2.2).
 //! * [`scenario`] — canned worlds: the Table-1/Fig-5 evaluation cohort, the
 //!   Redis load-balancing case (Fig. 6), and the advertising anti-cheat
 //!   incident (Fig. 7).
@@ -32,6 +36,7 @@
 
 pub mod agent;
 pub mod effect;
+pub mod faults;
 pub mod kpi;
 pub mod scenario;
 pub mod spec;
@@ -40,6 +45,7 @@ pub mod wire;
 pub mod world;
 
 pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
+pub use faults::{FaultPlan, FaultSchedule, FrameFate};
 pub use kpi::{Aggregation, KpiKey, KpiKind};
-pub use store::{MetricStore, Subscription};
+pub use store::{MetricStore, StoreStats, Subscription};
 pub use world::{GroundTruthItem, SimConfig, World, WorldBuilder};

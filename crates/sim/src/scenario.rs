@@ -59,7 +59,8 @@ pub fn evaluation_world(seed: u64) -> (World, CohortMeta) {
     // Relationship edges: every third service talks to its successor
     // (Fig. 4-style chains, giving some changes affected services).
     for s in (0..18).step_by(3) {
-        b.relate(services[s], services[s + 1]).expect("valid services");
+        b.relate(services[s], services[s + 1])
+            .expect("valid services");
     }
 
     let eval_day_start = 7 * DAY;
@@ -82,7 +83,11 @@ pub fn evaluation_world(seed: u64) -> (World, CohortMeta) {
         } else {
             ChangeEffect::none()
         };
-        let kind = if i % 3 == 0 { ChangeKind::ConfigChange } else { ChangeKind::Upgrade };
+        let kind = if i % 3 == 0 {
+            ChangeKind::ConfigChange
+        } else {
+            ChangeKind::Upgrade
+        };
         let id = b
             .deploy_change(
                 kind,
@@ -111,7 +116,10 @@ pub fn evaluation_world(seed: u64) -> (World, CohortMeta) {
             ExternalShock {
                 services: vec![svc],
                 kind: KpiKind::PageViewCount,
-                shape: ChangeShape::Spike { delta: -300.0, duration_minutes: 5 },
+                shape: ChangeShape::Spike {
+                    delta: -300.0,
+                    duration_minutes: 5,
+                },
                 onset,
             }
         };
@@ -121,7 +129,12 @@ pub fn evaluation_world(seed: u64) -> (World, CohortMeta) {
     let world = b.build();
     (
         world,
-        CohortMeta { changes, services, eval_day_start, history_days: 6 },
+        CohortMeta {
+            changes,
+            services,
+            eval_day_start,
+            history_days: 6,
+        },
     )
 }
 
@@ -134,7 +147,10 @@ fn effect_template(idx: usize) -> ChangeEffect {
     let ramp = (idx / 6) % 3 == 2;
     let shape = |delta: f64| -> ChangeShape {
         if ramp {
-            ChangeShape::Ramp { delta, duration_minutes: 20 }
+            ChangeShape::Ramp {
+                delta,
+                duration_minutes: 20,
+            }
         } else {
             ChangeShape::LevelShift { delta }
         }
@@ -220,10 +236,13 @@ pub fn deployment_week(seed: u64, changes_per_day: usize) -> (World, DeploymentM
             let svc = services[counter % services.len()];
             let minute = day_start + 60 + c as u64 * spacing;
             let has_effect = counter % 25 == 7; // 4 %
-            let effect =
-                if has_effect { effect_template(counter) } else { ChangeEffect::none() };
+            let effect = if has_effect {
+                effect_template(counter)
+            } else {
+                ChangeEffect::none()
+            };
             let dark = counter % 5 != 4;
-            let kind = if counter % 3 == 0 {
+            let kind = if counter.is_multiple_of(3) {
                 ChangeKind::ConfigChange
             } else {
                 ChangeKind::Upgrade
@@ -250,13 +269,22 @@ pub fn deployment_week(seed: u64, changes_per_day: usize) -> (World, DeploymentM
             b.add_shock(ExternalShock {
                 services: vec![services[(day as usize * 3) % services.len()]],
                 kind: KpiKind::AccessFailureCount,
-                shape: ChangeShape::Spike { delta: 10.0, duration_minutes: 14 },
+                shape: ChangeShape::Spike {
+                    delta: 10.0,
+                    duration_minutes: 14,
+                },
                 onset: day_start + 400 + day * 37,
             });
         }
         days.push(ids);
     }
-    (b.build(), DeploymentMeta { days, history_days: 6 })
+    (
+        b.build(),
+        DeploymentMeta {
+            days,
+            history_days: 6,
+        },
+    )
 }
 
 /// Fig. 6: the Redis load-balancing case study.
@@ -366,8 +394,12 @@ mod tests {
         // Ground truth exists exactly for effecting changes.
         let gt = world.ground_truth();
         assert!(!gt.is_empty());
-        let effecting: std::collections::BTreeSet<_> =
-            meta.changes.iter().filter(|(_, e)| *e).map(|(id, _)| *id).collect();
+        let effecting: std::collections::BTreeSet<_> = meta
+            .changes
+            .iter()
+            .filter(|(_, e)| *e)
+            .map(|(id, _)| *id)
+            .collect();
         assert!(gt.iter().all(|g| effecting.contains(&g.change)));
     }
 
@@ -395,8 +427,14 @@ mod tests {
         let a_after = mean(a.slice(minute, minute + 120));
         let b_before = mean(bb.slice(minute - 120, minute));
         let b_after = mean(bb.slice(minute, minute + 120));
-        assert!(a_before > 800.0 && a_after < 600.0, "A {a_before} → {a_after}");
-        assert!(b_before < 250.0 && b_after > 400.0, "B {b_before} → {b_after}");
+        assert!(
+            a_before > 800.0 && a_after < 600.0,
+            "A {a_before} → {a_after}"
+        );
+        assert!(
+            b_before < 250.0 && b_after > 400.0,
+            "B {b_before} → {b_after}"
+        );
         // 12 ground-truth server items (6 down + 6 up).
         assert_eq!(world.ground_truth().len(), 12);
     }

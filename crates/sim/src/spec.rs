@@ -225,7 +225,10 @@ impl WorldSpec {
                     ScopeSpec::TreatedServers => EffectScope::TreatedServers,
                 };
                 let shape = if e.ramp_minutes > 0 {
-                    ChangeShape::Ramp { delta: e.delta, duration_minutes: e.ramp_minutes }
+                    ChangeShape::Ramp {
+                        delta: e.delta,
+                        duration_minutes: e.ramp_minutes,
+                    }
                 } else {
                     ChangeShape::LevelShift { delta: e.delta }
                 };
@@ -236,8 +239,7 @@ impl WorldSpec {
                     delay_minutes: e.delay_minutes,
                 });
             }
-            let minute =
-                c.day as u64 * MINUTES_PER_DAY as u64 + c.minute_of_day.min(1439) as u64;
+            let minute = c.day as u64 * MINUTES_PER_DAY as u64 + c.minute_of_day.min(1439) as u64;
             let kind = match c.kind {
                 ChangeKindSpec::Upgrade => ChangeKind::Upgrade,
                 ChangeKindSpec::ConfigChange => ChangeKind::ConfigChange,
@@ -253,7 +255,10 @@ impl WorldSpec {
                 .map(|n| lookup(n))
                 .collect::<Result<Vec<_>, _>>()?;
             let shape = if s.spike_minutes > 0 {
-                ChangeShape::Spike { delta: s.delta, duration_minutes: s.spike_minutes }
+                ChangeShape::Spike {
+                    delta: s.delta,
+                    duration_minutes: s.spike_minutes,
+                }
             } else {
                 ChangeShape::LevelShift { delta: s.delta }
             };
@@ -265,7 +270,10 @@ impl WorldSpec {
             });
         }
 
-        Ok(BuiltWorld { world: b.build(), changes: change_ids })
+        Ok(BuiltWorld {
+            world: b.build(),
+            changes: change_ids,
+        })
     }
 }
 
@@ -278,7 +286,11 @@ mod tests {
             seed: 3,
             days: 8,
             services: vec![
-                ServiceSpec { name: "a.web".into(), instances: 4, extra_kinds: vec![] },
+                ServiceSpec {
+                    name: "a.web".into(),
+                    instances: 4,
+                    extra_kinds: vec![],
+                },
                 ServiceSpec {
                     name: "a.ads".into(),
                     instances: 2,

@@ -7,13 +7,20 @@
 //! read–write lock and fans out live appends to subscribers over bounded
 //! crossbeam channels — the same push-within-a-second contract FUNNEL's
 //! online pipeline consumes.
+//!
+//! Degradation is first-class: the store records *which* minutes carried a
+//! real measurement (a [`CoverageMask`] per key — the dense series itself
+//! forward-fills gaps and cannot tell a fill from a measurement), counts
+//! per-subscription drops when a consumer lags, and exposes the whole
+//! bookkeeping as a [`StoreStats`] snapshot.
 
 use crate::kpi::KpiKey;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One live measurement pushed to subscribers.
@@ -27,11 +34,29 @@ pub struct Measurement {
     pub value: f64,
 }
 
+/// Counters describing the store's delivery health. All counters are
+/// monotonic over the store's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Measurements successfully handed to a subscriber channel.
+    pub published: u64,
+    /// Measurements dropped because a subscriber's channel was full
+    /// (summed over all subscriptions; per-subscription counts live on
+    /// [`Subscription::dropped`]).
+    pub dropped: u64,
+    /// Subscribers reaped after their receiver was dropped.
+    pub reaped_subscribers: u64,
+    /// Undecodable wire frames the ingestion path quarantined (reported by
+    /// the collector via [`MetricStore::note_quarantined_frame`]).
+    pub quarantined_frames: u64,
+}
+
 /// A live subscription handle; drop it to unsubscribe.
 #[derive(Debug)]
 pub struct Subscription {
     id: u64,
     receiver: Receiver<Measurement>,
+    drops: Arc<AtomicU64>,
 }
 
 impl Subscription {
@@ -45,20 +70,35 @@ impl Subscription {
     pub fn recv(&self) -> Option<Measurement> {
         self.receiver.recv().ok()
     }
+
+    /// How many measurements the store dropped for *this* subscription
+    /// because its channel was full.
+    pub fn dropped(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
 }
 
 struct Subscriber {
     id: u64,
     filter: Option<Vec<KpiKey>>,
     sender: Sender<Measurement>,
+    drops: Arc<AtomicU64>,
 }
 
 /// The in-memory metric store.
 #[derive(Default)]
 pub struct MetricStore {
     series: RwLock<HashMap<KpiKey, TimeSeries>>,
+    masks: RwLock<HashMap<KpiKey, CoverageMask>>,
     subscribers: RwLock<Vec<Subscriber>>,
     next_sub: AtomicU64,
+    published: AtomicU64,
+    dropped: AtomicU64,
+    reaped: AtomicU64,
+    quarantined: AtomicU64,
+    /// 0 = uncapped; otherwise every new subscription's channel capacity is
+    /// clamped to this (fault injection for slow consumers).
+    max_sub_capacity: AtomicUsize,
 }
 
 impl std::fmt::Debug for MetricStore {
@@ -66,6 +106,7 @@ impl std::fmt::Debug for MetricStore {
         f.debug_struct("MetricStore")
             .field("keys", &self.series.read().len())
             .field("subscribers", &self.subscribers.read().len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -83,13 +124,18 @@ impl MetricStore {
     }
 
     /// Replaces the entire series for `key` (used by batch materialization).
+    /// Every minute of the series counts as measured.
     pub fn insert(&self, key: KpiKey, series: TimeSeries) {
+        let mask = CoverageMask::all_present(series.start(), series.len());
         self.series.write().insert(key, series);
+        self.masks.write().insert(key, mask);
     }
 
     /// Appends one live measurement, growing the series (gaps are filled by
     /// repeating the last value, matching the upstream interpolation the
-    /// paper's agents perform), and pushes it to matching subscribers.
+    /// paper's agents perform), and pushes it to matching subscribers. Only
+    /// `minute` itself is marked as measured in the key's coverage mask —
+    /// the fill minutes stay visibly synthetic.
     pub fn append(&self, key: KpiKey, minute: MinuteBin, value: f64) {
         {
             let mut map = self.series.write();
@@ -111,6 +157,14 @@ impl MetricStore {
             }
             series.push(value);
         }
+        {
+            let mut masks = self.masks.write();
+            let mask = masks
+                .entry(key)
+                .or_insert_with(|| CoverageMask::new(minute));
+            mask.rebase(minute);
+            mask.mark(minute);
+        }
         self.publish(Measurement { key, minute, value });
     }
 
@@ -124,28 +178,74 @@ impl MetricStore {
                     continue;
                 }
                 match s.sender.try_send(m) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        self.published.fetch_add(1, Ordering::Relaxed);
+                    }
                     Err(TrySendError::Full(_)) => {
                         // Lagging subscriber: drop the measurement for it
                         // rather than blocking ingestion (the store favours
                         // liveness; FUNNEL re-reads history on demand).
+                        s.drops.fetch_add(1, Ordering::Relaxed);
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(TrySendError::Disconnected(_)) => dead.push(s.id),
                 }
             }
         }
         if !dead.is_empty() {
+            self.reaped.fetch_add(dead.len() as u64, Ordering::Relaxed);
             self.subscribers.write().retain(|s| !dead.contains(&s.id));
         }
     }
 
     /// Subscribes to live measurements; `filter = None` means everything.
-    /// The channel holds up to `capacity` undelivered measurements.
+    /// The channel holds up to `capacity` undelivered measurements (clamped
+    /// by [`MetricStore::set_subscription_capacity_limit`] when one is set).
     pub fn subscribe(&self, filter: Option<Vec<KpiKey>>, capacity: usize) -> Subscription {
-        let (tx, rx) = bounded(capacity.max(1));
+        let limit = self.max_sub_capacity.load(Ordering::Relaxed);
+        let mut cap = capacity.max(1);
+        if limit > 0 {
+            cap = cap.min(limit);
+        }
+        let (tx, rx) = bounded(cap);
         let id = self.next_sub.fetch_add(1, Ordering::Relaxed);
-        self.subscribers.write().push(Subscriber { id, filter, sender: tx });
-        Subscription { id, receiver: rx }
+        let drops = Arc::new(AtomicU64::new(0));
+        self.subscribers.write().push(Subscriber {
+            id,
+            filter,
+            sender: tx,
+            drops: Arc::clone(&drops),
+        });
+        Subscription {
+            id,
+            receiver: rx,
+            drops,
+        }
+    }
+
+    /// Caps the channel capacity of subscriptions created from now on
+    /// (`None` lifts the cap). Fault injection for consumers that cannot
+    /// keep up: with a tiny cap the store drops instead of blocking, and
+    /// the per-subscription drop counters record exactly how much was lost.
+    pub fn set_subscription_capacity_limit(&self, limit: Option<usize>) {
+        self.max_sub_capacity
+            .store(limit.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Records one quarantined (undecodable) ingestion frame. Called by the
+    /// collector so operators see transport corruption in [`StoreStats`].
+    pub fn note_quarantined_frame(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the delivery counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            published: self.published.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            reaped_subscribers: self.reaped.load(Ordering::Relaxed),
+            quarantined_frames: self.quarantined.load(Ordering::Relaxed),
+        }
     }
 
     /// Cancels a subscription explicitly (dropping the [`Subscription`]
@@ -167,9 +267,28 @@ impl MetricStore {
         self.series.read().get(key).cloned()
     }
 
+    /// A copy of the coverage mask for `key`: which minutes hold real
+    /// measurements rather than forward-fills.
+    pub fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        self.masks.read().get(key).cloned()
+    }
+
+    /// Fraction of `[from, to)` that holds real measurements for `key`
+    /// (0 when the key is unknown).
+    pub fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        self.masks
+            .read()
+            .get(key)
+            .map(|m| m.coverage(from, to))
+            .unwrap_or(0.0)
+    }
+
     /// The values of `key` over `[from, to)` (clamped), if the key exists.
     pub fn range(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> Option<Vec<f64>> {
-        self.series.read().get(key).map(|s| s.slice(from, to).to_vec())
+        self.series
+            .read()
+            .get(key)
+            .map(|s| s.slice(from, to).to_vec())
     }
 
     /// Number of keys held.
@@ -206,6 +325,9 @@ mod tests {
         assert_eq!(store.range(&key(0), 11, 13), Some(vec![2.0, 3.0]));
         assert_eq!(store.range(&key(1), 0, 5), None);
         assert_eq!(store.len(), 1);
+        // Batch inserts count as fully measured.
+        assert_eq!(store.coverage(&key(0), 10, 13), 1.0);
+        assert_eq!(store.coverage(&key(1), 0, 5), 0.0);
     }
 
     #[test]
@@ -220,6 +342,22 @@ mod tests {
         // Late write ignored.
         store.append(key(0), 6, 99.0);
         assert_eq!(store.get(&key(0)).unwrap().values()[1], 2.0);
+    }
+
+    #[test]
+    fn mask_tracks_real_measurements_only() {
+        let store = MetricStore::new();
+        store.append(key(0), 5, 1.0);
+        store.append(key(0), 6, 2.0);
+        store.append(key(0), 9, 5.0);
+        // The series is dense 5..=9, but 7 and 8 are fills.
+        let mask = store.mask(&key(0)).unwrap();
+        assert!(mask.is_present(5));
+        assert!(mask.is_present(6));
+        assert!(!mask.is_present(7));
+        assert!(!mask.is_present(8));
+        assert!(mask.is_present(9));
+        assert_eq!(store.coverage(&key(0), 5, 10), 0.6);
     }
 
     #[test]
@@ -257,6 +395,28 @@ mod tests {
         assert!(sub.receiver().try_recv().is_err());
         // Store itself has all ten.
         assert_eq!(store.get(&key(0)).unwrap().len(), 10);
+        // Drop accounting: 8 lost for this subscription, visible both ways.
+        assert_eq!(sub.dropped(), 8);
+        let stats = store.stats();
+        assert_eq!(stats.dropped, 8);
+        assert_eq!(stats.published, 2);
+    }
+
+    #[test]
+    fn capacity_limit_throttles_new_subscriptions() {
+        let store = MetricStore::new();
+        store.set_subscription_capacity_limit(Some(1));
+        let sub = store.subscribe(None, 1024); // asked big, clamped to 1
+        for m in 0..5 {
+            store.append(key(0), m, 0.0);
+        }
+        assert_eq!(sub.dropped(), 4);
+        store.set_subscription_capacity_limit(None);
+        let free = store.subscribe(None, 16);
+        for m in 5..10 {
+            store.append(key(0), m, 0.0);
+        }
+        assert_eq!(free.dropped(), 0);
     }
 
     #[test]
@@ -269,5 +429,14 @@ mod tests {
         store.unsubscribe(&sub2);
         store.append(key(0), 1, 1.0);
         assert!(sub2.receiver().try_recv().is_err());
+        assert_eq!(store.stats().reaped_subscribers, 1);
+    }
+
+    #[test]
+    fn quarantine_counter_snapshots() {
+        let store = MetricStore::new();
+        store.note_quarantined_frame();
+        store.note_quarantined_frame();
+        assert_eq!(store.stats().quarantined_frames, 2);
     }
 }

@@ -106,7 +106,11 @@ pub fn decode_frame(mut buf: Bytes) -> Result<WireFrame, WireError> {
     let minute = buf.get_u64_le();
     let agent_id = buf.get_u32_le();
     let count = buf.get_u32_le() as usize;
-    let mut records = Vec::with_capacity(count);
+    // A corrupted count must not drive allocation: cap the reserve by what
+    // the remaining bytes could actually hold (14 bytes per record). The
+    // loop below still walks the declared count and reports `Truncated`
+    // when the bytes run out.
+    let mut records = Vec::with_capacity(count.min(buf.remaining() / 14));
     for _ in 0..count {
         if buf.remaining() < 14 {
             return Err(WireError::Truncated);
@@ -117,9 +121,16 @@ pub fn decode_frame(mut buf: Bytes) -> Result<WireFrame, WireError> {
         let value = buf.get_f64_le();
         let entity = entity_from(etag, id)?;
         let kind = KpiKind::from_tag(ktag).ok_or(WireError::BadKpiTag(ktag))?;
-        records.push(WireRecord { key: KpiKey::new(entity, kind), value });
+        records.push(WireRecord {
+            key: KpiKey::new(entity, kind),
+            value,
+        });
     }
-    Ok(WireFrame { minute, agent_id, records })
+    Ok(WireFrame {
+        minute,
+        agent_id,
+        records,
+    })
 }
 
 #[cfg(test)]
@@ -173,6 +184,21 @@ mod tests {
         let frame = encode_frame(777, 0, &sample_records());
         let cut = frame.slice(0..frame.len() - 3);
         assert_eq!(decode_frame(cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_count_is_truncation_not_allocation() {
+        // A frame whose count field claims u32::MAX records must fail fast
+        // with `Truncated` (and must not reserve gigabytes first).
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(5);
+        buf.put_u32_le(0);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u8(0);
+        buf.put_u32_le(1);
+        buf.put_u8(0);
+        buf.put_f64_le(1.0);
+        assert_eq!(decode_frame(buf.freeze()), Err(WireError::Truncated));
     }
 
     #[test]

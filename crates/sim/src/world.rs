@@ -37,12 +37,20 @@ pub struct SimConfig {
 impl SimConfig {
     /// One simulated day starting at minute 0.
     pub fn one_day(seed: u64) -> Self {
-        Self { seed, start: 0, duration: funnel_timeseries::MINUTES_PER_DAY }
+        Self {
+            seed,
+            start: 0,
+            duration: funnel_timeseries::MINUTES_PER_DAY,
+        }
     }
 
     /// `days` simulated days starting at minute 0.
     pub fn days(seed: u64, days: usize) -> Self {
-        Self { seed, start: 0, duration: days * funnel_timeseries::MINUTES_PER_DAY }
+        Self {
+            seed,
+            start: 0,
+            duration: days * funnel_timeseries::MINUTES_PER_DAY,
+        }
     }
 
     /// The absolute end minute (exclusive).
@@ -174,18 +182,15 @@ impl WorldBuilder {
     /// # Errors
     ///
     /// Propagates topology errors (duplicate names).
-    pub fn add_service(
-        &mut self,
-        name: &str,
-        n_instances: usize,
-    ) -> Result<ServiceId, SimError> {
+    pub fn add_service(&mut self, name: &str, n_instances: usize) -> Result<ServiceId, SimError> {
         let name = ServiceName::parse(name).map_err(SimError::InvalidName)?;
         let id = self.topology.add_service(name.clone())?;
         for k in 0..n_instances {
             let server = self.topology.add_server(format!("{name}-host-{k}"));
             self.topology.add_instance(id, server)?;
         }
-        self.instance_kinds.insert(id, KpiKind::INSTANCE_KINDS.to_vec());
+        self.instance_kinds
+            .insert(id, KpiKind::INSTANCE_KINDS.to_vec());
         Ok(id)
     }
 
@@ -227,8 +232,14 @@ impl WorldBuilder {
         let instances = self.topology.instances_of(service);
         let n_targets = n_targets.min(instances.len());
         let targets: Vec<InstanceId> = instances.iter().take(n_targets).map(|i| i.id).collect();
-        let launch = if n_targets == instances.len() { LaunchMode::Full } else { LaunchMode::Dark };
-        let id = self.change_log.record(kind, service, targets, minute, launch, description);
+        let launch = if n_targets == instances.len() {
+            LaunchMode::Full
+        } else {
+            LaunchMode::Dark
+        };
+        let id = self
+            .change_log
+            .record(kind, service, targets, minute, launch, description);
         self.effects.insert(id, effect);
         Ok(id)
     }
@@ -359,7 +370,10 @@ impl World {
                 (key.kind, self.service_level_factor(s))
             }
         };
-        Ok(KpiGenerator::for_class(kind.class(), kind.base_level() * level_factor))
+        Ok(KpiGenerator::for_class(
+            kind.class(),
+            kind.base_level() * level_factor,
+        ))
     }
 
     /// Instance KPI kinds a service carries.
@@ -414,7 +428,9 @@ impl World {
     fn injections_for(&self, key: &KpiKey) -> Vec<InjectedChange> {
         let mut out = Vec::new();
         for change in self.change_log.all() {
-            let Some(effect) = self.effects.get(&change.id) else { continue };
+            let Some(effect) = self.effects.get(&change.id) else {
+                continue;
+            };
             for e in &effect.effects {
                 if e.kind != key.kind {
                     continue;
@@ -428,9 +444,10 @@ impl World {
                         .iter()
                         .any(|&t| self.topology.instance(t).is_ok_and(|inst| inst.server == s)),
                     (EffectScope::Servers(list), Entity::Server(s)) => list.contains(&s),
-                    (EffectScope::AffectedService(svc), Entity::Instance(i)) => {
-                        self.topology.instance(i).is_ok_and(|inst| inst.service == *svc)
-                    }
+                    (EffectScope::AffectedService(svc), Entity::Instance(i)) => self
+                        .topology
+                        .instance(i)
+                        .is_ok_and(|inst| inst.service == *svc),
                     _ => false,
                 };
                 if applies {
@@ -457,7 +474,10 @@ impl World {
                 Entity::Service(_) => false,
             };
             if applies {
-                out.push(InjectedChange { onset: shock.onset, shape: shock.shape });
+                out.push(InjectedChange {
+                    onset: shock.onset,
+                    shape: shock.shape,
+                });
             }
         }
         out
@@ -492,7 +512,9 @@ impl World {
     pub fn ground_truth(&self) -> Vec<GroundTruthItem> {
         let mut items = Vec::new();
         for change in self.change_log.all() {
-            let Some(effect) = self.effects.get(&change.id) else { continue };
+            let Some(effect) = self.effects.get(&change.id) else {
+                continue;
+            };
             for e in &effect.effects {
                 if !e.shape.is_persistent() {
                     continue;
@@ -630,13 +652,23 @@ impl World {
 
 fn scale_shape(shape: ChangeShape, scale: f64) -> ChangeShape {
     match shape {
-        ChangeShape::LevelShift { delta } => ChangeShape::LevelShift { delta: delta * scale },
-        ChangeShape::Ramp { delta, duration_minutes } => {
-            ChangeShape::Ramp { delta: delta * scale, duration_minutes }
-        }
-        ChangeShape::Spike { delta, duration_minutes } => {
-            ChangeShape::Spike { delta: delta * scale, duration_minutes }
-        }
+        ChangeShape::LevelShift { delta } => ChangeShape::LevelShift {
+            delta: delta * scale,
+        },
+        ChangeShape::Ramp {
+            delta,
+            duration_minutes,
+        } => ChangeShape::Ramp {
+            delta: delta * scale,
+            duration_minutes,
+        },
+        ChangeShape::Spike {
+            delta,
+            duration_minutes,
+        } => ChangeShape::Spike {
+            delta: delta * scale,
+            duration_minutes,
+        },
     }
 }
 
@@ -646,7 +678,11 @@ mod tests {
     use funnel_timeseries::stats::mean;
 
     fn small_world() -> (World, ServiceId, ChangeId) {
-        let mut b = WorldBuilder::new(SimConfig { seed: 7, start: 0, duration: 600 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 7,
+            start: 0,
+            duration: 600,
+        });
         let svc = b.add_service("prod.web", 4).unwrap();
         let effect = ChangeEffect::none().with_level_shift(
             KpiKind::PageViewResponseDelay,
@@ -671,8 +707,14 @@ mod tests {
     fn treated_instances_shift_control_does_not() {
         let (w, svc, _) = small_world();
         let instances = w.topology().instances_of(svc);
-        let treated = KpiKey::new(Entity::Instance(instances[0].id), KpiKind::PageViewResponseDelay);
-        let control = KpiKey::new(Entity::Instance(instances[3].id), KpiKind::PageViewResponseDelay);
+        let treated = KpiKey::new(
+            Entity::Instance(instances[0].id),
+            KpiKind::PageViewResponseDelay,
+        );
+        let control = KpiKey::new(
+            Entity::Instance(instances[3].id),
+            KpiKind::PageViewResponseDelay,
+        );
         let ts = w.series(&treated).unwrap();
         let cs = w.series(&control).unwrap();
         let t_jump = mean(ts.slice(300, 400)) - mean(ts.slice(200, 300));
@@ -710,7 +752,11 @@ mod tests {
 
     #[test]
     fn shock_hits_treated_and_control_alike() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 3, start: 0, duration: 400 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 3,
+            start: 0,
+            duration: 400,
+        });
         let svc = b.add_service("prod.x", 3).unwrap();
         b.add_shock(ExternalShock {
             services: vec![svc],
@@ -731,7 +777,11 @@ mod tests {
 
     #[test]
     fn scope_kind_mismatch_rejected() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 1, start: 0, duration: 100 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 1,
+            start: 0,
+            duration: 100,
+        });
         let svc = b.add_service("prod.y", 2).unwrap();
         let bad = ChangeEffect::none().with_level_shift(
             KpiKind::MemoryUtilization, // server KPI
@@ -765,13 +815,31 @@ mod tests {
 
     #[test]
     fn launch_mode_inferred_from_target_count() {
-        let mut b = WorldBuilder::new(SimConfig { seed: 1, start: 0, duration: 100 });
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 1,
+            start: 0,
+            duration: 100,
+        });
         let svc = b.add_service("prod.z", 3).unwrap();
         let dark = b
-            .deploy_change(ChangeKind::Upgrade, svc, 2, 50, ChangeEffect::none(), "dark")
+            .deploy_change(
+                ChangeKind::Upgrade,
+                svc,
+                2,
+                50,
+                ChangeEffect::none(),
+                "dark",
+            )
             .unwrap();
         let full = b
-            .deploy_change(ChangeKind::Upgrade, svc, 3, 60, ChangeEffect::none(), "full")
+            .deploy_change(
+                ChangeKind::Upgrade,
+                svc,
+                3,
+                60,
+                ChangeEffect::none(),
+                "full",
+            )
             .unwrap();
         let w = b.build();
         assert_eq!(w.change_log().get(dark).unwrap().launch, LaunchMode::Dark);

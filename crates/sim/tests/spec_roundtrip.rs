@@ -68,6 +68,11 @@ fn built_world_assessable_end_to_end() {
     let spec: WorldSpec = serde_json::from_str(demo_json()).unwrap();
     let built = spec.build().unwrap();
     let funnel = funnel_core::pipeline::Funnel::paper_default();
-    let a = funnel.assess_change(&built.world, built.changes[0]).expect("assessable");
-    assert!(a.has_impact(), "the 40-unit failure surge should be attributed");
+    let a = funnel
+        .assess_change(&built.world, built.changes[0])
+        .expect("assessable");
+    assert!(
+        a.has_impact(),
+        "the 40-unit failure surge should be attributed"
+    );
 }

@@ -1,0 +1,123 @@
+//! Fuzz-style property tests for the wire codec.
+//!
+//! The fault-injection transport hands the collector truncated and
+//! bit-flipped frames on purpose, so `decode_frame` is a trust boundary:
+//! for *any* input bytes it must return `Ok` with a well-formed frame or a
+//! `WireError` — never panic, never over-allocate, never fabricate records
+//! the bytes cannot hold.
+
+use bytes::Bytes;
+use funnel_sim::wire::{decode_frame, encode_frame, WireRecord};
+use funnel_sim::{KpiKey, KpiKind};
+use funnel_topology::impact::Entity;
+use funnel_topology::model::{InstanceId, ServerId, ServiceId};
+use proptest::prelude::*;
+
+const KINDS: [KpiKind; 8] = [
+    KpiKind::CpuUtilization,
+    KpiKind::MemoryUtilization,
+    KpiKind::NicThroughput,
+    KpiKind::CpuContextSwitch,
+    KpiKind::PageViewCount,
+    KpiKind::PageViewResponseDelay,
+    KpiKind::AccessFailureCount,
+    KpiKind::EffectiveClickCount,
+];
+
+fn record(entity_sel: u8, id: u32, kind_sel: usize, value: f64) -> WireRecord {
+    let entity = match entity_sel % 3 {
+        0 => Entity::Server(ServerId(id)),
+        1 => Entity::Instance(InstanceId(id)),
+        _ => Entity::Service(ServiceId(id)),
+    };
+    WireRecord {
+        key: KpiKey::new(entity, KINDS[kind_sel % KINDS.len()]),
+        value,
+    }
+}
+
+/// Decoding must be total: any outcome but a panic (and if the bytes say
+/// `Ok`, the frame must be self-consistent with what bytes can hold).
+fn assert_total(bytes: Vec<u8>) {
+    let len = bytes.len();
+    if let Ok(frame) = decode_frame(Bytes::from(bytes)) {
+        // 16-byte header + 14 bytes per record: Ok implies the bytes were
+        // long enough for every record it reports.
+        assert!(len >= 16 + frame.records.len() * 14);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        assert_total(bytes);
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(
+        minute in 0u64..100_000,
+        agent in 0u32..64,
+        entity_sels in prop::collection::vec(any::<u8>(), 0..12),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let records: Vec<WireRecord> = entity_sels
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| record(sel, i as u32, sel as usize, i as f64 * 1.5))
+            .collect();
+        let frame = encode_frame(minute, agent, &records);
+        let cut = ((cut_frac * frame.len() as f64) as usize).min(frame.len());
+        let truncated = frame[..cut].to_vec();
+        let len = truncated.len();
+        match decode_frame(Bytes::from(truncated)) {
+            Ok(decoded) => {
+                // Only a cut that kept everything can still decode (the
+                // count field promises all records).
+                prop_assert_eq!(len, frame.len());
+                prop_assert_eq!(decoded.minute, minute);
+                prop_assert_eq!(decoded.agent_id, agent);
+                prop_assert_eq!(decoded.records, records);
+            }
+            Err(_) => prop_assert!(len < frame.len()),
+        }
+    }
+
+    #[test]
+    fn mutated_frames_never_panic(
+        minute in 0u64..100_000,
+        agent in 0u32..64,
+        entity_sels in prop::collection::vec(any::<u8>(), 1..12),
+        flip_frac in 0.0..1.0f64,
+        mask in 1u8..255,
+    ) {
+        let records: Vec<WireRecord> = entity_sels
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| record(sel, i as u32, sel as usize, -0.25 * i as f64))
+            .collect();
+        let mut bytes = encode_frame(minute, agent, &records).to_vec();
+        let idx = ((flip_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= mask;
+        assert_total(bytes);
+    }
+
+    #[test]
+    fn clean_roundtrip_is_exact(
+        minute in 0u64..10_000_000,
+        agent in 0u32..1024,
+        entity_sels in prop::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let records: Vec<WireRecord> = entity_sels
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| record(sel, sel as u32 * 7 + i as u32, i, f64::from(sel) / 3.0))
+            .collect();
+        let frame = encode_frame(minute, agent, &records);
+        let decoded = decode_frame(frame).expect("clean frames decode");
+        prop_assert_eq!(decoded.minute, minute);
+        prop_assert_eq!(decoded.agent_id, agent);
+        prop_assert_eq!(decoded.records, records);
+    }
+}

@@ -84,7 +84,7 @@ impl SstConfig {
 
     /// The Krylov dimension `k` of Eq. 14: `2η` for even η, `2η − 1` for odd.
     pub fn krylov_dim(&self) -> usize {
-        if self.eta % 2 == 0 {
+        if self.eta.is_multiple_of(2) {
             2 * self.eta
         } else {
             2 * self.eta - 1
@@ -130,7 +130,10 @@ impl SstConfig {
             return Err("eta must be positive".into());
         }
         if self.eta > self.omega {
-            return Err(format!("eta ({}) must not exceed omega ({})", self.eta, self.omega));
+            return Err(format!(
+                "eta ({}) must not exceed omega ({})",
+                self.eta, self.omega
+            ));
         }
         Ok(())
     }

@@ -60,7 +60,9 @@ impl FastSst {
         let a = HankelMatrix::new(future_sig, c.omega, c.gamma);
         let gram = a.gram_operator();
         // Deterministic full-support start vector.
-        let start: Vec<f64> = (0..c.omega).map(|i| 1.0 + (i as f64) / c.omega as f64).collect();
+        let start: Vec<f64> = (0..c.omega)
+            .map(|i| 1.0 + (i as f64) / c.omega as f64)
+            .collect();
         let k = c.krylov_dim().max(c.effective_eta()).min(c.omega);
         let lz = lanczos(&gram, &start, k);
         if lz.steps() == 0 {
@@ -173,9 +175,13 @@ mod tests {
     use crate::robust::RobustSst;
 
     fn lcg_window(c: &SstConfig, noise: f64, shift: f64, seed: u64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let p = c.past_len();
@@ -193,9 +199,13 @@ mod tests {
 
     /// Noisy series with a level shift at `onset` (usize::MAX = no shift).
     fn lcg_series(len: usize, noise: f64, onset: usize, shift: f64, seed: u64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         (0..len)

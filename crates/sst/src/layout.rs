@@ -34,7 +34,10 @@ pub fn split<'a>(config: &SstConfig, window: &'a [f64]) -> SplitWindow<'a> {
         config.window_len()
     );
     let p = config.past_len();
-    SplitWindow { past: &window[..p], future: &window[p..] }
+    SplitWindow {
+        past: &window[..p],
+        future: &window[p..],
+    }
 }
 
 /// Robust-standardizes a window copy: subtracts the window median and divides

@@ -64,6 +64,9 @@ pub trait SstScorer {
         if values.len() < w {
             return Vec::new();
         }
-        values.windows(w).map(|win| self.score_window(win)).collect()
+        values
+            .windows(w)
+            .map(|win| self.score_window(win))
+            .collect()
     }
 }

@@ -72,9 +72,10 @@ impl RobustSst {
         for i in 0..eta {
             let (lambda, beta) = match c.eig_selection {
                 EigSelection::Largest => (ea.values[i], ea.vector(i)),
-                EigSelection::Smallest => {
-                    (ea.values[ea.values.len() - 1 - i], ea.vector_from_smallest(i))
-                }
+                EigSelection::Smallest => (
+                    ea.values[ea.values.len() - 1 - i],
+                    ea.vector_from_smallest(i),
+                ),
             };
             let lambda = lambda.max(0.0); // Gram is PSD up to round-off
             let mut proj_sq = 0.0;
@@ -126,7 +127,9 @@ mod tests {
         // on rand.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let p = c.past_len();
@@ -157,7 +160,9 @@ mod tests {
     fn noisy_series(len: usize, noise: f64, onset: usize, shift: f64, seed: u64) -> Vec<f64> {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         (0..len)
@@ -181,10 +186,8 @@ mod tests {
         for seed in 0..6 {
             let shifted = s.score_series(&noisy_series(120, 1.0, 60, 8.0, seed));
             let noise = s.score_series(&noisy_series(120, 1.0, usize::MAX, 0.0, seed));
-            worst_shift_peak =
-                worst_shift_peak.min(shifted.iter().copied().fold(0.0, f64::max));
-            worst_noise_peak =
-                worst_noise_peak.max(noise.iter().copied().fold(0.0, f64::max));
+            worst_shift_peak = worst_shift_peak.min(shifted.iter().copied().fold(0.0, f64::max));
+            worst_noise_peak = worst_noise_peak.max(noise.iter().copied().fold(0.0, f64::max));
         }
         assert!(
             worst_shift_peak > worst_noise_peak,

@@ -56,7 +56,9 @@ fn oracle_raw_score(config: &SstConfig, window: &[f64]) -> f64 {
 fn lcg_series(len: usize, seed: u64, shift_at: Option<usize>, delta: f64) -> Vec<f64> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     (0..len)

@@ -75,12 +75,20 @@ impl SeasonalProfile {
     /// A typical consumer-web profile: afternoon peak, ±60 % swing, quieter
     /// weekends.
     pub fn typical_web() -> Self {
-        Self { peak_minute_of_day: 15 * 60, daily_amplitude: 0.6, weekend_factor: 0.75 }
+        Self {
+            peak_minute_of_day: 15 * 60,
+            daily_amplitude: 0.6,
+            weekend_factor: 0.75,
+        }
     }
 
     /// A flat profile (no seasonality); used for stationary/variable KPIs.
     pub fn flat() -> Self {
-        Self { peak_minute_of_day: 0, daily_amplitude: 0.0, weekend_factor: 1.0 }
+        Self {
+            peak_minute_of_day: 0,
+            daily_amplitude: 0.0,
+            weekend_factor: 1.0,
+        }
     }
 
     /// The multiplicative factor at absolute minute `bin`.
@@ -90,7 +98,11 @@ impl SeasonalProfile {
         let phase = (minute_of_day - self.peak_minute_of_day as f64) / MINUTES_PER_DAY as f64
             * std::f64::consts::TAU;
         let daily = 1.0 + self.daily_amplitude * phase.cos();
-        let weekly = if day_of_week >= 5 { self.weekend_factor } else { 1.0 };
+        let weekly = if day_of_week >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
         daily * weekly
     }
 }

@@ -44,14 +44,20 @@ impl ChangeShape {
     pub fn offset_at(&self, minutes_after_onset: u64) -> f64 {
         match *self {
             ChangeShape::LevelShift { delta } => delta,
-            ChangeShape::Ramp { delta, duration_minutes } => {
+            ChangeShape::Ramp {
+                delta,
+                duration_minutes,
+            } => {
                 if duration_minutes == 0 {
                     return delta;
                 }
                 let t = minutes_after_onset as f64 / duration_minutes as f64;
                 delta * t.min(1.0)
             }
-            ChangeShape::Spike { delta, duration_minutes } => {
+            ChangeShape::Spike {
+                delta,
+                duration_minutes,
+            } => {
                 if minutes_after_onset < duration_minutes as u64 {
                     delta
                 } else {
@@ -81,18 +87,33 @@ pub struct InjectedChange {
 impl InjectedChange {
     /// A level shift of `delta` starting at `onset`.
     pub fn level_shift(onset: MinuteBin, delta: f64) -> Self {
-        Self { onset, shape: ChangeShape::LevelShift { delta } }
+        Self {
+            onset,
+            shape: ChangeShape::LevelShift { delta },
+        }
     }
 
     /// A ramp to `delta` over `duration_minutes` starting at `onset`.
     pub fn ramp(onset: MinuteBin, delta: f64, duration_minutes: u32) -> Self {
-        Self { onset, shape: ChangeShape::Ramp { delta, duration_minutes } }
+        Self {
+            onset,
+            shape: ChangeShape::Ramp {
+                delta,
+                duration_minutes,
+            },
+        }
     }
 
     /// A transient spike of `delta` for `duration_minutes` starting at
     /// `onset`.
     pub fn spike(onset: MinuteBin, delta: f64, duration_minutes: u32) -> Self {
-        Self { onset, shape: ChangeShape::Spike { delta, duration_minutes } }
+        Self {
+            onset,
+            shape: ChangeShape::Spike {
+                delta,
+                duration_minutes,
+            },
+        }
     }
 
     /// Applies the change in place. Values are clamped at zero when
@@ -172,13 +193,24 @@ mod tests {
     #[test]
     fn persistence_classification() {
         assert!(ChangeShape::LevelShift { delta: 1.0 }.is_persistent());
-        assert!(ChangeShape::Ramp { delta: 1.0, duration_minutes: 30 }.is_persistent());
-        assert!(!ChangeShape::Spike { delta: 1.0, duration_minutes: 3 }.is_persistent());
+        assert!(ChangeShape::Ramp {
+            delta: 1.0,
+            duration_minutes: 30
+        }
+        .is_persistent());
+        assert!(!ChangeShape::Spike {
+            delta: 1.0,
+            duration_minutes: 3
+        }
+        .is_persistent());
     }
 
     #[test]
     fn zero_duration_ramp_degenerates_to_level_shift() {
-        let shape = ChangeShape::Ramp { delta: 3.0, duration_minutes: 0 };
+        let shape = ChangeShape::Ramp {
+            delta: 3.0,
+            duration_minutes: 0,
+        };
         assert_eq!(shape.offset_at(0), 3.0);
         assert_eq!(shape.offset_at(100), 3.0);
     }

@@ -12,6 +12,8 @@
 //! * [`generate`] — synthetic KPI generators for the paper's three KPI
 //!   character classes (seasonal, stationary, variable),
 //! * [`inject`] — level-shift and ramp change injection (paper Fig. 2),
+//! * [`mask`] — per-minute coverage masks distinguishing real measurements
+//!   from substrate gap-fills in degraded-telemetry runs,
 //! * [`window`] — sliding-window iteration used by every detector.
 //!
 //! All randomness flows through explicitly seeded [`rand::rngs::StdRng`]
@@ -22,12 +24,14 @@
 
 pub mod generate;
 pub mod inject;
+pub mod mask;
 pub mod series;
 pub mod stats;
 pub mod window;
 
 pub use generate::{KpiClass, KpiGenerator, SeasonalProfile};
 pub use inject::{ChangeShape, InjectedChange};
+pub use mask::CoverageMask;
 pub use series::{MinuteBin, TimeSeries};
 pub use stats::{mad, mean, median, population_std, RobustSummary};
 pub use window::SlidingWindows;

@@ -32,12 +32,18 @@ impl TimeSeries {
 
     /// Creates an empty series that will begin at `start`.
     pub fn empty(start: MinuteBin) -> Self {
-        Self { start, values: Vec::new() }
+        Self {
+            start,
+            values: Vec::new(),
+        }
     }
 
     /// Creates a series of `len` zeros starting at `start`.
     pub fn zeros(start: MinuteBin, len: usize) -> Self {
-        Self { start, values: vec![0.0; len] }
+        Self {
+            start,
+            values: vec![0.0; len],
+        }
     }
 
     /// The absolute minute of the first bin.
@@ -109,7 +115,10 @@ impl TimeSeries {
         } else {
             vec![0.0; self.values.len()]
         };
-        TimeSeries { start: self.start, values }
+        TimeSeries {
+            start: self.start,
+            values,
+        }
     }
 
     /// Element-wise average of several aligned series.
@@ -144,7 +153,10 @@ impl TimeSeries {
         for v in &mut values {
             *v /= n;
         }
-        Ok(TimeSeries { start: first.start, values })
+        Ok(TimeSeries {
+            start: first.start,
+            values,
+        })
     }
 
     /// Element-wise sum of several aligned series (service = Σ instances).
@@ -184,7 +196,12 @@ impl std::fmt::Display for SeriesError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SeriesError::EmptyInput => write!(f, "no series supplied"),
-            SeriesError::Misaligned { expected_start, expected_len, got_start, got_len } => {
+            SeriesError::Misaligned {
+                expected_start,
+                expected_len,
+                got_start,
+                got_len,
+            } => {
                 write!(
                     f,
                     "misaligned series: expected start={expected_start} len={expected_len}, \
@@ -225,7 +242,12 @@ pub enum BinMode {
 impl EventBinner {
     /// Creates a binner whose first bin covers absolute minute `start`.
     pub fn new(start: MinuteBin, mode: BinMode) -> Self {
-        Self { start, mode, sums: Vec::new(), counts: Vec::new() }
+        Self {
+            start,
+            mode,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
     }
 
     /// Records one event at absolute minute `minute` with value `value`

@@ -39,10 +39,7 @@ pub fn median(xs: &[f64]) -> f64 {
         hi
     } else {
         // Largest element of the lower half.
-        let lo = v[..mid]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = v[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
         (lo + hi) / 2.0
     }
 }
@@ -70,7 +67,10 @@ pub struct RobustSummary {
 impl RobustSummary {
     /// Summarizes `xs`. Empty input yields zeros.
     pub fn of(xs: &[f64]) -> Self {
-        Self { median: median(xs), mad: mad(xs) }
+        Self {
+            median: median(xs),
+            mad: mad(xs),
+        }
     }
 }
 

@@ -29,7 +29,11 @@ impl<'a> SlidingWindows<'a> {
     /// Creates windows of `width` bins over `series`. Yields nothing when
     /// the series is shorter than `width` or `width == 0`.
     pub fn new(series: &'a TimeSeries, width: usize) -> Self {
-        Self { series, width, next_end: width }
+        Self {
+            series,
+            width,
+            next_end: width,
+        }
     }
 
     /// Number of windows that will be yielded in total.

@@ -107,12 +107,18 @@ impl ChangeLog {
 
     /// Changes deployed within `[from, to)`.
     pub fn in_window(&self, from: MinuteBin, to: MinuteBin) -> Vec<&SoftwareChange> {
-        self.changes.iter().filter(|c| c.minute >= from && c.minute < to).collect()
+        self.changes
+            .iter()
+            .filter(|c| c.minute >= from && c.minute < to)
+            .collect()
     }
 
     /// Changes on a given service, in log order.
     pub fn for_service(&self, service: ServiceId) -> Vec<&SoftwareChange> {
-        self.changes.iter().filter(|c| c.service == service).collect()
+        self.changes
+            .iter()
+            .filter(|c| c.service == service)
+            .collect()
     }
 
     /// Number of recorded changes.
@@ -184,7 +190,10 @@ pub fn combine_consecutive(
                     if let Some(done) = current.take() {
                         combined.push(done.change);
                     }
-                    current = Some(Group { change: c.clone(), last_minute: c.minute });
+                    current = Some(Group {
+                        change: c.clone(),
+                        last_minute: c.minute,
+                    });
                 }
             }
         }

@@ -113,10 +113,18 @@ mod tests {
     fn fig4_topology() -> (Topology, ServiceId, Vec<InstanceId>) {
         // Fig. 4: service A with 6 instances on 6 servers; A—B, B—C, A—D.
         let mut t = Topology::new();
-        let a = t.add_service(ServiceName::parse("prod.a").unwrap()).unwrap();
-        let b = t.add_service(ServiceName::parse("prod.b").unwrap()).unwrap();
-        let c = t.add_service(ServiceName::parse("prod.c").unwrap()).unwrap();
-        let d = t.add_service(ServiceName::parse("prod.d").unwrap()).unwrap();
+        let a = t
+            .add_service(ServiceName::parse("prod.a").unwrap())
+            .unwrap();
+        let b = t
+            .add_service(ServiceName::parse("prod.b").unwrap())
+            .unwrap();
+        let c = t
+            .add_service(ServiceName::parse("prod.c").unwrap())
+            .unwrap();
+        let d = t
+            .add_service(ServiceName::parse("prod.d").unwrap())
+            .unwrap();
         t.relate(a, b).unwrap();
         t.relate(b, c).unwrap();
         t.relate(a, d).unwrap();

@@ -27,7 +27,9 @@ pub mod impact;
 pub mod model;
 pub mod naming;
 
-pub use change::{combine_consecutive, ChangeId, ChangeKind, ChangeLog, LaunchMode, SoftwareChange};
+pub use change::{
+    combine_consecutive, ChangeId, ChangeKind, ChangeLog, LaunchMode, SoftwareChange,
+};
 pub use impact::{identify_impact_set, Entity, ImpactSet};
 pub use model::{InstanceId, ServerId, ServiceId, Topology, TopologyError};
 pub use naming::ServiceName;

@@ -52,7 +52,11 @@ impl std::fmt::Display for TopologyError {
             TopologyError::UnknownService(id) => write!(f, "unknown service id {}", id.0),
             TopologyError::UnknownServer(id) => write!(f, "unknown server id {}", id.0),
             TopologyError::UnknownInstance(id) => write!(f, "unknown instance id {}", id.0),
-            TopologyError::ServerServiceMismatch { server, existing, requested } => write!(
+            TopologyError::ServerServiceMismatch {
+                server,
+                existing,
+                requested,
+            } => write!(
                 f,
                 "server {} already dedicated to service {} (requested {})",
                 server.0, existing.0, requested.0
@@ -144,7 +148,11 @@ impl Topology {
             _ => *slot = Some(service),
         }
         let id = InstanceId(self.instances.len() as u32);
-        self.instances.push(Instance { id, service, server });
+        self.instances.push(Instance {
+            id,
+            service,
+            server,
+        });
         Ok(id)
     }
 
@@ -169,7 +177,9 @@ impl Topology {
     ///
     /// [`TopologyError::UnknownService`].
     pub fn service_name(&self, id: ServiceId) -> Result<&ServiceName, TopologyError> {
-        self.services.get(id.0 as usize).ok_or(TopologyError::UnknownService(id))
+        self.services
+            .get(id.0 as usize)
+            .ok_or(TopologyError::UnknownService(id))
     }
 
     /// Looks a service up by name.
@@ -200,12 +210,19 @@ impl Topology {
     ///
     /// [`TopologyError::UnknownInstance`].
     pub fn instance(&self, id: InstanceId) -> Result<Instance, TopologyError> {
-        self.instances.get(id.0 as usize).copied().ok_or(TopologyError::UnknownInstance(id))
+        self.instances
+            .get(id.0 as usize)
+            .copied()
+            .ok_or(TopologyError::UnknownInstance(id))
     }
 
     /// All instances of a service, in id order.
     pub fn instances_of(&self, service: ServiceId) -> Vec<Instance> {
-        self.instances.iter().copied().filter(|i| i.service == service).collect()
+        self.instances
+            .iter()
+            .copied()
+            .filter(|i| i.service == service)
+            .collect()
     }
 
     /// Services directly related to `service`.
@@ -238,7 +255,10 @@ impl Topology {
 
     /// Iterates all services.
     pub fn services(&self) -> impl Iterator<Item = (ServiceId, &ServiceName)> {
-        self.services.iter().enumerate().map(|(i, n)| (ServiceId(i as u32), n))
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ServiceId(i as u32), n))
     }
 
     /// Iterates all instances.

@@ -56,7 +56,9 @@ impl ServiceName {
     /// The parent name (`search.web` for `search.web.frontend`), or `None`
     /// at the root.
     pub fn parent(&self) -> Option<ServiceName> {
-        self.0.rfind('.').map(|i| ServiceName(self.0[..i].to_string()))
+        self.0
+            .rfind('.')
+            .map(|i| ServiceName(self.0[..i].to_string()))
     }
 
     /// The final segment (`frontend` for `search.web.frontend`).

@@ -41,7 +41,11 @@ fn main() {
         "effective clicks: change declared {} minutes after the deployment",
         detection.declared_at - record.minute
     );
-    assert_eq!(item.mode, AssessmentMode::SeasonalHistory, "full launch ⇒ seasonal control");
+    assert_eq!(
+        item.mode,
+        AssessmentMode::SeasonalHistory,
+        "full launch ⇒ seasonal control"
+    );
     assert!(item.caused, "the collapse is the upgrade's fault");
     if let Some((verdict, estimate)) = &item.did {
         println!(

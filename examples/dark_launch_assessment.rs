@@ -36,7 +36,14 @@ fn main() {
         45.0,
     );
     let buggy = b
-        .deploy_change(ChangeKind::Upgrade, svc_buggy, 2, t_change, real_bug, "gateway v9")
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc_buggy,
+            2,
+            t_change,
+            real_bug,
+            "gateway v9",
+        )
         .expect("valid");
 
     // An innocent change on the second service, with an external shock

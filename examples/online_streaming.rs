@@ -22,7 +22,11 @@ use funnel_suite::topology::impact::Entity;
 
 fn main() {
     // A service with a memory leak introduced at minute 240.
-    let mut b = WorldBuilder::new(SimConfig { seed: 3, start: 0, duration: 480 });
+    let mut b = WorldBuilder::new(SimConfig {
+        seed: 3,
+        start: 0,
+        duration: 480,
+    });
     let svc = b.add_service("stream.api", 4).expect("fresh");
     let effect = ChangeEffect::none().with_ramp(
         KpiKind::MemoryUtilization,
@@ -44,7 +48,8 @@ fn main() {
         .collect();
 
     let store = MetricStore::shared();
-    let pipeline = OnlinePipeline::start(&store, Some(treated.clone()), FunnelConfig::paper_default());
+    let pipeline =
+        OnlinePipeline::start(&store, Some(treated.clone()), FunnelConfig::paper_default());
 
     // Replay the world through the agent → collector path (3 shards).
     let stats = replay(&world, &store, 3).expect("replay succeeds");
@@ -53,13 +58,10 @@ fn main() {
         stats.minutes, stats.frames, stats.records, stats.aggregates
     );
 
-    // Drain the detections and shut the pipeline down.
+    // Shut the pipeline down, then drain: `finish` joins the worker first,
+    // so detections declared after our last look cannot be lost.
     drop(store);
-    let mut declared = Vec::new();
-    while let Ok(d) = pipeline.detections().try_recv() {
-        declared.push(d);
-    }
-    let online_stats = pipeline.join();
+    let (declared, online_stats) = pipeline.finish();
     println!(
         "online pipeline scored {} windows, emitted {} detections",
         online_stats.windows_scored, online_stats.detections
@@ -74,7 +76,11 @@ fn main() {
     // The leak starts at 240 and ramps over 40 minutes; the stream must
     // catch it on both treated servers, within the ramp.
     assert!(
-        declared.iter().filter(|d| (240..320).contains(&d.declared_at)).count() >= 2,
+        declared
+            .iter()
+            .filter(|d| (240..320).contains(&d.declared_at))
+            .count()
+            >= 2,
         "both leaking servers should be flagged during the ramp: {declared:?}"
     );
     println!("\nleak caught mid-ramp on the live stream.");

@@ -35,7 +35,9 @@ fn main() {
     let mut down = 0;
     let mut up = 0;
     for item in assessment.caused_items() {
-        let Entity::Server(s) = item.key.entity else { continue };
+        let Entity::Server(s) = item.key.entity else {
+            continue;
+        };
         if item.key.kind != KpiKind::NicThroughput {
             continue;
         }

@@ -5,7 +5,7 @@ use funnel_suite::core::pipeline::{AssessmentMode, Funnel};
 use funnel_suite::core::FunnelConfig;
 use funnel_suite::detect::delay::{detection_delay, DelayOutcome};
 use funnel_suite::sim::effect::{ChangeEffect, EffectScope, ExternalShock};
-use funnel_suite::sim::kpi::{KpiKey, KpiKind};
+use funnel_suite::sim::kpi::KpiKind;
 use funnel_suite::sim::world::{SimConfig, WorldBuilder};
 use funnel_suite::timeseries::inject::ChangeShape;
 use funnel_suite::topology::change::{ChangeKind, LaunchMode};
@@ -57,7 +57,14 @@ fn external_shock_not_blamed_on_software() {
     let svc = b.add_service("it.shocked", 6).unwrap();
     let minute = 7 * 1440 + 600;
     let change = b
-        .deploy_change(ChangeKind::ConfigChange, svc, 2, minute, ChangeEffect::none(), "noop")
+        .deploy_change(
+            ChangeKind::ConfigChange,
+            svc,
+            2,
+            minute,
+            ChangeEffect::none(),
+            "noop",
+        )
         .unwrap();
     b.add_shock(ExternalShock {
         services: vec![svc],
@@ -91,7 +98,7 @@ fn full_launch_seasonal_mode() {
     let mut b = WorldBuilder::new(SimConfig::days(17, 9));
     let svc = b.add_service("it.seasonal", 5).unwrap();
     let minute = 8 * 1440 + 9 * 60; // morning ramp of day 8
-    // Change 1: no effect, full launch, deployed on the steep diurnal rise.
+                                    // Change 1: no effect, full launch, deployed on the steep diurnal rise.
     let clean = b
         .deploy_change(
             ChangeKind::Upgrade,
@@ -109,7 +116,14 @@ fn full_launch_seasonal_mode() {
         -500.0,
     );
     let buggy = b
-        .deploy_change(ChangeKind::Upgrade, svc, usize::MAX, minute + 90, effect, "lossy")
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            usize::MAX,
+            minute + 90,
+            effect,
+            "lossy",
+        )
         .unwrap();
     let world = b.build();
 
@@ -119,7 +133,10 @@ fn full_launch_seasonal_mode() {
 
     let a_clean = funnel.assess_change(&world, clean).unwrap();
     assert!(
-        a_clean.items.iter().all(|i| i.mode == AssessmentMode::SeasonalHistory),
+        a_clean
+            .items
+            .iter()
+            .all(|i| i.mode == AssessmentMode::SeasonalHistory),
         "full launch must use the seasonal mode everywhere"
     );
     let pvc_blamed = a_clean
@@ -146,7 +163,14 @@ fn impact_set_shapes() {
     let rel = b.add_service("it.b", 3).unwrap();
     b.relate(a, rel).unwrap();
     let dark = b
-        .deploy_change(ChangeKind::Upgrade, a, 2, 7 * 1440 + 100, ChangeEffect::none(), "dark")
+        .deploy_change(
+            ChangeKind::Upgrade,
+            a,
+            2,
+            7 * 1440 + 100,
+            ChangeEffect::none(),
+            "dark",
+        )
         .unwrap();
     let world = b.build();
 
@@ -195,7 +219,10 @@ fn pipeline_is_deterministic() {
     for (x, y) in a1.items.iter().zip(a2.items.iter()) {
         assert_eq!(x.key, y.key);
         assert_eq!(x.caused, y.caused);
-        assert_eq!(x.detection.map(|d| d.declared_at), y.detection.map(|d| d.declared_at));
+        assert_eq!(
+            x.detection.map(|d| d.declared_at),
+            y.detection.map(|d| d.declared_at)
+        );
     }
 }
 

@@ -109,7 +109,10 @@ fn mrls_spike_sensitive_funnel_not() {
             funnel_fired += 1;
         }
     }
-    assert!(mrls_fired >= 5, "MRLS fired on only {mrls_fired}/6 spike series");
+    assert!(
+        mrls_fired >= 5,
+        "MRLS fired on only {mrls_fired}/6 spike series"
+    );
     assert!(
         funnel_fired <= 1,
         "FUNNEL's Eq. 11 filter + persistence should ignore spikes, fired {funnel_fired}/6"
@@ -133,8 +136,7 @@ fn quick_config_faster_than_precise() {
         InjectedChange::level_shift(onset, 25.0).apply(&mut s, true);
         let mut delays = Vec::new();
         for config in [SstConfig::quick(), SstConfig::precise()] {
-            let runner =
-                DetectorRunner::new(SstDetector::fast(FastSst::new(config)), 0.5, 7);
+            let runner = DetectorRunner::new(SstDetector::fast(FastSst::new(config)), 0.5, 7);
             let events = runner.run(&s);
             delays.push(detection_delay(&events, onset).minutes());
         }
