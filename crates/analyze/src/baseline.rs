@@ -1,0 +1,253 @@
+//! The grandfathering baseline: `lint-baseline.toml`.
+//!
+//! Pre-existing findings are recorded as `key = count` pairs so CI can
+//! fail on *new* violations only. The ratchet goes one way: when code
+//! improves, `--deny-new` also fails on a now-stale (too large) baseline,
+//! forcing the shrunk file to be committed — the count may only go down.
+//!
+//! The file is a tiny TOML subset (comments, `key = int`, one `[counts]`
+//! table) read and written by hand because every dependency in this
+//! workspace is a vendored shim; pulling in a TOML crate is not an option.
+
+use crate::lints::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: finding-key → grandfathered count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Counts per [`Diagnostic::baseline_key`].
+    pub counts: BTreeMap<String, u32>,
+}
+
+/// One reason the gate failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateViolation {
+    /// More findings than the baseline allows for this key.
+    New {
+        /// The baseline key.
+        key: String,
+        /// Grandfathered count.
+        baselined: u32,
+        /// Current count.
+        current: u32,
+    },
+    /// Fewer findings than baselined: the code improved, so the baseline
+    /// must be shrunk (run `--write-baseline`) to keep the ratchet honest.
+    Stale {
+        /// The baseline key.
+        key: String,
+        /// Grandfathered count.
+        baselined: u32,
+        /// Current count.
+        current: u32,
+    },
+}
+
+impl Baseline {
+    /// Builds a baseline that grandfathers exactly `findings`.
+    pub fn from_findings(findings: &[Diagnostic]) -> Self {
+        let mut counts = BTreeMap::new();
+        for d in findings {
+            *counts.entry(d.baseline_key()).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Total grandfathered findings.
+    pub fn total(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Parses the baseline file format. Unknown lines are errors — a
+    /// malformed baseline must fail loudly, not silently admit findings.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_counts = false;
+        let mut declared_total: Option<u32> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[counts]" {
+                in_counts = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown table {line}", no + 1));
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", no + 1));
+            };
+            let key = k.trim().trim_matches('"').to_string();
+            let value = v.trim();
+            if !in_counts {
+                match key.as_str() {
+                    "version" => {
+                        if value != "1" {
+                            return Err(format!("unsupported baseline version {value}"));
+                        }
+                    }
+                    "total" => {
+                        declared_total = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("line {}: bad total", no + 1))?,
+                        )
+                    }
+                    other => return Err(format!("line {}: unknown field {other}", no + 1)),
+                }
+                continue;
+            }
+            let n: u32 = value
+                .parse()
+                .map_err(|_| format!("line {}: bad count for {key}", no + 1))?;
+            if counts.insert(key.clone(), n).is_some() {
+                return Err(format!("line {}: duplicate key {key}", no + 1));
+            }
+        }
+        let parsed = Self { counts };
+        if let Some(t) = declared_total {
+            if t != parsed.total() {
+                return Err(format!(
+                    "declared total {t} does not match sum of counts {}",
+                    parsed.total()
+                ));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Renders the canonical file form (sorted, so diffs are minimal).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# funnel-lint baseline — grandfathered findings, one `lint:file:fn` key per\n\
+             # site. The total may only go DOWN: `--deny-new` fails on new findings AND\n\
+             # on a stale (too large) baseline. Regenerate with:\n\
+             #   cargo run -p funnel-analyze -- --write-baseline\n",
+        );
+        out.push_str("version = 1\n");
+        out.push_str(&format!("total = {}\n\n[counts]\n", self.total()));
+        for (k, n) in &self.counts {
+            out.push_str(&format!("\"{k}\" = {n}\n"));
+        }
+        out
+    }
+
+    /// A copy keeping only entries whose lint id satisfies `pred`. The
+    /// gate uses this to ignore baseline entries for lints not active in
+    /// the current run (e.g. warn-severity lints under plain
+    /// `--deny-new`), so a richer baseline never reads as stale.
+    pub fn restricted_to(&self, pred: impl Fn(&str) -> bool) -> Self {
+        Self {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(k, _)| pred(k.split(':').next().unwrap_or(k)))
+                .map(|(k, n)| (k.clone(), *n))
+                .collect(),
+        }
+    }
+
+    /// Gates `findings` against this baseline. Empty result = pass.
+    pub fn check(&self, findings: &[Diagnostic]) -> Vec<GateViolation> {
+        let current = Baseline::from_findings(findings);
+        let mut violations = Vec::new();
+        let keys: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(current.counts.keys()).collect();
+        for key in keys {
+            let base = self.counts.get(key).copied().unwrap_or(0);
+            let cur = current.counts.get(key).copied().unwrap_or(0);
+            if cur > base {
+                violations.push(GateViolation::New {
+                    key: key.clone(),
+                    baselined: base,
+                    current: cur,
+                });
+            } else if cur < base {
+                violations.push(GateViolation::Stale {
+                    key: key.clone(),
+                    baselined: base,
+                    current: cur,
+                });
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Severity;
+
+    fn diag(lint: &'static str, file: &str, context: &str) -> Diagnostic {
+        Diagnostic {
+            lint,
+            severity: Severity::Deny,
+            file: file.into(),
+            line: 1,
+            context: context.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            diag("panic-in-hot-path", "a.rs", "f"),
+            diag("panic-in-hot-path", "a.rs", "f"),
+            diag("unordered-iteration", "b.rs", "g"),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn new_finding_fails_gate() {
+        let b = Baseline::from_findings(&[diag("panic-in-hot-path", "a.rs", "f")]);
+        let now = vec![
+            diag("panic-in-hot-path", "a.rs", "f"),
+            diag("panic-in-hot-path", "a.rs", "g"),
+        ];
+        let v = b.check(&now);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(&v[0], GateViolation::New { key, current: 1, .. }
+            if key == "panic-in-hot-path:a.rs:g"));
+    }
+
+    #[test]
+    fn stale_baseline_fails_gate() {
+        let b = Baseline::from_findings(&[
+            diag("panic-in-hot-path", "a.rs", "f"),
+            diag("panic-in-hot-path", "a.rs", "f"),
+        ]);
+        let v = b.check(&[diag("panic-in-hot-path", "a.rs", "f")]);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            GateViolation::Stale {
+                baselined: 2,
+                current: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn matching_counts_pass() {
+        let findings = vec![diag("float-accumulation-order", "x.rs", "h")];
+        let b = Baseline::from_findings(&findings);
+        assert!(b.check(&findings).is_empty());
+    }
+
+    #[test]
+    fn bad_total_rejected() {
+        let mut text = Baseline::from_findings(&[diag("x", "a.rs", "f")]).render();
+        text = text.replace("total = 1", "total = 7");
+        assert!(Baseline::parse(&text).is_err());
+    }
+}

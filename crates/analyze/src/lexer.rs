@@ -1,0 +1,415 @@
+//! A hand-rolled Rust lexer, sufficient for lint-grade analysis.
+//!
+//! The workspace vendors every dependency as an offline shim, so pulling in
+//! `syn` or a rustc plugin is off the table — instead this lexer produces a
+//! flat token stream with line numbers and lets the lint passes do shallow
+//! pattern matching over it. The hard part of lexing Rust at this level is
+//! not the grammar but the literals: nested block comments, raw strings
+//! with arbitrary hash fences, byte strings, and the `'a` lifetime vs `'a'`
+//! char ambiguity. All of those are handled here so that a lint never
+//! mistakes the *contents* of a string or comment for code.
+
+/// What a token is, at the granularity lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (the tick is included in the text).
+    Lifetime,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffixes).
+    Num,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+    /// `// …` comment, doc or plain. Text excludes the newline.
+    LineComment,
+    /// `/* … */` comment, nesting already balanced.
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `source` into tokens. Unknown bytes become single-char `Punct`
+/// tokens, so lexing never fails: a lint pass must stay total even on code
+/// that rustc would reject.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, "b".into());
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line, "b".into());
+                }
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.is_raw_string_start(1) => {
+                    self.bump();
+                    self.raw_string(line, "r".into());
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string_start(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, "br".into());
+                }
+                '\'' => self.tick(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether position `pos + off` starts `#*"` (the fence of a raw
+    /// string). Distinguishes `r"…"` / `r#"…"#` from the raw identifier
+    /// `r#try` and from a plain ident starting with `r`.
+    fn is_raw_string_start(&self, off: usize) -> bool {
+        let mut i = off;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw string bodies end only at `"` followed by the same number of
+    /// hashes as the opener — quotes and backslashes inside are inert.
+    fn raw_string(&mut self, line: u32, mut text: String) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < fence && self.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if matched == fence {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_lit(&mut self, line: u32, mut text: String) {
+        text.push('\'');
+        self.bump(); // opening tick
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// A `'` is a lifetime when followed by an ident char that is *not*
+    /// itself closed by another `'` (`'a` vs `'a'`), the standard one-token
+    /// lookahead disambiguation.
+    fn tick(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            let mut text = String::from('\'');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_lit(line, String::new());
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix r# (only when followed by an ident char —
+        // raw *strings* were peeled off before we got here).
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && matches!(self.peek(2), Some(c) if c.is_alphabetic() || c == '_')
+        {
+            text.push_str("r#");
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// Numbers are lexed loosely: digits, `_`, letters (covers hex digits,
+    /// type suffixes, exponents), `.` when followed by a digit (so `0..n`
+    /// ranges stay two punct tokens), and a sign directly after an
+    /// exponent. Lints never interpret the value, only skip over it.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                let at_exponent = (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some('+' | '-'))
+                    && matches!(self.peek(2), Some(d) if d.is_ascii_digit());
+                text.push(c);
+                self.bump();
+                if at_exponent {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("fn main() { x.y }");
+        assert_eq!(t[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "main".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "."));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let t = kinds("/* a /* b */ c */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let t = kinds(r####"let s = r#"unwrap() "quoted" "#; done"####);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("unwrap")));
+        // The `unwrap` inside the raw string must NOT surface as an ident.
+        assert!(!t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "unwrap"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "done"));
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let t = kinds("let r#try = 1; r#\"raw\"#;");
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "r#try"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s == "r#\"raw\"#"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let t = kinds("fn f<'a>(x: &'a u8) { let c = 'a'; let n = '\\n'; }");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_and_string() {
+        let t = kinds(r#"let a = '\''; let b = "he \"said\" hi"; end"#);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Char && s == r"'\''"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s.contains("said")));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "end"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let t = kinds("for i in 0..10 { let f = 1.5e-3f64; }");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Num && s == "0"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Num && s == "10"));
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Num && s == "1.5e-3f64"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let t = kinds(r#"let a = b"bytes"; let c = b'x'; tail"#);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Str && s == "b\"bytes\""));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Char && s == "b'x'"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "tail"));
+    }
+}

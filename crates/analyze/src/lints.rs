@@ -1,0 +1,594 @@
+//! The lint registry and the five FUNNEL domain lints.
+//!
+//! Each lint encodes one invariant that PR 1's bit-replayable verdicts
+//! depend on. The passes are deliberately shallow — token patterns plus the
+//! [`FileScan`] structure — because a lint that needs full type inference
+//! would need rustc, and the point of `funnel-lint` is to run in any
+//! environment the workspace itself builds in. Shallow means heuristic:
+//! false positives are expected and handled by the baseline file and by
+//! inline `// funnel-lint: allow(<lint>)` suppressions, never by weakening
+//! the pass.
+
+use crate::scan::FileScan;
+use std::collections::BTreeSet;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, counted in the baseline, but does not gate on its own.
+    Warn,
+    /// New findings fail `--deny-new`.
+    Deny,
+}
+
+impl Severity {
+    /// Lowercase name used in diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Static description of one lint.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Stable kebab-case identifier (used in baselines and suppressions).
+    pub id: &'static str,
+    /// Default severity (CLI `--allow`/`--deny` flags override).
+    pub default_severity: Severity,
+    /// One-line description for `--help` and reports.
+    pub description: &'static str,
+}
+
+/// L1–L5, in order.
+pub const REGISTRY: [LintInfo; 5] = [
+    LintInfo {
+        id: "nondeterministic-time",
+        default_severity: Severity::Deny,
+        description: "Instant::now()/SystemTime in scoring paths breaks bit-for-bit replay; \
+                      only crates/bench and crates/eval/src/timing.rs may read the clock",
+    },
+    LintInfo {
+        id: "unordered-iteration",
+        default_severity: Severity::Deny,
+        description: "iterating HashMap/HashSet in code feeding scores or reports makes \
+                      output depend on hasher state; use BTreeMap or sort first",
+    },
+    LintInfo {
+        id: "panic-in-hot-path",
+        default_severity: Severity::Deny,
+        description: "unwrap()/expect()/panic! on the ingestion-to-verdict path can kill the \
+                      collector on one bad frame; quarantine or skip instead",
+    },
+    LintInfo {
+        id: "missing-forbid-unsafe",
+        default_severity: Severity::Deny,
+        description: "every non-shim crate root must carry #![forbid(unsafe_code)]",
+    },
+    LintInfo {
+        id: "float-accumulation-order",
+        default_severity: Severity::Warn,
+        description: "f64 sums over containers must fold in a documented stable order \
+                      (sort first, or suppress with a note explaining why order is fixed)",
+    },
+];
+
+/// Looks up a lint by id.
+pub fn lint_info(id: &str) -> Option<&'static LintInfo> {
+    REGISTRY.iter().find(|l| l.id == id)
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired (an id from [`REGISTRY`]).
+    pub lint: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Enclosing function name (or `<file>`): the line-drift-stable part
+    /// of the baseline key.
+    pub context: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The baseline key: stable across line-number drift, churns only when
+    /// the enclosing function is renamed or the file moves.
+    pub fn baseline_key(&self) -> String {
+        format!("{}:{}:{}", self.lint, self.file, self.context)
+    }
+}
+
+// ---------------------------------------------------------------- scopes --
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Files allowed to read the wall clock.
+fn clock_exempt(path: &str) -> bool {
+    path.starts_with("crates/bench/") || path == "crates/eval/src/timing.rs"
+}
+
+/// Crates/files that feed scoring or operator reports (L2 scope).
+fn feeds_scoring(path: &str) -> bool {
+    in_any(
+        path,
+        &["crates/core/src/", "crates/did/src/", "crates/detect/src/"],
+    ) || path == "crates/sim/src/store.rs"
+}
+
+/// The ingestion-to-verdict hot path (L3 scope): everything in L2 plus the
+/// collector and wire decoding.
+fn hot_path(path: &str) -> bool {
+    feeds_scoring(path) || path == "crates/sim/src/agent.rs" || path == "crates/sim/src/wire.rs"
+}
+
+/// Aggregation code where float fold order shapes results (L5 scope).
+fn aggregation_code(path: &str) -> bool {
+    in_any(
+        path,
+        &[
+            "crates/core/src/",
+            "crates/did/src/",
+            "crates/detect/src/",
+            "crates/sst/src/",
+            "crates/timeseries/src/",
+            "crates/sim/src/",
+        ],
+    )
+}
+
+/// Whether `path` is a crate root that must carry `#![forbid(unsafe_code)]`
+/// (L4 scope). Shim crates are excluded at the workspace-walk level.
+pub fn is_guarded_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs")))
+}
+
+// ------------------------------------------------------------ the passes --
+
+/// Runs every lint on one file. `path` is workspace-relative with forward
+/// slashes; it drives the per-lint scoping above.
+pub fn run_lints(path: &str, scan: &FileScan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_nondeterministic_time(path, scan, &mut out);
+    lint_unordered_iteration(path, scan, &mut out);
+    lint_panic_in_hot_path(path, scan, &mut out);
+    lint_missing_forbid_unsafe(path, scan, &mut out);
+    lint_float_accumulation_order(path, scan, &mut out);
+    out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    out
+}
+
+/// Shared emit helper: applies test-region and suppression filtering.
+fn emit(
+    out: &mut Vec<Diagnostic>,
+    scan: &FileScan,
+    id: &'static str,
+    path: &str,
+    line: u32,
+    message: String,
+) {
+    if scan.in_test(line) || scan.suppressed(line, id) {
+        return;
+    }
+    let info = lint_info(id).expect("lint id registered");
+    let context = scan
+        .enclosing_fn(line)
+        .map(|f| f.name.clone())
+        .unwrap_or_else(|| "<file>".to_string());
+    out.push(Diagnostic {
+        lint: id,
+        severity: info.default_severity,
+        file: path.to_string(),
+        line,
+        context,
+        message,
+    });
+}
+
+/// L1: `Instant::now()` / any `SystemTime` use outside the clock-exempt
+/// files. Wall-clock reads in a scoring path make two replays of the same
+/// fault plan disagree.
+fn lint_nondeterministic_time(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if clock_exempt(path) {
+        return;
+    }
+    let code = &scan.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.is_ident("SystemTime") {
+            emit(
+                out,
+                scan,
+                "nondeterministic-time",
+                path,
+                t.line,
+                "SystemTime is wall-clock state; thread a simulated clock instead".into(),
+            );
+        } else if t.is_ident("Instant")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            emit(
+                out,
+                scan,
+                "nondeterministic-time",
+                path,
+                t.line,
+                "Instant::now() makes this path nondeterministic; only bench/timing code may \
+                 read the clock"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Iteration-observing method names on hash containers.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Names in this file bound to types mentioning any of `type_names`
+/// (let bindings, struct fields, fn params — found by walking back from
+/// each type-name token to the nearest `name:` or `name =` in the same
+/// statement). Heuristic by design: shadowing across scopes is not
+/// tracked, which is exactly what the baseline and suppressions absorb.
+fn container_bindings(scan: &FileScan, type_names: &[&str]) -> BTreeSet<String> {
+    let code = &scan.code;
+    let mut names = BTreeSet::new();
+    for i in 0..code.len() {
+        if !type_names.iter().any(|n| code[i].is_ident(n)) {
+            continue;
+        }
+        // Walk back to the statement boundary looking for `ident :` (not
+        // `::`) or `ident =` / `ident = SomePath::new()`.
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &code[j];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            let next_colon = code[j + 1].is_punct(':');
+            let part_of_path = j + 2 < code.len() && code[j + 2].is_punct(':');
+            let next_eq =
+                code[j + 1].is_punct('=') && !code.get(j + 2).is_some_and(|t| t.is_punct('='));
+            if t.kind == crate::lexer::TokenKind::Ident
+                && !matches!(t.text.as_str(), "let" | "mut" | "pub" | "ref")
+                && ((next_colon && !part_of_path) || next_eq)
+            {
+                names.insert(t.text.clone());
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// L2: iterating a `HashMap`/`HashSet` binding in code whose output
+/// reaches scores or reports. Hasher seeds differ run to run, so any
+/// fold or render over that order is nondeterministic.
+fn lint_unordered_iteration(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !feeds_scoring(path) {
+        return;
+    }
+    let hash_names = container_bindings(scan, &["HashMap", "HashSet"]);
+    if hash_names.is_empty() {
+        return;
+    }
+    let code = &scan.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        // `recv.iter()` and friends, where the receiver chain (method
+        // calls, field accesses, lock guards) mentions a hash binding:
+        // catches both `map.keys()` and `self.map.read().keys()`.
+        if ITER_METHODS.iter().any(|im| t.is_ident(im))
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            if let Some(name) = chain_mentions(&hash_names, code, i - 1) {
+                emit(
+                    out,
+                    scan,
+                    "unordered-iteration",
+                    path,
+                    t.line,
+                    format!(
+                        "`{name}…{}()` iterates a hash container in hasher order; use \
+                         BTreeMap/BTreeSet or collect-and-sort before folding",
+                        t.text
+                    ),
+                );
+            }
+        }
+        if t.kind != crate::lexer::TokenKind::Ident || !hash_names.contains(&t.text) {
+            continue;
+        }
+        // `for pat in [&mut] name { … }` — direct iteration.
+        if code.get(i + 1).is_some_and(|p| p.is_punct('{')) {
+            let mut j = i;
+            let mut saw_in = false;
+            for _ in 0..8 {
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+                if code[j].is_ident("in") {
+                    saw_in = true;
+                    break;
+                }
+                if !(code[j].is_punct('&') || code[j].is_ident("mut")) {
+                    break;
+                }
+            }
+            if saw_in {
+                emit(
+                    out,
+                    scan,
+                    "unordered-iteration",
+                    path,
+                    t.line,
+                    format!(
+                        "`for … in {}` iterates a hash container in hasher order; use \
+                         BTreeMap/BTreeSet or sort first",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// L3: panicking constructs on the ingestion-to-verdict path. One poisoned
+/// frame must degrade coverage, not kill the collector thread.
+fn lint_panic_in_hot_path(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !hot_path(path) {
+        return;
+    }
+    let map_names = container_bindings(scan, &["HashMap", "BTreeMap"]);
+    let code = &scan.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        // `.unwrap()` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            emit(
+                out,
+                scan,
+                "panic-in-hot-path",
+                path,
+                t.line,
+                format!(
+                    "`.{}()` can panic the hot path; propagate with `?`, match, or \
+                     quarantine-and-skip",
+                    t.text
+                ),
+            );
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+        if matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && t.kind == crate::lexer::TokenKind::Ident
+            && code.get(i + 1).is_some_and(|p| p.is_punct('!'))
+        {
+            emit(
+                out,
+                scan,
+                "panic-in-hot-path",
+                path,
+                t.line,
+                format!(
+                    "`{}!` aborts the hot path; degrade gracefully instead",
+                    t.text
+                ),
+            );
+        }
+        // Indexing into a map binding: `m[k]` panics on a missing key.
+        if t.kind == crate::lexer::TokenKind::Ident
+            && map_names.contains(&t.text)
+            && code.get(i + 1).is_some_and(|p| p.is_punct('['))
+        {
+            emit(
+                out,
+                scan,
+                "panic-in-hot-path",
+                path,
+                t.line,
+                format!("`{}[…]` panics on a missing key; use `.get()`", t.text),
+            );
+        }
+    }
+}
+
+/// L4: every guarded crate root must carry `#![forbid(unsafe_code)]`.
+fn lint_missing_forbid_unsafe(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !is_guarded_crate_root(path) || scan.has_forbid_unsafe {
+        return;
+    }
+    emit(
+        out,
+        scan,
+        "missing-forbid-unsafe",
+        path,
+        1,
+        "crate root lacks #![forbid(unsafe_code)]".into(),
+    );
+}
+
+/// L5: `.sum::<f64>()` (and `+=` folds over hash containers) in
+/// aggregation code, unless the enclosing function sorts first. f64
+/// addition is not associative, so fold order is part of the result.
+fn lint_float_accumulation_order(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    if !aggregation_code(path) {
+        return;
+    }
+    let code = &scan.code;
+    let hash_names = container_bindings(scan, &["HashMap", "HashSet"]);
+    for i in 0..code.len() {
+        let t = &code[i];
+        // `.sum::<f64>()`
+        let is_f64_sum = t.is_ident("sum")
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|p| p.is_punct(':'))
+            && code.get(i + 2).is_some_and(|p| p.is_punct(':'))
+            && code.get(i + 3).is_some_and(|p| p.is_punct('<'))
+            && code.get(i + 4).is_some_and(|p| p.is_ident("f64"));
+        if is_f64_sum && !sorted_earlier_in_fn(scan, i) {
+            emit(
+                out,
+                scan,
+                "float-accumulation-order",
+                path,
+                t.line,
+                "f64 sum over a container with no preceding sort in this fn; fold order must \
+                 be stable (sort first, or suppress with a note on why the order is fixed)"
+                    .into(),
+            );
+        }
+        // `acc += v` inside `for … in <hash container>`.
+        if t.is_ident("for") {
+            let Some((name_idx, body_open)) = for_over(&hash_names, code, i) else {
+                continue;
+            };
+            let body_close = {
+                let mut depth = 0usize;
+                let mut k = body_open;
+                loop {
+                    if k >= code.len() {
+                        break k;
+                    }
+                    if code[k].is_punct('{') {
+                        depth += 1;
+                    } else if code[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k;
+                        }
+                    }
+                    k += 1;
+                }
+            };
+            for k in body_open..body_close.min(code.len()) {
+                if code[k].is_punct('+')
+                    && code.get(k + 1).is_some_and(|p| p.is_punct('='))
+                    && code[k].line == code[k + 1].line
+                {
+                    emit(
+                        out,
+                        scan,
+                        "float-accumulation-order",
+                        path,
+                        code[k].line,
+                        format!(
+                            "`+=` fold inside `for … in {}` accumulates in hasher order",
+                            code[name_idx].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Walks a receiver chain backwards from the `.` at `dot_idx` (idents,
+/// `.`, `(`, `)`, `&`, `self`) and returns the first chain ident found in
+/// `names` — i.e. whether this method call is rooted at a hash container.
+fn chain_mentions(
+    names: &BTreeSet<String>,
+    code: &[crate::lexer::Token],
+    dot_idx: usize,
+) -> Option<String> {
+    let mut j = dot_idx;
+    let mut steps = 0;
+    while j > 0 && steps < 16 {
+        j -= 1;
+        steps += 1;
+        let t = &code[j];
+        if t.kind == crate::lexer::TokenKind::Ident {
+            if names.contains(&t.text) {
+                return Some(t.text.clone());
+            }
+            continue;
+        }
+        if !(t.is_punct('.') || t.is_punct('(') || t.is_punct(')') || t.is_punct('&')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// If the `for` at `for_idx` iterates one of `names`, returns the iterated
+/// name's index and the body's `{` index.
+fn for_over(
+    names: &BTreeSet<String>,
+    code: &[crate::lexer::Token],
+    for_idx: usize,
+) -> Option<(usize, usize)> {
+    let mut j = for_idx + 1;
+    // Find `in` within the pattern (bounded; patterns are short).
+    let mut in_idx = None;
+    while j < code.len().min(for_idx + 16) {
+        if code[j].is_ident("in") {
+            in_idx = Some(j);
+            break;
+        }
+        if code[j].is_punct('{') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut j = in_idx? + 1;
+    while j < code.len() && (code[j].is_punct('&') || code[j].is_ident("mut")) {
+        j += 1;
+    }
+    let name_idx = j;
+    if code.get(j).is_none_or(|t| !names.contains(&t.text)) {
+        return None;
+    }
+    // The iterated expression must be the bare name (optionally a method
+    // chain is handled by the method-call pattern in L2 instead).
+    j += 1;
+    if code.get(j).is_some_and(|t| t.is_punct('{')) {
+        return Some((name_idx, j));
+    }
+    None
+}
+
+/// Whether any `.sort…(` call appears earlier in the function enclosing
+/// token `idx` — the evidence that the fold order was pinned.
+fn sorted_earlier_in_fn(scan: &FileScan, idx: usize) -> bool {
+    let line = scan.code[idx].line;
+    let Some(f) = scan.enclosing_fn(line) else {
+        return false;
+    };
+    scan.code
+        .iter()
+        .take(idx)
+        .filter(|t| (f.start_line..=f.end_line).contains(&t.line))
+        .any(|t| t.kind == crate::lexer::TokenKind::Ident && t.text.starts_with("sort"))
+}

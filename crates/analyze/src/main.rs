@@ -1,0 +1,216 @@
+//! The `funnel-lint` CLI.
+//!
+//! ```text
+//! cargo run -p funnel-analyze -- [--root DIR] [--format human|json]
+//!     [--deny-new] [--write-baseline] [--stats]
+//!     [--allow LINT]... [--deny LINT]...
+//! ```
+//!
+//! Exit codes: 0 = clean (or informational run), 1 = usage or I/O error,
+//! 2 = `--deny-new` gate failure (new deny-severity findings, or a stale
+//! baseline that must be shrunk).
+
+#![forbid(unsafe_code)]
+
+use funnel_analyze::baseline::{Baseline, GateViolation};
+use funnel_analyze::lints::{Severity, REGISTRY};
+use funnel_analyze::{
+    analyze, render_human, render_json, render_stats, SeverityOverrides, Workspace,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_new: bool,
+    write_baseline: bool,
+    stats: bool,
+    overrides: SeverityOverrides,
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "funnel-lint — FUNNEL's determinism/no-panic static analysis\n\n\
+         USAGE: funnel-lint [--root DIR] [--format human|json] [--deny-new]\n\
+                [--write-baseline] [--stats] [--allow LINT]... [--deny LINT]...\n\n\
+         LINTS:\n",
+    );
+    for l in &REGISTRY {
+        s.push_str(&format!(
+            "  {:<26} [{}] {}\n",
+            l.id,
+            l.default_severity.as_str(),
+            l.description
+        ));
+    }
+    s
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_new: false,
+        write_baseline: false,
+        stats: false,
+        overrides: SeverityOverrides::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format human|json, got {other:?}")),
+            },
+            "--deny-new" => args.deny_new = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--stats" => args.stats = true,
+            "--allow" => {
+                args.overrides
+                    .allow
+                    .push(known_lint(it.next().ok_or("--allow needs a lint id")?)?);
+            }
+            "--deny" => {
+                args.overrides
+                    .deny
+                    .push(known_lint(it.next().ok_or("--deny needs a lint id")?)?);
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn known_lint(id: String) -> Result<String, String> {
+    if REGISTRY.iter().any(|l| l.id == id) {
+        Ok(id)
+    } else {
+        Err(format!("unknown lint {id} (see --help for the registry)"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let ws = Workspace::at(&args.root);
+    let findings = match analyze(&ws, &args.overrides) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "error: failed to read workspace at {}: {e}",
+                args.root.display()
+            );
+            return ExitCode::from(1);
+        }
+    };
+
+    let baseline_path = args.root.join(BASELINE_FILE);
+    if args.write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(1);
+        }
+        println!(
+            "wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.stats {
+        print!("{}", render_stats(&findings));
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        println!("{}", render_json(&findings));
+    } else if !findings.is_empty() {
+        print!("{}", render_human(&findings));
+    }
+
+    if !args.deny_new {
+        if !args.json {
+            println!(
+                "{} finding(s) (informational; gate with --deny-new)",
+                findings.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Gate mode: only deny-severity findings participate (warn-severity
+    // lints still appear in reports, the baseline, and --stats, but
+    // cannot fail CI unless promoted with --deny). Baseline entries for
+    // lints outside the gated set are ignored, not treated as stale, so
+    // the same committed baseline serves both strict and default runs.
+    let deny_count = findings
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: malformed {}: {e}", baseline_path.display());
+                return ExitCode::from(1);
+            }
+        },
+        Err(_) => {
+            eprintln!(
+                "note: no {} found — gating against an empty baseline",
+                baseline_path.display()
+            );
+            Baseline::default()
+        }
+    };
+    let violations = funnel_analyze::gate(&findings, &baseline, &args.overrides);
+    if violations.is_empty() {
+        println!(
+            "funnel-lint: gate clean — {} deny finding(s), all grandfathered ({} baselined)",
+            deny_count,
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        match v {
+            GateViolation::New {
+                key,
+                baselined,
+                current,
+            } => eprintln!(
+                "DENY new finding(s): {key} — baseline allows {baselined}, found {current}"
+            ),
+            GateViolation::Stale {
+                key,
+                baselined,
+                current,
+            } => eprintln!(
+                "STALE baseline: {key} — baseline says {baselined}, found {current}; the \
+                 ratchet only goes down: run --write-baseline and commit the shrunk file"
+            ),
+        }
+    }
+    eprintln!(
+        "funnel-lint: gate FAILED with {} violation(s)",
+        violations.len()
+    );
+    ExitCode::from(2)
+}

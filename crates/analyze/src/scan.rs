@@ -1,0 +1,318 @@
+//! Item/block scanning on top of the token stream.
+//!
+//! Lints need just enough structure to be precise: which lines belong to
+//! `#[cfg(test)]` items or `#[test]` functions (panics there are fine),
+//! which function encloses a finding (baseline keys are stable across line
+//! drift because they use the function name, not the line), whether the
+//! crate root carries `#![forbid(unsafe_code)]`, and which lines carry an
+//! inline `funnel-lint: allow(...)` suppression.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` item: name and the line span of signature + body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: u32,
+    /// 1-based line of the closing brace.
+    pub end_line: u32,
+}
+
+/// Everything the lint passes need to know about one file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Code tokens only — comments stripped, strings/chars opaque.
+    pub code: Vec<Token>,
+    /// All `fn` items, in source order (nested fns included).
+    pub fns: Vec<FnSpan>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items or
+    /// `#[test]`-attributed functions.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Lines on which findings of the named lints are suppressed.
+    pub suppressions: BTreeMap<u32, BTreeSet<String>>,
+    /// Whether the file carries an inner `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+impl FileScan {
+    /// Lexes and scans `source`.
+    pub fn of(source: &str) -> Self {
+        build(lex(source))
+    }
+
+    /// Whether `line` falls inside test-only code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Whether a `funnel-lint: allow(lint)` comment covers `line`.
+    pub fn suppressed(&self, line: u32, lint: &str) -> bool {
+        self.suppressions
+            .get(&line)
+            .is_some_and(|set| set.contains(lint))
+    }
+
+    /// The innermost function containing `line`, if any.
+    pub fn enclosing_fn(&self, line: u32) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| (f.start_line..=f.end_line).contains(&line))
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+}
+
+fn build(all: Vec<Token>) -> FileScan {
+    let mut suppressions: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for t in &all {
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            for lint in parse_suppression(&t.text) {
+                // A suppression covers its own line and the next one, so it
+                // works both inline and as a standalone comment above.
+                suppressions.entry(t.line).or_default().insert(lint.clone());
+                suppressions.entry(t.line + 1).or_default().insert(lint);
+            }
+        }
+    }
+
+    let code: Vec<Token> = all
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+
+    let has_forbid_unsafe = find_inner_forbid(&code);
+    let fns = scan_fns(&code);
+    let test_regions = scan_test_regions(&code);
+
+    FileScan {
+        code,
+        fns,
+        test_regions,
+        suppressions,
+        has_forbid_unsafe,
+    }
+}
+
+/// `funnel-lint: allow(a, b)` anywhere inside a comment.
+fn parse_suppression(comment: &str) -> Vec<String> {
+    let Some(idx) = comment.find("funnel-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[idx + "funnel-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = args.find(')') else {
+        return Vec::new();
+    };
+    args[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Looks for `#![forbid(unsafe_code)]` among the file's inner attributes.
+fn find_inner_forbid(code: &[Token]) -> bool {
+    let mut i = 0;
+    while i + 2 < code.len() {
+        if code[i].is_punct('#') && code[i + 1].is_punct('!') && code[i + 2].is_punct('[') {
+            let end = matching_bracket(code, i + 2);
+            let body = &code[i + 3..end.min(code.len())];
+            if body.iter().any(|t| t.is_ident("forbid"))
+                && body.iter().any(|t| t.is_ident("unsafe_code"))
+            {
+                return true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Index of the `]` matching the `[` at `open` (or `code.len()` if
+/// unbalanced — the scanner stays total on malformed input).
+fn matching_bracket(code: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or `code.len()`).
+fn matching_brace(code: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len()
+}
+
+/// All `fn name … { … }` items. `fn` pointer types (`fn(u32) -> u32`) are
+/// skipped because no identifier follows the keyword; trait method
+/// declarations are skipped because `;` arrives before `{`.
+fn scan_fns(code: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Find the body's opening brace, bailing at `;` (a bodyless trait
+        // method). Braces cannot appear in a signature before the body.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < code.len() {
+            if code[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if code[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching_brace(code, open);
+        fns.push(FnSpan {
+            name: name_tok.text.clone(),
+            start_line: code[i].line,
+            end_line: code.get(close).map_or(code[i].line, |t| t.line),
+        });
+    }
+    fns
+}
+
+/// Line ranges of items marked `#[cfg(test)]` / `#[cfg(all(test, …))]` /
+/// `#[test]`. The attribute marks the next braced item; a `;` first means
+/// the attribute decorated a bodyless item (e.g. a `use`), which has no
+/// region to record.
+fn scan_test_regions(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        let is_outer_attr = code[i].is_punct('#') && code[i + 1].is_punct('[');
+        if !is_outer_attr {
+            i += 1;
+            continue;
+        }
+        let attr_line = code[i].line;
+        let end = matching_bracket(code, i + 1);
+        let body = &code[i + 2..end.min(code.len())];
+        let is_test_attr = match body.first() {
+            Some(t) if t.is_ident("test") => true,
+            Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+            _ => false,
+        };
+        i = end + 1;
+        if !is_test_attr {
+            continue;
+        }
+        // Attach to the next braced item.
+        let mut j = i;
+        while j < code.len() {
+            if code[j].is_punct('{') {
+                let close = matching_brace(code, j);
+                let end_line = code.get(close).map_or(code[j].line, |t| t.line);
+                regions.push((attr_line, end_line));
+                i = close + 1;
+                break;
+            }
+            if code[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_spans() {
+        let s = FileScan::of("fn a() {\n  1\n}\n\nfn b(x: u8) -> u8 {\n  x\n}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "a");
+        assert_eq!((s.fns[0].start_line, s.fns[0].end_line), (1, 3));
+        assert_eq!(s.fns[1].name, "b");
+        assert_eq!(s.enclosing_fn(6).map(|f| f.name.as_str()), Some("b"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { panic!() }\n}\n";
+        let s = FileScan::of(src);
+        assert!(!s.in_test(1));
+        assert!(s.in_test(3));
+        assert!(s.in_test(5));
+    }
+
+    #[test]
+    fn test_attr_fn_only_covers_that_fn() {
+        let src = "#[test]\nfn t() {\n  x\n}\nfn prod() {}\n";
+        let s = FileScan::of(src);
+        assert!(s.in_test(2));
+        assert!(s.in_test(3));
+        assert!(!s.in_test(5));
+    }
+
+    #[test]
+    fn forbid_unsafe_detected() {
+        assert!(FileScan::of("#![forbid(unsafe_code)]\nfn x() {}").has_forbid_unsafe);
+        assert!(
+            FileScan::of("//! docs\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]")
+                .has_forbid_unsafe
+        );
+        assert!(!FileScan::of("#![warn(missing_docs)]\nfn x() {}").has_forbid_unsafe);
+        // An *outer* attribute on an item must not count.
+        assert!(!FileScan::of("#[forbid(unsafe_code)]\nfn x() {}").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn suppression_comment_covers_its_line_and_the_next() {
+        let src = "// funnel-lint: allow(panic-in-hot-path, unordered-iteration)\nlet x = m.unwrap();\nlet y = 2;\n";
+        let s = FileScan::of(src);
+        assert!(s.suppressed(1, "panic-in-hot-path"));
+        assert!(s.suppressed(2, "panic-in-hot-path"));
+        assert!(s.suppressed(2, "unordered-iteration"));
+        assert!(!s.suppressed(3, "panic-in-hot-path"));
+        assert!(!s.suppressed(2, "nondeterministic-time"));
+    }
+
+    #[test]
+    fn attr_before_use_does_not_eat_following_block() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {\n  body\n}\n";
+        let s = FileScan::of(src);
+        assert!(!s.in_test(4), "regions: {:?}", s.test_regions);
+    }
+}

@@ -1,0 +1,8 @@
+//@path crates/did/src/estimator.rs
+use std::time::{Instant, SystemTime};
+
+fn score_window() -> u64 {
+    let started = Instant::now();
+    let _wall = SystemTime::now();
+    started.elapsed().as_millis() as u64
+}

@@ -1,0 +1,16 @@
+//@path crates/core/src/report.rs
+use std::collections::{BTreeMap, HashMap};
+
+fn render_totals(by_kpi: &BTreeMap<u32, f64>, cache: &mut HashMap<u32, f64>) -> String {
+    let mut out = String::new();
+    // BTreeMap iteration is ordered — no finding.
+    for (k, v) in by_kpi {
+        out.push_str(&format!("{k}: {v}\n"));
+    }
+    // Point lookups on a HashMap are fine; only iteration is flagged.
+    cache.insert(7, 1.0);
+    if let Some(v) = cache.get(&7) {
+        out.push_str(&format!("{v}\n"));
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//@path crates/core/src/report.rs
+use std::collections::HashMap;
+
+fn render_totals(by_kpi: &HashMap<u32, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in by_kpi {
+        out.push_str(&format!("{k}: {v}\n"));
+    }
+    for k in by_kpi.keys() {
+        out.push_str(&format!("{k}\n"));
+    }
+    out
+}

@@ -1,0 +1,27 @@
+//@path crates/sim/src/agent.rs
+use std::collections::HashMap;
+
+fn ingest(frames: &[u8], index: &HashMap<u32, u32>) -> Option<u32> {
+    // Fallible handling: quarantine-or-skip, never panic.
+    let first = frames.first()?;
+    let decoded = decode(*first)?;
+    // funnel-lint: allow(panic-in-hot-path): bound is checked two lines up
+    let cell = index.get(&(decoded as u32)).copied().unwrap_or(0);
+    Some(cell)
+}
+
+fn decode(b: u8) -> Option<u8> {
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        if v.len() > 1 {
+            panic!("impossible");
+        }
+    }
+}

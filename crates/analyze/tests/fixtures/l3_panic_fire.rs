@@ -1,0 +1,18 @@
+//@path crates/sim/src/agent.rs
+use std::collections::HashMap;
+
+fn ingest(frames: &[u8], index: &HashMap<u32, u32>) -> u32 {
+    let first = frames.first().unwrap();
+    let decoded = decode(*first).expect("frame decodes");
+    if decoded > 9 {
+        panic!("implausible frame");
+    }
+    if decoded > 8 {
+        unreachable!();
+    }
+    index[&(decoded as u32)]
+}
+
+fn decode(b: u8) -> Option<u8> {
+    Some(b)
+}

@@ -1,0 +1,6 @@
+//@path crates/newcrate/src/lib.rs
+//! A crate root with the guard in place.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//@path crates/newcrate/src/lib.rs
+//! A crate root that forgot the unsafe guard.
+
+pub fn noop() {}

@@ -1,0 +1,18 @@
+//@path crates/did/src/groups.rs
+use std::collections::HashMap;
+
+fn aggregate(cells: &mut Vec<(u32, f64)>, weights: &HashMap<u32, f64>) -> f64 {
+    // Sorting first pins the fold order — no finding.
+    cells.sort_by_key(|(id, _)| *id);
+    let base = cells.iter().map(|(_, v)| v).sum::<f64>();
+    // Collect-and-sort before folding the hash container.
+    let mut ws: Vec<f64> = Vec::new();
+    for id in 0..8u32 {
+        if let Some(w) = weights.get(&id) {
+            ws.push(*w);
+        }
+    }
+    // funnel-lint: allow(float-accumulation-order): ws is built in id order above
+    let extra = ws.iter().sum::<f64>();
+    base + extra
+}

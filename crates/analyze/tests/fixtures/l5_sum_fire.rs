@@ -1,0 +1,11 @@
+//@path crates/did/src/groups.rs
+use std::collections::HashMap;
+
+fn aggregate(values: &[f64], weights: &HashMap<u32, f64>) -> f64 {
+    let base = values.iter().sum::<f64>();
+    let mut total = 0.0;
+    for w in weights {
+        total += *w.1;
+    }
+    base + total
+}

@@ -1,0 +1,22 @@
+//@path crates/core/src/quality.rs
+//! Lexer stress: panic-looking text hidden inside literals and comments
+//! must produce no findings; the one real call after them must be found
+//! on the right line.
+
+/* outer /* nested .unwrap() panic!("x") */ still comment Instant::now() */
+fn docs() -> &'static str {
+    // .unwrap() in a line comment is inert; so is SystemTime.
+    let plain = "calls .unwrap() and panic!(\"quoted\") inside a string";
+    let raw = r#"raw string with .expect("x") and "quotes" and Instant::now()"#;
+    let fenced = r##"fence two: "# still inside "## ;
+    let ch = '"';
+    let esc = '\'';
+    let byte = b'x';
+    let bytes = b"panic!()";
+    let _ = (plain, raw, fenced, ch, esc, byte, bytes);
+    "ok"
+}
+
+fn real_finding(opt: Option<u32>) -> u32 {
+    opt.unwrap()
+}

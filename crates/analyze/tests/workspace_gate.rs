@@ -1,0 +1,129 @@
+//! The gate, end to end against the real workspace: the checked-in
+//! baseline must hold, and a deliberately injected violation must flip
+//! the gate to failing. Overlays let these tests analyze the actual repo
+//! with one file's contents swapped, without touching disk.
+
+use funnel_analyze::baseline::{Baseline, GateViolation};
+use funnel_analyze::lints::Diagnostic;
+use funnel_analyze::{analyze, gate, SeverityOverrides, Workspace};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn read_baseline() -> Baseline {
+    let path = repo_root().join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("checked-in baseline at {}: {e}", path.display()));
+    Baseline::parse(&text).expect("baseline parses")
+}
+
+fn findings(ws: &Workspace) -> Vec<Diagnostic> {
+    analyze(ws, &SeverityOverrides::default()).expect("workspace readable")
+}
+
+#[test]
+fn workspace_passes_the_gate_with_checked_in_baseline() {
+    let all = findings(&Workspace::at(repo_root()));
+    let violations = gate(&all, &read_baseline(), &SeverityOverrides::default());
+    assert!(
+        violations.is_empty(),
+        "gate must be clean at HEAD (run --write-baseline after intentional changes): \
+         {violations:#?}"
+    );
+}
+
+#[test]
+fn injected_instant_now_in_did_fails_the_gate() {
+    let root = repo_root();
+    let target = "crates/did/src/lib.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("did crate root exists");
+    let ws = Workspace::at(&root).overlay(
+        target,
+        &format!(
+            "{orig}\nfn _lint_canary() -> std::time::Instant {{ std::time::Instant::now() }}\n"
+        ),
+    );
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. } if key.starts_with("nondeterministic-time:crates/did/src/lib.rs")
+        )),
+        "Instant::now() in crates/did must trip the gate: {violations:#?}"
+    );
+}
+
+#[test]
+fn injected_hashmap_iteration_in_report_fails_the_gate() {
+    let root = repo_root();
+    let target = "crates/core/src/report.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("report module exists");
+    let injected = "\nfn _order_leak(m: &std::collections::HashMap<u32, f64>) -> String {\n\
+                    \x20   let mut out = String::new();\n\
+                    \x20   for (k, v) in m {\n\
+                    \x20       out.push_str(&format!(\"{k}={v}\\n\"));\n\
+                    \x20   }\n\
+                    \x20   out\n\
+                    }\n";
+    let ws = Workspace::at(&root).overlay(target, &format!("{orig}{injected}"));
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. } if key.starts_with("unordered-iteration:crates/core/src/report.rs")
+        )),
+        "HashMap iteration in report.rs must trip the gate: {violations:#?}"
+    );
+}
+
+/// The actual binary, exactly as CI invokes it: `funnel-lint --deny-new`
+/// must exit 0 at HEAD, and exit 2 when gating a root whose baseline
+/// admits nothing but whose tree has findings.
+#[test]
+fn binary_deny_new_exit_codes() {
+    let root = repo_root();
+    let status = Command::new(env!("CARGO_BIN_EXE_funnel-lint"))
+        .args(["--root", root.to_str().expect("utf8 root"), "--deny-new"])
+        .status()
+        .expect("funnel-lint binary runs");
+    assert!(status.success(), "gate must pass at HEAD: {status:?}");
+
+    // A scratch mini-workspace with a deny finding and no baseline file.
+    let scratch = std::env::temp_dir().join(format!(
+        "funnel-lint-gate-{}-{}",
+        std::process::id(),
+        line!()
+    ));
+    let src_dir = scratch.join("crates/did/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\nfn t() -> u128 {\n    std::time::SystemTime::now()\n        .duration_since(std::time::UNIX_EPOCH)\n        .map(|d| d.as_millis())\n        .unwrap_or(0)\n}\n",
+    )
+    .expect("scratch file");
+    let status = Command::new(env!("CARGO_BIN_EXE_funnel-lint"))
+        .args([
+            "--root",
+            scratch.to_str().expect("utf8 scratch"),
+            "--deny-new",
+        ])
+        .status()
+        .expect("funnel-lint binary runs");
+    assert_eq!(status.code(), Some(2), "new finding must exit 2");
+    std::fs::remove_dir_all(&scratch).ok();
+}

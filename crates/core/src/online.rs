@@ -17,7 +17,7 @@ use funnel_sim::kpi::KpiKey;
 use funnel_sim::store::MetricStore;
 use funnel_sst::FastSst;
 use funnel_timeseries::series::MinuteBin;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -90,7 +90,9 @@ impl OnlinePipeline {
         let worker = std::thread::spawn(move || {
             let scorer = SstDetector::fast(FastSst::new(config.sst.clone()));
             let w = scorer.window_len();
-            let mut states: HashMap<KpiKey, KeyState> = HashMap::new();
+            // BTreeMap, not HashMap: should per-key state ever be iterated
+            // (flush, snapshot, report), the order must be deterministic.
+            let mut states: BTreeMap<KpiKey, KeyState> = BTreeMap::new();
             let mut stats = OnlineStats::default();
 
             while let Some(m) = sub.recv() {
@@ -142,25 +144,27 @@ impl OnlinePipeline {
     }
 
     /// Waits for the worker to finish (the store must have stopped
-    /// publishing) and returns its statistics.
+    /// publishing) and returns its statistics. If the worker died, the
+    /// stats are zeroed rather than re-raising the panic: a dead scorer
+    /// degrades the assessment (no detections after its death) but must
+    /// not take the caller's thread down with it.
     pub fn join(mut self) -> OnlineStats {
         self.worker
             .take()
-            .expect("join called once")
-            .join()
-            .expect("online worker panicked")
+            .map(|w| w.join().unwrap_or_default())
+            .unwrap_or_default()
     }
 
     /// Waits for the worker, then drains whatever detections are still
     /// queued (declarations can land between a caller's last drain and the
-    /// stream's close).
+    /// stream's close). Worker death zeroes the stats, as in
+    /// [`OnlinePipeline::join`].
     pub fn finish(mut self) -> (Vec<OnlineDetection>, OnlineStats) {
         let stats = self
             .worker
             .take()
-            .expect("finish called once")
-            .join()
-            .expect("online worker panicked");
+            .map(|w| w.join().unwrap_or_default())
+            .unwrap_or_default();
         let mut rest = Vec::new();
         while let Ok(d) = self.receiver.try_recv() {
             rest.push(d);

@@ -70,6 +70,9 @@ pub struct ReplayStats {
     /// NaN/∞ — or into a "valid" number of magnitude 1e300 that would
     /// silently poison every aggregate it touches).
     pub invalid_records: usize,
+    /// Agent shard threads that panicked mid-replay. Their already-sent
+    /// frames were ingested; only their local fault counters are lost.
+    pub crashed_agents: usize,
 }
 
 /// Replays the whole world through the agent → collector path into `store`,
@@ -249,8 +252,11 @@ pub fn replay_with_faults(
         // Collector: decode, store, aggregate when a minute completes.
         // Per (service, kind): the (instance id, value) pairs seen so far.
         // Summation happens in instance-id order at finalize time, so the
-        // aggregate is bit-identical no matter how frames interleave.
-        type MinuteAccs = HashMap<(ServiceId, KpiKind), Vec<(u32, f64)>>;
+        // aggregate is bit-identical no matter how frames interleave. A
+        // BTreeMap (not HashMap) fixes the order in which a finalized
+        // minute's aggregates are appended and published to subscribers —
+        // hasher order would leak into the subscriber-visible stream.
+        type MinuteAccs = BTreeMap<(ServiceId, KpiKind), Vec<(u32, f64)>>;
         let mut pending: BTreeMap<u64, (usize, MinuteAccs)> = BTreeMap::new();
         // Per-agent watermark: frames within one agent arrive in send order,
         // so once agent a's watermark passes minute m + reorder horizon
@@ -341,8 +347,9 @@ pub fn replay_with_faults(
                 if !complete && !all_past {
                     break;
                 }
-                let (_, accs) = pending.remove(&minute).expect("entry exists");
-                finalize(minute, accs, &mut stats);
+                if let Some((_, accs)) = pending.remove(&minute) {
+                    finalize(minute, accs, &mut stats);
+                }
             }
         }
         // Channel closed: flush everything left.
@@ -350,10 +357,18 @@ pub fn replay_with_faults(
             finalize(minute, accs, &mut stats);
         }
         for handle in handles {
-            let local = handle.join().expect("agent thread panicked");
-            stats.dropped_frames += local.dropped;
-            stats.delayed_frames += local.delayed;
-            stats.glitched_records += local.glitched;
+            // A crashed agent shard must not take the collector down with
+            // it: the frames it sent before dying were already ingested,
+            // only its local fault counters are lost. Count the crash so
+            // operators see the degradation instead of a panic.
+            match handle.join() {
+                Ok(local) => {
+                    stats.dropped_frames += local.dropped;
+                    stats.delayed_frames += local.delayed;
+                    stats.glitched_records += local.glitched;
+                }
+                Err(_) => stats.crashed_agents += 1,
+            }
         }
     });
 

@@ -19,7 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -88,8 +88,10 @@ struct Subscriber {
 /// The in-memory metric store.
 #[derive(Default)]
 pub struct MetricStore {
-    series: RwLock<HashMap<KpiKey, TimeSeries>>,
-    masks: RwLock<HashMap<KpiKey, CoverageMask>>,
+    // BTreeMap, not HashMap: `keys()` and any future iteration must be
+    // deterministic — report and aggregation order reaches output bytes.
+    series: RwLock<BTreeMap<KpiKey, TimeSeries>>,
+    masks: RwLock<BTreeMap<KpiKey, CoverageMask>>,
     subscribers: RwLock<Vec<Subscriber>>,
     next_sub: AtomicU64,
     published: AtomicU64,
@@ -301,7 +303,7 @@ impl MetricStore {
         self.series.read().is_empty()
     }
 
-    /// All keys currently held, in arbitrary order.
+    /// All keys currently held, in sorted (deterministic) order.
     pub fn keys(&self) -> Vec<KpiKey> {
         self.series.read().keys().copied().collect()
     }

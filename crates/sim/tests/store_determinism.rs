@@ -1,0 +1,102 @@
+//! Regression tests for funnel-lint's `unordered-iteration` sweep: the
+//! store's key enumeration and the collector's per-minute aggregation
+//! must not depend on insertion order (which, with a hash map underneath,
+//! would really mean hasher order — different on every run).
+
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::store::MetricStore;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::{InstanceId, ServerId, ServiceId};
+
+/// A spread of keys across entity levels and KPI kinds.
+fn key_set() -> Vec<KpiKey> {
+    let mut keys = Vec::new();
+    for n in 0..6u32 {
+        keys.push(KpiKey::new(
+            Entity::Server(ServerId(n)),
+            KpiKind::CpuUtilization,
+        ));
+        keys.push(KpiKey::new(
+            Entity::Instance(InstanceId(n)),
+            KpiKind::PageViewCount,
+        ));
+        keys.push(KpiKey::new(
+            Entity::Instance(InstanceId(n)),
+            KpiKind::PageViewResponseDelay,
+        ));
+        keys.push(KpiKey::new(
+            Entity::Service(ServiceId(n)),
+            KpiKind::AccessFailureCount,
+        ));
+    }
+    keys
+}
+
+/// A deterministic per-key value so both stores hold identical series.
+fn value_for(key: &KpiKey, minute: u64) -> f64 {
+    let tag = match key.entity {
+        Entity::Server(s) => s.0 as f64,
+        Entity::Instance(i) => 100.0 + i.0 as f64,
+        Entity::Service(s) => 200.0 + s.0 as f64,
+    };
+    tag * 7.0 + minute as f64 * 0.5
+}
+
+/// Renders everything a downstream report could observe from the store,
+/// byte for byte: key enumeration order, series values, coverage masks.
+fn report_bytes(store: &MetricStore) -> String {
+    let mut out = String::new();
+    for key in store.keys() {
+        let series = store.get(&key).expect("enumerated key exists");
+        out.push_str(&format!("{key:?} start={}\n", series.start()));
+        for v in series.values() {
+            out.push_str(&format!("  {}\n", v.to_bits()));
+        }
+        out.push_str(&format!("  coverage={}\n", store.coverage(&key, 0, 10)));
+    }
+    out
+}
+
+#[test]
+fn shuffled_insertion_order_produces_identical_report_bytes() {
+    let keys = key_set();
+
+    // Store A: keys appended in natural order; Store B: reversed, with an
+    // extra deterministic interleave so no two keys keep their relative
+    // insertion positions.
+    let store_a = MetricStore::new();
+    for minute in 0..10u64 {
+        for key in &keys {
+            store_a.append(*key, minute, value_for(key, minute));
+        }
+    }
+    let store_b = MetricStore::new();
+    for minute in 0..10u64 {
+        let mut shuffled: Vec<&KpiKey> = keys.iter().rev().collect();
+        // Deterministic mid-point rotation, different per minute.
+        let rot = (minute as usize * 5 + 3) % shuffled.len();
+        shuffled.rotate_left(rot);
+        for key in shuffled {
+            store_b.append(*key, minute, value_for(key, minute));
+        }
+    }
+
+    assert_eq!(store_a.keys(), store_b.keys(), "key enumeration diverged");
+    assert_eq!(
+        report_bytes(&store_a),
+        report_bytes(&store_b),
+        "report bytes depend on insertion order"
+    );
+}
+
+#[test]
+fn key_enumeration_is_sorted() {
+    let store = MetricStore::new();
+    for key in key_set().iter().rev() {
+        store.append(*key, 0, 1.0);
+    }
+    let keys = store.keys();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "keys() must be deterministic and sorted");
+}

@@ -4,6 +4,8 @@
 //! tests can `use funnel_suite::...`. Library users should depend on the
 //! individual crates (most commonly [`funnel_core`]) directly.
 
+#![forbid(unsafe_code)]
+
 pub use funnel_core as core;
 pub use funnel_detect as detect;
 pub use funnel_did as did;
