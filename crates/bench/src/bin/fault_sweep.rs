@@ -193,7 +193,7 @@ fn run_rate(
             };
             items += 1;
             coverage_sum += item.quality.coverage;
-            if item.verdict == Verdict::Inconclusive {
+            if item.verdict.is_inconclusive() {
                 inconclusive += 1;
             }
             matrix.record(actual, item.verdict == Verdict::Caused);

@@ -1,0 +1,474 @@
+//! Partition sweep — verdict recovery versus partition length and heal mode.
+//!
+//! Replays one cohort of software changes while a network partition darkens
+//! half the agent fleet across the deployment window, once per heal mode and
+//! partition length. Each cell runs the full two-phase operational story:
+//!
+//! 1. **Interim** — the replay is cut off mid-partition and every change is
+//!    assessed against the degraded store. Items blocked by the unhealed
+//!    gap come back `Inconclusive { awaiting_backfill: true }` and are
+//!    absorbed into a [`ReassessmentQueue`].
+//! 2. **Post-heal** — the same schedule replayed to completion (the heal
+//!    mode decides whether the dark span is lost, burst-flushed, or
+//!    trickled back and collector-backfilled), then the queue re-runs every
+//!    item whose window healed past the coverage trigger and the firm
+//!    verdicts replace the interim ones.
+//!
+//! The contract asserted here: buffered heal modes plus re-assessment
+//! recover at least 0.9× the fault-free TPR for partitions up to 60
+//! minutes, and **no** heal mode — including silent drop — ever pushes FPR
+//! above the fault-free row (a lost span may cost recall, never produce a
+//! false attribution). A final pair of runs confirms the rendered operator
+//! reports are byte-identical across different shard counts.
+//!
+//! Writes `results/partition_sweep.csv` and prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE=1 for
+//! the CI-sized subset (one partition length, same assertions).
+
+use funnel_core::pipeline::{ChangeAssessment, Funnel, Verdict};
+use funnel_core::reassess::ReassessmentQueue;
+use funnel_core::report::render;
+use funnel_eval::confusion::ConfusionMatrix;
+use funnel_sim::agent::{replay_prefix, replay_with_faults};
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::faults::{FaultPlan, HealMode, PartitionScope, PartitionWindow};
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::world::{GroundTruthItem, SimConfig, World, WorldBuilder};
+use funnel_sim::MetricStore;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::collections::HashMap;
+
+/// Agent shards for every replay (half of them — zone 1 — go dark).
+const SHARDS: usize = 4;
+/// Deployment window start: day 7, 09:00.
+const T0: u64 = 7 * 1440 + 9 * 60;
+/// The partition opens 10 minutes into the deployment window, darkening
+/// every change's assessment span.
+const PARTITION_START: u64 = T0 + 10;
+/// Backlog bound: larger than the longest swept partition, so queue
+/// eviction never confounds the heal-mode comparison.
+const QUEUE: usize = 120;
+
+/// Same miniature cohort as the fault sweep: two genuinely harmful changes,
+/// two no-ops, all deployed dark-launch style inside the partition span.
+fn build_world() -> (World, Vec<ChangeId>) {
+    let seed = std::env::var("FUNNEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2015);
+    let mut b = WorldBuilder::new(SimConfig::days(seed, 10));
+    let search = b.add_service("prod.search", 6).expect("fresh");
+    let feed = b.add_service("prod.feed", 6).expect("fresh");
+    let ads = b.add_service("prod.ads", 6).expect("fresh");
+    let pay = b.add_service("prod.pay", 6).expect("fresh");
+    let changes = vec![
+        b.deploy_change(
+            ChangeKind::Upgrade,
+            search,
+            2,
+            T0,
+            ChangeEffect::none().with_level_shift(
+                KpiKind::PageViewResponseDelay,
+                EffectScope::TreatedInstances,
+                80.0,
+            ),
+            "search ranker v5",
+        )
+        .expect("valid"),
+        b.deploy_change(
+            ChangeKind::ConfigChange,
+            feed,
+            3,
+            T0 + 35,
+            ChangeEffect::none().with_level_shift(
+                KpiKind::AccessFailureCount,
+                EffectScope::TreatedInstances,
+                25.0,
+            ),
+            "feed cache rewrite",
+        )
+        .expect("valid"),
+        b.deploy_change(
+            ChangeKind::Upgrade,
+            ads,
+            2,
+            T0 + 70,
+            ChangeEffect::none(),
+            "ads noop",
+        )
+        .expect("valid"),
+        b.deploy_change(
+            ChangeKind::ConfigChange,
+            pay,
+            3,
+            T0 + 105,
+            ChangeEffect::none(),
+            "pay noop",
+        )
+        .expect("valid"),
+    ];
+    (b.build(), changes)
+}
+
+/// The swept heal modes, by CSV label.
+fn heal_modes() -> Vec<(&'static str, HealMode)> {
+    vec![
+        ("silent", HealMode::SilentDrop),
+        ("burst", HealMode::BufferedBurst { queue: QUEUE }),
+        (
+            "staggered",
+            HealMode::StaggeredCatchUp {
+                queue: QUEUE,
+                per_minute: 2,
+            },
+        ),
+    ]
+}
+
+fn plan(scope: PartitionScope, heal: HealMode, duration: u64) -> FaultPlan {
+    FaultPlan::none().with_partition(PartitionWindow {
+        scope,
+        start: PARTITION_START,
+        duration,
+        heal,
+    })
+}
+
+/// One sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepRow {
+    heal: &'static str,
+    duration: u64,
+    matrix: ConfusionMatrix,
+    items: usize,
+    inconclusive: usize,
+    interim_awaiting: usize,
+    upgraded: usize,
+    still_pending: usize,
+    backfilled_records: usize,
+    partition_lost: usize,
+}
+
+impl SweepRow {
+    fn tpr(&self) -> f64 {
+        self.matrix.rates().recall
+    }
+
+    fn fpr(&self) -> f64 {
+        1.0 - self.matrix.rates().tnr
+    }
+
+    fn inconclusive_rate(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.inconclusive as f64 / self.items as f64
+        }
+    }
+
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{}",
+            self.heal,
+            self.duration,
+            self.items,
+            self.tpr(),
+            self.fpr(),
+            self.inconclusive_rate(),
+            self.interim_awaiting,
+            self.upgraded,
+            self.still_pending,
+            self.backfilled_records,
+            self.partition_lost
+        )
+    }
+}
+
+/// Scores the final (post-upgrade) assessments against ground truth, with
+/// inconclusive items counted as abstentions (predicted negative).
+fn score(
+    assessments: &[ChangeAssessment],
+    gt: &HashMap<(ChangeId, KpiKey), GroundTruthItem>,
+) -> (ConfusionMatrix, usize, usize) {
+    let mut matrix = ConfusionMatrix::new();
+    let mut items = 0usize;
+    let mut inconclusive = 0usize;
+    for assessment in assessments {
+        for item in &assessment.items {
+            // Sub-prominence effects are ambiguous even with perfect
+            // telemetry — same skip convention as the cohort evaluator.
+            let actual = match gt.get(&(assessment.change, item.key)) {
+                Some(g) if g.is_prominent() => true,
+                Some(_) => continue,
+                None => false,
+            };
+            items += 1;
+            if item.verdict.is_inconclusive() {
+                inconclusive += 1;
+            }
+            matrix.record(actual, item.verdict == Verdict::Caused);
+        }
+    }
+    (matrix, items, inconclusive)
+}
+
+/// Runs the two-phase interim → heal → re-assess story for one cell and
+/// returns the scored row plus the final rendered reports.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    world: &World,
+    changes: &[ChangeId],
+    gt: &HashMap<(ChangeId, KpiKey), GroundTruthItem>,
+    funnel: &Funnel,
+    label: &'static str,
+    scope: PartitionScope,
+    heal: HealMode,
+    duration: u64,
+    shards: usize,
+) -> (SweepRow, String) {
+    let kinds = |s| world.kinds_of_service(s).to_vec();
+
+    // Phase 1: cut off while the partition is still open — the operations
+    // team wants the interim report *now*, not after the heal.
+    let cutoff = (PARTITION_START + duration) as usize;
+    let interim_store = MetricStore::new();
+    replay_prefix(
+        world,
+        &interim_store,
+        shards,
+        plan(scope, heal, duration),
+        cutoff,
+    )
+    .expect("interim replay");
+
+    let mut queue = ReassessmentQueue::new();
+    let mut assessments = Vec::new();
+    for &change_id in changes {
+        let record = world.change_log().get(change_id).expect("logged");
+        let assessment = funnel
+            .assess_change_with(&interim_store, world.topology(), record, &kinds)
+            .expect("interim assessment");
+        queue.absorb(&assessment, funnel.config());
+        assessments.push(assessment);
+    }
+    let interim_awaiting = queue.len();
+
+    // Phase 2: the same schedule to completion — the heal mode decides what
+    // comes back — then re-assess every window that healed.
+    let healed_store = MetricStore::new();
+    let stats = replay_with_faults(world, &healed_store, shards, plan(scope, heal, duration))
+        .expect("healed replay");
+
+    let mut upgraded = 0usize;
+    for (assessment, &change_id) in assessments.iter_mut().zip(changes) {
+        let record = world.change_log().get(change_id).expect("logged");
+        let upgrades = queue
+            .reassess(funnel, &healed_store, world.topology(), record)
+            .expect("re-assessment");
+        upgraded += assessment.apply_upgrades(upgrades);
+    }
+
+    let (matrix, items, inconclusive) = score(&assessments, gt);
+    let reports: String = assessments
+        .iter()
+        .map(|a| render(world.topology(), a))
+        .collect();
+    (
+        SweepRow {
+            heal: label,
+            duration,
+            matrix,
+            items,
+            inconclusive,
+            interim_awaiting,
+            upgraded,
+            still_pending: queue.len(),
+            backfilled_records: stats.backfilled_records,
+            partition_lost: stats.partition_lost_frames,
+        },
+        reports,
+    )
+}
+
+/// The fault-free baseline row (no partition, single phase).
+fn run_baseline(
+    world: &World,
+    changes: &[ChangeId],
+    gt: &HashMap<(ChangeId, KpiKey), GroundTruthItem>,
+    funnel: &Funnel,
+) -> SweepRow {
+    let store = MetricStore::new();
+    replay_with_faults(world, &store, SHARDS, FaultPlan::none()).expect("clean replay");
+    let kinds = |s| world.kinds_of_service(s).to_vec();
+    let assessments: Vec<ChangeAssessment> = changes
+        .iter()
+        .map(|&id| {
+            let record = world.change_log().get(id).expect("logged");
+            funnel
+                .assess_change_with(&store, world.topology(), record, &kinds)
+                .expect("clean assessment")
+        })
+        .collect();
+    let (matrix, items, inconclusive) = score(&assessments, gt);
+    SweepRow {
+        heal: "none",
+        duration: 0,
+        matrix,
+        items,
+        inconclusive,
+        interim_awaiting: 0,
+        upgraded: 0,
+        still_pending: 0,
+        backfilled_records: 0,
+        partition_lost: 0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("FUNNEL_SMOKE").is_ok();
+    let durations: &[u64] = if smoke { &[30] } else { &[15, 30, 60] };
+
+    let (world, changes) = build_world();
+    let gt: HashMap<(ChangeId, KpiKey), GroundTruthItem> = world
+        .ground_truth()
+        .into_iter()
+        .map(|g| ((g.change, g.key), g))
+        .collect();
+    let funnel = Funnel::paper_default();
+    let zone = PartitionScope::Zone { zone: 1, zones: 2 };
+
+    let mut rows = vec![run_baseline(&world, &changes, &gt, &funnel)];
+    for &duration in durations {
+        for (label, heal) in heal_modes() {
+            let start = std::time::Instant::now();
+            let (row, _) = run_cell(
+                &world, &changes, &gt, &funnel, label, zone, heal, duration, SHARDS,
+            );
+            eprintln!(
+                "{} {}min: TPR {:.0}% FPR {:.1}% ({} interim-queued, {} upgraded, \
+                 {} still pending, {} records backfilled) in {:.1}s",
+                row.heal,
+                row.duration,
+                row.tpr() * 100.0,
+                row.fpr() * 100.0,
+                row.interim_awaiting,
+                row.upgraded,
+                row.still_pending,
+                row.backfilled_records,
+                start.elapsed().as_secs_f64()
+            );
+            rows.push(row);
+        }
+    }
+
+    let baseline = rows[0].clone();
+
+    // Recovery contract: buffered heals + re-assessment must restore at
+    // least 0.9× the fault-free TPR at every swept length.
+    for row in rows
+        .iter()
+        .filter(|r| r.heal != "none" && r.heal != "silent")
+    {
+        assert!(
+            row.tpr() >= 0.9 * baseline.tpr() - 1e-9,
+            "{} {}min recovered only {:.1}% TPR (fault-free {:.1}%)",
+            row.heal,
+            row.duration,
+            row.tpr() * 100.0,
+            baseline.tpr() * 100.0
+        );
+    }
+    // Precision contract: no heal mode — even silent drop — may raise FPR
+    // above the fault-free row.
+    for row in &rows {
+        assert!(
+            row.fpr() <= baseline.fpr() + 1e-9,
+            "{} {}min raised FPR above fault-free ({:.4} > {:.4})",
+            row.heal,
+            row.duration,
+            row.fpr(),
+            baseline.fpr()
+        );
+    }
+
+    // Determinism contract: a whole-collector partition darkens every shard
+    // regardless of fleet sharding, so the rendered operator reports must
+    // be byte-identical across different shard counts.
+    let det_duration = durations[durations.len() - 1];
+    let det_heal = HealMode::StaggeredCatchUp {
+        queue: QUEUE,
+        per_minute: 2,
+    };
+    let (_, report_a) = run_cell(
+        &world,
+        &changes,
+        &gt,
+        &funnel,
+        "staggered",
+        PartitionScope::Collector,
+        det_heal,
+        det_duration,
+        SHARDS,
+    );
+    let (_, report_b) = run_cell(
+        &world,
+        &changes,
+        &gt,
+        &funnel,
+        "staggered",
+        PartitionScope::Collector,
+        det_heal,
+        det_duration,
+        7,
+    );
+    assert_eq!(
+        report_a, report_b,
+        "rendered reports diverged across shard counts"
+    );
+
+    println!("Partition sweep: verdict recovery vs partition length and heal mode\n");
+    println!(
+        "{:>10} {:>5} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>11} {:>6}",
+        "heal",
+        "min",
+        "items",
+        "TPR",
+        "FPR",
+        "inconcl",
+        "queued",
+        "upgraded",
+        "pending",
+        "backfilled",
+        "lost"
+    );
+    for row in &rows {
+        println!(
+            "{:>10} {:>5} {:>6} {:>7.1}% {:>7.1}% {:>7.1}% {:>8} {:>9} {:>8} {:>11} {:>6}",
+            row.heal,
+            row.duration,
+            row.items,
+            row.tpr() * 100.0,
+            row.fpr() * 100.0,
+            row.inconclusive_rate() * 100.0,
+            row.interim_awaiting,
+            row.upgraded,
+            row.still_pending,
+            row.backfilled_records,
+            row.partition_lost
+        );
+    }
+
+    let header = "heal,duration_min,items,tpr,fpr,inconclusive_rate,interim_queued,upgraded,\
+                  still_pending,backfilled_records,partition_lost_frames";
+    let csv: String = std::iter::once(header.to_string())
+        .chain(rows.iter().map(SweepRow::csv))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/partition_sweep.csv", &csv).expect("write csv");
+    println!(
+        "\nwrote results/partition_sweep.csv; cross-shard-count reports matched byte-for-byte."
+    );
+}

@@ -30,6 +30,18 @@ pub struct FunnelConfig {
     /// data, and a dark-launch control group that falls below it is
     /// abandoned for the seasonal history.
     pub min_coverage: f64,
+    /// Shortest contiguous coverage gap (in minutes) treated as a network
+    /// partition rather than scattered frame loss. A gap this long both
+    /// suppresses change points bordering it (a forward-fill plateau ends
+    /// in a step artifact exactly where the heal lands) and marks the
+    /// item's `Inconclusive` verdict as `awaiting_backfill` for automatic
+    /// re-assessment. Defaults to the persistence length: the shortest gap
+    /// that could single-handedly fake the 7-minute rule.
+    pub min_partition_gap: u64,
+    /// Coverage fraction a previously partition-gapped assessment window
+    /// must reach — via collector backfill — before the re-assessment
+    /// queue re-runs the item for a firm verdict.
+    pub reassess_coverage: f64,
 }
 
 impl FunnelConfig {
@@ -49,6 +61,8 @@ impl FunnelConfig {
             history_days: 30,
             assessment_minutes: 60,
             min_coverage: 0.8,
+            min_partition_gap: funnel_detect::PERSISTENCE_MINUTES as u64,
+            reassess_coverage: 0.8,
         }
     }
 
@@ -78,5 +92,7 @@ mod tests {
         assert_eq!(c.assessment_minutes, 60);
         assert_eq!(c.warmup_minutes(), 34);
         assert_eq!(c.min_coverage, 0.8);
+        assert_eq!(c.min_partition_gap, 7);
+        assert_eq!(c.reassess_coverage, 0.8);
     }
 }

@@ -44,6 +44,7 @@ pub mod online;
 pub mod online_assess;
 pub mod pipeline;
 pub mod quality;
+pub mod reassess;
 pub mod report;
 pub mod source;
 
@@ -51,4 +52,5 @@ pub use config::FunnelConfig;
 pub use pipeline::{
     AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
 };
+pub use reassess::{PendingItem, ReassessmentQueue};
 pub use source::KpiSource;

@@ -9,7 +9,7 @@
 use crate::config::FunnelConfig;
 use crate::quality::{assess_quality, QualityConfig, QualityReport};
 use crate::source::KpiSource;
-use funnel_detect::detector::{ChangeEvent, DetectorRunner};
+use funnel_detect::detector::{ChangeEvent, DetectorRunner, MaskedRun};
 use funnel_detect::sst_adapter::SstDetector;
 use funnel_did::estimator::{DidError, DidEstimate};
 use funnel_did::groups::{DidAssessor, DidVerdict};
@@ -17,6 +17,7 @@ use funnel_did::seasonal::SeasonalControl;
 use funnel_sim::kpi::{KpiKey, KpiKind};
 use funnel_sim::world::World;
 use funnel_sst::FastSst;
+use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 use funnel_topology::change::{ChangeId, LaunchMode, SoftwareChange};
 use funnel_topology::impact::{identify_impact_set, Entity, ImpactSet};
@@ -42,7 +43,17 @@ pub enum Verdict {
     /// The telemetry behind the assessment window was mostly interpolation:
     /// neither attribution nor a clean bill can be trusted, so the item is
     /// handed to the operations team unresolved instead of asserting either.
-    Inconclusive,
+    Inconclusive {
+        /// `true` when the shortfall looks like an *unhealed partition* —
+        /// one contiguous gap at least `min_partition_gap` minutes long, or
+        /// a change point the gap-aware detector refused because it bordered
+        /// such a gap. Those items are repairable: once the collector
+        /// backfills the dark span, a re-assessment (see
+        /// [`crate::reassess::ReassessmentQueue`]) can upgrade them to a
+        /// firm verdict. `false` means scattered per-frame loss no backfill
+        /// will heal — the operators must adjudicate on what exists.
+        awaiting_backfill: bool,
+    },
 }
 
 impl Verdict {
@@ -53,7 +64,18 @@ impl Verdict {
 
     /// Whether the data was too degraded to decide.
     pub fn is_inconclusive(self) -> bool {
-        self == Verdict::Inconclusive
+        matches!(self, Verdict::Inconclusive { .. })
+    }
+
+    /// Whether the item is inconclusive *and* a healed partition span could
+    /// still upgrade it — the re-assessment queue's admission test.
+    pub fn awaiting_backfill(self) -> bool {
+        matches!(
+            self,
+            Verdict::Inconclusive {
+                awaiting_backfill: true
+            }
+        )
     }
 }
 
@@ -89,6 +111,9 @@ pub struct ItemAssessment {
     pub verdict: Verdict,
     /// Telemetry coverage and data-quality screening for this item.
     pub quality: DataQuality,
+    /// The `[from, to)` assessment window the verdict rests on — the span a
+    /// re-assessment must see healed before re-running the item.
+    pub window: (MinuteBin, MinuteBin),
 }
 
 /// The full assessment of one software change.
@@ -116,6 +141,27 @@ impl ChangeAssessment {
     /// Items whose telemetry was too degraded to decide either way.
     pub fn inconclusive_items(&self) -> impl Iterator<Item = &ItemAssessment> {
         self.items.iter().filter(|i| i.verdict.is_inconclusive())
+    }
+
+    /// Items a healed partition span could still upgrade — the candidates
+    /// for [`crate::reassess::ReassessmentQueue::absorb`].
+    pub fn awaiting_backfill_items(&self) -> impl Iterator<Item = &ItemAssessment> {
+        self.items.iter().filter(|i| i.verdict.awaiting_backfill())
+    }
+
+    /// Replaces items in place with re-assessed versions (matched by KPI
+    /// key), upgrading interim `Inconclusive { awaiting_backfill }` verdicts
+    /// to the firm ones a post-heal re-run produced. Returns how many items
+    /// were replaced; upgrades for keys not in the assessment are ignored.
+    pub fn apply_upgrades(&mut self, upgrades: Vec<ItemAssessment>) -> usize {
+        let mut applied = 0;
+        for upgrade in upgrades {
+            if let Some(slot) = self.items.iter_mut().find(|i| i.key == upgrade.key) {
+                *slot = upgrade;
+                applied += 1;
+            }
+        }
+        applied
     }
 }
 
@@ -244,6 +290,24 @@ impl Funnel {
         })
     }
 
+    /// Re-assesses a single impact-set KPI of `change` — the entry point
+    /// the re-assessment queue uses once a healed span's coverage crosses
+    /// the threshold, without re-running the whole impact set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates impact-set identification and missing-series failures.
+    pub fn assess_key(
+        &self,
+        source: &impl KpiSource,
+        topology: &Topology,
+        change: &SoftwareChange,
+        key: KpiKey,
+    ) -> Result<ItemAssessment, FunnelError> {
+        let impact_set = identify_impact_set(topology, change)?;
+        self.assess_item(source, change, &impact_set, key)
+    }
+
     /// Assesses one impact-set KPI: detection, then causality, both
     /// tempered by how much of the window was really measured.
     fn assess_item(
@@ -272,7 +336,25 @@ impl Funnel {
         };
         let adequate = coverage >= self.config.min_coverage;
 
-        let detection = self.detect(&window, change.minute);
+        // Steps 2–3, partition-aware when the source tracks coverage: a
+        // contiguous gap of at least `min_partition_gap` minutes marks the
+        // window as repairable-by-backfill, and any change point bordering
+        // such a gap is suppressed rather than scored (it is
+        // indistinguishable from the fill plateau's edge until the span
+        // heals).
+        let mask = source.mask(&key);
+        let (detection, suppressed, partition_gapped) = match &mask {
+            Some(mask) => {
+                let run = self.detect_masked(&window, mask);
+                let gapped = mask.longest_gap(lo, to) >= self.config.min_partition_gap;
+                let event = run
+                    .events
+                    .into_iter()
+                    .find(|e| e.declared_at >= change.minute);
+                (event, run.suppressed_events, gapped)
+            }
+            None => (self.detect(&window, change.minute), 0, false),
+        };
 
         let is_affected_service = matches!(key.entity, Entity::Service(s)
             if s != change.service && impact_set.affected_services.contains(&s));
@@ -289,9 +371,15 @@ impl Funnel {
         // and only trust either direction when the window is mostly real
         // data — an apparent shift (or apparent quiet) made of gap-fills
         // must reach the operations team as `Inconclusive`, not as a
-        // verdict.
+        // verdict. Partition-shaped shortfalls additionally flag the item
+        // for automatic re-assessment after backfill.
         let (did, verdict) = if !adequate {
-            (None, Verdict::Inconclusive)
+            (
+                None,
+                Verdict::Inconclusive {
+                    awaiting_backfill: partition_gapped,
+                },
+            )
         } else if detection.is_some() {
             match self.determine(source, change, impact_set, key, &series, mode) {
                 Ok((v, est)) => {
@@ -304,12 +392,27 @@ impl Funnel {
                 }
                 // Control coverage shortfalls mean no trustworthy contrast
                 // exists anywhere (the seasonal fallback already ran).
-                Err(DidError::InsufficientCoverage { .. }) => (None, Verdict::Inconclusive),
+                Err(DidError::InsufficientCoverage { .. }) => (
+                    None,
+                    Verdict::Inconclusive {
+                        awaiting_backfill: partition_gapped,
+                    },
+                ),
                 // Other failures (e.g. series misalignment): deliver the
                 // raw detection to the operations team (they adjudicate),
                 // per the paper's deliver-everything stance on dubious data.
                 Err(_) => (None, Verdict::Caused),
             }
+        } else if suppressed > 0 {
+            // A change point exists but borders an unhealed gap: neither
+            // "caused" (it may be a fill artifact) nor "not caused" (it may
+            // be real) — queue it for the post-heal re-run.
+            (
+                None,
+                Verdict::Inconclusive {
+                    awaiting_backfill: true,
+                },
+            )
         } else {
             (None, Verdict::NotCaused)
         };
@@ -322,22 +425,37 @@ impl Funnel {
             caused: verdict.is_caused(),
             verdict,
             quality,
+            window: (lo, to),
         })
     }
 
     /// Steps 2–3: SST + persistence over the (pre-sliced) assessment
     /// window.
     fn detect(&self, window: &TimeSeries, change_minute: MinuteBin) -> Option<ChangeEvent> {
-        let scorer = SstDetector::fast(FastSst::new(self.config.sst.clone()));
-        let runner = DetectorRunner::new(
-            scorer,
-            self.config.sst_threshold,
-            self.config.persistence_minutes,
-        );
-        runner
+        self.runner()
             .run(window)
             .into_iter()
             .find(|e| e.declared_at >= change_minute)
+    }
+
+    /// Coverage- and gap-aware detection for sources that track which bins
+    /// were really measured: low-coverage windows are skipped and change
+    /// points bordering a partition-length gap are suppressed.
+    fn detect_masked(&self, window: &TimeSeries, mask: &CoverageMask) -> MaskedRun {
+        self.runner().run_masked_gap_aware(
+            window,
+            mask,
+            self.config.min_coverage,
+            self.config.min_partition_gap,
+        )
+    }
+
+    fn runner(&self) -> DetectorRunner<SstDetector<FastSst>> {
+        DetectorRunner::new(
+            SstDetector::fast(FastSst::new(self.config.sst.clone())),
+            self.config.sst_threshold,
+            self.config.persistence_minutes,
+        )
     }
 
     /// Steps 4–11: DiD against the appropriate control group.
@@ -403,6 +521,7 @@ impl Funnel {
                     control_keys
                         .iter()
                         .map(|k| source.coverage(k, did_from, did_to))
+                        // funnel-lint: allow(float-accumulation-order): Vec built in sorted impact-set order, no hashed container
                         .sum::<f64>()
                         / control_keys.len() as f64
                 };
@@ -413,14 +532,23 @@ impl Funnel {
                         got_pct: (ctl_coverage * 100.0).round().clamp(0.0, 100.0) as u8,
                     })
                 } else {
-                    let fetch = |keys: &[KpiKey]| -> Vec<TimeSeries> {
-                        keys.iter().filter_map(|k| source.series(k)).collect()
+                    // Fetch each member with its coverage mask (when the
+                    // source has one): a member whose measured fraction
+                    // diverges across the change minute — one side dark
+                    // behind a partition, the other live — would bias the
+                    // contrast, so `assess_masked` drops it from its group.
+                    let fetch = |keys: &[KpiKey]| -> Vec<(TimeSeries, Option<CoverageMask>)> {
+                        keys.iter()
+                            .filter_map(|k| source.series(k).map(|s| (s, source.mask(k))))
+                            .collect()
                     };
                     let treated = fetch(&treated_keys);
                     let control = fetch(&control_keys);
-                    let tr: Vec<&TimeSeries> = treated.iter().collect();
-                    let cr: Vec<&TimeSeries> = control.iter().collect();
-                    self.assessor.assess(&tr, &cr, change.minute)
+                    let tr: Vec<(&TimeSeries, Option<&CoverageMask>)> =
+                        treated.iter().map(|(s, m)| (s, m.as_ref())).collect();
+                    let cr: Vec<(&TimeSeries, Option<&CoverageMask>)> =
+                        control.iter().map(|(s, m)| (s, m.as_ref())).collect();
+                    self.assessor.assess_masked(&tr, &cr, change.minute)
                 }
             }
         }
@@ -548,7 +676,7 @@ mod tests {
                 item.key,
                 item.quality.coverage * 100.0
             );
-            if item.verdict == Verdict::Inconclusive {
+            if item.verdict.is_inconclusive() {
                 assert!(!item.caused);
             }
         }

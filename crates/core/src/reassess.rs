@@ -1,0 +1,308 @@
+//! Healed-span re-assessment.
+//!
+//! A network partition leaves assessment windows with one long coverage gap;
+//! the pipeline reports those items `Inconclusive { awaiting_backfill: true }`
+//! rather than attributing (or clearing) a change on forward-filled data.
+//! When the partition heals, the collector backfills the dark span into the
+//! metric store — at which point those interim verdicts *can* be firmed up,
+//! but only by re-running the assessment over the now-real data.
+//!
+//! [`ReassessmentQueue`] is that loop: [`absorb`](ReassessmentQueue::absorb)
+//! the repairable items of an interim assessment, poll
+//! [`ready`](ReassessmentQueue::ready) as backfill lands, and
+//! [`reassess`](ReassessmentQueue::reassess) once a window's healed coverage
+//! crosses [`FunnelConfig::reassess_coverage`] — feeding the firm verdicts
+//! back into the delivered report via
+//! [`ChangeAssessment::apply_upgrades`](crate::pipeline::ChangeAssessment::apply_upgrades).
+//!
+//! An item whose re-run still comes back `awaiting_backfill` (the heal was
+//! partial) stays queued; anything else — firm verdict, or inconclusive for
+//! a reason backfill cannot repair — leaves the queue, so the loop always
+//! terminates.
+
+use crate::config::FunnelConfig;
+use crate::pipeline::{ChangeAssessment, Funnel, FunnelError, ItemAssessment};
+use crate::source::KpiSource;
+use funnel_sim::kpi::KpiKey;
+use funnel_timeseries::series::MinuteBin;
+use funnel_topology::change::{ChangeId, SoftwareChange};
+use funnel_topology::model::Topology;
+
+/// One queued item: a KPI whose interim verdict a healed partition span
+/// could upgrade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingItem {
+    /// The software change the item belongs to.
+    pub change: ChangeId,
+    /// The assessed KPI.
+    pub key: KpiKey,
+    /// The `[from, to)` assessment window that must heal.
+    pub window: (MinuteBin, MinuteBin),
+    /// Coverage the window must reach before the re-run fires
+    /// ([`FunnelConfig::reassess_coverage`] at absorb time).
+    pub required_coverage: f64,
+}
+
+/// A queue of partition-blocked verdicts awaiting collector backfill.
+#[derive(Debug, Clone, Default)]
+pub struct ReassessmentQueue {
+    pending: Vec<PendingItem>,
+}
+
+impl ReassessmentQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of items still waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The queued items, in absorb order.
+    pub fn pending(&self) -> &[PendingItem] {
+        &self.pending
+    }
+
+    /// Enqueues every `awaiting_backfill` item of an interim assessment,
+    /// with the configuration's re-assessment threshold as the trigger.
+    /// Items already queued for the same (change, KPI) are not duplicated.
+    /// Returns how many items were added.
+    pub fn absorb(&mut self, assessment: &ChangeAssessment, config: &FunnelConfig) -> usize {
+        let mut added = 0;
+        for item in assessment.awaiting_backfill_items() {
+            let dup = self
+                .pending
+                .iter()
+                .any(|p| p.change == assessment.change && p.key == item.key);
+            if dup {
+                continue;
+            }
+            self.pending.push(PendingItem {
+                change: assessment.change,
+                key: item.key,
+                window: item.window,
+                required_coverage: config.reassess_coverage,
+            });
+            added += 1;
+        }
+        added
+    }
+
+    /// Items whose assessment window now meets its required coverage — the
+    /// ones [`ReassessmentQueue::reassess`] would re-run against `source`.
+    pub fn ready<'a>(&'a self, source: &impl KpiSource) -> Vec<&'a PendingItem> {
+        self.pending
+            .iter()
+            .filter(|p| source.coverage(&p.key, p.window.0, p.window.1) >= p.required_coverage)
+            .collect()
+    }
+
+    /// Re-runs every queued item of `change` whose window has healed past
+    /// its coverage trigger, returning the fresh assessments (pass them to
+    /// [`ChangeAssessment::apply_upgrades`]). Items below their trigger are
+    /// left queued untouched; a re-run that still reports
+    /// `awaiting_backfill` keeps its item queued for the next heal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures from the re-run; the queue is left
+    /// unchanged in that case.
+    pub fn reassess(
+        &mut self,
+        funnel: &Funnel,
+        source: &impl KpiSource,
+        topology: &Topology,
+        change: &SoftwareChange,
+    ) -> Result<Vec<ItemAssessment>, FunnelError> {
+        let ready: Vec<usize> = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.change == change.id
+                    && source.coverage(&p.key, p.window.0, p.window.1) >= p.required_coverage
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        // Re-run everything first: an error must not half-drain the queue.
+        let mut upgrades = Vec::with_capacity(ready.len());
+        for &i in &ready {
+            let item = funnel.assess_key(source, topology, change, self.pending[i].key)?;
+            upgrades.push((i, item));
+        }
+
+        let mut remove: Vec<usize> = upgrades
+            .iter()
+            .filter(|(_, item)| !item.verdict.awaiting_backfill())
+            .map(|&(i, _)| i)
+            .collect();
+        remove.sort_unstable();
+        for &i in remove.iter().rev() {
+            self.pending.remove(i);
+        }
+        Ok(upgrades.into_iter().map(|(_, item)| item).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_sim::agent::{replay_prefix, replay_with_faults};
+    use funnel_sim::effect::{ChangeEffect, EffectScope};
+    use funnel_sim::faults::{FaultPlan, HealMode, PartitionScope, PartitionWindow};
+    use funnel_sim::kpi::KpiKind;
+    use funnel_sim::store::MetricStore;
+    use funnel_sim::world::{SimConfig, World, WorldBuilder};
+    use funnel_topology::change::ChangeKind;
+
+    /// A dark-launch world where a partition darkens the treated zone right
+    /// across the change minute, healing by staggered catch-up later.
+    fn partitioned_world(delta: f64) -> (World, ChangeId, FaultPlan) {
+        let mut b = WorldBuilder::new(SimConfig::days(31, 8));
+        let svc = b.add_service("prod.part", 6).unwrap();
+        let effect = if delta != 0.0 {
+            ChangeEffect::none().with_level_shift(
+                KpiKind::PageViewResponseDelay,
+                EffectScope::TreatedInstances,
+                delta,
+            )
+        } else {
+            ChangeEffect::none()
+        };
+        let minute = 7 * 1440 + 300;
+        let id = b
+            .deploy_change(ChangeKind::Upgrade, svc, 2, minute, effect, "t")
+            .unwrap();
+        let world = b.build();
+        let plan = FaultPlan::none().with_partition(PartitionWindow {
+            scope: PartitionScope::Collector,
+            start: minute - 20,
+            duration: 45,
+            heal: HealMode::StaggeredCatchUp {
+                queue: 64,
+                per_minute: 1,
+            },
+        });
+        (world, id, plan)
+    }
+
+    #[test]
+    fn interim_inconclusive_upgrades_after_heal() {
+        let (world, change, plan) = partitioned_world(90.0);
+        let record = world.change_log().get(change).unwrap().clone();
+        let funnel = Funnel::paper_default();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+        // Phase 1: the partition is still open (replay cut off mid-window):
+        // the treated KPIs sit behind a 30+-minute gap, so the interim
+        // assessment must refuse a verdict but flag it repairable.
+        let interim_store = MetricStore::new();
+        replay_prefix(
+            &world,
+            &interim_store,
+            3,
+            plan.clone(),
+            record.minute as usize + 15,
+        )
+        .unwrap();
+        let mut interim = funnel
+            .assess_change_with(&interim_store, world.topology(), &record, &kinds)
+            .unwrap();
+        let awaiting = interim.awaiting_backfill_items().count();
+        assert!(awaiting > 0, "open partition produced no repairable items");
+
+        let mut queue = ReassessmentQueue::new();
+        let absorbed = queue.absorb(&interim, funnel.config());
+        assert_eq!(absorbed, awaiting);
+        // Absorbing twice must not duplicate.
+        assert_eq!(queue.absorb(&interim, funnel.config()), 0);
+
+        // Against the still-dark store nothing is ready.
+        assert!(queue.ready(&interim_store).is_empty());
+
+        // Phase 2: full replay — the staggered catch-up backfills the dark
+        // span, so every queued window heals.
+        let healed_store = MetricStore::new();
+        replay_with_faults(&world, &healed_store, 3, plan).unwrap();
+        assert_eq!(queue.ready(&healed_store).len(), queue.len());
+
+        let upgrades = queue
+            .reassess(&funnel, &healed_store, world.topology(), &record)
+            .unwrap();
+        assert!(!upgrades.is_empty());
+        assert!(queue.is_empty(), "healed items must leave the queue");
+        for up in &upgrades {
+            assert!(
+                !up.verdict.awaiting_backfill(),
+                "{:?} still awaiting backfill after full heal",
+                up.key
+            );
+        }
+
+        // The upgrades land back in the assessment, and the real impact —
+        // invisible during the partition — is now attributed.
+        let replaced = interim.apply_upgrades(upgrades);
+        assert!(replaced > 0);
+        assert_eq!(interim.awaiting_backfill_items().count(), 0);
+        let treated_delay_caused = interim.caused_items().any(|i| {
+            i.key.kind == KpiKind::PageViewResponseDelay
+                && matches!(i.key.entity, funnel_topology::impact::Entity::Instance(_))
+        });
+        assert!(
+            treated_delay_caused,
+            "post-heal re-assessment missed the real impact"
+        );
+    }
+
+    #[test]
+    fn unhealed_items_stay_queued() {
+        let (world, change, plan) = partitioned_world(90.0);
+        let record = world.change_log().get(change).unwrap().clone();
+        let funnel = Funnel::paper_default();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+        let store = MetricStore::new();
+        replay_prefix(&world, &store, 3, plan, record.minute as usize + 15).unwrap();
+        let interim = funnel
+            .assess_change_with(&store, world.topology(), &record, &kinds)
+            .unwrap();
+        let mut queue = ReassessmentQueue::new();
+        queue.absorb(&interim, funnel.config());
+        let before = queue.len();
+        assert!(before > 0);
+
+        // Reassessing against the same unhealed store re-runs nothing and
+        // drops nothing.
+        let upgrades = queue
+            .reassess(&funnel, &store, world.topology(), &record)
+            .unwrap();
+        assert!(upgrades.is_empty());
+        assert_eq!(queue.len(), before);
+    }
+
+    #[test]
+    fn healed_replay_produces_no_queue_entries() {
+        let (world, change, plan) = partitioned_world(90.0);
+        let record = world.change_log().get(change).unwrap().clone();
+        let funnel = Funnel::paper_default();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+        // Full healed replay straight away: nothing should be queued.
+        let store = MetricStore::new();
+        replay_with_faults(&world, &store, 3, plan).unwrap();
+        let assessment = funnel
+            .assess_change_with(&store, world.topology(), &record, &kinds)
+            .unwrap();
+        let mut queue = ReassessmentQueue::new();
+        assert_eq!(queue.absorb(&assessment, funnel.config()), 0);
+        assert!(queue.is_empty());
+    }
+}

@@ -49,7 +49,7 @@ pub fn render(topology: &Topology, assessment: &ChangeAssessment) -> String {
         }
         let status = match (item.verdict, &item.detection) {
             (Verdict::Caused, _) => "CAUSED  ",
-            (Verdict::Inconclusive, _) => "INCONCL.",
+            (Verdict::Inconclusive { .. }, _) => "INCONCL.",
             (Verdict::NotCaused, Some(_)) => "external",
             (Verdict::NotCaused, None) => "-",
         };
@@ -75,6 +75,11 @@ pub fn render(topology: &Topology, assessment: &ChangeAssessment) -> String {
         }
         if !item.quality.report.is_good() {
             notes.push_str(&format!(" quality:{:?}", item.quality.report.issues));
+        }
+        if item.verdict.awaiting_backfill() {
+            // Repairable: a partition gap blocks the verdict; the item sits
+            // in the re-assessment queue until the collector backfills it.
+            notes.push_str(" awaiting-backfill");
         }
         out.push_str(&format!(
             "  [{status}] {} ({mode}, {alpha}) {when}{notes}\n",

@@ -7,6 +7,7 @@
 use funnel_sim::kpi::KpiKey;
 use funnel_sim::store::MetricStore;
 use funnel_sim::world::World;
+use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 
 /// A provider of KPI series.
@@ -21,6 +22,18 @@ pub trait KpiSource {
     fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
         let _ = (key, from, to);
         1.0
+    }
+
+    /// The per-bin coverage mask for `key`, when the source tracks one.
+    /// `None` (the default, and what degradation-free sources return) means
+    /// "everything real": the pipeline then skips gap analysis entirely.
+    /// The shape of the gaps matters beyond the coverage *fraction* — one
+    /// contiguous partition-length gap flags an item for post-backfill
+    /// re-assessment, while the same minutes lost as scattered frames do
+    /// not.
+    fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        let _ = key;
+        None
     }
 }
 
@@ -38,6 +51,10 @@ impl KpiSource for MetricStore {
     fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
         MetricStore::coverage(self, key, from, to)
     }
+
+    fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        MetricStore::mask(self, key)
+    }
 }
 
 impl<T: KpiSource + ?Sized> KpiSource for &T {
@@ -47,6 +64,10 @@ impl<T: KpiSource + ?Sized> KpiSource for &T {
 
     fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
         (**self).coverage(key, from, to)
+    }
+
+    fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        (**self).mask(key)
     }
 }
 
@@ -95,5 +116,10 @@ mod tests {
         store.append(key, 0, 1.0);
         store.append(key, 3, 1.0); // 1, 2 are fills
         assert_eq!(KpiSource::coverage(&store, &key, 0, 4), 0.5);
+        // And only the store exposes the mask itself.
+        assert!(KpiSource::mask(&world, &key).is_none());
+        let mask = KpiSource::mask(&store, &key).expect("store tracks a mask");
+        assert!(mask.is_present(0) && mask.is_present(3));
+        assert!(!mask.is_present(1) && !mask.is_present(2));
     }
 }

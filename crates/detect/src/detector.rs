@@ -49,6 +49,13 @@ pub struct MaskedRun {
     pub skipped_windows: usize,
     /// Total windows the series yielded.
     pub total_windows: usize,
+    /// Events refused by [`DetectorRunner::run_masked_gap_aware`] because
+    /// their change point fell inside — or within one window-length of —
+    /// a contiguous coverage gap at least `min_gap` minutes long. Nonzero
+    /// means "a change may be hiding behind an unhealed partition": the
+    /// caller should report `Inconclusive` and re-assess after backfill,
+    /// not declare the item clean.
+    pub suppressed_events: usize,
 }
 
 impl MaskedRun {
@@ -164,6 +171,7 @@ impl<S: WindowScorer> DetectorRunner<S> {
             events: Vec::new(),
             skipped_windows: 0,
             total_windows: 0,
+            suppressed_events: 0,
         };
         let mut run_len = 0usize;
         let mut run_start: MinuteBin = 0;
@@ -203,6 +211,47 @@ impl<S: WindowScorer> DetectorRunner<S> {
                 armed = true;
             }
         }
+        out
+    }
+
+    /// [`DetectorRunner::run_masked`] hardened against *correlated*
+    /// outages: any declared change whose change point
+    /// ([`ChangeEvent::first_exceeded_at`]) falls inside — or within one
+    /// window-length of — a contiguous coverage gap of at least `min_gap`
+    /// minutes is refused and counted in
+    /// [`MaskedRun::suppressed_events`] instead of returned.
+    ///
+    /// Per-window coverage thresholds already handle scattered per-frame
+    /// loss, but a partition leaves one long gap whose forward-filled
+    /// plateau ends in a step artifact exactly where the heal lands; a
+    /// change point bordering such a gap is indistinguishable from that
+    /// artifact until backfill restores the span. `min_gap` distinguishes
+    /// the two regimes (use the persistence length: a gap long enough to
+    /// fake the persistence rule). `min_gap` is clamped to a minimum of 1.
+    pub fn run_masked_gap_aware(
+        &self,
+        series: &TimeSeries,
+        mask: &CoverageMask,
+        min_coverage: f64,
+        min_gap: u64,
+    ) -> MaskedRun {
+        let mut out = self.run_masked(series, mask, min_coverage);
+        let guard = self.scorer.window_len() as u64;
+        let gaps: Vec<(MinuteBin, MinuteBin)> = mask
+            .gaps_in(series.start(), series.end())
+            .into_iter()
+            .filter(|&(s, e)| e - s >= min_gap.max(1))
+            .collect();
+        if gaps.is_empty() {
+            return out;
+        }
+        let before = out.events.len();
+        out.events.retain(|ev| {
+            !gaps.iter().any(|&(s, e)| {
+                ev.first_exceeded_at + guard >= s && ev.first_exceeded_at < e + guard
+            })
+        });
+        out.suppressed_events = before - out.events.len();
         out
     }
 
@@ -351,6 +400,73 @@ mod tests {
         assert!(masked.events.is_empty());
         assert_eq!(masked.skipped_windows, masked.total_windows);
         assert_eq!(masked.scored_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gap_adjacent_change_point_is_suppressed() {
+        // Real step at minute 30, and a 10-minute unhealed gap right before
+        // it (20..30): the step's change point borders the gap, so it is
+        // indistinguishable from the fill plateau ending — refused.
+        let series = step_series(30, 30);
+        let mut mask = CoverageMask::new(0);
+        for minute in 0..series.len() as u64 {
+            if !(20..30).contains(&minute) {
+                mask.mark(minute);
+            }
+        }
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let plain = r.run_masked(&series, &mask, 0.5);
+        assert_eq!(plain.events.len(), 1);
+        assert_eq!(plain.suppressed_events, 0);
+        let aware = r.run_masked_gap_aware(&series, &mask, 0.5, 7);
+        assert!(aware.events.is_empty());
+        assert_eq!(aware.suppressed_events, 1);
+    }
+
+    #[test]
+    fn change_point_far_from_gap_survives_gap_awareness() {
+        // Gap at 5..15, step at minute 40: window-length guard (4) does not
+        // reach the change point, so the event stands.
+        let series = step_series(40, 30);
+        let mut mask = CoverageMask::new(0);
+        for minute in 0..series.len() as u64 {
+            if !(5..15).contains(&minute) {
+                mask.mark(minute);
+            }
+        }
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let aware = r.run_masked_gap_aware(&series, &mask, 0.5, 7);
+        assert_eq!(aware.events.len(), 1);
+        assert_eq!(aware.suppressed_events, 0);
+        assert_eq!(aware.events, r.run_masked(&series, &mask, 0.5).events);
+    }
+
+    #[test]
+    fn short_gaps_do_not_trigger_suppression() {
+        // A 2-minute hole right before the step is ordinary frame loss, not
+        // a partition: below min_gap, the event stands.
+        let series = step_series(30, 30);
+        let mut mask = CoverageMask::new(0);
+        for minute in 0..series.len() as u64 {
+            if !(27..29).contains(&minute) {
+                mask.mark(minute);
+            }
+        }
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        let aware = r.run_masked_gap_aware(&series, &mask, 0.5, 7);
+        assert_eq!(aware.events.len(), 1);
+        assert_eq!(aware.suppressed_events, 0);
+    }
+
+    #[test]
+    fn full_mask_gap_aware_matches_run_masked() {
+        let series = step_series(10, 20);
+        let mask = CoverageMask::all_present(0, series.len());
+        let r = DetectorRunner::new(MeanScorer, 0.5, 7);
+        assert_eq!(
+            r.run_masked_gap_aware(&series, &mask, 0.8, 7),
+            r.run_masked(&series, &mask, 0.8)
+        );
     }
 
     #[test]

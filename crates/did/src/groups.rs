@@ -11,6 +11,7 @@
 //! AR(1)-corrected standard errors, and renders a [`DidVerdict`].
 
 use crate::estimator::{did_estimate, DidError, DidEstimate};
+use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
 use funnel_timeseries::stats::{mad, median};
 
@@ -25,6 +26,11 @@ pub struct DidConfig {
     /// Whether to normalize all samples by the control pre-period's robust
     /// scale (median/MAD). Disable only if samples are pre-normalized.
     pub normalize: bool,
+    /// Largest allowed |pre-coverage − post-coverage| for one group member
+    /// in [`DidAssessor::assess_masked`]. A partition that darkened a
+    /// member for one side of the change only makes its contrast
+    /// fills-vs-data rather than data-vs-data; such members are excluded.
+    pub max_coverage_divergence: f64,
 }
 
 impl Default for DidConfig {
@@ -33,6 +39,7 @@ impl Default for DidConfig {
             period_minutes: 60,
             alpha_threshold: 2.0,
             normalize: true,
+            max_coverage_divergence: 0.35,
         }
     }
 }
@@ -115,6 +122,75 @@ impl DidAssessor {
             cells[3].extend_from_slice(s.slice(change_minute, change_minute + w));
         }
         self.assess_samples(&cells[0], &cells[1], &cells[2], &cells[3])
+    }
+
+    /// [`DidAssessor::assess`] hardened against partition-skewed coverage:
+    /// each group member carries its coverage mask (`None` = fully
+    /// measured, e.g. batch-materialized history), and members whose
+    /// pre-vs-post coverage over the assessment span diverges by more than
+    /// [`DidConfig::max_coverage_divergence`] are excluded before pooling.
+    ///
+    /// The failure mode this prevents: a zone partition darkens some
+    /// control instances for exactly the post-change period, so their
+    /// post cells are forward-filled copies of pre-change values — the
+    /// contrast then reads "control did not move" regardless of what the
+    /// control actually did, and a coincident external shock gets
+    /// attributed to the software change. Divergence, not absolute
+    /// coverage, is the right test: a member missing 20 % of *both*
+    /// periods still contributes an honest contrast.
+    ///
+    /// # Errors
+    ///
+    /// [`DidError::InsufficientCoverage`] when every member of a group is
+    /// excluded (the percentages report coverage *balance*,
+    /// `100 − divergence`, for the best surviving candidate), plus
+    /// everything [`DidAssessor::assess`] can return.
+    pub fn assess_masked(
+        &self,
+        treated: &[(&TimeSeries, Option<&CoverageMask>)],
+        control: &[(&TimeSeries, Option<&CoverageMask>)],
+        change_minute: MinuteBin,
+    ) -> Result<(DidVerdict, DidEstimate), DidError> {
+        let w = self.config.period_minutes;
+        let pre_from = change_minute.saturating_sub(w);
+        let divergence = |mask: Option<&CoverageMask>| -> f64 {
+            match mask {
+                None => 0.0,
+                Some(m) => {
+                    let pre = m.coverage(pre_from, change_minute);
+                    let post = m.coverage(change_minute, change_minute + w);
+                    (pre - post).abs()
+                }
+            }
+        };
+        fn filter<'a>(
+            group: &[(&'a TimeSeries, Option<&CoverageMask>)],
+            name: &'static str,
+            max_div: f64,
+            divergence: &impl Fn(Option<&CoverageMask>) -> f64,
+        ) -> Result<Vec<&'a TimeSeries>, DidError> {
+            let mut kept = Vec::with_capacity(group.len());
+            let mut best_div = f64::INFINITY;
+            for &(series, mask) in group {
+                let d = divergence(mask);
+                best_div = best_div.min(d);
+                if d <= max_div {
+                    kept.push(series);
+                }
+            }
+            if kept.is_empty() && !group.is_empty() {
+                return Err(DidError::InsufficientCoverage {
+                    group: name,
+                    required_pct: (100.0 * (1.0 - max_div)).round().clamp(0.0, 100.0) as u8,
+                    got_pct: (100.0 * (1.0 - best_div)).round().clamp(0.0, 100.0) as u8,
+                });
+            }
+            Ok(kept)
+        }
+        let max_div = self.config.max_coverage_divergence;
+        let treated = filter(treated, "treated", max_div, &divergence)?;
+        let control = filter(control, "control", max_div, &divergence)?;
+        self.assess(&treated, &control, change_minute)
     }
 
     /// Sample-level entry point shared with the seasonal mode.
@@ -270,6 +346,116 @@ mod tests {
         let (v2, _) = a.assess(&[&t2], &[&c2], change).unwrap();
         assert_eq!(v1.is_caused(), v2.is_caused());
         assert!(v1.is_caused());
+    }
+
+    #[test]
+    fn masked_assess_excludes_partition_skewed_members() {
+        // Control member 2 was dark for the whole post period: its "post"
+        // cells are forward-fills of pre-change values. With an external
+        // shock moving everything +8 post-change, an honest control shows
+        // the shock moved controls too (α ≈ 0, NotCaused) — but the
+        // fill-frozen member reads flat, dragging the pooled control
+        // toward "did not move" and α toward significance. Exclusion must
+        // restore the honest verdict.
+        let change = 120u64;
+        let shock = move |m: u64| if m >= change { 8.0 } else { 0.0 };
+        let treated: Vec<TimeSeries> = (0..2)
+            .map(|k| series(0, move |m| 100.0 + lcg_noise(k, m) + shock(m), 240))
+            .collect();
+        let honest = series(0, move |m| 100.0 + lcg_noise(10, m) + shock(m), 240);
+        // Frozen member: value stuck at its minute-119 reading post-change.
+        let frozen = series(0, move |m| 100.0 + lcg_noise(11, m.min(change - 1)), 240);
+        let mut frozen_mask = CoverageMask::new(0);
+        for minute in 0..240 {
+            if minute < change {
+                frozen_mask.mark(minute);
+            }
+        }
+        let full = CoverageMask::all_present(0, 240);
+
+        let a = DidAssessor::default();
+        let tr: Vec<(&TimeSeries, Option<&CoverageMask>)> =
+            treated.iter().map(|s| (s, Some(&full))).collect();
+        let cr = vec![(&honest, Some(&full)), (&frozen, Some(&frozen_mask))];
+        let (v, _) = a.assess_masked(&tr, &cr, change).unwrap();
+        assert!(!v.is_caused(), "alpha {}", v.alpha());
+
+        // Same data ignoring masks: the frozen member biases the pooled
+        // control contrast (demonstrates the hazard exclusion removes).
+        let cr_plain: Vec<&TimeSeries> = vec![&honest, &frozen];
+        let tr_plain: Vec<&TimeSeries> = treated.iter().collect();
+        let (_, est_biased) = a.assess(&tr_plain, &cr_plain, change).unwrap();
+        let (_, est_clean) = a.assess(&tr_plain, &[&honest], change).unwrap();
+        assert!(
+            est_biased.alpha.abs() > est_clean.alpha.abs(),
+            "biased {} clean {}",
+            est_biased.alpha,
+            est_clean.alpha
+        );
+    }
+
+    #[test]
+    fn masked_assess_errors_when_group_empties() {
+        let change = 120u64;
+        let t = series(0, move |m| 100.0 + lcg_noise(1, m), 240);
+        let c = series(0, move |m| 100.0 + lcg_noise(2, m), 240);
+        // Control's only member measured pre, dark post.
+        let mut skewed = CoverageMask::new(0);
+        for minute in 0..change {
+            skewed.mark(minute);
+        }
+        let a = DidAssessor::default();
+        let err = a
+            .assess_masked(&[(&t, None)], &[(&c, Some(&skewed))], change)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DidError::InsufficientCoverage {
+                    group: "control",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn masked_assess_with_full_masks_matches_plain() {
+        let change = 120u64;
+        let t = series(
+            0,
+            move |m| 100.0 + lcg_noise(5, m) + if m >= change { 10.0 } else { 0.0 },
+            240,
+        );
+        let c = series(0, move |m| 100.0 + lcg_noise(6, m), 240);
+        let full = CoverageMask::all_present(0, 240);
+        let a = DidAssessor::default();
+        let (vm, em) = a
+            .assess_masked(&[(&t, Some(&full))], &[(&c, None)], change)
+            .unwrap();
+        let (vp, ep) = a.assess(&[&t], &[&c], change).unwrap();
+        assert_eq!(vm, vp);
+        assert_eq!(em.alpha.to_bits(), ep.alpha.to_bits());
+        assert!(vm.is_caused());
+    }
+
+    #[test]
+    fn balanced_partial_coverage_is_kept() {
+        // A member missing 20 % of BOTH periods has zero divergence: kept.
+        let change = 120u64;
+        let t = series(0, move |m| 100.0 + lcg_noise(8, m), 240);
+        let c = series(0, move |m| 100.0 + lcg_noise(9, m), 240);
+        let mut balanced = CoverageMask::new(0);
+        for minute in 0..240 {
+            if minute % 5 != 0 {
+                balanced.mark(minute);
+            }
+        }
+        let a = DidAssessor::default();
+        assert!(a
+            .assess_masked(&[(&t, Some(&balanced))], &[(&c, Some(&balanced))], change)
+            .is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! lost one. Service aggregation sums instance values in instance-id order,
 //! so the aggregate bytes are identical no matter how threads interleave.
 
+use crate::faults::HealMode;
 use crate::kpi::{Aggregation, KpiKey, KpiKind};
 use crate::store::MetricStore;
 use crate::wire::{decode_frame, encode_frame, WireRecord};
@@ -73,6 +74,22 @@ pub struct ReplayStats {
     /// Agent shard threads that panicked mid-replay. Their already-sent
     /// frames were ingested; only their local fault counters are lost.
     pub crashed_agents: usize,
+    /// Frames lost to a network partition: generated while the shard was
+    /// dark with no buffering (silent drop), evicted from a full agent-side
+    /// queue, or still queued when the replay ended inside the window.
+    pub partition_lost_frames: usize,
+    /// Late frames from a healed partition routed to the collector's
+    /// backfill stage (their minute lay behind the sending agent's own
+    /// watermark by more than the reorder horizon).
+    pub backfilled_frames: usize,
+    /// Individual measurements written into historical bins by backfill.
+    pub backfilled_records: usize,
+    /// Late measurements refused by backfill duplicate suppression (the
+    /// bin already held a real measurement).
+    pub backfill_rejected_records: usize,
+    /// Service aggregates that only completed once backfill merged a
+    /// healed span's instance cells.
+    pub backfilled_aggregates: usize,
 }
 
 /// Replays the whole world through the agent → collector path into `store`,
@@ -107,8 +124,31 @@ pub fn replay_with_faults(
     shards: usize,
     faults: FaultPlan,
 ) -> Result<ReplayStats, SimError> {
+    replay_prefix(world, store, shards, faults, usize::MAX)
+}
+
+/// [`replay_with_faults`] truncated to the first `minutes` of the world's
+/// timeline — a replay stopped mid-flight. Its purpose is interim
+/// assessment during an open partition: a cutoff inside a
+/// [`crate::faults::PartitionWindow`] leaves the agents' buffered queues
+/// undrained (the link never came back inside the replayed span), so the
+/// store shows the coverage gap exactly as a live operator would see it.
+/// A shard still dark at the cutoff loses its queue, as agents that never
+/// heal eventually do.
+///
+/// # Errors
+///
+/// Propagates series-generation errors (cannot occur for a well-formed
+/// world).
+pub fn replay_prefix(
+    world: &World,
+    store: &MetricStore,
+    shards: usize,
+    faults: FaultPlan,
+    minutes: usize,
+) -> Result<ReplayStats, SimError> {
     let shards = shards.max(1);
-    let duration = world.config().duration;
+    let duration = world.config().duration.min(minutes);
     let start = world.config().start;
     if faults.subscriber_capacity.is_some() {
         store.set_subscription_capacity_limit(faults.subscriber_capacity);
@@ -169,6 +209,7 @@ pub fn replay_with_faults(
         dropped: usize,
         delayed: usize,
         glitched: usize,
+        partition_lost: usize,
     }
 
     std::thread::scope(|scope| {
@@ -181,6 +222,12 @@ pub fn replay_with_faults(
                 let mut local = AgentStats::default();
                 // Frames held back by the transport: (release minute, bytes).
                 let mut held: Vec<(u64, Bytes)> = Vec::new();
+                // Frames generated while partitioned, waiting for heal, in
+                // ascending minute order (each keeps its original-minute
+                // stamp in the wire header). The heal mode they were
+                // buffered under governs the drain rate.
+                let mut backlog: Vec<Bytes> = Vec::new();
+                let mut backlog_heal = HealMode::SilentDrop;
                 let send = |frame: Bytes, copies: u32| {
                     for _ in 0..=copies {
                         if tx.send(frame.clone()).is_err() {
@@ -189,24 +236,7 @@ pub fn replay_with_faults(
                     }
                     true
                 };
-                for minute_idx in 0..duration {
-                    let minute = start + minute_idx as u64;
-                    // Release previously delayed frames whose time has come
-                    // (before this minute's frame, preserving the reorder
-                    // horizon: a frame for m arrives by agent minute
-                    // m + max_delay).
-                    held.sort_by_key(|(release, _)| *release);
-                    while held.first().is_some_and(|(release, _)| *release <= minute) {
-                        let (_, frame) = held.remove(0);
-                        if !send(frame, 0) {
-                            return local;
-                        }
-                    }
-                    let fate = schedule.frame_fate(shard_idx, minute);
-                    if fate.dropped {
-                        local.dropped += 1;
-                        continue; // frame lost in transit
-                    }
+                let build_records = |minute: u64, local: &mut AgentStats| {
                     let mut records = Vec::new();
                     for server_payload in &data.servers {
                         for (key, series) in server_payload {
@@ -221,6 +251,70 @@ pub fn replay_with_faults(
                             }
                         }
                     }
+                    records
+                };
+                for minute_idx in 0..duration {
+                    let minute = start + minute_idx as u64;
+                    // Release previously delayed frames whose time has come
+                    // (before this minute's frame, preserving the reorder
+                    // horizon: a frame for m arrives by agent minute
+                    // m + max_delay). Delayed frames were already accepted
+                    // by the transport before any partition began, so they
+                    // deliver even while the shard's uplink is dark.
+                    held.sort_by_key(|(release, _)| *release);
+                    while held.first().is_some_and(|(release, _)| *release <= minute) {
+                        let (_, frame) = held.remove(0);
+                        if !send(frame, 0) {
+                            return local;
+                        }
+                    }
+                    if let Some(window) = schedule.partition_at(shard_idx, minute) {
+                        // Dark minute: the sensor still reads (glitches
+                        // apply) but nothing enters the transport, so the
+                        // per-frame fault channels never roll for this
+                        // frame. The frame keeps its original-minute stamp
+                        // — that stamp is what later makes it a backfill
+                        // candidate rather than a live measurement.
+                        match window.heal {
+                            HealMode::SilentDrop => local.partition_lost += 1,
+                            heal => {
+                                let records = build_records(minute, &mut local);
+                                backlog.push(encode_frame(minute, shard_idx as u32, &records));
+                                backlog_heal = heal;
+                                if backlog.len() > heal.queue_bound() {
+                                    // Bounded agent-side queue: oldest out.
+                                    backlog.remove(0);
+                                    local.partition_lost += 1;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    // Link is up: drain queued dark-span frames per the heal
+                    // mode, oldest first, ahead of this minute's live frame.
+                    if !backlog.is_empty() {
+                        let burst = match backlog_heal {
+                            HealMode::SilentDrop => 0,
+                            HealMode::BufferedBurst { .. } => backlog.len(),
+                            HealMode::StaggeredCatchUp { per_minute, .. } => {
+                                per_minute.min(backlog.len())
+                            }
+                        };
+                        for frame in backlog.drain(..burst) {
+                            // Queued frames skip the per-frame fault
+                            // channels: they were never in flight during
+                            // the window and the uplink is live now.
+                            if !send(frame, 0) {
+                                return local;
+                            }
+                        }
+                    }
+                    let fate = schedule.frame_fate(shard_idx, minute);
+                    if fate.dropped {
+                        local.dropped += 1;
+                        continue; // frame lost in transit
+                    }
+                    let records = build_records(minute, &mut local);
                     // One frame per shard per minute (empty shards included,
                     // so the collector's completeness count works).
                     let mut frame = encode_frame(minute, shard_idx as u32, &records);
@@ -240,6 +334,19 @@ pub fn replay_with_faults(
                 // order.
                 held.sort_by_key(|(release, _)| *release);
                 for (_, frame) in held {
+                    if !send(frame, 0) {
+                        return local;
+                    }
+                }
+                // A shard still dark at the cutoff loses its queue (the
+                // window never healed inside the replayed span); otherwise
+                // the link is up and the leftover backlog flushes.
+                let last_minute = start + duration.saturating_sub(1) as u64;
+                if duration > 0 && schedule.is_partitioned(shard_idx, last_minute) {
+                    local.partition_lost += backlog.len();
+                    backlog.clear();
+                }
+                for frame in backlog {
                     if !send(frame, 0) {
                         return local;
                     }
@@ -266,11 +373,33 @@ pub fn replay_with_faults(
         let mut watermarks: Vec<Option<u64>> = vec![None; shards];
         // Per-agent minutes already accepted, for duplicate suppression.
         let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); shards];
+        // Late frames from healed partitions, staged keyed by
+        // (shard, minute): a BTreeMap so the post-stream flush walks them
+        // in deterministic (shard, minute) order no matter how the agent
+        // threads interleaved.
+        let mut backfill_stage: BTreeMap<(usize, u64), Vec<WireRecord>> = BTreeMap::new();
+        // Aggregation cells of finalized-but-incomplete minutes, kept (not
+        // discarded) so a healed span's backfilled cells can complete them.
+        let mut partial: BTreeMap<u64, MinuteAccs> = BTreeMap::new();
 
-        let finalize = |minute: u64, accs: MinuteAccs, stats: &mut ReplayStats| {
+        let finalize = |minute: u64,
+                        accs: MinuteAccs,
+                        stats: &mut ReplayStats,
+                        partial: &mut BTreeMap<u64, MinuteAccs>| {
             for ((svc, kind), mut cells) in accs {
-                // Only aggregate when every instance reported.
-                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) || cells.is_empty() {
+                if cells.is_empty() {
+                    continue;
+                }
+                // Only aggregate when every instance reported; keep
+                // partial minutes around — a partition heal may still
+                // backfill the missing cells.
+                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) {
+                    partial
+                        .entry(minute)
+                        .or_default()
+                        .entry((svc, kind))
+                        .or_default()
+                        .append(&mut cells);
                     continue;
                 }
                 cells.sort_by_key(|(id, _)| *id);
@@ -307,6 +436,19 @@ pub fn replay_with_faults(
                 continue;
             }
             stats.frames += 1;
+            // A frame whose original-minute stamp lies behind this agent's
+            // own watermark by more than the reorder horizon cannot be a
+            // delayed live frame — it is a healed partition's backlog.
+            // Stage it for the deterministic post-stream backfill flush
+            // instead of disturbing watermarks or minute finalization. The
+            // routing test is per-agent (frames within one agent arrive in
+            // send order), so it is independent of cross-shard thread
+            // interleaving.
+            if watermarks[agent].is_some_and(|w| decoded.minute + horizon < w) {
+                stats.backfilled_frames += 1;
+                backfill_stage.insert((agent, decoded.minute), decoded.records);
+                continue;
+            }
             let w = &mut watermarks[agent];
             *w = Some(w.map_or(decoded.minute, |x| x.max(decoded.minute)));
             let entry = pending.entry(decoded.minute).or_default();
@@ -348,13 +490,62 @@ pub fn replay_with_faults(
                     break;
                 }
                 if let Some((_, accs)) = pending.remove(&minute) {
-                    finalize(minute, accs, &mut stats);
+                    finalize(minute, accs, &mut stats, &mut partial);
                 }
             }
         }
         // Channel closed: flush everything left.
         for (minute, (_, accs)) in std::mem::take(&mut pending) {
-            finalize(minute, accs, &mut stats);
+            finalize(minute, accs, &mut stats, &mut partial);
+        }
+        // Backfill flush: healed-span frames enter historical bins in
+        // (shard, minute) order — deterministic regardless of how agent
+        // threads interleaved during the replay. Each record passes the
+        // same plausibility gate as live ingestion, and the store's own
+        // duplicate suppression (first write wins per real bin) guards
+        // against re-delivery races.
+        for ((_, minute), records) in backfill_stage {
+            for rec in records {
+                if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
+                    stats.invalid_records += 1;
+                    store.note_backfill_rejected();
+                    continue;
+                }
+                if store.backfill(rec.key, minute, rec.value) {
+                    stats.backfilled_records += 1;
+                } else {
+                    stats.backfill_rejected_records += 1;
+                }
+                if let Entity::Instance(i) = rec.key.entity {
+                    if let Some(&svc) = instance_service.get(&i.0) {
+                        partial
+                            .entry(minute)
+                            .or_default()
+                            .entry((svc, rec.key.kind))
+                            .or_default()
+                            .push((i.0, rec.value));
+                    }
+                }
+            }
+        }
+        // Service aggregates the backfill completed, ascending minute then
+        // (service, kind). Emitted through the backfill path too: their
+        // minute is historical for the (forward-filled) aggregate series.
+        for (minute, accs) in partial {
+            for ((svc, kind), mut cells) in accs {
+                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) || cells.is_empty() {
+                    continue;
+                }
+                cells.sort_by_key(|(id, _)| *id);
+                let sum: f64 = cells.iter().map(|(_, v)| v).sum();
+                let value = match kind.aggregation() {
+                    Aggregation::Sum => sum,
+                    Aggregation::Mean => sum / cells.len() as f64,
+                };
+                if store.backfill(KpiKey::new(Entity::Service(svc), kind), minute, value) {
+                    stats.backfilled_aggregates += 1;
+                }
+            }
         }
         for handle in handles {
             // A crashed agent shard must not take the collector down with
@@ -366,6 +557,7 @@ pub fn replay_with_faults(
                     stats.dropped_frames += local.dropped;
                     stats.delayed_frames += local.delayed;
                     stats.glitched_records += local.glitched;
+                    stats.partition_lost_frames += local.partition_lost;
                 }
                 Err(_) => stats.crashed_agents += 1,
             }

@@ -17,6 +17,131 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Which slice of the agent fleet a [`PartitionWindow`] darkens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionScope {
+    /// One agent shard loses its uplink.
+    Shard(usize),
+    /// Every shard with `shard % zones == zone` loses its uplink — a
+    /// deterministic stand-in for an availability zone going dark.
+    Zone {
+        /// Which zone is dark.
+        zone: usize,
+        /// How many zones the fleet is striped across.
+        zones: usize,
+    },
+    /// The whole collector is unreachable: every shard goes dark.
+    Collector,
+}
+
+impl PartitionScope {
+    /// Whether `shard` is inside this scope.
+    pub fn covers(&self, shard: usize) -> bool {
+        match *self {
+            PartitionScope::Shard(s) => shard == s,
+            PartitionScope::Zone { zone, zones } => zones > 0 && shard % zones == zone,
+            PartitionScope::Collector => true,
+        }
+    }
+}
+
+/// What happens to the frames an agent generates while partitioned, once
+/// connectivity returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealMode {
+    /// Agents buffer nothing: every frame generated during the window is
+    /// lost forever (agent reboots, ring-buffer-less senders).
+    SilentDrop,
+    /// Agents buffer up to `queue` frames (oldest evicted beyond that) and
+    /// flush the entire backlog the minute connectivity returns — the
+    /// thundering-herd heal that floods the collector.
+    BufferedBurst {
+        /// Agent-side queue bound, in frames.
+        queue: usize,
+    },
+    /// Agents buffer (bounded by `queue`) and, after heal, drain at most
+    /// `per_minute` backlog frames per minute alongside the live frame —
+    /// the rate-limited catch-up a well-behaved agent performs.
+    StaggeredCatchUp {
+        /// Agent-side queue bound, in frames.
+        queue: usize,
+        /// Backlog frames released per post-heal minute.
+        per_minute: usize,
+    },
+}
+
+impl HealMode {
+    /// The agent-side queue bound (`usize::MAX` when nothing is buffered —
+    /// silent drop never enqueues, so the bound is moot).
+    pub fn queue_bound(&self) -> usize {
+        match *self {
+            HealMode::SilentDrop => 0,
+            HealMode::BufferedBurst { queue } => queue,
+            HealMode::StaggeredCatchUp { queue, .. } => queue,
+        }
+    }
+}
+
+/// One correlated outage: a contiguous span of minutes during which every
+/// shard in `scope` cannot reach the collector, plus the heal behaviour
+/// when the span ends. Unlike the independent per-frame channels, a
+/// partition takes out *every* frame of the scoped shards for the whole
+/// window — the harshest realistic telemetry failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Which shards go dark.
+    pub scope: PartitionScope,
+    /// First dark minute (absolute).
+    pub start: u64,
+    /// Length of the dark span in minutes; the window covers
+    /// `[start, start + duration)`.
+    pub duration: u64,
+    /// What happens to the buffered span on heal.
+    pub heal: HealMode,
+}
+
+impl PartitionWindow {
+    /// Whether `(shard, minute)` is inside the dark span.
+    pub fn covers(&self, shard: usize, minute: u64) -> bool {
+        self.scope.covers(shard)
+            && minute >= self.start
+            && minute < self.start.saturating_add(self.duration)
+    }
+
+    /// First minute after the dark span (when buffered heals begin).
+    pub fn heal_minute(&self) -> u64 {
+        self.start.saturating_add(self.duration)
+    }
+
+    /// Derives a window whose start and duration are seeded pseudorandomly
+    /// inside `[span_start, span_start + span_len)`: start is uniform over
+    /// the span (leaving room for the duration), duration uniform in
+    /// `[min_duration, max_duration]`. Same seed ⇒ same window, so a
+    /// sweep can scatter outages without hand-placing them.
+    pub fn seeded(
+        seed: u64,
+        scope: PartitionScope,
+        heal: HealMode,
+        span_start: u64,
+        span_len: u64,
+        min_duration: u64,
+        max_duration: u64,
+    ) -> Self {
+        let lo = min_duration.max(1);
+        let hi = max_duration.max(lo);
+        let h = splitmix(seed ^ 0x9A27_71E5_B6C0_4D13);
+        let duration = lo + h % (hi - lo + 1);
+        let slack = span_len.saturating_sub(duration);
+        let start = span_start + if slack > 0 { splitmix(h) % slack } else { 0 };
+        Self {
+            scope,
+            start,
+            duration,
+            heal,
+        }
+    }
+}
+
 /// Declarative fault rates for one replay. All fields default to zero /
 /// disabled, so `FaultPlan::default()` (= [`FaultPlan::none`]) reproduces
 /// the clean path exactly.
@@ -65,6 +190,11 @@ pub struct FaultPlan {
     /// consumer that cannot keep up (the store drops, never blocks).
     #[serde(default)]
     pub subscriber_capacity: Option<usize>,
+    /// Correlated outage windows (shard / zone / whole-collector scope).
+    /// Orthogonal to the per-frame channels above: a frame is taken by a
+    /// partition before any per-frame fate is rolled.
+    #[serde(default)]
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl Default for FaultPlan {
@@ -80,6 +210,7 @@ impl Default for FaultPlan {
             glitch_prob: 0.0,
             glitch_factor: 0.0,
             subscriber_capacity: None,
+            partitions: Vec::new(),
         }
     }
 }
@@ -101,6 +232,12 @@ impl FaultPlan {
         }
     }
 
+    /// Adds one correlated outage window (builder-style).
+    pub fn with_partition(mut self, window: PartitionWindow) -> Self {
+        self.partitions.push(window);
+        self
+    }
+
     /// Whether every fault channel is disabled.
     pub fn is_none(&self) -> bool {
         self.drop_frame_prob <= 0.0
@@ -110,6 +247,7 @@ impl FaultPlan {
             && self.corrupt_prob <= 0.0
             && self.glitch_prob <= 0.0
             && self.subscriber_capacity.is_none()
+            && self.partitions.is_empty()
     }
 
     /// Freezes the plan into a queryable schedule.
@@ -228,6 +366,21 @@ impl FaultSchedule {
         (unit(h) < p.glitch_prob).then_some(p.glitch_factor)
     }
 
+    /// The partition window covering `(shard, minute)`, if any. Windows are
+    /// checked in declaration order; the first match wins (overlapping
+    /// windows are legal but the earlier declaration governs heal mode).
+    pub fn partition_at(&self, shard: usize, minute: u64) -> Option<&PartitionWindow> {
+        self.plan
+            .partitions
+            .iter()
+            .find(|w| w.covers(shard, minute))
+    }
+
+    /// Whether `shard` is dark at `minute` under any declared partition.
+    pub fn is_partitioned(&self, shard: usize, minute: u64) -> bool {
+        self.partition_at(shard, minute).is_some()
+    }
+
     /// The reorder horizon the collector must respect: a frame for minute
     /// `m` can arrive as late as the sending agent's minute
     /// `m + horizon`, so per-agent watermarks only prove loss once they
@@ -279,6 +432,12 @@ mod tests {
             glitch_prob: 0.01,
             glitch_factor: 100.0,
             subscriber_capacity: Some(8),
+            partitions: vec![PartitionWindow {
+                scope: PartitionScope::Zone { zone: 1, zones: 2 },
+                start: 100,
+                duration: 30,
+                heal: HealMode::BufferedBurst { queue: 64 },
+            }],
         }
     }
 
@@ -379,6 +538,81 @@ mod tests {
 
         let clean = s.mangle(&FrameFate::clean(), &bytes);
         assert_eq!(clean, bytes);
+    }
+
+    #[test]
+    fn partition_scopes_cover_expected_shards() {
+        assert!(PartitionScope::Shard(2).covers(2));
+        assert!(!PartitionScope::Shard(2).covers(3));
+        let zone = PartitionScope::Zone { zone: 1, zones: 2 };
+        assert!(zone.covers(1) && zone.covers(3) && zone.covers(5));
+        assert!(!zone.covers(0) && !zone.covers(4));
+        assert!(!PartitionScope::Zone { zone: 0, zones: 0 }.covers(0));
+        for shard in 0..8 {
+            assert!(PartitionScope::Collector.covers(shard));
+        }
+    }
+
+    #[test]
+    fn partition_window_covers_its_span_only() {
+        let w = PartitionWindow {
+            scope: PartitionScope::Shard(1),
+            start: 50,
+            duration: 10,
+            heal: HealMode::SilentDrop,
+        };
+        assert!(!w.covers(1, 49));
+        assert!(w.covers(1, 50));
+        assert!(w.covers(1, 59));
+        assert!(!w.covers(1, 60));
+        assert!(!w.covers(0, 55));
+        assert_eq!(w.heal_minute(), 60);
+
+        let s = FaultPlan {
+            partitions: vec![w],
+            ..FaultPlan::none()
+        }
+        .schedule();
+        assert!(s.is_partitioned(1, 55));
+        assert!(!s.is_partitioned(0, 55));
+        assert!(!s.is_partitioned(1, 60));
+        assert_eq!(s.partition_at(1, 55), Some(&w));
+    }
+
+    #[test]
+    fn seeded_window_is_deterministic_and_in_span() {
+        let mk = |seed| {
+            PartitionWindow::seeded(
+                seed,
+                PartitionScope::Collector,
+                HealMode::SilentDrop,
+                1000,
+                500,
+                15,
+                60,
+            )
+        };
+        let a = mk(9);
+        assert_eq!(a, mk(9));
+        assert_ne!(a, mk(10));
+        for seed in 0..50 {
+            let w = mk(seed);
+            assert!((15..=60).contains(&w.duration), "duration {}", w.duration);
+            assert!(w.start >= 1000);
+            assert!(w.heal_minute() <= 1500);
+        }
+    }
+
+    #[test]
+    fn partitions_alone_disable_is_none() {
+        let plan = FaultPlan::none().with_partition(PartitionWindow {
+            scope: PartitionScope::Collector,
+            start: 0,
+            duration: 5,
+            heal: HealMode::SilentDrop,
+        });
+        assert!(!plan.is_none());
+        assert_eq!(plan.schedule().frame_fate(0, 0), FrameFate::clean());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod wire;
 pub mod world;
 
 pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
-pub use faults::{FaultPlan, FaultSchedule, FrameFate};
+pub use faults::{FaultPlan, FaultSchedule, FrameFate, HealMode, PartitionScope, PartitionWindow};
 pub use kpi::{Aggregation, KpiKey, KpiKind};
 pub use store::{MetricStore, StoreStats, Subscription};
 pub use world::{GroundTruthItem, SimConfig, World, WorldBuilder};

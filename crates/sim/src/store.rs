@@ -49,6 +49,14 @@ pub struct StoreStats {
     /// Undecodable wire frames the ingestion path quarantined (reported by
     /// the collector via [`MetricStore::note_quarantined_frame`]).
     pub quarantined_frames: u64,
+    /// Historical bins filled in after a healed partition
+    /// ([`MetricStore::backfill`] accepted the late measurement).
+    pub backfilled: u64,
+    /// Late measurements refused by [`MetricStore::backfill`]: the bin
+    /// already held a real measurement (duplicate suppression), the minute
+    /// predates the series anchor, or the collector's plausibility gate
+    /// rejected the record ([`MetricStore::note_backfill_rejected`]).
+    pub backfill_rejected: u64,
 }
 
 /// A live subscription handle; drop it to unsubscribe.
@@ -98,6 +106,8 @@ pub struct MetricStore {
     dropped: AtomicU64,
     reaped: AtomicU64,
     quarantined: AtomicU64,
+    backfilled: AtomicU64,
+    backfill_rejected: AtomicU64,
     /// 0 = uncapped; otherwise every new subscription's channel capacity is
     /// clamped to this (fault injection for slow consumers).
     max_sub_capacity: AtomicUsize,
@@ -168,6 +178,71 @@ impl MetricStore {
             mask.mark(minute);
         }
         self.publish(Measurement { key, minute, value });
+    }
+
+    /// Accepts a *late* measurement for a historical bin — the collector's
+    /// backfill path after a network partition heals. The write is accepted
+    /// iff the bin does not already hold a real measurement (first write
+    /// still wins; forward-fills do not count as writes) and the minute is
+    /// not before the series anchor. On acceptance the bin — and any
+    /// forward-filled bins after it up to the next real measurement — takes
+    /// the late value, the coverage mask gains the minute, and the
+    /// measurement is published to subscribers through the same accounted
+    /// path as live appends, so a heal burst that overruns a subscriber
+    /// channel increments [`Subscription::dropped`] and
+    /// [`StoreStats::dropped`] instead of silently truncating.
+    ///
+    /// Returns whether the measurement was accepted.
+    pub fn backfill(&self, key: KpiKey, minute: MinuteBin, value: f64) -> bool {
+        {
+            // Lock order matches `append`: series before masks. Both are
+            // held across the write so readers never observe a backfilled
+            // series whose mask still reports the bin as missing.
+            let mut map = self.series.write();
+            let mut masks = self.masks.write();
+            let series = map.entry(key).or_insert_with(|| TimeSeries::empty(minute));
+            if series.is_empty() {
+                *series = TimeSeries::empty(minute);
+            }
+            let mask = masks
+                .entry(key)
+                .or_insert_with(|| CoverageMask::new(minute));
+            mask.rebase(minute);
+            if minute >= series.end() {
+                // Beyond the frontier: behaves exactly like a live append.
+                let last = series.values().last().copied().unwrap_or(value);
+                let mut end = series.end();
+                while end < minute {
+                    series.push(last);
+                    end += 1;
+                }
+                series.push(value);
+            } else {
+                if minute < series.start() || mask.is_present(minute) {
+                    self.backfill_rejected.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                series.set(minute, value);
+                // Bins after this one that were forward-filled from the
+                // pre-gap value now re-fill from the recovered measurement,
+                // up to the next real measurement.
+                let mut m = minute + 1;
+                while m < series.end() && !mask.is_present(m) {
+                    series.set(m, value);
+                    m += 1;
+                }
+            }
+            mask.mark(minute);
+            self.backfilled.fetch_add(1, Ordering::Relaxed);
+        }
+        self.publish(Measurement { key, minute, value });
+        true
+    }
+
+    /// Records one late measurement refused before reaching
+    /// [`MetricStore::backfill`] (e.g. the collector's plausibility gate).
+    pub fn note_backfill_rejected(&self) {
+        self.backfill_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     fn publish(&self, m: Measurement) {
@@ -247,6 +322,8 @@ impl MetricStore {
             dropped: self.dropped.load(Ordering::Relaxed),
             reaped_subscribers: self.reaped.load(Ordering::Relaxed),
             quarantined_frames: self.quarantined.load(Ordering::Relaxed),
+            backfilled: self.backfilled.load(Ordering::Relaxed),
+            backfill_rejected: self.backfill_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -432,6 +509,75 @@ mod tests {
         store.append(key(0), 1, 1.0);
         assert!(sub2.receiver().try_recv().is_err());
         assert_eq!(store.stats().reaped_subscribers, 1);
+    }
+
+    #[test]
+    fn backfill_fills_historical_gap_and_refreshes_fills() {
+        let store = MetricStore::new();
+        store.append(key(0), 5, 1.0);
+        store.append(key(0), 9, 4.0); // 6..=8 forward-filled with 1.0
+        assert!(store.backfill(key(0), 7, 3.0));
+        let s = store.get(&key(0)).unwrap();
+        // 6 still fills from minute 5; 7 is real; 8 now re-fills from 7.
+        assert_eq!(s.values(), &[1.0, 1.0, 3.0, 3.0, 4.0]);
+        let mask = store.mask(&key(0)).unwrap();
+        assert!(mask.is_present(7));
+        assert!(!mask.is_present(6));
+        assert!(!mask.is_present(8));
+        let stats = store.stats();
+        assert_eq!(stats.backfilled, 1);
+        assert_eq!(stats.backfill_rejected, 0);
+    }
+
+    #[test]
+    fn backfill_is_dup_suppressed_against_real_bins() {
+        let store = MetricStore::new();
+        store.append(key(0), 5, 1.0);
+        store.append(key(0), 8, 2.0);
+        // 5 and 8 hold real measurements: first write wins.
+        assert!(!store.backfill(key(0), 5, 99.0));
+        assert!(!store.backfill(key(0), 8, 99.0));
+        // Before the series anchor: nowhere to put it.
+        assert!(!store.backfill(key(0), 2, 99.0));
+        assert_eq!(store.get(&key(0)).unwrap().values(), &[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(store.stats().backfill_rejected, 3);
+        assert_eq!(store.stats().backfilled, 0);
+        // Collector-side plausibility rejections share the counter.
+        store.note_backfill_rejected();
+        assert_eq!(store.stats().backfill_rejected, 4);
+    }
+
+    #[test]
+    fn backfill_past_frontier_extends_like_append() {
+        let store = MetricStore::new();
+        store.append(key(0), 0, 1.0);
+        assert!(store.backfill(key(0), 3, 5.0));
+        let s = store.get(&key(0)).unwrap();
+        assert_eq!(s.values(), &[1.0, 1.0, 1.0, 5.0]);
+        assert!(store.mask(&key(0)).unwrap().is_present(3));
+    }
+
+    #[test]
+    fn heal_burst_overrun_counts_drops_per_subscription() {
+        // Regression: a healed partition replaying a buffered burst through
+        // backfill must account channel overruns exactly like live appends —
+        // dropped() and StoreStats::dropped increment; nothing silently
+        // truncates at the channel capacity.
+        let store = MetricStore::new();
+        store.append(key(0), 0, 1.0);
+        store.append(key(0), 100, 2.0); // 1..100 forward-filled
+        let sub = store.subscribe(None, 2);
+        for minute in 10..20 {
+            assert!(store.backfill(key(0), minute, minute as f64));
+        }
+        assert_eq!(sub.recv().unwrap().minute, 10);
+        assert_eq!(sub.recv().unwrap().minute, 11);
+        assert!(sub.receiver().try_recv().is_err());
+        assert_eq!(sub.dropped(), 8);
+        let stats = store.stats();
+        assert_eq!(stats.dropped, 8);
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.backfilled, 10);
     }
 
     #[test]

@@ -115,6 +115,44 @@ impl CoverageMask {
         self.present_in(from, to) as f64 / (to - from) as f64
     }
 
+    /// Maximal runs of consecutive missing bins within `[from, to)`, as
+    /// half-open `(gap_start, gap_end)` pairs in ascending order. Bins
+    /// outside the mask count as missing, matching
+    /// [`CoverageMask::coverage`] — an unhealed partition that truncated
+    /// the mask shows up as a trailing gap, not as silence.
+    pub fn gaps_in(&self, from: MinuteBin, to: MinuteBin) -> Vec<(MinuteBin, MinuteBin)> {
+        let mut gaps = Vec::new();
+        if to <= from {
+            return gaps;
+        }
+        let mut open: Option<MinuteBin> = None;
+        for minute in from..to {
+            if self.is_present(minute) {
+                if let Some(start) = open.take() {
+                    gaps.push((start, minute));
+                }
+            } else if open.is_none() {
+                open = Some(minute);
+            }
+        }
+        if let Some(start) = open {
+            gaps.push((start, to));
+        }
+        gaps
+    }
+
+    /// Length in minutes of the longest contiguous run of missing bins in
+    /// `[from, to)` (0 = every minute measured). The signature a correlated
+    /// outage leaves behind: independent per-frame loss makes many short
+    /// gaps, a partition makes one long one.
+    pub fn longest_gap(&self, from: MinuteBin, to: MinuteBin) -> u64 {
+        self.gaps_in(from, to)
+            .into_iter()
+            .map(|(s, e)| e - s)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Cumulative present counts: entry `i` is the number of measured bins
     /// among the first `i` bins. Lets callers score many overlapping windows
     /// in O(1) each (used by the masked detector runner).
@@ -177,6 +215,44 @@ mod tests {
         m.mark(50);
         m.rebase(99);
         assert_eq!(m.start(), 50);
+    }
+
+    #[test]
+    fn gap_queries_find_contiguous_runs() {
+        let mut m = CoverageMask::new(10);
+        for minute in [10u64, 11, 15, 16, 17, 20] {
+            m.mark(minute);
+        }
+        // Missing inside the mask: 12..15 and 18..20.
+        assert_eq!(m.gaps_in(10, 21), vec![(12, 15), (18, 20)]);
+        assert_eq!(m.longest_gap(10, 21), 3);
+        // Bins outside the mask count as missing (trailing gap).
+        assert_eq!(m.gaps_in(10, 25), vec![(12, 15), (18, 20), (21, 25)]);
+        assert_eq!(m.longest_gap(10, 25), 4);
+        // Range before the mask is all gap.
+        assert_eq!(m.gaps_in(0, 10), vec![(0, 10)]);
+        // Full coverage inside a measured run.
+        assert_eq!(m.gaps_in(15, 18), Vec::<(u64, u64)>::new());
+        assert_eq!(m.longest_gap(15, 18), 0);
+        // Degenerate range.
+        assert_eq!(m.gaps_in(5, 5), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn gaps_partition_the_missing_minutes() {
+        let mut m = CoverageMask::new(0);
+        for minute in [0u64, 3, 4, 9] {
+            m.mark(minute);
+        }
+        let gaps = m.gaps_in(0, 12);
+        let gap_minutes: usize = gaps.iter().map(|(s, e)| (e - s) as usize).sum();
+        assert_eq!(gap_minutes, 12 - m.present_in(0, 12));
+        for (s, e) in gaps {
+            assert!(s < e);
+            for minute in s..e {
+                assert!(!m.is_present(minute));
+            }
+        }
     }
 
     #[test]

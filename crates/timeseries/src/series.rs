@@ -89,6 +89,22 @@ impl TimeSeries {
         self.values.push(value);
     }
 
+    /// Overwrites the value at absolute minute `bin` (backfill of a healed
+    /// telemetry gap). Returns `false` when `bin` lies outside the series —
+    /// the caller must extend via [`TimeSeries::push`] instead.
+    pub fn set(&mut self, bin: MinuteBin, value: f64) -> bool {
+        if bin < self.start {
+            return false;
+        }
+        match self.values.get_mut((bin - self.start) as usize) {
+            Some(v) => {
+                *v = value;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The sub-slice covering absolute minutes `[from, to)`, clamped to the
     /// series bounds. Returns an empty slice when the range misses entirely.
     pub fn slice(&self, from: MinuteBin, to: MinuteBin) -> &[f64] {
@@ -299,6 +315,16 @@ mod tests {
         assert_eq!(s.at(10), Some(1.0));
         assert_eq!(s.at(12), Some(3.0));
         assert_eq!(s.at(13), None);
+    }
+
+    #[test]
+    fn set_overwrites_in_bounds_only() {
+        let mut s = TimeSeries::new(10, vec![1.0, 2.0, 3.0]);
+        assert!(s.set(11, 9.0));
+        assert_eq!(s.values(), &[1.0, 9.0, 3.0]);
+        assert!(!s.set(9, 0.0));
+        assert!(!s.set(13, 0.0));
+        assert_eq!(s.values(), &[1.0, 9.0, 3.0]);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! cargo run --release --example chaos_assessment
 //! ```
 
-use funnel_suite::core::pipeline::{Funnel, Verdict};
+use funnel_suite::core::pipeline::Funnel;
 use funnel_suite::core::report;
 use funnel_suite::sim::agent::replay_with_faults;
 use funnel_suite::sim::effect::{ChangeEffect, EffectScope};
@@ -94,7 +94,7 @@ fn main() {
     assert!(assessment
         .items
         .iter()
-        .filter(|i| i.verdict == Verdict::Inconclusive)
+        .filter(|i| i.verdict.is_inconclusive())
         .all(|i| !i.caused));
 
     println!(
