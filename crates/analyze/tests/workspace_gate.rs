@@ -91,6 +91,32 @@ fn injected_hashmap_iteration_in_report_fails_the_gate() {
     );
 }
 
+#[test]
+fn injected_unwrap_in_parallel_engine_fails_the_gate() {
+    // The parallel engine sits on the ingestion-to-verdict hot path: a
+    // worker that panics takes its whole assessment down, so the deny-level
+    // no-panic lint must cover crates/core/src/parallel.rs.
+    let root = repo_root();
+    let target = "crates/core/src/parallel.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("parallel engine exists");
+    let ws = Workspace::at(&root).overlay(
+        target,
+        &format!("{orig}\nfn _lint_canary(v: Option<u32>) -> u32 {{ v.unwrap() }}\n"),
+    );
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. } if key.starts_with("panic-in-hot-path:crates/core/src/parallel.rs")
+        )),
+        "unwrap() in the parallel engine must trip the gate: {violations:#?}"
+    );
+}
+
 /// The actual binary, exactly as CI invokes it: `funnel-lint --deny-new`
 /// must exit 0 at HEAD, and exit 2 when gating a root whose baseline
 /// admits nothing but whose tree has findings.

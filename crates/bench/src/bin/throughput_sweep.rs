@@ -1,0 +1,326 @@
+//! Throughput sweep — batch assessment rate versus worker count and
+//! impact-set size.
+//!
+//! Builds dark-launch worlds of increasing fleet size, materializes each
+//! into a `MetricStore` and freezes a [`StoreSnapshot`], then assesses the
+//! same change repeatedly at every swept worker count, timing each full
+//! impact-set assessment. Reported per cell: sustained assessment rate
+//! (impact-set KPIs judged per second), p50/p99 latency of a complete
+//! change assessment, and the speedup over the single-worker row of the
+//! same fleet size.
+//!
+//! Two contracts are asserted:
+//!
+//! * **Determinism (always)** — the serialized assessment (debug form +
+//!   rendered operator report) on the largest fleet is byte-identical at
+//!   1, 3, and 8 workers. Worker count is a latency knob, never a results
+//!   knob.
+//! * **Scaling (hardware-gated)** — on a machine that actually has ≥ 8
+//!   CPUs, 8 workers must sustain at least 3× the single-worker rate on
+//!   the largest fleet. Single-core CI boxes cannot demonstrate a speedup,
+//!   so the gate is skipped (and said so) when `available_parallelism` or
+//!   smoke mode rules it out — the determinism contract still runs there.
+//!
+//! Writes `results/throughput_sweep.csv` and `results/BENCH_throughput.json`
+//! and prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE=1 for
+//! the CI-sized subset (smallest fleet, workers {1, 2}, fewer repeats —
+//! same determinism assertion).
+
+use funnel_core::pipeline::{ChangeAssessment, Funnel};
+use funnel_core::report::render;
+use funnel_core::FunnelConfig;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::store::StoreSnapshot;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::time::Instant;
+
+/// Deployment minute: day 7, 05:00 — leaves a full week of history and an
+/// hour of post-change watch inside an 8-day world.
+const T0: u64 = 7 * 1440 + 300;
+
+/// A dark-launch world with `instances` instances (half treated), carrying
+/// a real treated-side delay shift so the DiD path does full work.
+fn build_world(seed: u64, instances: usize) -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig::days(seed, 8));
+    let svc = b.add_service("prod.sweep", instances).expect("fresh");
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        80.0,
+    );
+    let id = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            instances / 2,
+            T0,
+            effect,
+            "sweep upgrade",
+        )
+        .expect("valid");
+    (b.build(), id)
+}
+
+/// Assesses `change` once against the frozen snapshot at `workers` workers.
+fn assess(
+    world: &World,
+    snapshot: &StoreSnapshot,
+    change: ChangeId,
+    workers: usize,
+) -> ChangeAssessment {
+    let mut config = FunnelConfig::paper_default();
+    config.assess.workers = workers;
+    let funnel = Funnel::new(config);
+    let record = world.change_log().get(change).expect("logged");
+    let kinds = |s| world.kinds_of_service(s).to_vec();
+    funnel
+        .assess_change_with(snapshot, world.topology(), record, &kinds)
+        .expect("assessment")
+}
+
+/// `p`-th percentile (0–100) of `samples`, nearest-rank on the sorted data.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One sweep cell: `iters` timed assessments of one (fleet, workers) pair.
+#[derive(Debug, Clone)]
+struct SweepRow {
+    instances: usize,
+    impact_items: usize,
+    workers: usize,
+    iters: usize,
+    total_s: f64,
+    rate_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    speedup: f64,
+}
+
+impl SweepRow {
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.4},{:.1},{:.2},{:.2},{:.2}",
+            self.instances,
+            self.impact_items,
+            self.workers,
+            self.iters,
+            self.total_s,
+            self.rate_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.speedup
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"instances\": {}, \"impact_items\": {}, \"workers\": {}, \
+             \"iters\": {}, \"total_s\": {:.4}, \"assessments_per_sec\": {:.1}, \
+             \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"speedup_vs_serial\": {:.2}}}",
+            self.instances,
+            self.impact_items,
+            self.workers,
+            self.iters,
+            self.total_s,
+            self.rate_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.speedup
+        )
+    }
+}
+
+/// Times `iters` assessments of one cell.
+fn run_cell(
+    world: &World,
+    snapshot: &StoreSnapshot,
+    change: ChangeId,
+    instances: usize,
+    workers: usize,
+    iters: usize,
+    serial_rate: Option<f64>,
+) -> SweepRow {
+    // One untimed warmup hides first-touch allocator noise.
+    let warmup = assess(world, snapshot, change, workers);
+    let impact_items = warmup.items.len();
+
+    let mut samples_ms = Vec::with_capacity(iters);
+    let started = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let a = assess(world, snapshot, change, workers);
+        samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(a.items.len(), impact_items, "impact set changed mid-sweep");
+    }
+    let total_s = started.elapsed().as_secs_f64();
+    let rate = (impact_items * iters) as f64 / total_s;
+    SweepRow {
+        instances,
+        impact_items,
+        workers,
+        iters,
+        total_s,
+        rate_per_sec: rate,
+        p50_ms: percentile(&samples_ms, 50.0),
+        p99_ms: percentile(&samples_ms, 99.0),
+        speedup: serial_rate.map_or(1.0, |s| rate / s),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("FUNNEL_SMOKE").is_ok();
+    let seed = std::env::var("FUNNEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2015);
+    let fleet_sizes: &[usize] = if smoke { &[6] } else { &[6, 16, 32] };
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let iters = if smoke { 3 } else { 5 };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut largest: Option<(World, StoreSnapshot, ChangeId)> = None;
+    for &instances in fleet_sizes {
+        let (world, change) = build_world(seed, instances);
+        let store = world.materialize().expect("materialize");
+        let snapshot = store.snapshot();
+        let mut serial_rate = None;
+        for &workers in worker_counts {
+            let row = run_cell(
+                &world,
+                &snapshot,
+                change,
+                instances,
+                workers,
+                iters,
+                serial_rate,
+            );
+            eprintln!(
+                "{} instances x {} workers: {:.1} assessments/s \
+                 (p50 {:.1}ms, p99 {:.1}ms, speedup {:.2}x) over {} iters",
+                row.instances,
+                row.workers,
+                row.rate_per_sec,
+                row.p50_ms,
+                row.p99_ms,
+                row.speedup,
+                row.iters
+            );
+            if workers == 1 {
+                serial_rate = Some(row.rate_per_sec);
+            }
+            rows.push(row);
+        }
+        largest = Some((world, snapshot, change));
+    }
+    let (world, snapshot, change) = largest.expect("at least one fleet size");
+
+    // Determinism contract (always, even in smoke): the serialized
+    // assessment and the rendered operator report on the largest fleet are
+    // byte-identical at 1, 3, and 8 workers.
+    let serials: Vec<(String, String)> = [1usize, 3, 8]
+        .iter()
+        .map(|&w| {
+            let a = assess(&world, &snapshot, change, w);
+            (format!("{a:?}"), render(world.topology(), &a))
+        })
+        .collect();
+    for (w, pair) in [3usize, 8].iter().zip(&serials[1..]) {
+        assert_eq!(
+            serials[0], *pair,
+            "assessment diverged between 1 and {w} workers"
+        );
+    }
+
+    // Scaling contract: only checkable on hardware that has the cores.
+    let largest_rows: Vec<&SweepRow> = rows
+        .iter()
+        .filter(|r| r.instances == *fleet_sizes.last().expect("non-empty"))
+        .collect();
+    let scaling_checked = !smoke && cpus >= 8 && worker_counts.contains(&8);
+    if scaling_checked {
+        let serial = largest_rows
+            .iter()
+            .find(|r| r.workers == 1)
+            .expect("serial row");
+        let eight = largest_rows
+            .iter()
+            .find(|r| r.workers == 8)
+            .expect("8-worker row");
+        assert!(
+            eight.rate_per_sec >= 3.0 * serial.rate_per_sec,
+            "8 workers sustained only {:.2}x the serial rate (need 3x)",
+            eight.rate_per_sec / serial.rate_per_sec
+        );
+    } else {
+        eprintln!(
+            "scaling gate skipped: smoke={smoke}, available_parallelism={cpus} \
+             (needs >=8 CPUs, full sweep); determinism contract still enforced"
+        );
+    }
+
+    println!("Throughput sweep: assessment rate vs worker count and impact-set size\n");
+    println!(
+        "{:>9} {:>6} {:>8} {:>6} {:>9} {:>12} {:>9} {:>9} {:>8}",
+        "instances",
+        "items",
+        "workers",
+        "iters",
+        "total_s",
+        "assess/s",
+        "p50_ms",
+        "p99_ms",
+        "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:>9} {:>6} {:>8} {:>6} {:>9.3} {:>12.1} {:>9.2} {:>9.2} {:>7.2}x",
+            row.instances,
+            row.impact_items,
+            row.workers,
+            row.iters,
+            row.total_s,
+            row.rate_per_sec,
+            row.p50_ms,
+            row.p99_ms,
+            row.speedup
+        );
+    }
+
+    let header = "instances,impact_items,workers,iters,total_s,assessments_per_sec,\
+                  p50_ms,p99_ms,speedup_vs_serial";
+    let csv: String = std::iter::once(header.to_string())
+        .chain(rows.iter().map(SweepRow::csv))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/throughput_sweep.csv", &csv).expect("write csv");
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput_sweep\",\n  \"seed\": {seed},\n  \
+         \"smoke\": {smoke},\n  \"available_parallelism\": {cpus},\n  \
+         \"scaling_gate_checked\": {scaling_checked},\n  \
+         \"byte_identical_worker_counts\": [1, 3, 8],\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        rows.iter()
+            .map(SweepRow::json)
+            .collect::<Vec<_>>()
+            .join(",\n    ")
+    );
+    std::fs::write("results/BENCH_throughput.json", &json).expect("write json");
+    println!(
+        "\nwrote results/throughput_sweep.csv and results/BENCH_throughput.json; \
+         reports byte-identical at 1/3/8 workers."
+    );
+}

@@ -3,6 +3,52 @@
 use funnel_did::DidConfig;
 use funnel_sst::SstConfig;
 
+/// Fan-out configuration for the batch assessment engine
+/// ([`crate::parallel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssessConfig {
+    /// Worker threads assessing impact-set KPIs concurrently. `1` (the
+    /// default) keeps everything on the calling thread — the right choice
+    /// when an outer harness already parallelizes across changes, as the
+    /// evaluation cohort runner does. `0` means one worker per available
+    /// CPU. The merged report is byte-identical for every value: worker
+    /// count is purely a latency knob, never a results knob.
+    pub workers: usize,
+}
+
+impl AssessConfig {
+    /// Everything on the calling thread (the default).
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// One worker per available CPU.
+    pub fn auto() -> Self {
+        Self { workers: 0 }
+    }
+
+    /// An explicit worker count (`0` = auto).
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    /// The concrete thread count to use: `workers`, or the machine's
+    /// available parallelism when `workers` is `0` (falling back to 1 if
+    /// the platform cannot report it).
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+impl Default for AssessConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
 /// All knobs of the deployed tool, with the paper's defaults.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunnelConfig {
@@ -42,6 +88,8 @@ pub struct FunnelConfig {
     /// must reach — via collector backfill — before the re-assessment
     /// queue re-runs the item for a firm verdict.
     pub reassess_coverage: f64,
+    /// How the batch pipeline fans assessment work units across threads.
+    pub assess: AssessConfig,
 }
 
 impl FunnelConfig {
@@ -63,6 +111,7 @@ impl FunnelConfig {
             min_coverage: 0.8,
             min_partition_gap: funnel_detect::PERSISTENCE_MINUTES as u64,
             reassess_coverage: 0.8,
+            assess: AssessConfig::default(),
         }
     }
 
@@ -94,5 +143,15 @@ mod tests {
         assert_eq!(c.min_coverage, 0.8);
         assert_eq!(c.min_partition_gap, 7);
         assert_eq!(c.reassess_coverage, 0.8);
+        assert_eq!(c.assess.workers, 1);
+        assert_eq!(c.assess.effective_workers(), 1);
+    }
+
+    #[test]
+    fn assess_config_constructors() {
+        assert_eq!(AssessConfig::default(), AssessConfig::serial());
+        assert_eq!(AssessConfig::auto().workers, 0);
+        assert!(AssessConfig::auto().effective_workers() >= 1);
+        assert_eq!(AssessConfig::with_workers(8).effective_workers(), 8);
     }
 }

@@ -23,6 +23,10 @@
 //! the metric store, scoring every KPI minute by minute — the deployment
 //! mode of §5.
 //!
+//! The batch mode fans its per-KPI work units across a configurable worker
+//! pool ([`config::AssessConfig`], [`parallel`]) with a deterministic
+//! merge: the delivered report is byte-identical for any worker count.
+//!
 //! # Quick start
 //!
 //! ```
@@ -42,15 +46,17 @@
 pub mod config;
 pub mod online;
 pub mod online_assess;
+pub mod parallel;
 pub mod pipeline;
 pub mod quality;
 pub mod reassess;
 pub mod report;
 pub mod source;
 
-pub use config::FunnelConfig;
+pub use config::{AssessConfig, FunnelConfig};
 pub use pipeline::{
-    AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
+    enumerate_work_units, AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError,
+    ItemAssessment, Verdict,
 };
 pub use reassess::{PendingItem, ReassessmentQueue};
 pub use source::KpiSource;

@@ -1,0 +1,270 @@
+//! The parallel assessment engine: fan out impact-set KPIs across a
+//! fixed-size worker pool, merge deterministically.
+//!
+//! The paper's pitch is *rapid* assessment — hundreds of servers, instances
+//! and services × KPIs judged within minutes of a rollout. Each work unit
+//! (one impact-set KPI, enumerated by
+//! [`enumerate_work_units`](crate::pipeline::enumerate_work_units)) is
+//! independent of every other, so the batch pipeline is embarrassingly
+//! parallel. This module supplies the harness:
+//!
+//! * **Fan-out** — a fixed pool of `workers` threads
+//!   ([`AssessConfig::workers`](crate::config::AssessConfig)) pulls
+//!   `(index, key)` jobs from one crossbeam MPMC channel. No work stealing,
+//!   no runtime: plain scoped threads, per the workspace threading policy.
+//! * **Contention-free reads** — workers share a read-only
+//!   [`KpiSource`]. For live stores, callers pass a
+//!   [`StoreSnapshot`](funnel_sim::store::StoreSnapshot)
+//!   (`MetricStore::snapshot()`), so the hot loop never takes a lock.
+//! * **Worker-local caching** — each worker owns an `AssessCache`
+//!   memoizing the control-group window fetches every treated item of the
+//!   same (group level, KPI kind) shares; see [`funnel_did::cache`].
+//! * **Deterministic merge** — results arrive in scheduling order, which is
+//!   *not* deterministic; [`merge`] re-keys them by `(entity, kpi)` into a
+//!   `BTreeMap`, so the final item list is byte-identical for any worker
+//!   count (1, 2, 8, 16, …). Errors are deterministic too: if several
+//!   workers fail, the error reported is the one for the lowest work-unit
+//!   index, whatever order the failures arrived in.
+//!
+//! Nothing in this path reads the clock, iterates a hashed container, or
+//! panics — the `funnel-lint` determinism and no-panic lints gate this file
+//! as part of the ingestion-to-verdict hot path.
+
+use crate::pipeline::{Funnel, FunnelError, ItemAssessment};
+use crate::source::KpiSource;
+use crossbeam::channel;
+use funnel_did::cache::ControlCache;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_timeseries::mask::CoverageMask;
+use funnel_timeseries::series::TimeSeries;
+use funnel_topology::change::SoftwareChange;
+use funnel_topology::impact::{Entity, ImpactSet};
+use std::collections::BTreeMap;
+
+/// Cache key for one control-group fetch: which control pool the treated
+/// entity contrasts against (see [`control_level`]) and the KPI kind.
+pub(crate) type ControlCacheKey = (u8, KpiKind);
+
+/// One memoized control-group window: the fetched member series with their
+/// coverage masks, plus the group's mean coverage over the DiD periods.
+pub(crate) type ControlGroupWindow = (Vec<(TimeSeries, Option<CoverageMask>)>, f64);
+
+/// Which control pool a treated entity's DiD contrast draws from: `0` for
+/// server-level items (cservers), `1` for instance- and service-level items
+/// (both contrast against the cinstances, §3.2.4).
+pub(crate) fn control_level(entity: Entity) -> u8 {
+    match entity {
+        Entity::Server(_) => 0,
+        Entity::Instance(_) | Entity::Service(_) => 1,
+    }
+}
+
+/// Worker-local assessment state. One per worker thread (or one total on
+/// the serial path); `&mut` access only, so workers never contend.
+#[derive(Debug, Default)]
+pub(crate) struct AssessCache {
+    /// Memoized control-group fetches, shared by every treated item whose
+    /// contrast uses the same (control pool, KPI kind).
+    pub(crate) control: ControlCache<ControlCacheKey, ControlGroupWindow>,
+}
+
+impl AssessCache {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Deterministically merges per-item results into the final report order.
+///
+/// Results are keyed by `(entity, kpi)` — [`KpiKey`]'s ordering — into a
+/// `BTreeMap`, so the output is the same for *any* arrival order: this is
+/// what makes the assessment byte-identical across worker counts. If two
+/// results carry the same key (the shared enumerator never produces
+/// duplicates), the later one wins.
+///
+/// # Example
+///
+/// ```
+/// use funnel_core::parallel::merge;
+/// use funnel_core::pipeline::Funnel;
+/// use funnel_sim::scenario::ads_world;
+///
+/// let (world, _ads, change) = ads_world(42);
+/// let items = Funnel::paper_default()
+///     .assess_change(&world, change)
+///     .unwrap()
+///     .items;
+/// // Feeding the items back in reverse order restores the same order.
+/// let mut reversed = items.clone();
+/// reversed.reverse();
+/// let keys: Vec<_> = merge(reversed).iter().map(|i| i.key).collect();
+/// assert_eq!(keys, items.iter().map(|i| i.key).collect::<Vec<_>>());
+/// ```
+pub fn merge(results: impl IntoIterator<Item = ItemAssessment>) -> Vec<ItemAssessment> {
+    let by_key: BTreeMap<KpiKey, ItemAssessment> =
+        results.into_iter().map(|item| (item.key, item)).collect();
+    by_key.into_values().collect()
+}
+
+/// Assesses every work unit of `work` against `source`, fanning out across
+/// `workers` threads when more than one is requested, and returns the items
+/// in merged (key-sorted) order.
+///
+/// The serial path (`workers <= 1`, or a single work unit) runs the same
+/// enumerate → assess → [`merge`] sequence inline with one [`AssessCache`],
+/// so serial and parallel assessments cannot drift apart.
+pub(crate) fn assess_work_units<S: KpiSource + Sync>(
+    funnel: &Funnel,
+    source: &S,
+    change: &SoftwareChange,
+    impact_set: &ImpactSet,
+    work: &[KpiKey],
+    workers: usize,
+) -> Result<Vec<ItemAssessment>, FunnelError> {
+    let workers = workers.clamp(1, work.len().max(1));
+    if workers == 1 {
+        let mut cache = AssessCache::new();
+        let mut items = Vec::with_capacity(work.len());
+        for &key in work {
+            items.push(funnel.assess_item(source, change, impact_set, key, &mut cache)?);
+        }
+        return Ok(merge(items));
+    }
+
+    // All jobs are enqueued up front on an unbounded MPMC channel; workers
+    // drain it and exit when it disconnects (sender dropped below).
+    let (job_tx, job_rx) = channel::unbounded::<(usize, KpiKey)>();
+    for unit in work.iter().copied().enumerate() {
+        // Cannot fail: both receiver clones below outlive the sends.
+        let _ = job_tx.send(unit);
+    }
+    drop(job_tx);
+
+    let (result_tx, result_rx) =
+        channel::unbounded::<(usize, Result<ItemAssessment, FunnelError>)>();
+    let mut items: Vec<ItemAssessment> = Vec::with_capacity(work.len());
+    let mut first_error: Option<(usize, FunnelError)> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let jobs = job_rx.clone();
+            let results = result_tx.clone();
+            scope.spawn(move || {
+                let mut cache = AssessCache::new();
+                while let Ok((index, key)) = jobs.recv() {
+                    let outcome = funnel.assess_item(source, change, impact_set, key, &mut cache);
+                    if results.send((index, outcome)).is_err() {
+                        return; // collector gone; nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        drop(job_rx);
+        // Collect until every worker has dropped its sender. Which worker
+        // produced which item is scheduling-dependent; merge() erases that.
+        while let Ok((index, outcome)) = result_rx.recv() {
+            match outcome {
+                Ok(item) => items.push(item),
+                Err(e) => {
+                    let is_earlier = first_error.as_ref().is_none_or(|(i, _)| index < *i);
+                    if is_earlier {
+                        first_error = Some((index, e));
+                    }
+                }
+            }
+        }
+    });
+
+    match first_error {
+        Some((_, e)) => Err(e),
+        None => Ok(merge(items)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FunnelConfig;
+    use funnel_sim::effect::{ChangeEffect, EffectScope};
+    use funnel_sim::world::{SimConfig, World, WorldBuilder};
+    use funnel_topology::change::{ChangeId, ChangeKind};
+
+    fn shifted_world(delta: f64) -> (World, ChangeId) {
+        let mut b = WorldBuilder::new(SimConfig::days(11, 8));
+        let svc = b.add_service("prod.par", 6).unwrap();
+        let effect = ChangeEffect::none().with_level_shift(
+            KpiKind::PageViewResponseDelay,
+            EffectScope::TreatedInstances,
+            delta,
+        );
+        let id = b
+            .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 200, effect, "t")
+            .unwrap();
+        (b.build(), id)
+    }
+
+    fn assess_with_workers(world: &World, change: ChangeId, workers: usize) -> String {
+        let mut config = FunnelConfig::paper_default();
+        config.assess.workers = workers;
+        let assessment = Funnel::new(config).assess_change(world, change).unwrap();
+        format!("{assessment:?}")
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let (world, change) = shifted_world(80.0);
+        let serial = assess_with_workers(&world, change, 1);
+        for workers in [2, 3, 8] {
+            let parallel = assess_with_workers(&world, change, workers);
+            assert_eq!(serial, parallel, "diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_sorted() {
+        let (world, change) = shifted_world(80.0);
+        let items = Funnel::paper_default()
+            .assess_change(&world, change)
+            .unwrap()
+            .items;
+        let keys: Vec<KpiKey> = items.iter().map(|i| i.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "assessment items must come out key-sorted");
+        let remerged = merge(items.clone());
+        assert_eq!(format!("{items:?}"), format!("{remerged:?}"));
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        let mut config = FunnelConfig::paper_default();
+        config.assess.workers = 0;
+        assert!(config.assess.effective_workers() >= 1);
+        let (world, change) = shifted_world(0.0);
+        // Auto worker count still assesses correctly on any machine.
+        let a = Funnel::new(config).assess_change(&world, change).unwrap();
+        assert!(!a.has_impact());
+    }
+
+    #[test]
+    fn parallel_errors_are_deterministic() {
+        // A store that knows none of the impact-set keys: every work unit
+        // fails with MissingSeries; the reported key must be the lowest
+        // work-unit index regardless of worker count.
+        let (world, change) = shifted_world(0.0);
+        let empty = funnel_sim::MetricStore::new();
+        let record = world.change_log().get(change).unwrap();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+        let mut errs = Vec::new();
+        for workers in [1, 2, 8] {
+            let mut config = FunnelConfig::paper_default();
+            config.assess.workers = workers;
+            let err = Funnel::new(config)
+                .assess_change_with(&empty, world.topology(), record, &kinds)
+                .unwrap_err();
+            errs.push(format!("{err:?}"));
+        }
+        assert_eq!(errs[0], errs[1]);
+        assert_eq!(errs[1], errs[2]);
+    }
+}

@@ -7,6 +7,7 @@
 //! seasonal history for affected-service KPIs (which have no cinstances).
 
 use crate::config::FunnelConfig;
+use crate::parallel::{self, control_level, AssessCache};
 use crate::quality::{assess_quality, QualityConfig, QualityReport};
 use crate::source::KpiSource;
 use funnel_detect::detector::{ChangeEvent, DetectorRunner, MaskedRun};
@@ -194,6 +195,44 @@ impl From<TopologyError> for FunnelError {
     }
 }
 
+/// Enumerates the work units of one change: every monitored impact-set KPI
+/// per §3.1, one unit per `(entity, KPI kind)` — server KPIs of the
+/// tservers, the changed service's instance KPIs on the tinstances and at
+/// service level, and every KPI of the affected services.
+///
+/// The list is sorted and deduplicated, and it is the *single* enumeration
+/// both the serial and parallel assessment paths consume, so the two can
+/// never drift on what gets assessed.
+pub fn enumerate_work_units(
+    impact_set: &ImpactSet,
+    change: &SoftwareChange,
+    service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
+) -> Vec<KpiKey> {
+    let changed_kinds = service_kinds(change.service);
+    let mut work: Vec<KpiKey> = Vec::new();
+    for &srv in &impact_set.tservers {
+        for kind in KpiKind::SERVER_KINDS {
+            work.push(KpiKey::new(Entity::Server(srv), kind));
+        }
+    }
+    for &inst in &impact_set.tinstances {
+        for &kind in &changed_kinds {
+            work.push(KpiKey::new(Entity::Instance(inst), kind));
+        }
+    }
+    for &kind in &changed_kinds {
+        work.push(KpiKey::new(Entity::Service(change.service), kind));
+    }
+    for &svc in &impact_set.affected_services {
+        for kind in service_kinds(svc) {
+            work.push(KpiKey::new(Entity::Service(svc), kind));
+        }
+    }
+    work.sort_unstable();
+    work.dedup();
+    work
+}
+
 /// The FUNNEL tool.
 #[derive(Debug, Clone)]
 pub struct Funnel {
@@ -224,6 +263,21 @@ impl Funnel {
     ///
     /// [`FunnelError::UnknownChange`] for an id missing from the world's
     /// log; otherwise propagates topology/series errors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use funnel_core::pipeline::Funnel;
+    /// use funnel_sim::scenario::ads_world;
+    ///
+    /// let (world, _ads, change) = ads_world(42);
+    /// let assessment = Funnel::paper_default()
+    ///     .assess_change(&world, change)
+    ///     .unwrap();
+    /// // One verdict per impact-set KPI, in deterministic key order.
+    /// assert!(!assessment.items.is_empty());
+    /// assert!(assessment.has_impact());
+    /// ```
     pub fn assess_change(
         &self,
         world: &World,
@@ -242,47 +296,32 @@ impl Funnel {
     /// change record. `service_kinds` supplies the instance KPI kinds each
     /// service carries.
     ///
+    /// The monitored KPIs come from [`enumerate_work_units`] and are fanned
+    /// across [`AssessConfig::workers`](crate::config::AssessConfig)
+    /// threads by the [`crate::parallel`] engine; the merged report is
+    /// byte-identical for every worker count.
+    ///
     /// # Errors
     ///
     /// Propagates impact-set and missing-series failures; KPIs whose series
     /// exist are always assessed.
     pub fn assess_change_with(
         &self,
-        source: &impl KpiSource,
+        source: &(impl KpiSource + Sync),
         topology: &Topology,
         change: &SoftwareChange,
         service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
     ) -> Result<ChangeAssessment, FunnelError> {
         let impact_set = identify_impact_set(topology, change)?;
-        let mut items = Vec::new();
-
-        // Enumerate monitored KPIs per §3.1.
-        let changed_kinds = service_kinds(change.service);
-        let mut work: Vec<KpiKey> = Vec::new();
-        for &srv in &impact_set.tservers {
-            for kind in KpiKind::SERVER_KINDS {
-                work.push(KpiKey::new(Entity::Server(srv), kind));
-            }
-        }
-        for &inst in &impact_set.tinstances {
-            for &kind in &changed_kinds {
-                work.push(KpiKey::new(Entity::Instance(inst), kind));
-            }
-        }
-        for &kind in &changed_kinds {
-            work.push(KpiKey::new(Entity::Service(change.service), kind));
-        }
-        for &svc in &impact_set.affected_services {
-            for kind in service_kinds(svc) {
-                work.push(KpiKey::new(Entity::Service(svc), kind));
-            }
-        }
-
-        for key in work {
-            let item = self.assess_item(source, change, &impact_set, key)?;
-            items.push(item);
-        }
-
+        let work = enumerate_work_units(&impact_set, change, service_kinds);
+        let items = parallel::assess_work_units(
+            self,
+            source,
+            change,
+            &impact_set,
+            &work,
+            self.config.assess.effective_workers(),
+        )?;
         Ok(ChangeAssessment {
             change: change.id,
             impact_set,
@@ -305,17 +344,50 @@ impl Funnel {
         key: KpiKey,
     ) -> Result<ItemAssessment, FunnelError> {
         let impact_set = identify_impact_set(topology, change)?;
-        self.assess_item(source, change, &impact_set, key)
+        self.assess_item(source, change, &impact_set, key, &mut AssessCache::new())
+    }
+
+    /// Re-assesses a batch of impact-set KPIs of `change` through the same
+    /// fan-out/merge engine as [`Funnel::assess_change_with`] — the plural
+    /// form of [`Funnel::assess_key`], used by the re-assessment queue when
+    /// several items become ready in the same heal. Duplicates are
+    /// collapsed; the results come back in key-sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates impact-set identification and missing-series failures.
+    pub fn assess_keys(
+        &self,
+        source: &(impl KpiSource + Sync),
+        topology: &Topology,
+        change: &SoftwareChange,
+        keys: &[KpiKey],
+    ) -> Result<Vec<ItemAssessment>, FunnelError> {
+        let impact_set = identify_impact_set(topology, change)?;
+        let mut work = keys.to_vec();
+        work.sort_unstable();
+        work.dedup();
+        parallel::assess_work_units(
+            self,
+            source,
+            change,
+            &impact_set,
+            &work,
+            self.config.assess.effective_workers(),
+        )
     }
 
     /// Assesses one impact-set KPI: detection, then causality, both
-    /// tempered by how much of the window was really measured.
-    fn assess_item(
+    /// tempered by how much of the window was really measured. `cache` is
+    /// the calling worker's memo state; it only ever holds values derived
+    /// from `source`, so any cache produces the same item.
+    pub(crate) fn assess_item(
         &self,
         source: &impl KpiSource,
         change: &SoftwareChange,
         impact_set: &ImpactSet,
         key: KpiKey,
+        cache: &mut AssessCache,
     ) -> Result<ItemAssessment, FunnelError> {
         let series = source.series(&key).ok_or(FunnelError::MissingSeries(key))?;
 
@@ -381,7 +453,7 @@ impl Funnel {
                 },
             )
         } else if detection.is_some() {
-            match self.determine(source, change, impact_set, key, &series, mode) {
+            match self.determine(source, change, impact_set, key, &series, mode, cache) {
                 Ok((v, est)) => {
                     let verdict = if v.is_caused() {
                         Verdict::Caused
@@ -468,6 +540,7 @@ impl Funnel {
         key: KpiKey,
         series: &TimeSeries,
         mode: AssessmentMode,
+        cache: &mut AssessCache,
     ) -> Result<(DidVerdict, DidEstimate), DidError> {
         match mode {
             AssessmentMode::SeasonalHistory => {
@@ -475,79 +548,82 @@ impl Funnel {
                 ctl.assess(&self.assessor, series, change.minute)
             }
             AssessmentMode::DarkLaunchControl => {
-                // Control keys mirror the treated entity's level (§3.2.4);
-                // for the changed service's KPI the treated group is the
-                // tinstances and the control group the cinstances.
-                let (treated_keys, control_keys): (Vec<KpiKey>, Vec<KpiKey>) = match key.entity {
-                    Entity::Server(_) => (
-                        vec![key],
-                        impact_set
-                            .cservers
-                            .iter()
-                            .map(|&s| KpiKey::new(Entity::Server(s), key.kind))
-                            .collect(),
-                    ),
-                    Entity::Instance(_) => (
-                        vec![key],
-                        impact_set
-                            .cinstances
-                            .iter()
-                            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
-                            .collect(),
-                    ),
-                    Entity::Service(_) => (
-                        impact_set
-                            .tinstances
-                            .iter()
-                            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
-                            .collect(),
-                        impact_set
-                            .cinstances
-                            .iter()
-                            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
-                            .collect(),
-                    ),
-                };
-                // A contrast against a control group that was itself mostly
-                // gap-filled proves nothing: measure the control group's
-                // coverage over the DiD periods first and bail out (into
-                // the seasonal fallback below) when it falls short.
+                // Control keys mirror the treated entity's level (§3.2.4):
+                // server items contrast against the cservers, instance and
+                // service items against the cinstances. Every treated item
+                // at one level therefore shares the same control fetch, so
+                // the members — with their coverage masks, needed because a
+                // member whose measured fraction diverges across the change
+                // minute would bias the contrast and `assess_masked` drops
+                // it — and the group's mean coverage over the DiD periods
+                // are memoized in the worker-local cache.
                 let period = self.config.did.period_minutes;
                 let did_from = change.minute.saturating_sub(period);
                 let did_to = change.minute + period + 1;
-                let ctl_coverage = if control_keys.is_empty() {
-                    0.0
-                } else {
-                    control_keys
-                        .iter()
-                        .map(|k| source.coverage(k, did_from, did_to))
-                        // funnel-lint: allow(float-accumulation-order): Vec built in sorted impact-set order, no hashed container
-                        .sum::<f64>()
-                        / control_keys.len() as f64
-                };
-                if ctl_coverage < self.config.min_coverage {
+                let group =
+                    cache
+                        .control
+                        .get_or_insert_with((control_level(key.entity), key.kind), || {
+                            let control_keys: Vec<KpiKey> = match key.entity {
+                                Entity::Server(_) => impact_set
+                                    .cservers
+                                    .iter()
+                                    .map(|&s| KpiKey::new(Entity::Server(s), key.kind))
+                                    .collect(),
+                                Entity::Instance(_) | Entity::Service(_) => impact_set
+                                    .cinstances
+                                    .iter()
+                                    .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+                                    .collect(),
+                            };
+                            let coverage = if control_keys.is_empty() {
+                                0.0
+                            } else {
+                                control_keys
+                                    .iter()
+                                    .map(|k| source.coverage(k, did_from, did_to))
+                                    // funnel-lint: allow(float-accumulation-order): Vec built in sorted impact-set order, no hashed container
+                                    .sum::<f64>()
+                                    / control_keys.len() as f64
+                            };
+                            let members: Vec<(TimeSeries, Option<CoverageMask>)> = control_keys
+                                .iter()
+                                .filter_map(|k| source.series(k).map(|s| (s, source.mask(k))))
+                                .collect();
+                            (members, coverage)
+                        });
+                let (control_members, ctl_coverage) = &*group;
+                // A contrast against a control group that was itself mostly
+                // gap-filled proves nothing: bail out (into the seasonal
+                // fallback below) when its coverage falls short.
+                if *ctl_coverage < self.config.min_coverage {
                     Err(DidError::InsufficientCoverage {
                         group: "control",
                         required_pct: (self.config.min_coverage * 100.0).round() as u8,
                         got_pct: (ctl_coverage * 100.0).round().clamp(0.0, 100.0) as u8,
                     })
                 } else {
-                    // Fetch each member with its coverage mask (when the
-                    // source has one): a member whose measured fraction
-                    // diverges across the change minute — one side dark
-                    // behind a partition, the other live — would bias the
-                    // contrast, so `assess_masked` drops it from its group.
-                    let fetch = |keys: &[KpiKey]| -> Vec<(TimeSeries, Option<CoverageMask>)> {
-                        keys.iter()
-                            .filter_map(|k| source.series(k).map(|s| (s, source.mask(k))))
-                            .collect()
+                    // For the changed service's KPI the treated group is
+                    // the tinstances; server/instance items are their own
+                    // treated group.
+                    let treated_keys: Vec<KpiKey> = match key.entity {
+                        Entity::Server(_) | Entity::Instance(_) => vec![key],
+                        Entity::Service(_) => impact_set
+                            .tinstances
+                            .iter()
+                            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+                            .collect(),
                     };
-                    let treated = fetch(&treated_keys);
-                    let control = fetch(&control_keys);
+                    let treated: Vec<(TimeSeries, Option<CoverageMask>)> = treated_keys
+                        .iter()
+                        .filter_map(|k| source.series(k).map(|s| (s, source.mask(k))))
+                        .collect();
                     let tr: Vec<(&TimeSeries, Option<&CoverageMask>)> =
                         treated.iter().map(|(s, m)| (s, m.as_ref())).collect();
-                    let cr: Vec<(&TimeSeries, Option<&CoverageMask>)> =
-                        control.iter().map(|(s, m)| (s, m.as_ref())).collect();
+                    let cr: Vec<(&TimeSeries, Option<&CoverageMask>)> = control_members
+                        .iter()
+                        .map(|(s, m)| (s, m.as_ref()))
+                        .collect();
                     self.assessor.assess_masked(&tr, &cr, change.minute)
                 }
             }

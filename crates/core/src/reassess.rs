@@ -27,6 +27,7 @@ use funnel_sim::kpi::KpiKey;
 use funnel_timeseries::series::MinuteBin;
 use funnel_topology::change::{ChangeId, SoftwareChange};
 use funnel_topology::model::Topology;
+use std::collections::BTreeSet;
 
 /// One queued item: a KPI whose interim verdict a healed partition span
 /// could upgrade.
@@ -105,8 +106,11 @@ impl ReassessmentQueue {
     }
 
     /// Re-runs every queued item of `change` whose window has healed past
-    /// its coverage trigger, returning the fresh assessments (pass them to
-    /// [`ChangeAssessment::apply_upgrades`]). Items below their trigger are
+    /// its coverage trigger, returning the fresh assessments in key-sorted
+    /// order (pass them to [`ChangeAssessment::apply_upgrades`]). The
+    /// re-runs go through the same fan-out/merge engine as the batch
+    /// pipeline ([`Funnel::assess_keys`]), so a large post-heal backlog
+    /// clears at the configured worker count. Items below their trigger are
     /// left queued untouched; a re-run that still reports
     /// `awaiting_backfill` keeps its item queued for the next heal.
     ///
@@ -117,38 +121,34 @@ impl ReassessmentQueue {
     pub fn reassess(
         &mut self,
         funnel: &Funnel,
-        source: &impl KpiSource,
+        source: &(impl KpiSource + Sync),
         topology: &Topology,
         change: &SoftwareChange,
     ) -> Result<Vec<ItemAssessment>, FunnelError> {
-        let ready: Vec<usize> = self
+        let ready_keys: Vec<KpiKey> = self
             .pending
             .iter()
-            .enumerate()
-            .filter(|(_, p)| {
+            .filter(|p| {
                 p.change == change.id
                     && source.coverage(&p.key, p.window.0, p.window.1) >= p.required_coverage
             })
-            .map(|(i, _)| i)
+            .map(|p| p.key)
             .collect();
+        if ready_keys.is_empty() {
+            return Ok(Vec::new());
+        }
 
         // Re-run everything first: an error must not half-drain the queue.
-        let mut upgrades = Vec::with_capacity(ready.len());
-        for &i in &ready {
-            let item = funnel.assess_key(source, topology, change, self.pending[i].key)?;
-            upgrades.push((i, item));
-        }
+        let upgrades = funnel.assess_keys(source, topology, change, &ready_keys)?;
 
-        let mut remove: Vec<usize> = upgrades
+        let firm: BTreeSet<KpiKey> = upgrades
             .iter()
-            .filter(|(_, item)| !item.verdict.awaiting_backfill())
-            .map(|&(i, _)| i)
+            .filter(|item| !item.verdict.awaiting_backfill())
+            .map(|item| item.key)
             .collect();
-        remove.sort_unstable();
-        for &i in remove.iter().rev() {
-            self.pending.remove(i);
-        }
-        Ok(upgrades.into_iter().map(|(_, item)| item).collect())
+        self.pending
+            .retain(|p| !(p.change == change.id && firm.contains(&p.key)));
+        Ok(upgrades)
     }
 }
 

@@ -1,11 +1,14 @@
 //! Abstraction over where KPI series come from.
 //!
-//! The batch pipeline reads from either a frozen [`World`] (evaluation) or a
-//! live [`MetricStore`] (deployment). Both expose the same contract: a dense
-//! one-minute series per KPI key.
+//! The batch pipeline reads from either a frozen [`World`] (evaluation), a
+//! live [`MetricStore`] (deployment), or a [`StoreSnapshot`] — a frozen,
+//! lock-free view of a live store, the preferred source when fanning an
+//! assessment across workers ([`crate::parallel`]): every worker reads the
+//! same instant of the store without ever touching its locks. All expose
+//! the same contract: a dense one-minute series per KPI key.
 
 use funnel_sim::kpi::KpiKey;
-use funnel_sim::store::MetricStore;
+use funnel_sim::store::{MetricStore, StoreSnapshot};
 use funnel_sim::world::World;
 use funnel_timeseries::mask::CoverageMask;
 use funnel_timeseries::series::{MinuteBin, TimeSeries};
@@ -54,6 +57,20 @@ impl KpiSource for MetricStore {
 
     fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
         MetricStore::mask(self, key)
+    }
+}
+
+impl KpiSource for StoreSnapshot {
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
+        self.get(key)
+    }
+
+    fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        StoreSnapshot::coverage(self, key, from, to)
+    }
+
+    fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        StoreSnapshot::mask(self, key)
     }
 }
 
@@ -121,5 +138,26 @@ mod tests {
         let mask = KpiSource::mask(&store, &key).expect("store tracks a mask");
         assert!(mask.is_present(0) && mask.is_present(3));
         assert!(!mask.is_present(1) && !mask.is_present(2));
+    }
+
+    #[test]
+    fn snapshot_source_matches_store_source() {
+        let key = KpiKey::new(Entity::Server(ServerId(0)), KpiKind::CpuUtilization);
+        let store = funnel_sim::MetricStore::new();
+        store.append(key, 0, 1.0);
+        store.append(key, 3, 2.0);
+        let snap = store.snapshot();
+        assert_eq!(
+            KpiSource::series(&snap, &key),
+            KpiSource::series(&store, &key)
+        );
+        assert_eq!(
+            KpiSource::coverage(&snap, &key, 0, 4),
+            KpiSource::coverage(&store, &key, 0, 4)
+        );
+        assert!(KpiSource::mask(&snap, &key).is_some());
+        // The snapshot is frozen: later appends do not reach it.
+        store.append(key, 4, 9.0);
+        assert_eq!(KpiSource::coverage(&snap, &key, 0, 5), 0.4);
     }
 }

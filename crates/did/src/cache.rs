@@ -1,0 +1,161 @@
+//! Per-worker memoization of control-group window fetches.
+//!
+//! Every impact-set item at the same entity level shares one control group:
+//! all tserver items of a KPI kind contrast against the *same* cserver
+//! series, all tinstance items against the same cinstances (§3.2.4). A naive
+//! fan-out therefore re-fetches (and re-clones) the control series once per
+//! treated item — for a 100-server impact set that is 100× redundant work on
+//! the hot path.
+//!
+//! [`ControlCache`] removes that redundancy without introducing cross-worker
+//! contention: each assessment worker owns one cache (`&mut` access, no
+//! locks), keyed by whatever the caller derives from the item — the pipeline
+//! uses `(entity level, KPI kind)` — and stores the fetched window data
+//! behind an [`Arc`] so repeated lookups hand out cheap shared references.
+//!
+//! Determinism: the cache only ever stores values computed from the
+//! assessment's read-only snapshot of the metric store, so a hit returns
+//! byte-identical data to a recomputation. Worker-local caches mean the hit
+//! pattern varies with scheduling, but the *values* never do — which is why
+//! the merged report stays bit-identical for any worker count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Hit/miss counters for one cache (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the value.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A worker-local memo table for control-group window data.
+///
+/// `K` is the caller's cache key (the assessment pipeline uses
+/// `(entity level, KPI kind)`); `V` is the fetched window payload. A
+/// `BTreeMap` keeps iteration — should a caller ever expose cache contents —
+/// deterministic, per the workspace-wide ordering invariant.
+///
+/// # Example
+///
+/// ```
+/// use funnel_did::cache::ControlCache;
+///
+/// let mut cache: ControlCache<u32, Vec<f64>> = ControlCache::new();
+/// let a = cache.get_or_insert_with(7, || vec![1.0, 2.0]);
+/// let b = cache.get_or_insert_with(7, || unreachable!("cached"));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControlCache<K, V> {
+    entries: BTreeMap<K, Arc<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Ord, V> Default for ControlCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> ControlCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the cached value for `key`, building and storing it with
+    /// `build` on first use. The value is shared (`Arc`), never cloned.
+    pub fn get_or_insert_with(&mut self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        match self.entries.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                Arc::clone(e.get())
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                Arc::clone(e.insert(Arc::new(build())))
+            }
+        }
+    }
+
+    /// Number of distinct keys held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let mut cache: ControlCache<(u8, u8), Vec<f64>> = ControlCache::new();
+        let mut builds = 0;
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with((1, 2), || {
+                builds += 1;
+                vec![3.0; 4]
+            });
+            assert_eq!(v.len(), 4);
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let mut cache: ControlCache<u32, u32> = ControlCache::new();
+        assert_eq!(*cache.get_or_insert_with(1, || 10), 10);
+        assert_eq!(*cache.get_or_insert_with(2, || 20), 20);
+        assert_eq!(*cache.get_or_insert_with(1, || 99), 10);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        let cache: ControlCache<u32, u32> = ControlCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

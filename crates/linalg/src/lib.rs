@@ -9,7 +9,7 @@
 //! IKA wants, so this crate implements the whole stack:
 //!
 //! * [`matrix`] — a small dense row-major matrix plus vector helpers,
-//! * [`svd`] — one-sided Jacobi SVD (accurate for the small matrices SST
+//! * [`mod@svd`] — one-sided Jacobi SVD (accurate for the small matrices SST
 //!   builds; dimensions are `ω×δ` with `ω ≈ 9..100`),
 //! * [`symeig`] — cyclic Jacobi eigendecomposition for dense symmetric
 //!   matrices (used by the exact robust-SST path on `A(t)A(t)ᵀ`),
@@ -20,7 +20,7 @@
 //! * [`hankel`] — implicit Hankel trajectory-matrix operators and their
 //!   Gram operators `BBᵀ` ("matrix compression": `O(ω)` storage for the
 //!   `ω×δ` matrix),
-//! * [`lanczos`] — Lanczos tridiagonalization with full reorthogonalization,
+//! * [`mod@lanczos`] — Lanczos tridiagonalization with full reorthogonalization,
 //! * [`power`] — power/deflated-subspace iteration for a few extreme
 //!   eigenpairs.
 //!

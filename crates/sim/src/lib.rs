@@ -47,5 +47,5 @@ pub mod world;
 pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
 pub use faults::{FaultPlan, FaultSchedule, FrameFate, HealMode, PartitionScope, PartitionWindow};
 pub use kpi::{Aggregation, KpiKey, KpiKind};
-pub use store::{MetricStore, StoreStats, Subscription};
+pub use store::{MetricStore, StoreSnapshot, StoreStats, Subscription};
 pub use world::{GroundTruthItem, SimConfig, World, WorldBuilder};

@@ -341,6 +341,42 @@ impl MetricStore {
         self.subscribers.write().clear();
     }
 
+    /// An immutable point-in-time view of every series and coverage mask —
+    /// the read handle the parallel assessment engine fans out over.
+    ///
+    /// The snapshot pays one copy of the store's contents up front; after
+    /// that every accessor is lock-free, so N assessment workers reading
+    /// the same snapshot never contend with each other or with live
+    /// ingestion. Cloning a [`StoreSnapshot`] is O(1) (the maps sit behind
+    /// `Arc`s). Both locks are taken together, in the same order as
+    /// [`MetricStore::backfill`], so a snapshot never observes a backfilled
+    /// series whose mask still reports the bin as missing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use funnel_sim::kpi::{KpiKey, KpiKind};
+    /// use funnel_sim::store::MetricStore;
+    /// use funnel_topology::impact::Entity;
+    /// use funnel_topology::model::ServerId;
+    ///
+    /// let key = KpiKey::new(Entity::Server(ServerId(0)), KpiKind::CpuUtilization);
+    /// let store = MetricStore::new();
+    /// store.append(key, 0, 1.0);
+    /// let snap = store.snapshot();
+    /// store.append(key, 1, 2.0); // lands in the store, not the snapshot
+    /// assert_eq!(snap.get(&key).unwrap().len(), 1);
+    /// assert_eq!(store.get(&key).unwrap().len(), 2);
+    /// ```
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let series = self.series.read();
+        let masks = self.masks.read();
+        StoreSnapshot {
+            series: Arc::new(series.clone()),
+            masks: Arc::new(masks.clone()),
+        }
+    }
+
     /// A full copy of the series for `key`.
     pub fn get(&self, key: &KpiKey) -> Option<TimeSeries> {
         self.series.read().get(key).cloned()
@@ -383,6 +419,62 @@ impl MetricStore {
     /// All keys currently held, in sorted (deterministic) order.
     pub fn keys(&self) -> Vec<KpiKey> {
         self.series.read().keys().copied().collect()
+    }
+}
+
+/// An immutable view of a [`MetricStore`] at one instant, created by
+/// [`MetricStore::snapshot`].
+///
+/// Accessors mirror the store's read API but never touch a lock: the
+/// snapshot owns frozen copies of the series and coverage-mask maps behind
+/// `Arc`s. This is the view the batch pipeline hands its worker threads —
+/// every worker reads the same bytes regardless of scheduling, which is one
+/// half of the byte-identical-reports guarantee (the other half is the
+/// deterministic merge in `funnel-core`).
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    series: Arc<BTreeMap<KpiKey, TimeSeries>>,
+    masks: Arc<BTreeMap<KpiKey, CoverageMask>>,
+}
+
+impl StoreSnapshot {
+    /// A full copy of the series for `key`.
+    pub fn get(&self, key: &KpiKey) -> Option<TimeSeries> {
+        self.series.get(key).cloned()
+    }
+
+    /// A copy of the coverage mask for `key`.
+    pub fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        self.masks.get(key).cloned()
+    }
+
+    /// Fraction of `[from, to)` that held real measurements for `key` at
+    /// snapshot time (0 when the key is unknown).
+    pub fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        self.masks
+            .get(key)
+            .map(|m| m.coverage(from, to))
+            .unwrap_or(0.0)
+    }
+
+    /// The values of `key` over `[from, to)` (clamped), if the key exists.
+    pub fn range(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> Option<Vec<f64>> {
+        self.series.get(key).map(|s| s.slice(from, to).to_vec())
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the snapshot holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// All keys held, in sorted (deterministic) order.
+    pub fn keys(&self) -> Vec<KpiKey> {
+        self.series.keys().copied().collect()
     }
 }
 
@@ -578,6 +670,53 @@ mod tests {
         assert_eq!(stats.dropped, 8);
         assert_eq!(stats.published, 2);
         assert_eq!(stats.backfilled, 10);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let store = MetricStore::new();
+        store.append(key(0), 0, 1.0);
+        store.append(key(0), 3, 4.0); // 1, 2 forward-filled
+        let snap = store.snapshot();
+        // Later live appends and backfills do not reach the snapshot.
+        store.append(key(0), 5, 9.0);
+        store.append(key(1), 0, 7.0);
+        assert!(store.backfill(key(0), 1, 2.0));
+        assert_eq!(snap.len(), 1);
+        assert!(snap.get(&key(1)).is_none());
+        let s = snap.get(&key(0)).unwrap();
+        assert_eq!(s.values(), &[1.0, 1.0, 1.0, 4.0]);
+        let mask = snap.mask(&key(0)).unwrap();
+        assert!(mask.is_present(0) && mask.is_present(3));
+        assert!(!mask.is_present(1) && !mask.is_present(2));
+        assert_eq!(snap.coverage(&key(0), 0, 4), 0.5);
+        assert_eq!(snap.range(&key(0), 1, 3), Some(vec![1.0, 1.0]));
+        assert_eq!(snap.keys(), vec![key(0)]);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_matches_store_reads_at_capture_time() {
+        let store = MetricStore::new();
+        for m in 0..30 {
+            store.append(key(0), m, m as f64);
+            if m % 3 != 0 {
+                store.append(key(1), m, -(m as f64));
+            }
+        }
+        let snap = store.snapshot();
+        for k in [key(0), key(1)] {
+            assert_eq!(snap.get(&k), store.get(&k), "{k:?}");
+            assert_eq!(
+                snap.mask(&k).map(|m| m.prefix_counts()),
+                store.mask(&k).map(|m| m.prefix_counts()),
+                "{k:?}"
+            );
+        }
+        assert_eq!(snap.keys(), store.keys());
+        // Clones share the frozen maps.
+        let clone = snap.clone();
+        assert_eq!(clone.len(), snap.len());
     }
 
     #[test]
