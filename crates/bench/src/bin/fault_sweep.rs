@@ -11,9 +11,14 @@
 //! Also re-runs one lossy rate end-to-end to confirm the whole
 //! schedule → replay → assessment chain is bit-deterministic from the seed.
 //!
-//! Writes `results/fault_sweep.csv` and prints the same table.
+//! Writes `results/fault_sweep.csv` and `results/BENCH_fault.json` and
+//! prints the same table.
 //!
-//! Env knobs: FUNNEL_SEED (world seed, default 2015).
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (rates
+//! {0.00, 0.20} only — same determinism and degradation assertions);
+//! FUNNEL_OBS=1 to write `results/obs_report.json` for the sweep's own
+//! pipeline activity.
 
 use funnel_core::pipeline::{Funnel, Verdict};
 use funnel_eval::confusion::ConfusionMatrix;
@@ -37,11 +42,7 @@ const RATES: &[f64] = &[0.0, 0.05, 0.10, 0.20, 0.30];
 
 /// Four services, two genuinely harmful changes, two no-op changes — a
 /// miniature of the §4.1 cohort sized for repeated full replays.
-fn build_world() -> (World, Vec<ChangeId>) {
-    let seed = std::env::var("FUNNEL_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2015);
+fn build_world(seed: u64) -> (World, Vec<ChangeId>) {
     let mut b = WorldBuilder::new(SimConfig::days(seed, 10));
     let search = b.add_service("prod.search", 6).expect("fresh");
     let feed = b.add_service("prod.feed", 6).expect("fresh");
@@ -157,6 +158,22 @@ impl SweepRow {
             self.quarantined_frames
         )
     }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"rate\": {:.2}, \"items\": {}, \"tpr\": {:.4}, \"fpr\": {:.4}, \
+             \"inconclusive_rate\": {:.4}, \"mean_coverage\": {:.4}, \
+             \"dropped_frames\": {}, \"quarantined_frames\": {}}}",
+            self.rate,
+            self.items,
+            self.tpr(),
+            self.fpr(),
+            self.inconclusive_rate(),
+            self.mean_coverage,
+            self.dropped_frames,
+            self.quarantined_frames
+        )
+    }
 }
 
 /// Replays the world under `plan_at(rate)` and assesses every change
@@ -216,7 +233,13 @@ fn run_rate(
 }
 
 fn main() {
-    let (world, changes) = build_world();
+    funnel_obs::init_from_env();
+    let smoke = funnel_bench::smoke();
+    let seed = funnel_bench::seed();
+    // The smoke subset keeps the clean baseline (the degradation contract's
+    // reference) and the rate the determinism spot-check re-runs.
+    let rates: &[f64] = if smoke { &[0.0, 0.20] } else { RATES };
+    let (world, changes) = build_world(seed);
     let gt: HashMap<(ChangeId, KpiKey), GroundTruthItem> = world
         .ground_truth()
         .into_iter()
@@ -225,7 +248,7 @@ fn main() {
     let funnel = Funnel::paper_default();
 
     let mut rows = Vec::new();
-    for &rate in RATES {
+    for &rate in rates {
         let start = std::time::Instant::now();
         let row = run_rate(&world, &changes, &gt, &funnel, rate);
         eprintln!(
@@ -242,10 +265,15 @@ fn main() {
     }
 
     // Determinism spot-check: the same seed and plan must reproduce the
-    // whole replay → assessment chain bit-for-bit.
+    // whole replay → assessment chain bit-for-bit. Looked up by rate, not
+    // position, so the smoke subset exercises the same check.
     let again = run_rate(&world, &changes, &gt, &funnel, 0.20);
+    let reference = rows
+        .iter()
+        .find(|r| r.rate == 0.20)
+        .expect("0.20 is in every swept rate set");
     assert_eq!(
-        rows[3], again,
+        *reference, again,
         "faulted replay is not deterministic: same seed produced a different report"
     );
 
@@ -282,12 +310,22 @@ fn main() {
 
     let header =
         "rate,items,tpr,fpr,inconclusive_rate,mean_coverage,dropped_frames,quarantined_frames";
-    let csv: String = std::iter::once(header.to_string())
-        .chain(rows.iter().map(SweepRow::csv))
-        .collect::<Vec<_>>()
-        .join("\n")
-        + "\n";
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/fault_sweep.csv", &csv).expect("write csv");
-    println!("\nwrote results/fault_sweep.csv; determinism re-run matched bit-for-bit.");
+    funnel_bench::report::write_csv("fault_sweep", header, rows.iter().map(SweepRow::csv))
+        .expect("write csv");
+    let mut report = funnel_bench::report::BenchReport::new("fault", seed, smoke)
+        .field("fault_seed", FAULT_SEED.to_string())
+        .field("determinism_recheck_rate", "0.20");
+    for row in &rows {
+        report.push_row(row.json());
+    }
+    report.write().expect("write json");
+    println!(
+        "\nwrote results/fault_sweep.csv and results/BENCH_fault.json; \
+         determinism re-run matched bit-for-bit."
+    );
+
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        println!("\nwrote {}", funnel_obs::report::DEFAULT_PATH);
+        print!("{}", obs.human_summary());
+    }
 }

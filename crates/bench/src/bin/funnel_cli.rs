@@ -16,6 +16,7 @@ use funnel_core::FunnelConfig;
 use funnel_sim::spec::{ChangeKindSpec, ChangeSpec, EffectSpec, ScopeSpec, ServiceSpec, WorldSpec};
 
 fn main() {
+    funnel_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("demo") => demo(),
@@ -35,6 +36,11 @@ fn main() {
             2
         }
     };
+    // FUNNEL_OBS=1 turns any CLI run into a profiled one.
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        eprintln!("wrote {}", funnel_obs::report::DEFAULT_PATH);
+        eprint!("{}", obs.human_summary());
+    }
     std::process::exit(code);
 }
 

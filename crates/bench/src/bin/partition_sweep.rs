@@ -21,10 +21,13 @@
 //! false attribution). A final pair of runs confirms the rendered operator
 //! reports are byte-identical across different shard counts.
 //!
-//! Writes `results/partition_sweep.csv` and prints the same table.
+//! Writes `results/partition_sweep.csv` and `results/BENCH_partition.json`
+//! and prints the same table.
 //!
-//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE=1 for
-//! the CI-sized subset (one partition length, same assertions).
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (one partition
+//! length, same assertions); FUNNEL_OBS=1 to write
+//! `results/obs_report.json` for the sweep's own pipeline activity.
 
 use funnel_core::pipeline::{ChangeAssessment, Funnel, Verdict};
 use funnel_core::reassess::ReassessmentQueue;
@@ -52,11 +55,7 @@ const QUEUE: usize = 120;
 
 /// Same miniature cohort as the fault sweep: two genuinely harmful changes,
 /// two no-ops, all deployed dark-launch style inside the partition span.
-fn build_world() -> (World, Vec<ChangeId>) {
-    let seed = std::env::var("FUNNEL_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2015);
+fn build_world(seed: u64) -> (World, Vec<ChangeId>) {
     let mut b = WorldBuilder::new(SimConfig::days(seed, 10));
     let search = b.add_service("prod.search", 6).expect("fresh");
     let feed = b.add_service("prod.feed", 6).expect("fresh");
@@ -170,6 +169,26 @@ impl SweepRow {
     fn csv(&self) -> String {
         format!(
             "{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{}",
+            self.heal,
+            self.duration,
+            self.items,
+            self.tpr(),
+            self.fpr(),
+            self.inconclusive_rate(),
+            self.interim_awaiting,
+            self.upgraded,
+            self.still_pending,
+            self.backfilled_records,
+            self.partition_lost
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"heal\": \"{}\", \"duration_min\": {}, \"items\": {}, \"tpr\": {:.4}, \
+             \"fpr\": {:.4}, \"inconclusive_rate\": {:.4}, \"interim_queued\": {}, \
+             \"upgraded\": {}, \"still_pending\": {}, \"backfilled_records\": {}, \
+             \"partition_lost_frames\": {}}}",
             self.heal,
             self.duration,
             self.items,
@@ -326,10 +345,12 @@ fn run_baseline(
 }
 
 fn main() {
-    let smoke = std::env::var("FUNNEL_SMOKE").is_ok();
+    funnel_obs::init_from_env();
+    let smoke = funnel_bench::smoke();
+    let seed = funnel_bench::seed();
     let durations: &[u64] = if smoke { &[30] } else { &[15, 30, 60] };
 
-    let (world, changes) = build_world();
+    let (world, changes) = build_world(seed);
     let gt: HashMap<(ChangeId, KpiKey), GroundTruthItem> = world
         .ground_truth()
         .into_iter()
@@ -461,14 +482,22 @@ fn main() {
 
     let header = "heal,duration_min,items,tpr,fpr,inconclusive_rate,interim_queued,upgraded,\
                   still_pending,backfilled_records,partition_lost_frames";
-    let csv: String = std::iter::once(header.to_string())
-        .chain(rows.iter().map(SweepRow::csv))
-        .collect::<Vec<_>>()
-        .join("\n")
-        + "\n";
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/partition_sweep.csv", &csv).expect("write csv");
+    funnel_bench::report::write_csv("partition_sweep", header, rows.iter().map(SweepRow::csv))
+        .expect("write csv");
+    let mut report = funnel_bench::report::BenchReport::new("partition", seed, smoke)
+        .field("shards", SHARDS.to_string())
+        .field("cross_shard_determinism_checked", "true");
+    for row in &rows {
+        report.push_row(row.json());
+    }
+    report.write().expect("write json");
     println!(
-        "\nwrote results/partition_sweep.csv; cross-shard-count reports matched byte-for-byte."
+        "\nwrote results/partition_sweep.csv and results/BENCH_partition.json; \
+         cross-shard-count reports matched byte-for-byte."
     );
+
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        println!("\nwrote {}", funnel_obs::report::DEFAULT_PATH);
+        print!("{}", obs.human_summary());
+    }
 }

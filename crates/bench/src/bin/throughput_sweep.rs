@@ -21,13 +21,22 @@
 //!   so the gate is skipped (and said so) when `available_parallelism` or
 //!   smoke mode rules it out — the determinism contract still runs there.
 //!
+//! A third contract gates the observability layer: the no-op recorder's
+//! estimated cost per assessment (measured per-call cost × instrumentation
+//! calls counted from an enabled probe run) must stay under 2% of the
+//! serial p50 — instrumentation that is not effectively free when disabled
+//! fails the sweep.
+//!
 //! Writes `results/throughput_sweep.csv` and `results/BENCH_throughput.json`
 //! and prints the same table.
 //!
-//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE=1 for
-//! the CI-sized subset (smallest fleet, workers {1, 2}, fewer repeats —
-//! same determinism assertion).
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (smallest fleet
+//! only, workers {1, 2}, fewer repeats — same determinism assertion;
+//! FUNNEL_SMOKE=0 or empty runs the full sweep); FUNNEL_OBS=1 to write
+//! `results/obs_report.json` for the sweep's own pipeline activity.
 
+use funnel_bench::report::BenchReport;
 use funnel_core::pipeline::{ChangeAssessment, Funnel};
 use funnel_core::report::render;
 use funnel_core::FunnelConfig;
@@ -178,8 +187,54 @@ fn run_cell(
     }
 }
 
+/// Conservative upper bound on the cost of disabled instrumentation per
+/// assessment: per-call no-op cost measured in a tight loop, times the
+/// instrumentation calls one serial assessment makes (counted by running
+/// one assessment with recording on), times a 4× safety factor.
+fn estimate_noop_overhead_ms(
+    world: &World,
+    snapshot: &StoreSnapshot,
+    change: ChangeId,
+) -> (f64, u64, f64) {
+    let was_enabled = funnel_obs::enabled();
+
+    // Per-call cost of the disabled (no-op) recorder arms.
+    funnel_obs::disable();
+    let iters: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..iters {
+        funnel_obs::counter_add(
+            funnel_obs::names::VERDICT_CAUSED,
+            std::hint::black_box(i & 1),
+        );
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_ASSESS_ITEM);
+    }
+    // 2 instrumentation calls per loop iteration.
+    let per_call_ns = t.elapsed().as_secs_f64() * 1e9 / (iters as f64 * 2.0);
+
+    // Instrumentation calls per serial assessment, from an enabled probe
+    // run. Counter values over- or under-count their call sites by at most
+    // the batch size either way; the 4× factor below swamps that.
+    funnel_obs::enable();
+    funnel_obs::reset();
+    let _ = assess(world, snapshot, change, 1);
+    let probe = funnel_obs::snapshot();
+    let calls: u64 = probe.spans.values().map(|s| 2 * s.count).sum::<u64>()
+        + probe.counters.values().sum::<u64>()
+        + probe.histograms.values().map(|h| h.count).sum::<u64>()
+        + probe.gauges.len() as u64;
+
+    if !was_enabled {
+        funnel_obs::disable();
+        funnel_obs::reset();
+    }
+    let est_ms = (calls * 4) as f64 * per_call_ns / 1e6;
+    (per_call_ns, calls, est_ms)
+}
+
 fn main() {
-    let smoke = std::env::var("FUNNEL_SMOKE").is_ok();
+    funnel_obs::init_from_env();
+    let smoke = funnel_bench::smoke();
     let seed = std::env::var("FUNNEL_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -270,6 +325,28 @@ fn main() {
         );
     }
 
+    // Observability overhead gate: disabled instrumentation must cost
+    // < 2% of a serial assessment. No uninstrumented binary exists to A/B
+    // against, so bound the estimate from above instead — see
+    // `estimate_noop_overhead_ms`.
+    let (per_call_ns, obs_calls, est_overhead_ms) =
+        estimate_noop_overhead_ms(&world, &snapshot, change);
+    let serial_p50_ms = largest_rows
+        .iter()
+        .find(|r| r.workers == 1)
+        .expect("serial row")
+        .p50_ms;
+    let overhead_pct = 100.0 * est_overhead_ms / serial_p50_ms;
+    eprintln!(
+        "obs no-op overhead: {per_call_ns:.2} ns/call x {obs_calls} calls/assessment \
+         (x4 safety) = {est_overhead_ms:.4} ms, {overhead_pct:.3}% of serial p50 \
+         {serial_p50_ms:.2} ms"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled observability costs {overhead_pct:.2}% of a serial assessment (limit 2%)"
+    );
+
     println!("Throughput sweep: assessment rate vs worker count and impact-set size\n");
     println!(
         "{:>9} {:>6} {:>8} {:>6} {:>9} {:>12} {:>9} {:>9} {:>8}",
@@ -300,27 +377,27 @@ fn main() {
 
     let header = "instances,impact_items,workers,iters,total_s,assessments_per_sec,\
                   p50_ms,p99_ms,speedup_vs_serial";
-    let csv: String = std::iter::once(header.to_string())
-        .chain(rows.iter().map(SweepRow::csv))
-        .collect::<Vec<_>>()
-        .join("\n")
-        + "\n";
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/throughput_sweep.csv", &csv).expect("write csv");
+    funnel_bench::report::write_csv("throughput_sweep", header, rows.iter().map(SweepRow::csv))
+        .expect("write csv");
 
-    let json = format!(
-        "{{\n  \"bench\": \"throughput_sweep\",\n  \"seed\": {seed},\n  \
-         \"smoke\": {smoke},\n  \"available_parallelism\": {cpus},\n  \
-         \"scaling_gate_checked\": {scaling_checked},\n  \
-         \"byte_identical_worker_counts\": [1, 3, 8],\n  \"rows\": [\n    {}\n  ]\n}}\n",
-        rows.iter()
-            .map(SweepRow::json)
-            .collect::<Vec<_>>()
-            .join(",\n    ")
-    );
-    std::fs::write("results/BENCH_throughput.json", &json).expect("write json");
+    let mut report = BenchReport::new("throughput", seed, smoke)
+        .field("available_parallelism", cpus.to_string())
+        .field("scaling_gate_checked", scaling_checked.to_string())
+        .field("byte_identical_worker_counts", "[1, 3, 8]")
+        .field("obs_noop_ns_per_call", format!("{per_call_ns:.2}"))
+        .field("obs_calls_per_assessment", obs_calls.to_string())
+        .field("obs_noop_overhead_pct", format!("{overhead_pct:.4}"));
+    for row in &rows {
+        report.push_row(row.json());
+    }
+    report.write().expect("write json");
     println!(
         "\nwrote results/throughput_sweep.csv and results/BENCH_throughput.json; \
          reports byte-identical at 1/3/8 workers."
     );
+
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        println!("\nwrote {}", funnel_obs::report::DEFAULT_PATH);
+        print!("{}", obs.human_summary());
+    }
 }

@@ -74,6 +74,15 @@ impl AssessCache {
     }
 }
 
+/// Folds one worker's (or the serial path's) control-cache hit/miss tallies
+/// into the global counters once its assessment loop finishes. Counter
+/// addition commutes, so the totals are independent of worker scheduling.
+fn record_cache_stats(cache: &AssessCache) {
+    let stats = cache.control.stats();
+    funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_HITS, stats.hits);
+    funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_MISSES, stats.misses);
+}
+
 /// Deterministically merges per-item results into the final report order.
 ///
 /// Results are keyed by `(entity, kpi)` — [`KpiKey`]'s ordering — into a
@@ -122,12 +131,15 @@ pub(crate) fn assess_work_units<S: KpiSource + Sync>(
     workers: usize,
 ) -> Result<Vec<ItemAssessment>, FunnelError> {
     let workers = workers.clamp(1, work.len().max(1));
+    funnel_obs::gauge_set(funnel_obs::names::WORKERS, workers as u64);
+    funnel_obs::histogram_record(funnel_obs::names::WORK_QUEUE_DEPTH, work.len() as u64);
     if workers == 1 {
         let mut cache = AssessCache::new();
         let mut items = Vec::with_capacity(work.len());
         for &key in work {
             items.push(funnel.assess_item(source, change, impact_set, key, &mut cache)?);
         }
+        record_cache_stats(&cache);
         return Ok(merge(items));
     }
 
@@ -145,17 +157,24 @@ pub(crate) fn assess_work_units<S: KpiSource + Sync>(
     let mut items: Vec<ItemAssessment> = Vec::with_capacity(work.len());
     let mut first_error: Option<(usize, FunnelError)> = None;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker_idx in 0..workers {
             let jobs = job_rx.clone();
             let results = result_tx.clone();
             scope.spawn(move || {
+                let worker_span =
+                    funnel_obs::span!(funnel_obs::names::SPAN_ASSESS_WORKER, worker_idx);
                 let mut cache = AssessCache::new();
                 while let Ok((index, key)) = jobs.recv() {
                     let outcome = funnel.assess_item(source, change, impact_set, key, &mut cache);
                     if results.send((index, outcome)).is_err() {
-                        return; // collector gone; nothing left to report to
+                        break; // collector gone; nothing left to report to
                     }
                 }
+                record_cache_stats(&cache);
+                // Merge this worker's span buffer before the scoped thread
+                // exits — commutative merge, so flush order is unobservable.
+                drop(worker_span);
+                funnel_obs::flush_thread();
             });
         }
         drop(result_tx);

@@ -312,8 +312,10 @@ impl Funnel {
         change: &SoftwareChange,
         service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
     ) -> Result<ChangeAssessment, FunnelError> {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_ASSESS_CHANGE);
         let impact_set = identify_impact_set(topology, change)?;
         let work = enumerate_work_units(&impact_set, change, service_kinds);
+        funnel_obs::gauge_set(funnel_obs::names::WORK_UNITS_TOTAL, work.len() as u64);
         let items = parallel::assess_work_units(
             self,
             source,
@@ -389,6 +391,7 @@ impl Funnel {
         key: KpiKey,
         cache: &mut AssessCache,
     ) -> Result<ItemAssessment, FunnelError> {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_ASSESS_ITEM);
         let series = source.series(&key).ok_or(FunnelError::MissingSeries(key))?;
 
         // The assessment window: enough pre-change data to warm the
@@ -488,6 +491,19 @@ impl Funnel {
         } else {
             (None, Verdict::NotCaused)
         };
+
+        match verdict {
+            Verdict::Caused => funnel_obs::counter_add(funnel_obs::names::VERDICT_CAUSED, 1),
+            Verdict::NotCaused => {
+                funnel_obs::counter_add(funnel_obs::names::VERDICT_NOT_CAUSED, 1);
+            }
+            Verdict::Inconclusive { awaiting_backfill } => {
+                funnel_obs::counter_add(funnel_obs::names::VERDICT_INCONCLUSIVE, 1);
+                if awaiting_backfill {
+                    funnel_obs::counter_add(funnel_obs::names::VERDICT_AWAITING_BACKFILL, 1);
+                }
+            }
+        }
 
         Ok(ItemAssessment {
             key,

@@ -93,6 +93,11 @@ impl ReassessmentQueue {
             });
             added += 1;
         }
+        funnel_obs::counter_add(funnel_obs::names::REASSESS_ABSORBED, added as u64);
+        funnel_obs::gauge_set(
+            funnel_obs::names::REASSESS_QUEUE_DEPTH,
+            self.pending.len() as u64,
+        );
         added
     }
 
@@ -125,6 +130,7 @@ impl ReassessmentQueue {
         topology: &Topology,
         change: &SoftwareChange,
     ) -> Result<Vec<ItemAssessment>, FunnelError> {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_REASSESS);
         let ready_keys: Vec<KpiKey> = self
             .pending
             .iter()
@@ -137,6 +143,7 @@ impl ReassessmentQueue {
         if ready_keys.is_empty() {
             return Ok(Vec::new());
         }
+        funnel_obs::counter_add(funnel_obs::names::REASSESS_READY, ready_keys.len() as u64);
 
         // Re-run everything first: an error must not half-drain the queue.
         let upgrades = funnel.assess_keys(source, topology, change, &ready_keys)?;
@@ -146,8 +153,13 @@ impl ReassessmentQueue {
             .filter(|item| !item.verdict.awaiting_backfill())
             .map(|item| item.key)
             .collect();
+        funnel_obs::counter_add(funnel_obs::names::REASSESS_UPGRADED, firm.len() as u64);
         self.pending
             .retain(|p| !(p.change == change.id && firm.contains(&p.key)));
+        funnel_obs::gauge_set(
+            funnel_obs::names::REASSESS_QUEUE_DEPTH,
+            self.pending.len() as u64,
+        );
         Ok(upgrades)
     }
 }

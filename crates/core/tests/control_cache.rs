@@ -1,0 +1,92 @@
+//! Control-group caching is a pure memo: cache-on and cache-off runs of the
+//! DiD stage produce bit-identical item assessments.
+//!
+//! [`Funnel::assess_key`] builds a fresh `AssessCache` per call — every
+//! control fetch is a miss, i.e. the cache-off path. [`Funnel::assess_keys`]
+//! runs the same keys through the fan-out engine where workers share one
+//! warm cache per thread — the cache-on path. Both must agree byte for byte,
+//! and the hit/miss counters surfaced through `funnel_obs` must account for
+//! every lookup. One `#[test]` covers both because the obs registry is
+//! process-global.
+
+use funnel_core::pipeline::{enumerate_work_units, Funnel};
+use funnel_core::FunnelConfig;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_topology::change::{ChangeId, ChangeKind};
+use funnel_topology::impact::identify_impact_set;
+
+/// A service large enough that many treated items share each control group,
+/// so the cache-on run genuinely exercises hits.
+fn cached_world() -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig::days(31, 8));
+    let svc = b.add_service("prod.cache", 7).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        70.0,
+    );
+    let id = b
+        .deploy_change(ChangeKind::Upgrade, svc, 3, 7 * 1440 + 300, effect, "c")
+        .unwrap();
+    (b.build(), id)
+}
+
+#[test]
+fn cache_on_and_cache_off_agree_bit_for_bit() {
+    let (world, change) = cached_world();
+    let record = world.change_log().get(change).expect("logged");
+    let impact_set = identify_impact_set(world.topology(), record).expect("impact set");
+    let work = enumerate_work_units(&impact_set, record, &|s| world.kinds_of_service(s).to_vec());
+    assert!(
+        work.len() >= 10,
+        "need a non-trivial work list, got {}",
+        work.len()
+    );
+
+    let mut config = FunnelConfig::paper_default();
+    config.assess.workers = 3;
+    let funnel = Funnel::new(config);
+
+    // Cache-on: the batch path shares a per-worker cache. Count its lookups
+    // via the obs counters the engine flushes at merge time.
+    funnel_obs::enable();
+    funnel_obs::reset();
+    let batched = funnel
+        .assess_keys(&world, world.topology(), record, &work)
+        .expect("batch assessment");
+    let warm = funnel_obs::snapshot();
+    funnel_obs::disable();
+    funnel_obs::reset();
+
+    let hits = warm
+        .counters
+        .get(funnel_obs::names::CONTROL_CACHE_HITS)
+        .copied()
+        .unwrap_or(0);
+    let misses = warm
+        .counters
+        .get(funnel_obs::names::CONTROL_CACHE_MISSES)
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        hits > 0,
+        "shared-cache run produced no hits (misses = {misses})"
+    );
+    assert!(misses > 0, "every distinct control group is one miss");
+
+    // Cache-off: one fresh cache per item, so every control fetch rebuilds.
+    // The memo must be invisible in the output.
+    assert_eq!(batched.len(), work.len());
+    for (key, cached_item) in work.iter().zip(&batched) {
+        let cold_item = funnel
+            .assess_key(&world, world.topology(), record, *key)
+            .expect("single-key assessment");
+        assert_eq!(
+            format!("{cold_item:?}"),
+            format!("{cached_item:?}"),
+            "cache changed the assessment of {key:?}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Observability is write-only: recording on or off, at any worker count,
+//! the assessment bytes never move.
+//!
+//! This is the obs counterpart of `parallel_determinism.rs` — the whole
+//! matrix {obs off, obs on} × {1, 3, 8 workers} must produce one
+//! fingerprint (debug form + rendered operator report). A single `#[test]`
+//! runs the whole matrix because the recording flag and registry are
+//! process-global; splitting it across tests would race under the parallel
+//! test runner.
+
+use funnel_core::pipeline::{ChangeAssessment, Funnel};
+use funnel_core::report::render;
+use funnel_core::FunnelConfig;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_topology::change::{ChangeId, ChangeKind};
+
+fn shifted_world() -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig::days(17, 8));
+    let svc = b.add_service("prod.obs", 6).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        85.0,
+    );
+    let id = b
+        .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 200, effect, "t")
+        .unwrap();
+    (b.build(), id)
+}
+
+fn fingerprint(world: &World, assessment: &ChangeAssessment) -> String {
+    format!("{assessment:?}\n{}", render(world.topology(), assessment))
+}
+
+fn assess(world: &World, change: ChangeId, workers: usize) -> ChangeAssessment {
+    let mut config = FunnelConfig::paper_default();
+    config.assess.workers = workers;
+    Funnel::new(config).assess_change(world, change).unwrap()
+}
+
+#[test]
+fn recording_never_changes_assessment_bytes() {
+    let (world, change) = shifted_world();
+
+    funnel_obs::disable();
+    funnel_obs::reset();
+    let baseline_assessment = assess(&world, change, 1);
+    let items = baseline_assessment.items.len() as u64;
+    let baseline = fingerprint(&world, &baseline_assessment);
+    for workers in [3, 8] {
+        assert_eq!(
+            baseline,
+            fingerprint(&world, &assess(&world, change, workers)),
+            "obs off: diverged at {workers} workers"
+        );
+    }
+    let silent = funnel_obs::snapshot();
+    assert!(
+        silent.counters.is_empty() && silent.spans.is_empty(),
+        "disabled recorder must record nothing"
+    );
+
+    funnel_obs::enable();
+    for workers in [1, 3, 8] {
+        funnel_obs::reset();
+        assert_eq!(
+            baseline,
+            fingerprint(&world, &assess(&world, change, workers)),
+            "obs on: diverged at {workers} workers"
+        );
+        // The instrumentation genuinely ran — and its own aggregate is
+        // order-insensitive: verdict counters, work-unit totals, and span
+        // call counts are the same at every worker count.
+        let report = funnel_obs::snapshot();
+        assert_eq!(
+            report.counters[funnel_obs::names::VERDICT_CAUSED]
+                + report.counters[funnel_obs::names::VERDICT_NOT_CAUSED]
+                + report
+                    .counters
+                    .get(funnel_obs::names::VERDICT_INCONCLUSIVE)
+                    .copied()
+                    .unwrap_or(0),
+            items,
+            "obs on ({workers} workers): verdict counters must cover every item"
+        );
+        assert_eq!(
+            report.gauges[funnel_obs::names::WORK_UNITS_TOTAL],
+            items,
+            "obs on ({workers} workers): work-unit gauge"
+        );
+        assert_eq!(
+            report.spans[funnel_obs::names::SPAN_ASSESS_ITEM].count,
+            items,
+            "obs on ({workers} workers): item span count"
+        );
+    }
+
+    funnel_obs::disable();
+    funnel_obs::reset();
+}

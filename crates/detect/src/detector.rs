@@ -109,6 +109,7 @@ impl<S: WindowScorer> DetectorRunner<S> {
     /// change. After a declaration the runner re-arms once the score falls
     /// below threshold, so a single long-lived shift yields a single event.
     pub fn run(&self, series: &TimeSeries) -> Vec<ChangeEvent> {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_DETECT);
         let mut events = Vec::new();
         let mut run_len = 0usize;
         let mut run_start: MinuteBin = 0;
@@ -138,6 +139,7 @@ impl<S: WindowScorer> DetectorRunner<S> {
                 armed = true;
             }
         }
+        funnel_obs::counter_add(funnel_obs::names::DETECT_CHANGE_POINTS, events.len() as u64);
         events
     }
 
@@ -156,6 +158,7 @@ impl<S: WindowScorer> DetectorRunner<S> {
         mask: &CoverageMask,
         min_coverage: f64,
     ) -> MaskedRun {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_DETECT);
         let width = self.scorer.window_len();
         // O(1) per-window coverage via prefix sums over the mask.
         let pfx = mask.prefix_counts();
@@ -211,6 +214,10 @@ impl<S: WindowScorer> DetectorRunner<S> {
                 armed = true;
             }
         }
+        funnel_obs::counter_add(
+            funnel_obs::names::DETECT_CHANGE_POINTS,
+            out.events.len() as u64,
+        );
         out
     }
 
@@ -252,6 +259,10 @@ impl<S: WindowScorer> DetectorRunner<S> {
             })
         });
         out.suppressed_events = before - out.events.len();
+        funnel_obs::counter_add(
+            funnel_obs::names::DETECT_GAP_SUPPRESSED,
+            out.suppressed_events as u64,
+        );
         out
     }
 

@@ -209,7 +209,8 @@ impl WindowScorer for MrlsDetector {
             ScaleAggregation::Min => scores.fold(f64::INFINITY, f64::min),
             ScaleAggregation::Mean => {
                 let n = self.scales.len().max(1) as f64;
-                scores.sum::<f64>() / n
+                // Compensated, so the mean is insensitive to scale order.
+                funnel_timeseries::stats::stable_sum(scores) / n
             }
         }
     }

@@ -158,4 +158,41 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hit_rate(), 0.0);
     }
+
+    #[test]
+    fn never_evicts_and_len_tracks_distinct_keys() {
+        // The cache is eviction-free by design: the key space is tiny
+        // (entity level × KPI kind), so every insert stays resident and a
+        // later lookup always returns the *same* allocation.
+        let mut cache: ControlCache<u32, u32> = ControlCache::new();
+        let first: Vec<_> = (0..100)
+            .map(|k| cache.get_or_insert_with(k, || k * 2))
+            .collect();
+        assert_eq!(cache.len(), 100);
+        for (k, original) in first.iter().enumerate() {
+            let again = cache.get_or_insert_with(k as u32, || unreachable!("cached"));
+            assert!(Arc::ptr_eq(original, &again), "key {k} was evicted");
+        }
+        assert_eq!(cache.len(), 100, "re-lookups must not grow the cache");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (100, 100));
+    }
+
+    #[test]
+    fn stats_accumulate_monotonically() {
+        let mut cache: ControlCache<u8, u8> = ControlCache::new();
+        for i in 0..10u8 {
+            cache.get_or_insert_with(i % 3, || i);
+            let s = cache.stats();
+            assert_eq!(
+                s.hits + s.misses,
+                u64::from(i) + 1,
+                "every lookup is counted once"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 3, "one miss per distinct key");
+        assert_eq!(s.hits, 7);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
 }

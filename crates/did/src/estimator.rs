@@ -13,6 +13,8 @@
 //! `SE(α̂) = σ̂·√(1/n₁₁ + 1/n₁₀ + 1/n₀₁ + 1/n₀₀)` and a t-statistic for the
 //! significance of the software-change impact.
 
+use funnel_timeseries::stats::stable_sum;
+
 /// Result of a DiD fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DidEstimate {
@@ -115,7 +117,9 @@ pub fn did_estimate(
         }
     }
 
-    let m = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    // Compensated sums: cell sample order is a series-layout artifact, so
+    // the estimate must not depend on it (see `stable_sum`).
+    let m = |xs: &[f64]| stable_sum(xs.iter().copied()) / xs.len() as f64;
     let m_t0 = m(treated_pre);
     let m_t1 = m(treated_post);
     let m_c0 = m(control_pre);
@@ -126,22 +130,11 @@ pub fn did_estimate(
 
     // Residual sum of squares of the saturated regression (each cell fitted
     // by its own mean — equivalent to the Eq. 15 OLS fit for this design).
-    let rss: f64 = treated_pre
-        .iter()
-        .map(|x| (x - m_t0) * (x - m_t0))
-        .sum::<f64>()
-        + treated_post
-            .iter()
-            .map(|x| (x - m_t1) * (x - m_t1))
-            .sum::<f64>()
-        + control_pre
-            .iter()
-            .map(|x| (x - m_c0) * (x - m_c0))
-            .sum::<f64>()
-        + control_post
-            .iter()
-            .map(|x| (x - m_c1) * (x - m_c1))
-            .sum::<f64>();
+    let cell_rss = |xs: &[f64], m: f64| stable_sum(xs.iter().map(|x| (x - m) * (x - m)));
+    let rss: f64 = cell_rss(treated_pre, m_t0)
+        + cell_rss(treated_post, m_t1)
+        + cell_rss(control_pre, m_c0)
+        + cell_rss(control_post, m_c1);
     let n = treated_pre.len() + treated_post.len() + control_pre.len() + control_post.len();
     let dof = n.saturating_sub(4);
 
@@ -202,7 +195,7 @@ fn pooled_lag1_autocorr(cells: &[&[f64]]) -> f64 {
         if cell.len() < 3 {
             continue;
         }
-        let m = cell.iter().sum::<f64>() / cell.len() as f64;
+        let m = stable_sum(cell.iter().copied()) / cell.len() as f64;
         for w in cell.windows(2) {
             num += (w[0] - m) * (w[1] - m);
         }

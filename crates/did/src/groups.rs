@@ -110,6 +110,11 @@ impl DidAssessor {
         control: &[&TimeSeries],
         change_minute: MinuteBin,
     ) -> Result<(DidVerdict, DidEstimate), DidError> {
+        let _span = funnel_obs::span!(funnel_obs::names::SPAN_DID);
+        funnel_obs::histogram_record(
+            funnel_obs::names::DID_CONTROL_POOL_SIZE,
+            (treated.len() + control.len()) as u64,
+        );
         let w = self.config.period_minutes;
         let pre_from = change_minute.saturating_sub(w);
         let mut cells = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];

@@ -1,0 +1,142 @@
+//! The metric and span name registry.
+//!
+//! Every instrumentation site uses a constant from here — never an ad-hoc
+//! string — so the full vocabulary of `obs_report.json` is enumerable at
+//! compile time, greppable, and documented in one place (mirrored in
+//! DESIGN.md §9). Naming convention: `<stage>.<what>` with the stage
+//! prefixes `collector`, `detect`, `did`, `assess`, and `reassess`.
+
+// ------------------------------------------------------------- counters --
+
+/// Wire frames the collector accepted into the store.
+pub const FRAMES_INGESTED: &str = "collector.frames_ingested";
+/// Frames that failed to decode (or carried an unknown agent) and were
+/// quarantined.
+pub const FRAMES_QUARANTINED: &str = "collector.frames_quarantined";
+/// Frames dropped by per-agent duplicate suppression.
+pub const FRAMES_DUP_SUPPRESSED: &str = "collector.frames_dup_suppressed";
+/// Late frames routed to the backfill stage instead of live ingestion.
+pub const FRAMES_BACKFILLED: &str = "collector.frames_backfilled";
+/// Individual measurements written into historical bins by backfill.
+pub const RECORDS_BACKFILLED: &str = "collector.records_backfilled";
+/// Late measurements refused by backfill duplicate suppression.
+pub const BACKFILL_REJECTED: &str = "collector.backfill_rejected";
+
+/// Change points declared by the detector runner (before gap suppression).
+pub const DETECT_CHANGE_POINTS: &str = "detect.change_points";
+/// Change points suppressed for bordering a partition-length coverage gap.
+pub const DETECT_GAP_SUPPRESSED: &str = "detect.gap_suppressed";
+
+/// Control-group window fetches answered from a worker's `ControlCache`.
+pub const CONTROL_CACHE_HITS: &str = "assess.control_cache_hits";
+/// Control-group window fetches that had to build the window.
+pub const CONTROL_CACHE_MISSES: &str = "assess.control_cache_misses";
+
+/// Items assessed `Caused`.
+pub const VERDICT_CAUSED: &str = "assess.verdict_caused";
+/// Items assessed `NotCaused`.
+pub const VERDICT_NOT_CAUSED: &str = "assess.verdict_not_caused";
+/// Items assessed `Inconclusive` (either flavour).
+pub const VERDICT_INCONCLUSIVE: &str = "assess.verdict_inconclusive";
+/// Inconclusive items flagged repairable by backfill.
+pub const VERDICT_AWAITING_BACKFILL: &str = "assess.verdict_awaiting_backfill";
+
+/// Items absorbed into the re-assessment queue.
+pub const REASSESS_ABSORBED: &str = "reassess.absorbed";
+/// Queued items whose window had healed when `reassess` ran.
+pub const REASSESS_READY: &str = "reassess.ready";
+/// Re-runs that produced a firm verdict and left the queue.
+pub const REASSESS_UPGRADED: &str = "reassess.upgraded";
+
+// --------------------------------------------------------------- gauges --
+
+/// Work units enumerated for the most recent change assessment.
+pub const WORK_UNITS_TOTAL: &str = "assess.work_units_total";
+/// Worker threads used by the most recent change assessment.
+pub const WORKERS: &str = "assess.workers";
+/// Items left in the re-assessment queue after the last absorb/reassess.
+pub const REASSESS_QUEUE_DEPTH: &str = "reassess.queue_depth";
+
+// ----------------------------------------------------------- histograms --
+
+/// Control-group pool size per DiD contrast (treated + control members).
+pub const DID_CONTROL_POOL_SIZE: &str = "did.control_pool_size";
+/// Work-unit queue depth at fan-out time, one sample per assessment.
+pub const WORK_QUEUE_DEPTH: &str = "assess.work_queue_depth";
+
+// ----------------------------------------------------------- span paths --
+
+/// One whole-change assessment (enumerate → fan out → merge).
+pub const SPAN_ASSESS_CHANGE: &str = "assess.change";
+/// One impact-set item (detection + causality + verdict).
+pub const SPAN_ASSESS_ITEM: &str = "assess.item";
+/// One worker thread's lifetime inside the fan-out.
+pub const SPAN_ASSESS_WORKER: &str = "assess.worker";
+/// One detector run over an assessment window.
+pub const SPAN_DETECT: &str = "detect.sst";
+/// One DiD causality determination.
+pub const SPAN_DID: &str = "did.assess";
+/// One agent → collector replay.
+pub const SPAN_COLLECT_REPLAY: &str = "collect.replay";
+/// One re-assessment batch over healed windows.
+pub const SPAN_REASSESS: &str = "reassess.run";
+
+/// The core counters every instrumented pipeline run must populate — the
+/// set the CI `obs-smoke` step asserts on.
+pub const CORE_COUNTERS: &[&str] = &[
+    FRAMES_INGESTED,
+    DETECT_CHANGE_POINTS,
+    CONTROL_CACHE_HITS,
+    CONTROL_CACHE_MISSES,
+    VERDICT_CAUSED,
+    VERDICT_NOT_CAUSED,
+];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let all = [
+            super::FRAMES_INGESTED,
+            super::FRAMES_QUARANTINED,
+            super::FRAMES_DUP_SUPPRESSED,
+            super::FRAMES_BACKFILLED,
+            super::RECORDS_BACKFILLED,
+            super::BACKFILL_REJECTED,
+            super::DETECT_CHANGE_POINTS,
+            super::DETECT_GAP_SUPPRESSED,
+            super::CONTROL_CACHE_HITS,
+            super::CONTROL_CACHE_MISSES,
+            super::VERDICT_CAUSED,
+            super::VERDICT_NOT_CAUSED,
+            super::VERDICT_INCONCLUSIVE,
+            super::VERDICT_AWAITING_BACKFILL,
+            super::REASSESS_ABSORBED,
+            super::REASSESS_READY,
+            super::REASSESS_UPGRADED,
+            super::WORK_UNITS_TOTAL,
+            super::WORKERS,
+            super::REASSESS_QUEUE_DEPTH,
+            super::DID_CONTROL_POOL_SIZE,
+            super::WORK_QUEUE_DEPTH,
+            super::SPAN_ASSESS_CHANGE,
+            super::SPAN_ASSESS_ITEM,
+            super::SPAN_ASSESS_WORKER,
+            super::SPAN_DETECT,
+            super::SPAN_DID,
+            super::SPAN_COLLECT_REPLAY,
+            super::SPAN_REASSESS,
+        ];
+        let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate metric name");
+        for name in all {
+            assert!(
+                name.contains('.')
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "malformed name {name:?}"
+            );
+        }
+    }
+}

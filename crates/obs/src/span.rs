@@ -1,0 +1,149 @@
+//! Span guards and per-thread span buffers.
+//!
+//! A [`crate::span!`] call starts a timing span for a static path like
+//! `"detect.sst"`; dropping the guard records the elapsed clock into the
+//! calling thread's private buffer — no locks, no cross-thread traffic on
+//! the hot path. Buffers merge into the global registry when a worker
+//! flushes ([`crate::flush_thread`]) or exits (the thread-local destructor),
+//! and the merge uses only the commutative ops of
+//! [`StageStat::merge`](crate::metrics::StageStat::merge), so flush order —
+//! i.e. thread scheduling — is unobservable in the aggregate.
+
+use crate::clock;
+use crate::metrics::{Registry, StageStat};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// The calling thread's span buffer. Dropping it (thread exit) flushes any
+/// remaining spans into the global registry so scoped workers cannot lose
+/// measurements even if they never flush explicitly.
+#[derive(Default)]
+struct LocalSpans {
+    map: BTreeMap<&'static str, StageStat>,
+}
+
+impl Drop for LocalSpans {
+    fn drop(&mut self) {
+        if !self.map.is_empty() {
+            crate::merge_spans(&self.map);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalSpans> = RefCell::new(LocalSpans::default());
+}
+
+/// Merges and clears the calling thread's buffer into `registry`.
+pub(crate) fn flush_thread_into(registry: &Mutex<Registry>) {
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        if local.map.is_empty() {
+            return;
+        }
+        let mut reg = registry.lock();
+        for (path, stat) in &local.map {
+            reg.spans
+                .entry(path)
+                .or_insert_with(StageStat::empty)
+                .merge(stat);
+        }
+        local.map.clear();
+    });
+}
+
+/// Clears the calling thread's buffer without flushing (used by
+/// [`crate::reset`]).
+pub(crate) fn clear_thread() {
+    LOCAL.with(|local| local.borrow_mut().map.clear());
+}
+
+/// An in-flight timing span; created by [`crate::span!`], recorded on drop.
+/// Inert (no clock reads, no buffer writes) when recording was off at
+/// creation time.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    path: &'static str,
+    index: u64,
+    start_ns: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Starts a span (called by the [`crate::span!`] macro).
+    pub fn start(path: &'static str, index: u64) -> Self {
+        let active = crate::enabled();
+        Self {
+            path,
+            index,
+            start_ns: if active { clock::now_ns() } else { 0 },
+            active,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let elapsed = clock::now_ns().saturating_sub(self.start_ns);
+        LOCAL.with(|local| {
+            local
+                .borrow_mut()
+                .map
+                .entry(self.path)
+                .or_insert_with(StageStat::empty)
+                .observe(elapsed, self.index);
+        });
+    }
+}
+
+/// Starts a timing span for a static path, optionally tagged with an index
+/// (worker or work-unit number; the merged stat keeps the lowest). Bind the
+/// guard to a named local — `let _span = span!(...)` — so it spans the
+/// enclosing scope.
+///
+/// ```
+/// use funnel_obs::{names, span};
+/// let _span = span!(names::SPAN_ASSESS_ITEM);
+/// let _tagged = span!(names::SPAN_ASSESS_WORKER, 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($path:expr) => {
+        $crate::span::SpanGuard::start($path, u64::MAX)
+    };
+    ($path:expr, $index:expr) => {
+        $crate::span::SpanGuard::start($path, $index as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::clock::SimClock;
+
+    #[test]
+    fn nested_spans_record_hierarchically() {
+        let _g = crate::test_guard();
+        crate::reset();
+        crate::enable();
+        SimClock::install();
+        {
+            let _outer = span!(crate::names::SPAN_ASSESS_CHANGE);
+            SimClock::advance_ns(10);
+            {
+                let _inner = span!(crate::names::SPAN_DETECT);
+                SimClock::advance_ns(30);
+            }
+            SimClock::advance_ns(5);
+        }
+        let report = crate::snapshot();
+        assert_eq!(report.spans[crate::names::SPAN_ASSESS_CHANGE].total_ns, 45);
+        assert_eq!(report.spans[crate::names::SPAN_DETECT].total_ns, 30);
+        crate::reset();
+        crate::disable();
+        SimClock::uninstall();
+    }
+}

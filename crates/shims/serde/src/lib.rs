@@ -116,6 +116,18 @@ pub trait Deserialize: Sized {
     }
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // ----------------------------------------------------------- primitives
 
 macro_rules! ser_uint {

@@ -147,6 +147,9 @@ pub fn replay_prefix(
     faults: FaultPlan,
     minutes: usize,
 ) -> Result<ReplayStats, SimError> {
+    // Observability (write-only; no-op unless `funnel_obs::enable` ran):
+    // one span for the whole replay, counters at each fault-path site.
+    let replay_span = funnel_obs::span!(funnel_obs::names::SPAN_COLLECT_REPLAY);
     let shards = shards.max(1);
     let duration = world.config().duration.min(minutes);
     let start = world.config().start;
@@ -421,6 +424,7 @@ pub fn replay_prefix(
                     // is gone; the watermark mechanism treats it as lost.
                     stats.quarantined_frames += 1;
                     store.note_quarantined_frame();
+                    funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
                     continue;
                 }
             };
@@ -429,13 +433,16 @@ pub fn replay_prefix(
                 // Header claims an agent we never started: quarantine.
                 stats.quarantined_frames += 1;
                 store.note_quarantined_frame();
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
                 continue;
             }
             if !seen[agent].insert(decoded.minute) {
                 stats.duplicate_frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_DUP_SUPPRESSED, 1);
                 continue;
             }
             stats.frames += 1;
+            funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
             // A frame whose original-minute stamp lies behind this agent's
             // own watermark by more than the reorder horizon cannot be a
             // delayed live frame — it is a healed partition's backlog.
@@ -446,6 +453,7 @@ pub fn replay_prefix(
             // interleaving.
             if watermarks[agent].is_some_and(|w| decoded.minute + horizon < w) {
                 stats.backfilled_frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_BACKFILLED, 1);
                 backfill_stage.insert((agent, decoded.minute), decoded.records);
                 continue;
             }
@@ -509,12 +517,15 @@ pub fn replay_prefix(
                 if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
                     stats.invalid_records += 1;
                     store.note_backfill_rejected();
+                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
                     continue;
                 }
                 if store.backfill(rec.key, minute, rec.value) {
                     stats.backfilled_records += 1;
+                    funnel_obs::counter_add(funnel_obs::names::RECORDS_BACKFILLED, 1);
                 } else {
                     stats.backfill_rejected_records += 1;
+                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
                 }
                 if let Entity::Instance(i) = rec.key.entity {
                     if let Some(&svc) = instance_service.get(&i.0) {
@@ -564,6 +575,10 @@ pub fn replay_prefix(
         }
     });
 
+    // Record the replay span and merge this thread's span buffer now, so a
+    // snapshot taken right after `replay` returns already contains it.
+    drop(replay_span);
+    funnel_obs::flush_thread();
     Ok(stats)
 }
 

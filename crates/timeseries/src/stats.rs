@@ -6,6 +6,33 @@
 //! large changes or outliers". These helpers are shared by the SST filter,
 //! MRLS's robust subspace fit, and the evaluation harness.
 
+/// Neumaier-compensated summation: each addition carries a correction term
+/// for the low-order bits the naive running sum rounds away, and the
+/// compensation is folded in once at the end.
+///
+/// Two properties matter here. The result is *more accurate* than a naive
+/// left-to-right `f64` sum (exact for the classic `[1e100, 1.0, -1e100]`
+/// cancellation case), and it is far *less sensitive to input order*: the
+/// compensated result differs across permutations only where the naive sum
+/// already lost the answer entirely. The DiD estimator and the MRLS mean
+/// aggregation sum cells whose order is an artifact of series layout, so
+/// they use this instead of bare `.sum()` — which is also what retires
+/// their `float-accumulation-order` lint findings.
+pub fn stable_sum(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0f64;
+    let mut compensation = 0.0f64;
+    for x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            compensation += (sum - t) + x;
+        } else {
+            compensation += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + compensation
+}
+
 /// Arithmetic mean; `0.0` for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -85,6 +112,22 @@ pub fn robust_zscore(x: f64, summary: RobustSummary) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stable_sum_exact_on_catastrophic_cancellation() {
+        // Naive left-to-right summation returns 0.0 here; Neumaier keeps
+        // the 1.0 that 1e100 absorbs.
+        assert_eq!(stable_sum([1e100, 1.0, -1e100]), 1.0);
+        assert_eq!(stable_sum([1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn stable_sum_matches_naive_on_benign_input() {
+        let xs = [0.5, 1.25, -3.0, 2.75, 10.0];
+        assert_eq!(stable_sum(xs), xs.iter().copied().fold(0.0, |a, b| a + b));
+        assert_eq!(stable_sum([]), 0.0);
+        assert_eq!(stable_sum([42.0]), 42.0);
+    }
 
     #[test]
     fn mean_and_std_basics() {

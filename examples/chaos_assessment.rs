@@ -12,19 +12,25 @@
 //! ```bash
 //! cargo run --release --example chaos_assessment
 //! ```
+//!
+//! With `FUNNEL_OBS=1` the whole run executes twice — first with recording
+//! off, then with it on — asserts the assessment and rendered report are
+//! byte-identical either way (observability is write-only), and writes
+//! `results/obs_report.json` plus a stage-timing summary. This is the CI
+//! `obs-smoke` vehicle.
 
-use funnel_suite::core::pipeline::Funnel;
+use funnel_suite::core::pipeline::{ChangeAssessment, Funnel};
 use funnel_suite::core::report;
-use funnel_suite::sim::agent::replay_with_faults;
+use funnel_suite::sim::agent::{replay_with_faults, ReplayStats};
 use funnel_suite::sim::effect::{ChangeEffect, EffectScope};
 use funnel_suite::sim::faults::FaultPlan;
 use funnel_suite::sim::kpi::KpiKind;
-use funnel_suite::sim::world::{SimConfig, WorldBuilder};
+use funnel_suite::sim::world::{SimConfig, World, WorldBuilder};
 use funnel_suite::sim::MetricStore;
-use funnel_suite::topology::change::ChangeKind;
+use funnel_suite::topology::change::{ChangeId, ChangeKind};
 
-fn main() {
-    // A one-service world with a genuinely harmful dark launch.
+/// One-service world with a genuinely harmful dark launch.
+fn build_world() -> (World, ChangeId) {
     let mut b = WorldBuilder::new(SimConfig::days(23, 8));
     let svc = b.add_service("prod.search", 8).expect("fresh");
     let regression = ChangeEffect::none().with_level_shift(
@@ -43,34 +49,42 @@ fn main() {
             "search ranker v4",
         )
         .expect("valid");
-    let world = b.build();
+    (b.build(), change)
+}
 
+/// The full chaos story: lossy replay, then assessment of the degraded
+/// store. Everything returned is derived deterministically from the seeds.
+fn run(world: &World, change: ChangeId, funnel: &Funnel) -> (ReplayStats, ChangeAssessment) {
     // Replay through the lossy transport: ~10 % frame loss plus a little
     // in-flight corruption, all reproducible from the seed.
     let plan = FaultPlan::lossy(2026, 0.10);
     let store = MetricStore::new();
-    let stats = replay_with_faults(&world, &store, 4, plan).expect("replay");
-    let store_stats = store.stats();
-    println!(
-        "replayed {} minutes: {} frames accepted, {} dropped, {} quarantined \
-         ({} undecodable frames logged by the store)",
-        stats.minutes,
-        stats.frames,
-        stats.dropped_frames,
-        stats.quarantined_frames,
-        store_stats.quarantined_frames,
-    );
-
-    // Assess the change against the degraded store.
-    let funnel = Funnel::paper_default();
+    let stats = replay_with_faults(world, &store, 4, plan).expect("replay");
     let record = world.change_log().get(change).expect("logged");
     let assessment = funnel
         .assess_change_with(&store, world.topology(), record, &|s| {
             world.kinds_of_service(s).to_vec()
         })
         .expect("assessable");
+    (stats, assessment)
+}
 
-    println!("\n{}", report::render(world.topology(), &assessment));
+fn main() {
+    let obs_requested = funnel_suite::obs::init_from_env();
+    // The baseline pass always runs uninstrumented, so the byte-identity
+    // check below compares a genuinely recording run against it.
+    funnel_suite::obs::disable();
+
+    let (world, change) = build_world();
+    let funnel = Funnel::paper_default();
+    let (stats, assessment) = run(&world, change, &funnel);
+    println!(
+        "replayed {} minutes: {} frames accepted, {} dropped, {} quarantined",
+        stats.minutes, stats.frames, stats.dropped_frames, stats.quarantined_frames,
+    );
+
+    let rendered = report::render(world.topology(), &assessment);
+    println!("\n{rendered}");
 
     let caused = assessment.caused_items().count();
     let inconclusive = assessment.inconclusive_items().count();
@@ -101,4 +115,31 @@ fn main() {
         "\nall attributions rest on >= {:.0}% measured data.",
         min_cov * 100.0
     );
+
+    if obs_requested {
+        // Second pass, recording on: observability is write-only, so both
+        // the assessment and the operator report must be byte-identical to
+        // the uninstrumented run.
+        funnel_suite::obs::enable();
+        funnel_suite::obs::reset();
+        let (_, instrumented) = run(&world, change, &funnel);
+        assert_eq!(
+            format!("{assessment:?}"),
+            format!("{instrumented:?}"),
+            "recording changed the assessment"
+        );
+        assert_eq!(
+            rendered,
+            report::render(world.topology(), &instrumented),
+            "recording changed the rendered report"
+        );
+        let obs = funnel_suite::obs::report::write_default_if_enabled()
+            .expect("write obs report")
+            .expect("recording is on");
+        println!(
+            "\ninstrumented re-run byte-identical; wrote {}",
+            funnel_suite::obs::report::DEFAULT_PATH
+        );
+        print!("{}", obs.human_summary());
+    }
 }

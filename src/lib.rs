@@ -11,6 +11,7 @@ pub use funnel_detect as detect;
 pub use funnel_did as did;
 pub use funnel_eval as eval;
 pub use funnel_linalg as linalg;
+pub use funnel_obs as obs;
 pub use funnel_sim as sim;
 pub use funnel_sst as sst;
 pub use funnel_timeseries as timeseries;
