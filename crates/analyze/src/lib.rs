@@ -2,10 +2,11 @@
 //!
 //! PR 1 made verdicts bit-for-bit replayable under injected faults; this
 //! crate makes the invariants behind that claim mechanical instead of
-//! tribal. Five lints cover the ways the pipeline could silently drift —
-//! wall-clock reads, hasher-ordered iteration, panics on the ingestion
-//! path, missing `#![forbid(unsafe_code)]`, and order-sensitive f64
-//! folds — with a checked-in baseline that grandfathers pre-existing
+//! tribal. Six lints cover the ways the pipeline could silently drift or
+//! die — wall-clock reads, hasher-ordered iteration, panics on the
+//! ingestion path, missing `#![forbid(unsafe_code)]`, order-sensitive f64
+//! folds, and unwrapped filesystem I/O on the crash-recovery paths — with
+//! a checked-in baseline that grandfathers pre-existing
 //! findings and may only shrink. Everything is hand-rolled over a small
 //! Rust lexer: no `syn`, no rustc plugin, no registry access required.
 

@@ -1,4 +1,4 @@
-//! The lint registry and the five FUNNEL domain lints.
+//! The lint registry and the six FUNNEL domain lints.
 //!
 //! Each lint encodes one invariant that PR 1's bit-replayable verdicts
 //! depend on. The passes are deliberately shallow — token patterns plus the
@@ -42,8 +42,8 @@ pub struct LintInfo {
     pub description: &'static str,
 }
 
-/// L1–L5, in order.
-pub const REGISTRY: [LintInfo; 5] = [
+/// L1–L6, in order.
+pub const REGISTRY: [LintInfo; 6] = [
     LintInfo {
         id: "nondeterministic-time",
         default_severity: Severity::Deny,
@@ -72,6 +72,12 @@ pub const REGISTRY: [LintInfo; 5] = [
         default_severity: Severity::Warn,
         description: "f64 sums over containers must fold in a documented stable order \
                       (sort first, or suppress with a note explaining why order is fixed)",
+    },
+    LintInfo {
+        id: "fs-io-unwrap",
+        default_severity: Severity::Deny,
+        description: "unwrap()/expect() on a filesystem I/O result turns a full disk, missing \
+                      path, or permission error into a crash; propagate the io::Error with `?`",
     },
 ];
 
@@ -165,6 +171,7 @@ pub fn run_lints(path: &str, scan: &FileScan) -> Vec<Diagnostic> {
     lint_panic_in_hot_path(path, scan, &mut out);
     lint_missing_forbid_unsafe(path, scan, &mut out);
     lint_float_accumulation_order(path, scan, &mut out);
+    lint_fs_io_unwrap(path, scan, &mut out);
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
 }
@@ -513,6 +520,84 @@ fn lint_float_accumulation_order(path: &str, scan: &FileScan, out: &mut Vec<Diag
             }
         }
     }
+}
+
+/// Filesystem API names that root an I/O call chain (L6 scope).
+/// Deliberately tight: bare `write`, `open`, and `create` are too generic
+/// to key on, but `fs::…`, `File`, and `OpenOptions` cover the std entry
+/// points those generics reach the disk through.
+const FS_NAMES: [&str; 17] = [
+    "fs",
+    "File",
+    "OpenOptions",
+    "read_to_string",
+    "read_dir",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "canonicalize",
+    "metadata",
+    "symlink_metadata",
+    "set_len",
+    "sync_all",
+    "sync_data",
+];
+
+/// L6: `.unwrap()` / `.expect()` directly on a filesystem I/O result,
+/// anywhere outside tests. Crash recovery (DESIGN.md §10) leans on every
+/// durable-state path returning `io::Error` instead of panicking: a full
+/// disk or a torn file must surface as a degraded verdict, not a crash.
+fn lint_fs_io_unwrap(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    let code = &scan.code;
+    for i in 0..code.len() {
+        let t = &code[i];
+        if !(t.is_ident("unwrap") || t.is_ident("expect"))
+            || i == 0
+            || !code[i - 1].is_punct('.')
+            || !code.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            continue;
+        }
+        if let Some(name) = fs_chain_root(code, i - 1) {
+            emit(
+                out,
+                scan,
+                "fs-io-unwrap",
+                path,
+                t.line,
+                format!(
+                    "`.{}()` on a `{name}` filesystem result panics on I/O failure (full \
+                     disk, missing path, permissions); propagate the io::Error with `?`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Walks the expression backwards from the `.` at `dot_idx` until a
+/// statement boundary (`;`, `{`, `}`, `=`) and returns the first ident in
+/// [`FS_NAMES`] — i.e. whether this `.unwrap()`/`.expect()` consumes a
+/// filesystem call's result. Bounded and shallow like every other pass;
+/// false positives go to the baseline or inline suppressions.
+fn fs_chain_root(code: &[crate::lexer::Token], dot_idx: usize) -> Option<String> {
+    let mut j = dot_idx;
+    let mut steps = 0;
+    while j > 0 && steps < 40 {
+        j -= 1;
+        steps += 1;
+        let t = &code[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct('=') {
+            return None;
+        }
+        if t.kind == crate::lexer::TokenKind::Ident && FS_NAMES.contains(&t.text.as_str()) {
+            return Some(t.text.clone());
+        }
+    }
+    None
 }
 
 /// Walks a receiver chain backwards from the `.` at `dot_idx` (idents,

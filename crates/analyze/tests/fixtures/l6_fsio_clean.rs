@@ -1,0 +1,25 @@
+//@path crates/resilience/src/segments.rs
+use std::fs;
+
+fn load(dir: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    fs::read(dir.join("wal-00000001.seg"))
+}
+
+fn heal(dir: &std::path::Path) -> std::io::Result<()> {
+    // Tolerated failure, handled explicitly rather than unwrapped.
+    if fs::remove_file(dir.join("torn.seg")).is_err() {
+        fs::create_dir_all(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs;
+
+    #[test]
+    fn tests_may_unwrap_io() {
+        let contents = fs::read_to_string("fixture.txt").unwrap();
+        assert!(contents.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//@path crates/resilience/src/segments.rs
+use std::fs;
+use std::fs::File;
+
+fn load(dir: &std::path::Path) -> Vec<u8> {
+    let raw = fs::read(dir.join("wal-00000001.seg")).unwrap();
+    let len = fs::metadata(dir.join("wal-00000001.seg")).expect("stat").len();
+    let file = File::open(dir.join("wal-00000002.seg")).unwrap();
+    drop(file);
+    assert_eq!(raw.len() as u64, len);
+    raw
+}
+
+fn heal(dir: &std::path::Path) {
+    fs::remove_file(dir.join("torn.seg")).unwrap();
+}

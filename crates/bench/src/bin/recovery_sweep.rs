@@ -1,0 +1,513 @@
+//! Recovery sweep — crash anywhere, recover everywhere, same report.
+//!
+//! Replays an 8-day world over a lossy, duplicating transport while the
+//! collector journals every accepted frame to the WAL and checkpoints the
+//! store on a cadence, then kills the run at seeded points:
+//!
+//! - **mid-frame** — the process dies partway through a WAL append,
+//!   leaving a torn record on the newest segment (early and late in the
+//!   stream);
+//! - **mid-checkpoint** — the process dies partway through writing a
+//!   checkpoint file, leaving a torn snapshot next to a valid older one;
+//! - **mid-work-unit** — the supervised assessment engine is killed
+//!   partway through its work queue and the aborted run withholds its
+//!   report;
+//! - **poisoned-unit** — one work unit panics on every attempt and the
+//!   supervisor quarantines it instead of taking the run down.
+//!
+//! Every ingest-kill cell recovers from the durable state (newest valid
+//! checkpoint + WAL tail), resumes live ingestion, and re-assesses at
+//! worker counts {1, 3, 8}; the final report (Debug form + rendered
+//! operator report) must be **byte-identical** to the uninterrupted
+//! golden run in every cell. The supervisor cells assert the abort/retry/
+//! quarantine contracts from DESIGN.md §10.
+//!
+//! Writes `results/recovery_sweep.csv` and `results/BENCH_recovery.json`
+//! and prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (one ingest
+//! kill, workers {1, 3}, same assertions); FUNNEL_OBS=1 to write
+//! `results/obs_report.json` covering the sweep's own recovery spans and
+//! supervisor counters.
+
+use funnel_core::config::FunnelConfig;
+use funnel_core::pipeline::{Funnel, Verdict};
+use funnel_core::report::render;
+use funnel_core::supervise::{
+    supervise_change, FaultProbe, InjectedFault, NoFaults, SupervisorConfig,
+};
+use funnel_resilience::recover::{recover, DurableHooks, DurableOptions, Kill};
+use funnel_sim::agent::{replay_durable, replay_with_faults};
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::faults::FaultPlan;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sim::MetricStore;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Agent shards for every replay.
+const SHARDS: usize = 3;
+/// Simulated days; the change lands on day 7.
+const DAYS: usize = 8;
+/// Checkpoint cadence in accepted frames.
+const CADENCE: u64 = 2048;
+
+/// One service, six instances, one genuinely harmful upgrade, delivered
+/// over a transport that drops 5% of frames and duplicates 8%.
+fn build_world(seed: u64) -> (World, ChangeId, FaultPlan) {
+    let mut b = WorldBuilder::new(SimConfig::days(seed, DAYS));
+    let svc = b.add_service("prod.crash", 6).expect("fresh");
+    let change = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            2,
+            7 * 1440 + 200,
+            ChangeEffect::none().with_level_shift(
+                KpiKind::PageViewResponseDelay,
+                EffectScope::TreatedInstances,
+                85.0,
+            ),
+            "crash-sweep upgrade",
+        )
+        .expect("valid");
+    let plan = FaultPlan {
+        drop_frame_prob: 0.05,
+        duplicate_prob: 0.08,
+        seed: seed ^ 0xc0ffee,
+        ..FaultPlan::none()
+    };
+    (b.build(), change, plan)
+}
+
+fn tmp_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "funnel-recovery-sweep-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+/// The byte-comparable artifact: full Debug form plus the operator report.
+fn assess(world: &World, store: &MetricStore, change: ChangeId, workers: usize) -> String {
+    let mut config = FunnelConfig::paper_default();
+    config.assess.workers = workers;
+    let record = world.change_log().get(change).expect("logged");
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+    let assessment = Funnel::new(config)
+        .assess_change_with(store, world.topology(), record, &kinds)
+        .expect("assessment");
+    format!("{assessment:?}\n{}", render(world.topology(), &assessment))
+}
+
+/// One sweep cell.
+struct SweepRow {
+    kill: &'static str,
+    workers: usize,
+    frames_in_wal: u64,
+    frames_replayed: u64,
+    checkpoint_frames: u64,
+    used_checkpoint: bool,
+    report_match: bool,
+    retries: u64,
+    quarantined: usize,
+}
+
+impl SweepRow {
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}",
+            self.kill,
+            self.workers,
+            self.frames_in_wal,
+            self.frames_replayed,
+            self.checkpoint_frames,
+            self.used_checkpoint,
+            self.report_match,
+            self.retries,
+            self.quarantined
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"kill\": \"{}\", \"workers\": {}, \"frames_in_wal\": {}, \
+             \"frames_replayed\": {}, \"checkpoint_frames\": {}, \"used_checkpoint\": {}, \
+             \"report_match\": {}, \"retries\": {}, \"quarantined\": {}}}",
+            self.kill,
+            self.workers,
+            self.frames_in_wal,
+            self.frames_replayed,
+            self.checkpoint_frames,
+            self.used_checkpoint,
+            self.report_match,
+            self.retries,
+            self.quarantined
+        )
+    }
+}
+
+/// Crashes the durable run at `kill`, recovers, resumes, and assesses at
+/// each worker count, comparing against the golden report byte-for-byte.
+fn run_ingest_kill(
+    world: &World,
+    change: ChangeId,
+    plan: &FaultPlan,
+    golden: &str,
+    tag: &'static str,
+    kill: Kill,
+    workers: &[usize],
+) -> Vec<SweepRow> {
+    let base = tmp_base(tag);
+    let _ = std::fs::remove_dir_all(&base);
+    let mut options = DurableOptions::at(&base);
+    options.cadence = CADENCE;
+    options.kill = kill;
+    let duration = DAYS * 1440;
+
+    let start = Instant::now();
+    let crashed_store = MetricStore::new();
+    let mut hooks = DurableHooks::create(&options).expect("wal dir");
+    let outcome = replay_durable(
+        world,
+        &crashed_store,
+        SHARDS,
+        plan.clone(),
+        duration,
+        None,
+        &mut hooks,
+    )
+    .expect("durable replay");
+    assert!(outcome.aborted, "{tag}: kill point never fired");
+    drop(crashed_store); // the crash loses all in-memory state
+
+    options.kill = Kill::None;
+    let recovered = recover(world, SHARDS, 0, &options).expect("recovery");
+    let mut hooks = DurableHooks::resume(&options, recovered.frames_in_wal).expect("resume");
+    let resumed = replay_durable(
+        world,
+        &recovered.store,
+        SHARDS,
+        plan.clone(),
+        duration,
+        Some(recovered.state),
+        &mut hooks,
+    )
+    .expect("resumed replay");
+    assert!(!resumed.aborted, "{tag}: resume aborted");
+    eprintln!(
+        "{tag}: crashed at frame {}, checkpoint covered {}, replayed {} from WAL, \
+         recovered + resumed in {:.1}s",
+        recovered.frames_in_wal,
+        recovered.checkpoint_frames,
+        recovered.frames_replayed,
+        start.elapsed().as_secs_f64()
+    );
+
+    let rows = workers
+        .iter()
+        .map(|&w| {
+            let report = assess(world, &recovered.store, change, w);
+            let report_match = report == golden;
+            assert!(report_match, "{tag}: report diverged at {w} workers");
+            SweepRow {
+                kill: tag,
+                workers: w,
+                frames_in_wal: recovered.frames_in_wal,
+                frames_replayed: recovered.frames_replayed,
+                checkpoint_frames: recovered.checkpoint_frames,
+                used_checkpoint: recovered.used_checkpoint,
+                report_match,
+                retries: 0,
+                quarantined: 0,
+            }
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&base);
+    rows
+}
+
+/// Injects one transient fault on the poisoned key's first attempt.
+struct TransientOnce(KpiKey);
+
+impl FaultProbe for TransientOnce {
+    fn fault(&self, key: &KpiKey, attempt: u32) -> Option<InjectedFault> {
+        (*key == self.0 && attempt == 0).then_some(InjectedFault::Transient)
+    }
+}
+
+/// Panics on the poisoned key, every attempt — the poisoned-input model.
+struct PanicOn(KpiKey);
+
+impl FaultProbe for PanicOn {
+    fn fault(&self, key: &KpiKey, _attempt: u32) -> Option<InjectedFault> {
+        assert!(*key != self.0, "poisoned work unit");
+        None
+    }
+}
+
+/// Mid-work-unit kill, transient retry, and poisoned-unit quarantine cells
+/// for one worker count.
+fn run_supervisor_cells(
+    world: &World,
+    store: &MetricStore,
+    change: ChangeId,
+    golden: &str,
+    workers: usize,
+) -> Vec<SweepRow> {
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(change).expect("logged");
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+    let config = SupervisorConfig {
+        workers,
+        ..SupervisorConfig::default()
+    };
+    let mut rows = Vec::new();
+
+    // Mid-work-unit: the kill switch aborts partway through the queue; the
+    // aborted run withholds its report, and the recovered run (same
+    // durable store, fresh assessment) matches the golden bytes.
+    let crashed = supervise_change(
+        &funnel,
+        store,
+        world.topology(),
+        record,
+        &kinds,
+        &SupervisorConfig {
+            abort_after_units: Some(4),
+            ..config.clone()
+        },
+        &NoFaults,
+    )
+    .expect("aborted run");
+    assert!(crashed.report.aborted, "work-unit kill never fired");
+    assert!(crashed.assessment.is_none(), "aborted run leaked a report");
+    let recovered = supervise_change(
+        &funnel,
+        store,
+        world.topology(),
+        record,
+        &kinds,
+        &config,
+        &NoFaults,
+    )
+    .expect("recovered run");
+    let assessment = recovered.assessment.expect("recovered run aborted");
+    let report = format!("{assessment:?}\n{}", render(world.topology(), &assessment));
+    assert_eq!(
+        report, golden,
+        "work-unit recovery diverged at {workers} workers"
+    );
+    rows.push(SweepRow {
+        kill: "work-unit",
+        workers,
+        frames_in_wal: 0,
+        frames_replayed: 0,
+        checkpoint_frames: 0,
+        used_checkpoint: false,
+        report_match: true,
+        retries: recovered.report.retries,
+        quarantined: recovered.report.quarantined.len(),
+    });
+
+    // Pick the key the clean run attributed, so retry and quarantine act
+    // on a verdict that matters.
+    let target = assessment
+        .caused_items()
+        .next()
+        .expect("no caused item")
+        .key;
+
+    // Transient fault: one retry, then the clean verdict — bytes included.
+    let flaky = supervise_change(
+        &funnel,
+        store,
+        world.topology(),
+        record,
+        &kinds,
+        &config,
+        &TransientOnce(target),
+    )
+    .expect("flaky run");
+    let flaky_assessment = flaky.assessment.expect("flaky run aborted");
+    let flaky_report = format!(
+        "{flaky_assessment:?}\n{}",
+        render(world.topology(), &flaky_assessment)
+    );
+    assert_eq!(
+        flaky_report, golden,
+        "retried unit diverged at {workers} workers"
+    );
+    assert_eq!(flaky.report.retries, 1, "expected exactly one retry");
+    rows.push(SweepRow {
+        kill: "transient",
+        workers,
+        frames_in_wal: 0,
+        frames_replayed: 0,
+        checkpoint_frames: 0,
+        used_checkpoint: false,
+        report_match: true,
+        retries: flaky.report.retries,
+        quarantined: 0,
+    });
+
+    // Poisoned unit: quarantined to Inconclusive, everything else matches
+    // the clean run bit for bit. The panic is the injected fault — silence
+    // the hook so the sweep's output stays readable.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let poisoned = supervise_change(
+        &funnel,
+        store,
+        world.topology(),
+        record,
+        &kinds,
+        &config,
+        &PanicOn(target),
+    );
+    std::panic::set_hook(hook);
+    let poisoned = poisoned.expect("poisoned run");
+    assert_eq!(poisoned.report.quarantined, vec![target]);
+    let poisoned_assessment = poisoned.assessment.expect("poisoned run withheld");
+    assert_eq!(poisoned_assessment.items.len(), assessment.items.len());
+    for (got, want) in poisoned_assessment.items.iter().zip(&assessment.items) {
+        if got.key == target {
+            assert_eq!(
+                got.verdict,
+                Verdict::Inconclusive {
+                    awaiting_backfill: false
+                },
+                "quarantined unit must be inconclusive"
+            );
+        } else {
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "non-poisoned item diverged at {workers} workers"
+            );
+        }
+    }
+    rows.push(SweepRow {
+        kill: "poison",
+        workers,
+        frames_in_wal: 0,
+        frames_replayed: 0,
+        checkpoint_frames: 0,
+        used_checkpoint: false,
+        report_match: true,
+        retries: poisoned.report.retries,
+        quarantined: poisoned.report.quarantined.len(),
+    });
+    rows
+}
+
+fn main() {
+    funnel_obs::init_from_env();
+    let smoke = funnel_bench::smoke();
+    let seed = funnel_bench::seed();
+    let workers: &[usize] = if smoke { &[1, 3] } else { &[1, 3, 8] };
+
+    let (world, change, plan) = build_world(seed);
+
+    // Golden, uninterrupted run: plain replay (no hooks), plain engine.
+    let start = Instant::now();
+    let golden_store = MetricStore::new();
+    replay_with_faults(&world, &golden_store, SHARDS, plan.clone()).expect("golden replay");
+    let golden = assess(&world, &golden_store, change, 1);
+    eprintln!(
+        "golden: replayed + assessed in {:.1}s ({} report bytes)",
+        start.elapsed().as_secs_f64(),
+        golden.len()
+    );
+
+    let ingest_kills: &[(&'static str, Kill)] = if smoke {
+        &[("frame-early", Kill::Frame { index: 40, keep: 7 })]
+    } else {
+        &[
+            ("frame-early", Kill::Frame { index: 40, keep: 7 }),
+            (
+                "frame-late",
+                Kill::Frame {
+                    index: 9000,
+                    keep: 0,
+                },
+            ),
+            (
+                "checkpoint",
+                Kill::Checkpoint {
+                    index: 1,
+                    keep: 120,
+                },
+            ),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for &(tag, kill) in ingest_kills {
+        rows.extend(run_ingest_kill(
+            &world, change, &plan, &golden, tag, kill, workers,
+        ));
+    }
+    for &w in workers {
+        rows.extend(run_supervisor_cells(
+            &world,
+            &golden_store,
+            change,
+            &golden,
+            w,
+        ));
+    }
+
+    println!("Recovery sweep: kill anywhere, recover everywhere, same report\n");
+    println!(
+        "{:>12} {:>7} {:>10} {:>9} {:>11} {:>10} {:>6} {:>8} {:>11}",
+        "kill",
+        "workers",
+        "wal_frames",
+        "replayed",
+        "ckpt_frames",
+        "used_ckpt",
+        "match",
+        "retries",
+        "quarantined"
+    );
+    for row in &rows {
+        println!(
+            "{:>12} {:>7} {:>10} {:>9} {:>11} {:>10} {:>6} {:>8} {:>11}",
+            row.kill,
+            row.workers,
+            row.frames_in_wal,
+            row.frames_replayed,
+            row.checkpoint_frames,
+            row.used_checkpoint,
+            row.report_match,
+            row.retries,
+            row.quarantined
+        );
+    }
+
+    let header = "kill,workers,frames_in_wal,frames_replayed,checkpoint_frames,used_checkpoint,\
+                  report_match,retries,quarantined";
+    funnel_bench::report::write_csv("recovery_sweep", header, rows.iter().map(SweepRow::csv))
+        .expect("write csv");
+    let mut report = funnel_bench::report::BenchReport::new("recovery", seed, smoke)
+        .field("shards", SHARDS.to_string())
+        .field("checkpoint_cadence_frames", CADENCE.to_string())
+        .field("golden_report_bytes", golden.len().to_string())
+        .field("byte_identical_reports", "true");
+    for row in &rows {
+        report.push_row(row.json());
+    }
+    report.write().expect("write json");
+    println!(
+        "\nwrote results/recovery_sweep.csv and results/BENCH_recovery.json; \
+         every recovered report matched the golden run byte-for-byte."
+    );
+
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        println!("\nwrote {}", funnel_obs::report::DEFAULT_PATH);
+        print!("{}", obs.human_summary());
+    }
+}

@@ -52,11 +52,15 @@ pub mod quality;
 pub mod reassess;
 pub mod report;
 pub mod source;
+pub mod supervise;
 
 pub use config::{AssessConfig, FunnelConfig};
 pub use pipeline::{
     enumerate_work_units, AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError,
     ItemAssessment, Verdict,
 };
-pub use reassess::{PendingItem, ReassessmentQueue};
+pub use reassess::{PendingItem, QueueState, ReassessmentQueue};
 pub use source::KpiSource;
+pub use supervise::{
+    FaultProbe, InjectedFault, NoFaults, Supervised, SupervisorConfig, SupervisorReport,
+};

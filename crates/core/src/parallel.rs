@@ -77,7 +77,7 @@ impl AssessCache {
 /// Folds one worker's (or the serial path's) control-cache hit/miss tallies
 /// into the global counters once its assessment loop finishes. Counter
 /// addition commutes, so the totals are independent of worker scheduling.
-fn record_cache_stats(cache: &AssessCache) {
+pub(crate) fn record_cache_stats(cache: &AssessCache) {
     let stats = cache.control.stats();
     funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_HITS, stats.hits);
     funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_MISSES, stats.misses);

@@ -27,6 +27,11 @@ pub enum QualityIssue {
     /// Extreme outliers dominate the series (max deviation over 50 robust
     /// sigmas) — telemetry glitches that will dominate any matrix method.
     GlitchOutliers,
+    /// The supervised assessment engine exhausted its retry budget on this
+    /// work unit (repeated crashes, stalls, or a poisoned input) and
+    /// refused to guess: the data was never fully assessed. Set by
+    /// [`crate::supervise`], not by screening.
+    SupervisorQuarantined,
 }
 
 /// The screening verdict for one KPI series.

@@ -48,12 +48,48 @@ pub struct PendingItem {
 #[derive(Debug, Clone, Default)]
 pub struct ReassessmentQueue {
     pending: Vec<PendingItem>,
+    /// (change, KPI) pairs whose re-run already produced a firm verdict.
+    /// Recovery re-derives interim assessments and absorbs them again; this
+    /// memory keeps an already-upgraded item from re-entering the queue and
+    /// being upgraded twice (which would double-count obs counters and let
+    /// a later re-run silently overwrite a delivered verdict).
+    applied: BTreeSet<(ChangeId, KpiKey)>,
+}
+
+/// The queue's complete durable state — what a recovery checkpoint
+/// serializes. Plain data, order preserved, no behaviour.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueueState {
+    /// Absorbed-but-not-yet-firm items, in absorb order.
+    pub pending: Vec<PendingItem>,
+    /// (change, KPI) pairs already upgraded to a firm verdict, sorted.
+    pub applied: Vec<(ChangeId, KpiKey)>,
 }
 
 impl ReassessmentQueue {
     /// An empty queue.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The queue's durable state, for checkpointing. Deterministic:
+    /// `pending` keeps absorb order, `applied` is sorted.
+    pub fn export_state(&self) -> QueueState {
+        QueueState {
+            pending: self.pending.clone(),
+            applied: self.applied.iter().cloned().collect(),
+        }
+    }
+
+    /// Rebuilds a queue from checkpointed state. Items that were absorbed
+    /// but not yet ready resume waiting for their windows to heal; the
+    /// applied memory keeps re-absorbed interim assessments from
+    /// double-upgrading verdicts that were already firmed before the crash.
+    pub fn from_state(state: QueueState) -> Self {
+        Self {
+            pending: state.pending,
+            applied: state.applied.into_iter().collect(),
+        }
     }
 
     /// Number of items still waiting.
@@ -73,15 +109,19 @@ impl ReassessmentQueue {
 
     /// Enqueues every `awaiting_backfill` item of an interim assessment,
     /// with the configuration's re-assessment threshold as the trigger.
-    /// Items already queued for the same (change, KPI) are not duplicated.
-    /// Returns how many items were added.
+    /// Items already queued for the same (change, KPI) — or already
+    /// upgraded to a firm verdict by an earlier
+    /// [`ReassessmentQueue::reassess`] run (possibly before a crash, via
+    /// the checkpointed applied memory) — are not (re-)added. Returns how
+    /// many items were added.
     pub fn absorb(&mut self, assessment: &ChangeAssessment, config: &FunnelConfig) -> usize {
         let mut added = 0;
         for item in assessment.awaiting_backfill_items() {
             let dup = self
                 .pending
                 .iter()
-                .any(|p| p.change == assessment.change && p.key == item.key);
+                .any(|p| p.change == assessment.change && p.key == item.key)
+                || self.applied.contains(&(assessment.change, item.key));
             if dup {
                 continue;
             }
@@ -154,6 +194,9 @@ impl ReassessmentQueue {
             .map(|item| item.key)
             .collect();
         funnel_obs::counter_add(funnel_obs::names::REASSESS_UPGRADED, firm.len() as u64);
+        for key in &firm {
+            self.applied.insert((change.id, *key));
+        }
         self.pending
             .retain(|p| !(p.change == change.id && firm.contains(&p.key)));
         funnel_obs::gauge_set(
@@ -272,6 +315,59 @@ mod tests {
             treated_delay_caused,
             "post-heal re-assessment missed the real impact"
         );
+    }
+
+    #[test]
+    fn restored_queue_survives_without_double_upgrading() {
+        let (world, change, plan) = partitioned_world(90.0);
+        let record = world.change_log().get(change).unwrap().clone();
+        let funnel = Funnel::paper_default();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+        let interim_store = MetricStore::new();
+        replay_prefix(
+            &world,
+            &interim_store,
+            3,
+            plan.clone(),
+            record.minute as usize + 15,
+        )
+        .unwrap();
+        let interim = funnel
+            .assess_change_with(&interim_store, world.topology(), &record, &kinds)
+            .unwrap();
+        let mut queue = ReassessmentQueue::new();
+        let absorbed = queue.absorb(&interim, funnel.config());
+        assert!(absorbed > 0);
+
+        // Crash #1: right after absorb, before anything healed. The
+        // restored queue must still hold every absorbed-but-not-yet-ready
+        // item.
+        let mut queue = ReassessmentQueue::from_state(queue.export_state());
+        assert_eq!(queue.len(), absorbed);
+
+        let healed_store = MetricStore::new();
+        replay_with_faults(&world, &healed_store, 3, plan).unwrap();
+        let upgrades = queue
+            .reassess(&funnel, &healed_store, world.topology(), &record)
+            .unwrap();
+        assert_eq!(upgrades.len(), absorbed);
+        assert!(queue.is_empty());
+
+        // Crash #2: after the upgrades were applied. Recovery re-derives
+        // the same interim assessment and absorbs it again — the restored
+        // applied memory must keep the already-firmed items from
+        // resurfacing and being upgraded twice.
+        let mut queue = ReassessmentQueue::from_state(queue.export_state());
+        assert_eq!(queue.absorb(&interim, funnel.config()), 0);
+        assert!(queue.is_empty());
+        let again = queue
+            .reassess(&funnel, &healed_store, world.topology(), &record)
+            .unwrap();
+        assert!(again.is_empty(), "items were upgraded twice");
+
+        // A state round trip is lossless.
+        assert_eq!(queue.export_state(), queue.export_state());
     }
 
     #[test]

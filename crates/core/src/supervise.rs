@@ -1,0 +1,671 @@
+//! The supervised assessment engine: retry, restart, and quarantine around
+//! the parallel fan-out.
+//!
+//! [`parallel`] assumes every work unit either finishes or
+//! returns a clean [`FunnelError`]. Production ingest is less polite: a
+//! work unit can hit a transient source hiccup, stall past its deadline
+//! budget, or turn out to be *poisoned* — an input that makes the
+//! assessment code itself fall over, run after run. This module wraps the
+//! same worker-pool shape with a per-unit supervisor:
+//!
+//! * **Retry** — failed attempts are re-run up to
+//!   [`SupervisorConfig::max_retries`] times on a capped exponential
+//!   backoff schedule. The schedule is *seeded and recorded, never slept*:
+//!   the jitter is a pure function of `(seed, key, attempt)`, so a crashed
+//!   and recovered run reproduces the exact same schedule and the
+//!   simulation never reads a clock.
+//! * **Restart** — a unit that blows its per-attempt deadline budget (a
+//!   stall, surfaced by the [`FaultProbe`] in this deterministic setting)
+//!   is torn down and restarted, counted separately from plain retries.
+//! * **Quarantine** — a unit still failing after the retry budget (or one
+//!   whose attempt *panicked* — every attempt runs under
+//!   [`std::panic::catch_unwind`]) is quarantined: the supervisor
+//!   synthesizes a [`Verdict::Inconclusive`] item carrying
+//!   [`QualityIssue::SupervisorQuarantined`] instead of aborting the whole
+//!   assessment. One poisoned `(entity, kpi)` costs exactly one verdict;
+//!   every other item is byte-identical to the fault-free run.
+//!
+//! Genuine pipeline errors ([`FunnelError`]) are *not* retried: they are
+//! deterministic config/topology/data errors, so re-running them is wasted
+//! work — they propagate exactly like the unsupervised engine, lowest
+//! work-unit index first.
+//!
+//! Every decision is counted through `funnel-obs`
+//! ([`SUPERVISOR_RETRIES`](funnel_obs::names::SUPERVISOR_RETRIES),
+//! [`SUPERVISOR_RESTARTS`](funnel_obs::names::SUPERVISOR_RESTARTS),
+//! [`SUPERVISOR_QUARANTINED`](funnel_obs::names::SUPERVISOR_QUARANTINED)),
+//! and the counters are seeded at zero on every run so they appear in the
+//! report even when no fault fires — the CI `chaos-smoke` step greps them.
+
+use crate::parallel::{self, AssessCache};
+use crate::pipeline::{
+    AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
+};
+use crate::quality::{QualityIssue, QualityReport};
+use crate::source::KpiSource;
+use crossbeam::channel;
+use funnel_obs::names;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::wire::key_to_bytes;
+use funnel_topology::change::SoftwareChange;
+use funnel_topology::impact::{identify_impact_set, ImpactSet};
+use funnel_topology::model::{ServiceId, Topology};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Supervision policy for one assessment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker threads for the fan-out (clamped like the unsupervised
+    /// engine: at least 1, at most one per work unit).
+    pub workers: usize,
+    /// Re-run budget per work unit *after* the first attempt. `0` means
+    /// any failure quarantines immediately.
+    pub max_retries: u32,
+    /// First backoff step in milliseconds; attempt `n` waits
+    /// `base * 2^n` (capped), plus seeded jitter.
+    pub backoff_base_ms: u64,
+    /// Ceiling for the exponential portion of the backoff.
+    pub backoff_cap_ms: u64,
+    /// Seed for the backoff jitter. Recorded schedules are a pure function
+    /// of `(seed, key, attempt)`.
+    pub seed: u64,
+    /// Per-attempt wall-budget in milliseconds, advisory: the deterministic
+    /// harness never reads a clock (the workspace `funnel-lint` determinism
+    /// rule forbids it), so overruns are surfaced by the [`FaultProbe`]
+    /// as [`InjectedFault::Stall`] rather than by timing the attempt.
+    pub deadline_ms: u64,
+    /// Kill switch for the chaos harness: abort the run (assessment
+    /// withheld, [`SupervisorReport::aborted`] set) once this many work
+    /// units have completed. `None` disables it.
+    pub abort_after_units: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_retries: 3,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            seed: 2015,
+            deadline_ms: 30_000,
+            abort_after_units: None,
+        }
+    }
+}
+
+/// A fault injected into one work-unit attempt by a [`FaultProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A transient failure (source hiccup): the attempt fails, a plain
+    /// retry follows.
+    Transient,
+    /// A deadline overrun: the attempt is torn down and restarted, counted
+    /// under [`SupervisorReport::restarts`].
+    Stall,
+}
+
+/// Injects faults into work-unit attempts — the chaos harness's hook into
+/// the supervisor.
+///
+/// The probe is consulted *inside* the per-attempt
+/// [`catch_unwind`] boundary, before the real assessment runs. Returning
+/// `None` lets the attempt proceed; returning a fault fails it; and a
+/// probe that **panics** models a poisoned work unit — the unwind is
+/// caught and treated as a crashed attempt, so test probes may `panic!`
+/// while the supervisor itself stays panic-free.
+pub trait FaultProbe: Sync {
+    /// The fault (if any) to inject into `attempt` (0-based) of `key`.
+    fn fault(&self, key: &KpiKey, attempt: u32) -> Option<InjectedFault>;
+}
+
+/// The fault-free probe: production runs supervise with this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultProbe for NoFaults {
+    fn fault(&self, _key: &KpiKey, _attempt: u32) -> Option<InjectedFault> {
+        None
+    }
+}
+
+/// What the supervisor did while producing (or withholding) an assessment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SupervisorReport {
+    /// Attempts re-run after a transient failure or caught panic.
+    pub retries: u64,
+    /// Attempts restarted after a deadline overrun.
+    pub restarts: u64,
+    /// Work units downgraded to `Inconclusive` after exhausting the retry
+    /// budget, in key order.
+    pub quarantined: Vec<KpiKey>,
+    /// The recorded (never slept) backoff schedule per retried key, in
+    /// milliseconds, one entry per retry in attempt order.
+    pub backoff_ms: BTreeMap<KpiKey, Vec<u64>>,
+    /// Whether the run was killed by
+    /// [`SupervisorConfig::abort_after_units`] before finishing.
+    pub aborted: bool,
+}
+
+/// A supervised assessment: the report always exists; the assessment is
+/// withheld when the run was aborted mid-flight.
+#[derive(Debug, Clone)]
+pub struct Supervised {
+    /// The merged assessment, `None` when [`SupervisorReport::aborted`].
+    pub assessment: Option<ChangeAssessment>,
+    /// What the supervisor observed and decided along the way.
+    pub report: SupervisorReport,
+}
+
+/// SplitMix64 — the workspace's standard seeded mixer; bit-identical across
+/// platforms, which keeps recorded backoff schedules reproducible.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic backoff for retry `attempt` (0-based) of `key`:
+/// capped exponential plus seeded jitter in `[0, base)`. Recorded into the
+/// report, never slept.
+fn backoff_ms(config: &SupervisorConfig, key: KpiKey, attempt: u32) -> u64 {
+    let exp = config
+        .backoff_base_ms
+        .saturating_mul(1u64 << attempt.min(16));
+    let kb = key_to_bytes(key);
+    let key_hash = u64::from_le_bytes([kb[0], kb[1], kb[2], kb[3], kb[4], kb[5], 0, 0]);
+    let jitter_span = config.backoff_base_ms.max(1);
+    let jitter =
+        splitmix64(config.seed ^ key_hash.rotate_left(17) ^ u64::from(attempt)) % jitter_span;
+    exp.min(config.backoff_cap_ms) + jitter
+}
+
+/// The synthesized verdict for a quarantined work unit: `Inconclusive`,
+/// zero trusted coverage, flagged [`QualityIssue::SupervisorQuarantined`].
+/// The window is computed from the change and config alone (the series was
+/// never trustworthily read), mirroring the pipeline's window arithmetic
+/// without the store clamp.
+fn quarantined_item(funnel: &Funnel, change: &SoftwareChange, key: KpiKey) -> ItemAssessment {
+    let config = funnel.config();
+    let lookback = config.sst.window_len() as u64 + config.warmup_minutes();
+    let from = change.minute.saturating_sub(lookback);
+    let to = change.minute + config.assessment_minutes + 1;
+    funnel_obs::counter_add(names::VERDICT_INCONCLUSIVE, 1);
+    ItemAssessment {
+        key,
+        detection: None,
+        did: None,
+        mode: AssessmentMode::SeasonalHistory,
+        caused: false,
+        verdict: Verdict::Inconclusive {
+            awaiting_backfill: false,
+        },
+        quality: DataQuality {
+            coverage: 0.0,
+            report: QualityReport {
+                issues: vec![QualityIssue::SupervisorQuarantined],
+            },
+        },
+        window: (from, to),
+    }
+}
+
+/// How one supervised work unit ended.
+enum UnitOutcome {
+    /// Clean (possibly after retries) assessment.
+    Done(ItemAssessment),
+    /// A genuine pipeline error — deterministic, not retried.
+    Failed(FunnelError),
+    /// Retry budget exhausted: synthesized quarantine verdict.
+    Quarantined(ItemAssessment),
+}
+
+/// One unit's full supervised history.
+struct UnitRun {
+    key: KpiKey,
+    outcome: UnitOutcome,
+    retries: u64,
+    restarts: u64,
+    backoff_ms: Vec<u64>,
+}
+
+/// What a single attempt produced, from inside the unwind boundary.
+enum Attempt {
+    Finished(Result<ItemAssessment, FunnelError>),
+    Transient,
+    Stalled,
+}
+
+/// Runs one work unit under supervision: probe → attempt → retry loop →
+/// quarantine. Panics from the attempt (poisoned unit, or a panicking test
+/// probe) are caught here and consume a retry like any other failure.
+#[allow(clippy::too_many_arguments)] // mirrors the pipeline's internal plumbing
+fn run_unit<S: KpiSource + Sync>(
+    funnel: &Funnel,
+    source: &S,
+    change: &SoftwareChange,
+    impact_set: &ImpactSet,
+    key: KpiKey,
+    cache: &mut AssessCache,
+    config: &SupervisorConfig,
+    probe: &dyn FaultProbe,
+) -> UnitRun {
+    let mut retries = 0u64;
+    let mut restarts = 0u64;
+    let mut backoff = Vec::new();
+    for attempt in 0..=config.max_retries {
+        // The probe runs inside the unwind boundary so a panicking probe
+        // models a poisoned input crashing the assessment code itself. A
+        // panic can leave the worker cache mid-update, but cached windows
+        // are pure functions of the read-only source, so a partial entry
+        // is at worst absent, never wrong.
+        let attempt_result = catch_unwind(AssertUnwindSafe(|| match probe.fault(&key, attempt) {
+            Some(InjectedFault::Transient) => Attempt::Transient,
+            Some(InjectedFault::Stall) => Attempt::Stalled,
+            None => Attempt::Finished(funnel.assess_item(source, change, impact_set, key, cache)),
+        }));
+        match attempt_result {
+            Ok(Attempt::Finished(Ok(item))) => {
+                return UnitRun {
+                    key,
+                    outcome: UnitOutcome::Done(item),
+                    retries,
+                    restarts,
+                    backoff_ms: backoff,
+                };
+            }
+            Ok(Attempt::Finished(Err(e))) => {
+                // Deterministic pipeline error: retrying cannot change it.
+                return UnitRun {
+                    key,
+                    outcome: UnitOutcome::Failed(e),
+                    retries,
+                    restarts,
+                    backoff_ms: backoff,
+                };
+            }
+            Ok(Attempt::Transient) => {}
+            Ok(Attempt::Stalled) => restarts += 1,
+            Err(panic_payload) => drop(panic_payload),
+        }
+        if attempt < config.max_retries {
+            retries += 1;
+            backoff.push(backoff_ms(config, key, attempt));
+        }
+    }
+    UnitRun {
+        key,
+        outcome: UnitOutcome::Quarantined(quarantined_item(funnel, change, key)),
+        retries,
+        restarts,
+        backoff_ms: backoff,
+    }
+}
+
+/// Assesses one change under supervision: the same enumerate → fan out →
+/// merge shape as [`Funnel::assess_change_with`], with every work unit
+/// wrapped in the retry/restart/quarantine loop and the whole run subject
+/// to the [`SupervisorConfig::abort_after_units`] kill switch.
+///
+/// Determinism: for a fixed `(config, probe)` the returned assessment and
+/// report are byte-identical for any worker count — results merge through
+/// the same key-sorted [`parallel::merge`], quarantine lists come out
+/// key-sorted, counter addition commutes, and backoff schedules are pure
+/// functions of `(seed, key, attempt)`. An *aborted* run's partial tallies
+/// do depend on scheduling, which is exactly why the assessment is
+/// withheld (`None`) — the chaos harness discards everything but
+/// `aborted` from a killed run.
+pub fn supervise_change<S: KpiSource + Sync>(
+    funnel: &Funnel,
+    source: &S,
+    topology: &Topology,
+    change: &SoftwareChange,
+    service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
+    config: &SupervisorConfig,
+    probe: &dyn FaultProbe,
+) -> Result<Supervised, FunnelError> {
+    let span = funnel_obs::span!(names::SPAN_ASSESS_CHANGE);
+    // Seed the supervisor counters so they appear in every obs report,
+    // fault or no fault — the CI chaos-smoke step greps for them.
+    funnel_obs::counter_add(names::SUPERVISOR_RETRIES, 0);
+    funnel_obs::counter_add(names::SUPERVISOR_QUARANTINED, 0);
+    funnel_obs::counter_add(names::SUPERVISOR_RESTARTS, 0);
+
+    let impact_set = identify_impact_set(topology, change)?;
+    let work = crate::pipeline::enumerate_work_units(&impact_set, change, service_kinds);
+    funnel_obs::gauge_set(names::WORK_UNITS_TOTAL, work.len() as u64);
+    let workers = config.workers.clamp(1, work.len().max(1));
+    funnel_obs::gauge_set(names::WORKERS, workers as u64);
+    funnel_obs::histogram_record(names::WORK_QUEUE_DEPTH, work.len() as u64);
+
+    let abort_limit = config.abort_after_units.unwrap_or(u64::MAX);
+    let completed = AtomicU64::new(0);
+    let mut runs: Vec<(usize, UnitRun)> = Vec::with_capacity(work.len());
+
+    if workers == 1 {
+        let mut cache = AssessCache::new();
+        for (index, &key) in work.iter().enumerate() {
+            if completed.load(Ordering::Relaxed) >= abort_limit {
+                break;
+            }
+            let run = run_unit(
+                funnel,
+                source,
+                change,
+                &impact_set,
+                key,
+                &mut cache,
+                config,
+                probe,
+            );
+            completed.fetch_add(1, Ordering::Relaxed);
+            runs.push((index, run));
+        }
+        parallel::record_cache_stats(&cache);
+    } else {
+        let (job_tx, job_rx) = channel::unbounded::<(usize, KpiKey)>();
+        for unit in work.iter().copied().enumerate() {
+            // Cannot fail: both receiver clones below outlive the sends.
+            let _ = job_tx.send(unit);
+        }
+        drop(job_tx);
+        let (result_tx, result_rx) = channel::unbounded::<(usize, UnitRun)>();
+        let completed = &completed;
+        std::thread::scope(|scope| {
+            for worker_idx in 0..workers {
+                let jobs = job_rx.clone();
+                let results = result_tx.clone();
+                let impact_set = &impact_set;
+                scope.spawn(move || {
+                    let worker_span = funnel_obs::span!(names::SPAN_ASSESS_WORKER, worker_idx);
+                    let mut cache = AssessCache::new();
+                    while let Ok((index, key)) = jobs.recv() {
+                        if completed.load(Ordering::Relaxed) >= abort_limit {
+                            break;
+                        }
+                        let run = run_unit(
+                            funnel, source, change, impact_set, key, &mut cache, config, probe,
+                        );
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        if results.send((index, run)).is_err() {
+                            break; // collector gone; nothing left to report to
+                        }
+                    }
+                    parallel::record_cache_stats(&cache);
+                    drop(worker_span);
+                    funnel_obs::flush_thread();
+                });
+            }
+            drop(result_tx);
+            drop(job_rx);
+            while let Ok(run) = result_rx.recv() {
+                runs.push(run);
+            }
+        });
+    }
+
+    let aborted = runs.len() < work.len();
+    let mut items: Vec<ItemAssessment> = Vec::with_capacity(runs.len());
+    let mut first_error: Option<(usize, FunnelError)> = None;
+    let mut report = SupervisorReport::default();
+    for (index, run) in runs {
+        report.retries += run.retries;
+        report.restarts += run.restarts;
+        if !run.backoff_ms.is_empty() {
+            report.backoff_ms.insert(run.key, run.backoff_ms);
+        }
+        match run.outcome {
+            UnitOutcome::Done(item) => items.push(item),
+            UnitOutcome::Quarantined(item) => {
+                report.quarantined.push(item.key);
+                items.push(item);
+            }
+            UnitOutcome::Failed(e) => {
+                let is_earlier = first_error.as_ref().is_none_or(|(i, _)| index < *i);
+                if is_earlier {
+                    first_error = Some((index, e));
+                }
+            }
+        }
+    }
+    report.quarantined.sort_unstable();
+    report.aborted = aborted;
+
+    funnel_obs::counter_add(names::SUPERVISOR_RETRIES, report.retries);
+    funnel_obs::counter_add(
+        names::SUPERVISOR_QUARANTINED,
+        report.quarantined.len() as u64,
+    );
+    funnel_obs::counter_add(names::SUPERVISOR_RESTARTS, report.restarts);
+    drop(span);
+
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    let assessment = if aborted {
+        None
+    } else {
+        Some(ChangeAssessment {
+            change: change.id,
+            impact_set,
+            items: parallel::merge(items),
+        })
+    };
+    Ok(Supervised { assessment, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funnel_sim::effect::{ChangeEffect, EffectScope};
+    use funnel_sim::world::{SimConfig, World, WorldBuilder};
+    use funnel_topology::change::{ChangeId, ChangeKind};
+
+    fn shifted_world(delta: f64) -> (World, ChangeId) {
+        let mut b = WorldBuilder::new(SimConfig::days(11, 8));
+        let svc = b.add_service("prod.sup", 6).unwrap();
+        let effect = ChangeEffect::none().with_level_shift(
+            KpiKind::PageViewResponseDelay,
+            EffectScope::TreatedInstances,
+            delta,
+        );
+        let id = b
+            .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 200, effect, "t")
+            .unwrap();
+        (b.build(), id)
+    }
+
+    fn supervise(
+        world: &World,
+        change: ChangeId,
+        config: &SupervisorConfig,
+        probe: &dyn FaultProbe,
+    ) -> Supervised {
+        let funnel = Funnel::paper_default();
+        let record = world.change_log().get(change).unwrap();
+        let kinds = |svc| world.kinds_of_service(svc).to_vec();
+        supervise_change(
+            &funnel,
+            world,
+            world.topology(),
+            record,
+            &kinds,
+            config,
+            probe,
+        )
+        .unwrap()
+    }
+
+    /// A probe that panics on one key: the poisoned-work-unit model.
+    struct PoisonKey(KpiKey);
+
+    impl FaultProbe for PoisonKey {
+        fn fault(&self, key: &KpiKey, _attempt: u32) -> Option<InjectedFault> {
+            assert!(*key != self.0, "injected poison");
+            None
+        }
+    }
+
+    /// A probe that injects `fault` into the first `fails` attempts of one
+    /// key, then lets it succeed.
+    struct FlakyKey {
+        key: KpiKey,
+        fails: u32,
+        fault: InjectedFault,
+    }
+
+    impl FaultProbe for FlakyKey {
+        fn fault(&self, key: &KpiKey, attempt: u32) -> Option<InjectedFault> {
+            (*key == self.key && attempt < self.fails).then_some(self.fault)
+        }
+    }
+
+    fn clean_assessment(world: &World, change: ChangeId) -> ChangeAssessment {
+        Funnel::paper_default()
+            .assess_change(world, change)
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_supervision_matches_the_unsupervised_engine() {
+        let (world, change) = shifted_world(80.0);
+        let clean = clean_assessment(&world, change);
+        for workers in [1, 3, 8] {
+            let config = SupervisorConfig {
+                workers,
+                ..SupervisorConfig::default()
+            };
+            let sup = supervise(&world, change, &config, &NoFaults);
+            let assessment = sup.assessment.expect("not aborted");
+            assert_eq!(format!("{clean:?}"), format!("{assessment:?}"));
+            assert_eq!(sup.report, SupervisorReport::default());
+        }
+    }
+
+    #[test]
+    fn poisoned_unit_is_quarantined_and_everything_else_matches() {
+        let (world, change) = shifted_world(80.0);
+        let clean = clean_assessment(&world, change);
+        let poisoned = clean.items[2].key;
+        for workers in [1, 3, 8] {
+            let config = SupervisorConfig {
+                workers,
+                max_retries: 2,
+                ..SupervisorConfig::default()
+            };
+            let sup = supervise(&world, change, &config, &PoisonKey(poisoned));
+            let assessment = sup.assessment.expect("not aborted");
+            assert_eq!(sup.report.quarantined, vec![poisoned]);
+            assert_eq!(sup.report.retries, 2);
+            assert_eq!(assessment.items.len(), clean.items.len());
+            for (got, want) in assessment.items.iter().zip(&clean.items) {
+                assert_eq!(got.key, want.key);
+                if got.key == poisoned {
+                    assert_eq!(
+                        got.verdict,
+                        Verdict::Inconclusive {
+                            awaiting_backfill: false
+                        }
+                    );
+                    assert!(!got.caused);
+                    assert!(got
+                        .quality
+                        .report
+                        .issues
+                        .contains(&QualityIssue::SupervisorQuarantined));
+                } else {
+                    assert_eq!(format!("{got:?}"), format!("{want:?}"), "key {:?}", got.key);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_to_the_clean_verdict_with_recorded_backoff() {
+        let (world, change) = shifted_world(80.0);
+        let clean = clean_assessment(&world, change);
+        let flaky = clean.items[0].key;
+        let probe = FlakyKey {
+            key: flaky,
+            fails: 2,
+            fault: InjectedFault::Transient,
+        };
+        let config = SupervisorConfig {
+            workers: 3,
+            max_retries: 3,
+            ..SupervisorConfig::default()
+        };
+        let sup = supervise(&world, change, &config, &probe);
+        let assessment = sup.assessment.expect("not aborted");
+        // The flaky unit recovers: the final report matches the clean run.
+        assert_eq!(format!("{clean:?}"), format!("{assessment:?}"));
+        assert_eq!(sup.report.retries, 2);
+        assert!(sup.report.quarantined.is_empty());
+        let schedule = &sup.report.backoff_ms[&flaky];
+        assert_eq!(schedule.len(), 2);
+        // The schedule is deterministic and matches the pure function.
+        let expected: Vec<u64> = (0..2).map(|a| backoff_ms(&config, flaky, a)).collect();
+        assert_eq!(schedule, &expected);
+        // Exponential growth below the cap (jitter < base can't mask 2x).
+        assert!(schedule[1] > schedule[0]);
+    }
+
+    #[test]
+    fn stalls_are_restarted_and_counted_separately() {
+        let (world, change) = shifted_world(0.0);
+        let clean = clean_assessment(&world, change);
+        let stalled = clean.items[1].key;
+        let probe = FlakyKey {
+            key: stalled,
+            fails: 1,
+            fault: InjectedFault::Stall,
+        };
+        let sup = supervise(&world, change, &SupervisorConfig::default(), &probe);
+        assert_eq!(sup.report.restarts, 1);
+        assert_eq!(sup.report.retries, 1);
+        let assessment = sup.assessment.expect("not aborted");
+        assert_eq!(format!("{clean:?}"), format!("{assessment:?}"));
+    }
+
+    #[test]
+    fn abort_after_units_withholds_the_assessment() {
+        let (world, change) = shifted_world(0.0);
+        for workers in [1, 4] {
+            let config = SupervisorConfig {
+                workers,
+                abort_after_units: Some(2),
+                ..SupervisorConfig::default()
+            };
+            let sup = supervise(&world, change, &config, &NoFaults);
+            assert!(sup.report.aborted);
+            assert!(sup.assessment.is_none());
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_on_transient_faults_quarantine() {
+        let (world, change) = shifted_world(0.0);
+        let clean = clean_assessment(&world, change);
+        let doomed = clean.items[0].key;
+        let probe = FlakyKey {
+            key: doomed,
+            fails: u32::MAX,
+            fault: InjectedFault::Transient,
+        };
+        let config = SupervisorConfig {
+            max_retries: 2,
+            ..SupervisorConfig::default()
+        };
+        let sup = supervise(&world, change, &config, &probe);
+        assert_eq!(sup.report.quarantined, vec![doomed]);
+        assert_eq!(sup.report.retries, 2);
+        assert_eq!(sup.report.backoff_ms[&doomed].len(), 2);
+        let assessment = sup.assessment.expect("not aborted");
+        let item = assessment.items.iter().find(|i| i.key == doomed).unwrap();
+        assert!(item.verdict.is_inconclusive());
+        assert!(!item.verdict.awaiting_backfill());
+    }
+}

@@ -1,0 +1,423 @@
+//! Chaos-kill crash/recovery harness.
+//!
+//! The robustness claim this suite enforces: **a crash at any seeded kill
+//! point costs nothing but time**. Whatever instant the process dies —
+//! mid-frame-append, mid-checkpoint-write, mid-work-unit, or
+//! mid-reassessment — recovering from the durable state (checkpoint +
+//! WAL tail) and resuming must deliver the *byte-identical* final report
+//! an uninterrupted run would have produced, at any worker count. The
+//! one sanctioned divergence is a poisoned work unit: the supervisor
+//! downgrades exactly that `(entity, kpi)` to `Inconclusive` and every
+//! other verdict still matches the clean run bit for bit.
+
+use funnel_core::pipeline::{ChangeAssessment, Funnel, Verdict};
+use funnel_core::quality::QualityIssue;
+use funnel_core::report::render;
+use funnel_core::supervise::{supervise_change, FaultProbe, InjectedFault, SupervisorConfig};
+use funnel_core::{FunnelConfig, NoFaults, ReassessmentQueue};
+use funnel_resilience::checkpoint::{Checkpoint, CheckpointStore};
+use funnel_resilience::recover::{recover, DurableHooks, DurableOptions, Kill};
+use funnel_sim::agent::{replay_durable, replay_prefix, replay_with_faults};
+use funnel_sim::collector::CollectorState;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::faults::{FaultPlan, HealMode, PartitionScope, PartitionWindow};
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::store::MetricStore;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::fs;
+use std::path::PathBuf;
+
+const SHARDS: usize = 3;
+
+/// An 8-day world with a lossy, duplicating transport (no partitions, so
+/// recovery resumes via the fast-forward replay cursor) and one impactful
+/// upgrade on day 7.
+fn crash_world(seed: u64) -> (World, ChangeId, FaultPlan) {
+    let mut b = WorldBuilder::new(SimConfig::days(seed, 8));
+    let svc = b.add_service("prod.crash", 6).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        85.0,
+    );
+    let id = b
+        .deploy_change(ChangeKind::Upgrade, svc, 2, 7 * 1440 + 200, effect, "t")
+        .unwrap();
+    let plan = FaultPlan {
+        drop_frame_prob: 0.05,
+        duplicate_prob: 0.08,
+        seed: seed ^ 0xc0ffee,
+        ..FaultPlan::none()
+    };
+    (b.build(), id, plan)
+}
+
+fn tmp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("funnel-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The delivered artifact, byte-comparable: the full assessment Debug
+/// form plus the operator-facing rendering.
+fn report_of(world: &World, assessment: &ChangeAssessment) -> String {
+    format!("{assessment:?}\n{}", render(world.topology(), assessment))
+}
+
+fn assess(world: &World, store: &MetricStore, change: ChangeId, workers: usize) -> String {
+    let mut config = FunnelConfig::paper_default();
+    config.assess.workers = workers;
+    let record = world.change_log().get(change).unwrap();
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+    let assessment = Funnel::new(config)
+        .assess_change_with(store, world.topology(), record, &kinds)
+        .unwrap();
+    report_of(world, &assessment)
+}
+
+/// Kill points: mid-frame (torn WAL append, early and late) and
+/// mid-checkpoint (torn checkpoint file). After recovery + resumed
+/// ingestion, the final report must match the uninterrupted run at every
+/// worker count.
+#[test]
+fn ingest_kill_points_recover_to_byte_identical_reports() {
+    let (world, change, plan) = crash_world(23);
+    let duration = 8 * 1440;
+
+    let golden_store = MetricStore::new();
+    replay_with_faults(&world, &golden_store, SHARDS, plan.clone()).unwrap();
+    let golden = assess(&world, &golden_store, change, 1);
+
+    let kills = [
+        ("frame-early", Kill::Frame { index: 40, keep: 7 }),
+        (
+            "frame-late",
+            Kill::Frame {
+                index: 9000,
+                keep: 0,
+            },
+        ),
+        (
+            "checkpoint",
+            Kill::Checkpoint {
+                index: 1,
+                keep: 120,
+            },
+        ),
+    ];
+    for (tag, kill) in kills {
+        let base = tmp_base(tag);
+        let mut options = DurableOptions::at(&base);
+        options.cadence = 2048;
+        options.kill = kill;
+
+        let crashed_store = MetricStore::new();
+        let mut hooks = DurableHooks::create(&options).unwrap();
+        let outcome = replay_durable(
+            &world,
+            &crashed_store,
+            SHARDS,
+            plan.clone(),
+            duration,
+            None,
+            &mut hooks,
+        )
+        .unwrap();
+        assert!(outcome.aborted, "{tag}: kill point never fired");
+        drop(crashed_store); // the crash loses everything in memory
+
+        options.kill = Kill::None;
+        let recovered = recover(&world, SHARDS, 0, &options).unwrap();
+        assert!(!recovered.end_of_stream, "{tag}: stream ended before kill");
+        let mut hooks = DurableHooks::resume(&options, recovered.frames_in_wal).unwrap();
+        let resumed = replay_durable(
+            &world,
+            &recovered.store,
+            SHARDS,
+            plan.clone(),
+            duration,
+            Some(recovered.state),
+            &mut hooks,
+        )
+        .unwrap();
+        assert!(!resumed.aborted, "{tag}: resume aborted");
+
+        for workers in [1, 3, 8] {
+            assert_eq!(
+                golden,
+                assess(&world, &recovered.store, change, workers),
+                "{tag}: report diverged at {workers} workers"
+            );
+        }
+        let _ = fs::remove_dir_all(&base);
+    }
+}
+
+/// Mid-work-unit kill: the supervisor's kill switch aborts the
+/// assessment partway through the work queue. The aborted run withholds
+/// its report; the recovered run (same durable store, fresh assessment)
+/// matches the golden supervised run byte for byte at every worker count.
+#[test]
+fn mid_work_unit_kill_withholds_then_recovers_the_report() {
+    let (world, change, plan) = crash_world(29);
+    let store = MetricStore::new();
+    replay_with_faults(&world, &store, SHARDS, plan).unwrap();
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(change).unwrap();
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+    let golden = {
+        let config = SupervisorConfig::default();
+        let sup = supervise_change(
+            &funnel,
+            &store,
+            world.topology(),
+            record,
+            &kinds,
+            &config,
+            &NoFaults,
+        )
+        .unwrap();
+        report_of(&world, &sup.assessment.expect("golden run aborted"))
+    };
+    // The supervised engine and the plain engine deliver the same report.
+    assert_eq!(golden, assess(&world, &store, change, 1));
+
+    for workers in [1, 3, 8] {
+        let crashed_config = SupervisorConfig {
+            workers,
+            abort_after_units: Some(4),
+            ..SupervisorConfig::default()
+        };
+        let crashed = supervise_change(
+            &funnel,
+            &store,
+            world.topology(),
+            record,
+            &kinds,
+            &crashed_config,
+            &NoFaults,
+        )
+        .unwrap();
+        assert!(crashed.report.aborted, "kill switch never fired");
+        assert!(
+            crashed.assessment.is_none(),
+            "an aborted run must withhold its report"
+        );
+
+        let recovered_config = SupervisorConfig {
+            workers,
+            ..SupervisorConfig::default()
+        };
+        let recovered = supervise_change(
+            &funnel,
+            &store,
+            world.topology(),
+            record,
+            &kinds,
+            &recovered_config,
+            &NoFaults,
+        )
+        .unwrap();
+        assert_eq!(
+            golden,
+            report_of(
+                &world,
+                &recovered.assessment.expect("recovered run aborted")
+            ),
+            "recovered supervised report diverged at {workers} workers"
+        );
+    }
+}
+
+/// A probe whose injected "fault" is a panic: the poisoned-input model —
+/// the assessment code itself falls over on this key, every attempt.
+struct PanicOn(KpiKey);
+
+impl FaultProbe for PanicOn {
+    fn fault(&self, key: &KpiKey, _attempt: u32) -> Option<InjectedFault> {
+        assert!(*key != self.0, "poisoned work unit");
+        None
+    }
+}
+
+/// A poisoned work unit costs exactly one verdict: the offending key is
+/// downgraded to `Inconclusive` with a `SupervisorQuarantined` quality
+/// issue, and every other item matches the clean run bit for bit — at
+/// every worker count.
+#[test]
+fn poisoned_unit_degrades_one_verdict_and_nothing_else() {
+    let (world, change, plan) = crash_world(31);
+    let store = MetricStore::new();
+    replay_with_faults(&world, &store, SHARDS, plan).unwrap();
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(change).unwrap();
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+    let clean = funnel
+        .assess_change_with(&store, world.topology(), record, &kinds)
+        .unwrap();
+    // Poison a key that the clean run attributed, so the downgrade is
+    // visible (a caused verdict becomes inconclusive).
+    let poisoned = clean
+        .caused_items()
+        .next()
+        .expect("crash world produced no caused item")
+        .key;
+
+    for workers in [1, 3, 8] {
+        let config = SupervisorConfig {
+            workers,
+            max_retries: 2,
+            ..SupervisorConfig::default()
+        };
+        let sup = supervise_change(
+            &funnel,
+            &store,
+            world.topology(),
+            record,
+            &kinds,
+            &config,
+            &PanicOn(poisoned),
+        )
+        .unwrap();
+        assert_eq!(sup.report.quarantined, vec![poisoned]);
+        let assessment = sup.assessment.expect("poisoned run must still deliver");
+        assert_eq!(assessment.items.len(), clean.items.len());
+        for (got, want) in assessment.items.iter().zip(&clean.items) {
+            assert_eq!(got.key, want.key);
+            if got.key == poisoned {
+                assert_eq!(
+                    got.verdict,
+                    Verdict::Inconclusive {
+                        awaiting_backfill: false
+                    }
+                );
+                assert!(got
+                    .quality
+                    .report
+                    .issues
+                    .contains(&QualityIssue::SupervisorQuarantined));
+            } else {
+                assert_eq!(
+                    format!("{got:?}"),
+                    format!("{want:?}"),
+                    "non-poisoned item diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Mid-reassessment kill: the process dies after interim verdicts were
+/// absorbed into the re-assessment queue but before the partition healed.
+/// The checkpointed queue state survives; recovery restores it, the heal
+/// completes, and the re-assessed final report matches the uninterrupted
+/// run — without double-upgrading anything.
+#[test]
+fn mid_reassessment_kill_resumes_the_queue_from_the_checkpoint() {
+    let mut b = WorldBuilder::new(SimConfig::days(37, 8));
+    let svc = b.add_service("prod.reheal", 6).unwrap();
+    let minute = 7 * 1440 + 300;
+    let change = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            2,
+            minute,
+            ChangeEffect::none().with_level_shift(
+                KpiKind::PageViewResponseDelay,
+                EffectScope::TreatedInstances,
+                90.0,
+            ),
+            "t",
+        )
+        .unwrap();
+    let world = b.build();
+    let plan = FaultPlan::none().with_partition(PartitionWindow {
+        scope: PartitionScope::Collector,
+        start: minute - 20,
+        duration: 45,
+        heal: HealMode::StaggeredCatchUp {
+            queue: 64,
+            per_minute: 1,
+        },
+    });
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(change).unwrap().clone();
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+
+    let interim_at = minute as usize + 15;
+    let run_interim = |store: &MetricStore| {
+        replay_prefix(&world, store, SHARDS, plan.clone(), interim_at).unwrap();
+        funnel
+            .assess_change_with(store, world.topology(), &record, &kinds)
+            .unwrap()
+    };
+
+    // Golden, uninterrupted: interim → absorb → heal → reassess → final.
+    let golden = {
+        let interim_store = MetricStore::new();
+        let mut interim = run_interim(&interim_store);
+        let mut queue = ReassessmentQueue::new();
+        assert!(queue.absorb(&interim, funnel.config()) > 0);
+        let healed = MetricStore::new();
+        replay_with_faults(&world, &healed, SHARDS, plan.clone()).unwrap();
+        let upgrades = queue
+            .reassess(&funnel, &healed, world.topology(), &record)
+            .unwrap();
+        assert!(interim.apply_upgrades(upgrades) > 0);
+        report_of(&world, &interim)
+    };
+
+    // Crashed: the queue state reaches a checkpoint, then the process
+    // dies. Only the checkpoint directory survives.
+    let base = tmp_base("reassess");
+    let options = DurableOptions::at(&base);
+    {
+        let interim_store = MetricStore::new();
+        let interim = run_interim(&interim_store);
+        let mut queue = ReassessmentQueue::new();
+        queue.absorb(&interim, funnel.config());
+        let mut checkpoints = CheckpointStore::open(&options.checkpoint_dir).unwrap();
+        checkpoints
+            .write(&Checkpoint {
+                wal_frames: 0,
+                entries: interim_store.export_entries(),
+                collector: CollectorState::new(SHARDS),
+                queue: queue.export_state(),
+            })
+            .unwrap();
+        // Crash: `interim`, `queue`, and the store all drop here.
+    }
+
+    let recovered = recover(&world, SHARDS, 0, &options).unwrap();
+    assert!(recovered.used_checkpoint);
+    let mut queue = ReassessmentQueue::from_state(recovered.queue);
+    assert!(!queue.is_empty(), "queue state lost in the crash");
+
+    // Recovery re-derives the interim assessment from the restored store;
+    // re-absorbing must not duplicate the checkpointed items.
+    let mut interim = funnel
+        .assess_change_with(&recovered.store, world.topology(), &record, &kinds)
+        .unwrap();
+    assert_eq!(queue.absorb(&interim, funnel.config()), 0);
+
+    // The heal completes after recovery; the resumed loop finishes.
+    let healed = MetricStore::new();
+    replay_with_faults(&world, &healed, SHARDS, plan).unwrap();
+    let upgrades = queue
+        .reassess(&funnel, &healed, world.topology(), &record)
+        .unwrap();
+    assert!(interim.apply_upgrades(upgrades) > 0);
+    assert!(queue.is_empty());
+    assert_eq!(golden, report_of(&world, &interim));
+
+    // Nothing left to double-upgrade on the next loop iteration.
+    let again = queue
+        .reassess(&funnel, &healed, world.topology(), &record)
+        .unwrap();
+    assert!(again.is_empty());
+    let _ = fs::remove_dir_all(&base);
+}

@@ -10,9 +10,10 @@
 
 use funnel_core::pipeline::{ChangeAssessment, Funnel};
 use funnel_core::report::render;
+use funnel_core::supervise::{supervise_change, FaultProbe, InjectedFault, SupervisorConfig};
 use funnel_core::FunnelConfig;
 use funnel_sim::effect::{ChangeEffect, EffectScope};
-use funnel_sim::kpi::KpiKind;
+use funnel_sim::kpi::{KpiKey, KpiKind};
 use funnel_sim::world::{SimConfig, World, WorldBuilder};
 use funnel_topology::change::{ChangeId, ChangeKind};
 
@@ -97,6 +98,86 @@ fn recording_never_changes_assessment_bytes() {
         );
     }
 
+    // The supervised engine honours the same invariant — and carries its
+    // own vocabulary. A probe that injects one transient fault on an
+    // attributed key makes the retry machinery genuinely run without
+    // changing a byte of the delivered assessment.
+    let funnel = Funnel::paper_default();
+    let record = world.change_log().get(change).unwrap().clone();
+    let kinds = |svc| world.kinds_of_service(svc).to_vec();
+    let target = baseline_assessment
+        .caused_items()
+        .next()
+        .expect("shifted world produced no caused item")
+        .key;
+    let supervised = |workers: usize, probe: &dyn FaultProbe| {
+        let config = SupervisorConfig {
+            workers,
+            ..SupervisorConfig::default()
+        };
+        supervise_change(
+            &funnel,
+            &world,
+            world.topology(),
+            &record,
+            &kinds,
+            &config,
+            probe,
+        )
+        .unwrap()
+    };
+
     funnel_obs::disable();
     funnel_obs::reset();
+    for workers in [1, 3, 8] {
+        let sup = supervised(workers, &TransientOnce(target));
+        assert_eq!(sup.report.retries, 1, "probe must have fired");
+        assert_eq!(
+            baseline,
+            fingerprint(&world, &sup.assessment.expect("run aborted")),
+            "obs off: supervised run diverged at {workers} workers"
+        );
+    }
+
+    funnel_obs::enable();
+    for workers in [1, 3, 8] {
+        funnel_obs::reset();
+        let sup = supervised(workers, &TransientOnce(target));
+        assert_eq!(
+            baseline,
+            fingerprint(&world, &sup.assessment.expect("run aborted")),
+            "obs on: supervised run diverged at {workers} workers"
+        );
+        // Supervisor counters are seeded and order-insensitive: one
+        // retried unit, nothing restarted, nothing quarantined — the same
+        // aggregate at every worker count.
+        let report = funnel_obs::snapshot();
+        assert_eq!(
+            report.counters[funnel_obs::names::SUPERVISOR_RETRIES],
+            1,
+            "obs on ({workers} workers): retry counter"
+        );
+        assert_eq!(
+            report.counters[funnel_obs::names::SUPERVISOR_RESTARTS],
+            0,
+            "obs on ({workers} workers): restart counter"
+        );
+        assert_eq!(
+            report.counters[funnel_obs::names::SUPERVISOR_QUARANTINED],
+            0,
+            "obs on ({workers} workers): quarantine counter"
+        );
+    }
+
+    funnel_obs::disable();
+    funnel_obs::reset();
+}
+
+/// Injects one transient fault on the target key's first attempt.
+struct TransientOnce(KpiKey);
+
+impl FaultProbe for TransientOnce {
+    fn fault(&self, key: &KpiKey, attempt: u32) -> Option<InjectedFault> {
+        (*key == self.0 && attempt == 0).then_some(InjectedFault::Transient)
+    }
 }

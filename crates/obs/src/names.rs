@@ -4,7 +4,8 @@
 //! string — so the full vocabulary of `obs_report.json` is enumerable at
 //! compile time, greppable, and documented in one place (mirrored in
 //! DESIGN.md §9). Naming convention: `<stage>.<what>` with the stage
-//! prefixes `collector`, `detect`, `did`, `assess`, and `reassess`.
+//! prefixes `collector`, `detect`, `did`, `assess`, `supervisor`, `wal`,
+//! `recover`, and `reassess`.
 
 // ------------------------------------------------------------- counters --
 
@@ -41,6 +42,16 @@ pub const VERDICT_INCONCLUSIVE: &str = "assess.verdict_inconclusive";
 /// Inconclusive items flagged repairable by backfill.
 pub const VERDICT_AWAITING_BACKFILL: &str = "assess.verdict_awaiting_backfill";
 
+/// Work-unit attempts the supervisor re-ran after a transient failure or a
+/// caught panic (each retry follows one step of the seeded backoff
+/// schedule).
+pub const SUPERVISOR_RETRIES: &str = "supervisor.retries";
+/// Work units quarantined after exhausting their retry budget: their
+/// verdict is downgraded to `Inconclusive` instead of aborting the run.
+pub const SUPERVISOR_QUARANTINED: &str = "supervisor.quarantined";
+/// Work-unit attempts restarted after blowing their deadline budget.
+pub const SUPERVISOR_RESTARTS: &str = "supervisor.restarts";
+
 /// Items absorbed into the re-assessment queue.
 pub const REASSESS_ABSORBED: &str = "reassess.absorbed";
 /// Queued items whose window had healed when `reassess` ran.
@@ -63,6 +74,9 @@ pub const REASSESS_QUEUE_DEPTH: &str = "reassess.queue_depth";
 pub const DID_CONTROL_POOL_SIZE: &str = "did.control_pool_size";
 /// Work-unit queue depth at fan-out time, one sample per assessment.
 pub const WORK_QUEUE_DEPTH: &str = "assess.work_queue_depth";
+/// Size in bytes of each WAL segment at sealing time (or at recovery scan
+/// for the unsealed tail segment).
+pub const WAL_SEGMENT_BYTES: &str = "wal.segment_bytes";
 
 // ----------------------------------------------------------- span paths --
 
@@ -80,9 +94,13 @@ pub const SPAN_DID: &str = "did.assess";
 pub const SPAN_COLLECT_REPLAY: &str = "collect.replay";
 /// One re-assessment batch over healed windows.
 pub const SPAN_REASSESS: &str = "reassess.run";
+/// One crash-recovery replay: checkpoint restore + WAL-tail re-ingestion.
+pub const SPAN_RECOVER_REPLAY: &str = "recover.replay";
 
 /// The core counters every instrumented pipeline run must populate — the
-/// set the CI `obs-smoke` step asserts on.
+/// set the CI `obs-smoke` and `chaos-smoke` steps assert on. The
+/// supervised engine seeds its three counters at zero on every run, so
+/// they appear in the report even when no fault ever fires.
 pub const CORE_COUNTERS: &[&str] = &[
     FRAMES_INGESTED,
     DETECT_CHANGE_POINTS,
@@ -90,6 +108,9 @@ pub const CORE_COUNTERS: &[&str] = &[
     CONTROL_CACHE_MISSES,
     VERDICT_CAUSED,
     VERDICT_NOT_CAUSED,
+    SUPERVISOR_RETRIES,
+    SUPERVISOR_QUARANTINED,
+    SUPERVISOR_RESTARTS,
 ];
 
 #[cfg(test)]
@@ -111,6 +132,9 @@ mod tests {
             super::VERDICT_NOT_CAUSED,
             super::VERDICT_INCONCLUSIVE,
             super::VERDICT_AWAITING_BACKFILL,
+            super::SUPERVISOR_RETRIES,
+            super::SUPERVISOR_QUARANTINED,
+            super::SUPERVISOR_RESTARTS,
             super::REASSESS_ABSORBED,
             super::REASSESS_READY,
             super::REASSESS_UPGRADED,
@@ -119,6 +143,7 @@ mod tests {
             super::REASSESS_QUEUE_DEPTH,
             super::DID_CONTROL_POOL_SIZE,
             super::WORK_QUEUE_DEPTH,
+            super::WAL_SEGMENT_BYTES,
             super::SPAN_ASSESS_CHANGE,
             super::SPAN_ASSESS_ITEM,
             super::SPAN_ASSESS_WORKER,
@@ -126,6 +151,7 @@ mod tests {
             super::SPAN_DID,
             super::SPAN_COLLECT_REPLAY,
             super::SPAN_REASSESS,
+            super::SPAN_RECOVER_REPLAY,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate metric name");

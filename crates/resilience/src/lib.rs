@@ -1,0 +1,86 @@
+//! Crash safety for the FUNNEL collector.
+//!
+//! The paper's deployment runs FUNNEL as a long-lived service beside the
+//! metric collection substrate (§2.2, §5): agents ship measurement batches
+//! every minute, the collector folds them into the metric store, and
+//! assessments fire on every software change. A process crash anywhere in
+//! that loop must not cost verdicts — the operations team treats a
+//! delivered report as ground truth, so a recovered FUNNEL has to produce
+//! the *byte-identical* report an uninterrupted run would have delivered.
+//!
+//! This crate supplies the durable half of that guarantee:
+//!
+//! * [`wal`] — a segmented, content-hashed ingest write-ahead log. Every
+//!   frame the collector accepts is appended as a length-prefixed,
+//!   FNV-hashed record *before* it is committed to the store, so a crash
+//!   can lose at most the torn tail record the crash interrupted — which
+//!   the agent-side replay protocol re-sends anyway. The format is
+//!   fsync-free and deterministic: identical ingest runs produce
+//!   byte-identical segments.
+//! * [`checkpoint`] — periodic snapshots of the whole recovery point: the
+//!   metric-store entries, the collector's in-flight state (watermarks,
+//!   dedup memory, pending minutes, backfill stage), and the
+//!   re-assessment queue. Recovery loads the newest valid checkpoint and
+//!   replays only the WAL tail past it, instead of the whole log.
+//! * [`mod@recover`] — the [`IngestHooks`](funnel_sim::IngestHooks)
+//!   implementation that writes both during live ingestion
+//!   ([`recover::DurableHooks`]), the seeded kill switch the chaos
+//!   harness uses to tear either mid-write ([`recover::Kill`]), and
+//!   [`recover::recover`] itself: checkpoint restore + WAL-tail replay
+//!   under the `recover.replay` span.
+//!
+//! Every durability decision is observable through `funnel-obs` (WAL
+//! segment sizes, the recovery span, and — downstream — the supervisor
+//! counters), and every decode path treats corruption as data, not as a
+//! panic: torn tails, bad hashes, and impossible counts all surface as
+//! [`ResilienceError::Corrupt`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod recover;
+pub mod wal;
+
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use recover::{recover, DurableHooks, DurableOptions, Kill, Recovered};
+pub use wal::{WalScan, WalWriter};
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// Durable bytes failed validation (bad magic, hash mismatch, torn
+    /// record in a sealed segment, impossible counts).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilienceError::Io(e) => write!(f, "durability I/O error: {e}"),
+            ResilienceError::Corrupt(why) => write!(f, "corrupt durable state: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<std::io::Error> for ResilienceError {
+    fn from(e: std::io::Error) -> Self {
+        ResilienceError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit — the workspace's standard content hash for durable
+/// bytes: dependency-free, bit-identical everywhere, and fast enough to
+/// hash every record on the ingest path.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}

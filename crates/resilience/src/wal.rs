@@ -1,0 +1,384 @@
+//! The durable ingest write-ahead log.
+//!
+//! Accepted frames are appended to numbered segment files
+//! (`wal-00000000.seg`, `wal-00000001.seg`, …) as self-validating records:
+//!
+//! ```text
+//! record  := u8 kind, u32 len, u64 fnv1a(payload), payload
+//! kind    := 0 (frame: one encoded wire frame) | 1 (end-of-stream, len 0)
+//! ```
+//!
+//! All integers little-endian. The format is **fsync-free**: records are
+//! plain appends, and recovery never trusts position alone — a record
+//! counts only if its declared length fits the file *and* its payload
+//! hashes to the stored FNV-1a value. A crash mid-append therefore leaves
+//! a *torn tail* that scanning detects and discards cleanly; the agent
+//! replay protocol re-sends the lost frame on resume. Segments roll over
+//! at a byte threshold, and every sealed segment's size is recorded into
+//! the `wal.segment_bytes` histogram.
+//!
+//! [`encode_record`] / [`decode_records`] are pure functions over byte
+//! slices — the property tests drive them with arbitrary frame sequences
+//! and arbitrary truncation points.
+
+use crate::{fnv1a, ResilienceError};
+use bytes::Bytes;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Record kind tag: the payload is one encoded wire frame.
+pub const FRAME_RECORD: u8 = 0;
+/// Record kind tag: the ingest stream ended cleanly (empty payload).
+pub const EOS_RECORD: u8 = 1;
+
+/// Bytes before the payload: kind (1) + len (4) + hash (8).
+pub const RECORD_HEADER: usize = 13;
+
+/// Encodes one WAL record: header + payload, self-validating.
+pub fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// [`FRAME_RECORD`] or [`EOS_RECORD`].
+    pub kind: u8,
+    /// The record payload (an encoded wire frame for frame records).
+    pub payload: Vec<u8>,
+}
+
+/// The result of decoding one segment's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSegment {
+    /// Every record that validated, in append order.
+    pub records: Vec<WalRecord>,
+    /// Whether trailing bytes failed validation (torn append).
+    pub torn: bool,
+    /// Length of the valid prefix — the truncation point that heals a
+    /// torn segment.
+    pub valid_len: usize,
+}
+
+/// Decodes a segment's bytes into its valid record prefix. Never panics:
+/// a truncated header, an impossible length, an unknown kind tag, or a
+/// hash mismatch all simply end the valid prefix and mark the segment
+/// torn.
+pub fn decode_records(buf: &[u8]) -> DecodedSegment {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let rest = &buf[pos..];
+        if rest.len() < RECORD_HEADER {
+            break;
+        }
+        let kind = rest[0];
+        if kind != FRAME_RECORD && kind != EOS_RECORD {
+            break;
+        }
+        let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+        let stored_hash = u64::from_le_bytes([
+            rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12],
+        ]);
+        let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
+            break;
+        };
+        if fnv1a(payload) != stored_hash {
+            break;
+        }
+        records.push(WalRecord {
+            kind,
+            payload: payload.to_vec(),
+        });
+        pos += RECORD_HEADER + len;
+    }
+    DecodedSegment {
+        records,
+        torn: pos < buf.len(),
+        valid_len: pos,
+    }
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:08}.seg")
+}
+
+/// The sorted sequence numbers of the segments present in `dir`.
+fn segment_seqs(dir: &Path) -> Result<Vec<u64>, ResilienceError> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+        {
+            if let Ok(seq) = num.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Appends records to the WAL, rolling segments at a byte threshold.
+///
+/// Opening is **self-healing**: if the newest segment ends in a torn
+/// record (the signature of a crash mid-append), the torn tail is
+/// truncated away before any new append, so resumed ingestion continues
+/// from the last valid record.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    segment_limit: u64,
+    seq: u64,
+    written: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating the directory if needed) the WAL at `dir`,
+    /// continuing the newest existing segment after healing any torn
+    /// tail. `segment_limit` is the byte threshold past which a segment
+    /// is sealed and the next one started.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] on filesystem failure.
+    pub fn open(dir: &Path, segment_limit: u64) -> Result<Self, ResilienceError> {
+        fs::create_dir_all(dir)?;
+        let seqs = segment_seqs(dir)?;
+        let (seq, written) = match seqs.last() {
+            Some(&seq) => {
+                let path = dir.join(segment_name(seq));
+                let bytes = fs::read(&path)?;
+                let decoded = decode_records(&bytes);
+                if decoded.torn {
+                    // Crash artifact: truncate to the valid prefix.
+                    let file = fs::OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(decoded.valid_len as u64)?;
+                }
+                (seq, decoded.valid_len as u64)
+            }
+            None => (0, 0),
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            segment_limit: segment_limit.max(1),
+            seq,
+            written,
+        })
+    }
+
+    fn current_path(&self) -> PathBuf {
+        self.dir.join(segment_name(self.seq))
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> Result<(), ResilienceError> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.current_path())?;
+        file.write_all(bytes)?;
+        self.written += bytes.len() as u64;
+        if self.written >= self.segment_limit {
+            funnel_obs::histogram_record(funnel_obs::names::WAL_SEGMENT_BYTES, self.written);
+            self.seq += 1;
+            self.written = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends one accepted frame's raw bytes as a frame record.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] on filesystem failure.
+    pub fn append_frame(&mut self, raw: &Bytes) -> Result<(), ResilienceError> {
+        self.append_bytes(&encode_record(FRAME_RECORD, raw.as_ref()))
+    }
+
+    /// Appends the end-of-stream marker: recovery runs `finish()` (final
+    /// minute flush + backfill) only when this record is present.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] on filesystem failure.
+    pub fn append_end_of_stream(&mut self) -> Result<(), ResilienceError> {
+        self.append_bytes(&encode_record(EOS_RECORD, &[]))
+    }
+
+    /// Chaos-harness hook: appends only the first `keep` bytes of the
+    /// frame's record — the on-disk image of a crash mid-append. Never
+    /// rotates; the torn tail is expected to be healed by the next
+    /// [`WalWriter::open`].
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] on filesystem failure.
+    pub fn append_torn_frame(&mut self, raw: &Bytes, keep: usize) -> Result<(), ResilienceError> {
+        let record = encode_record(FRAME_RECORD, raw.as_ref());
+        let keep = keep.min(record.len());
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.current_path())?;
+        file.write_all(&record[..keep])?;
+        Ok(())
+    }
+
+    /// Frames-per-segment bookkeeping for tests: the current segment
+    /// sequence number.
+    pub fn segment_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Everything a recovery scan learned from the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every validated frame payload, in append order across segments.
+    pub frames: Vec<Vec<u8>>,
+    /// Whether the end-of-stream marker is present (it is always last).
+    pub end_of_stream: bool,
+    /// Whether the newest segment ended in a torn record (crash artifact,
+    /// discarded).
+    pub torn_tail: bool,
+    /// How many segment files were scanned.
+    pub segments: u64,
+}
+
+/// Scans the whole WAL at `dir`, validating every record.
+///
+/// A torn tail is tolerated only on the *newest* segment — that is the
+/// crash signature. A torn record in any sealed (non-final) segment, or
+/// any record after the end-of-stream marker, means the log was damaged
+/// beyond what a crash can produce and is reported as corruption.
+///
+/// # Errors
+///
+/// [`ResilienceError::Io`] on filesystem failure,
+/// [`ResilienceError::Corrupt`] on mid-log damage. A missing directory is
+/// an empty WAL, not an error.
+pub fn scan(dir: &Path) -> Result<WalScan, ResilienceError> {
+    if !dir.exists() {
+        return Ok(WalScan {
+            frames: Vec::new(),
+            end_of_stream: false,
+            torn_tail: false,
+            segments: 0,
+        });
+    }
+    let seqs = segment_seqs(dir)?;
+    let mut frames = Vec::new();
+    let mut end_of_stream = false;
+    let mut torn_tail = false;
+    for (i, &seq) in seqs.iter().enumerate() {
+        let bytes = fs::read(dir.join(segment_name(seq)))?;
+        funnel_obs::histogram_record(funnel_obs::names::WAL_SEGMENT_BYTES, bytes.len() as u64);
+        let decoded = decode_records(&bytes);
+        let is_last = i + 1 == seqs.len();
+        if decoded.torn {
+            if !is_last {
+                return Err(ResilienceError::Corrupt(format!(
+                    "torn record inside sealed WAL segment {seq}"
+                )));
+            }
+            torn_tail = true;
+        }
+        for record in decoded.records {
+            if end_of_stream {
+                return Err(ResilienceError::Corrupt(
+                    "WAL record after end-of-stream marker".into(),
+                ));
+            }
+            match record.kind {
+                EOS_RECORD => end_of_stream = true,
+                _ => frames.push(record.payload),
+            }
+        }
+    }
+    Ok(WalScan {
+        frames,
+        end_of_stream,
+        torn_tail,
+        segments: seqs.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("funnel-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_scan_roundtrip_across_segments() {
+        let dir = tmp_dir("roundtrip");
+        // Tiny limit: every frame seals a segment.
+        let mut wal = WalWriter::open(&dir, 32).unwrap();
+        let frames: Vec<Bytes> = (0u8..5).map(|i| Bytes::from(vec![i; 20])).collect();
+        for f in &frames {
+            wal.append_frame(f).unwrap();
+        }
+        wal.append_end_of_stream().unwrap();
+        let scan = scan(&dir).unwrap();
+        assert!(scan.end_of_stream);
+        assert!(!scan.torn_tail);
+        assert!(scan.segments > 1, "tiny limit must rotate");
+        let got: Vec<Vec<u8>> = frames.iter().map(|b| b.to_vec()).collect();
+        assert_eq!(scan.frames, got);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_healed_on_reopen() {
+        let dir = tmp_dir("torn");
+        let mut wal = WalWriter::open(&dir, 1 << 20).unwrap();
+        wal.append_frame(&Bytes::from(vec![1u8; 40])).unwrap();
+        wal.append_torn_frame(&Bytes::from(vec![2u8; 40]), 17)
+            .unwrap();
+        let scan1 = scan(&dir).unwrap();
+        assert!(scan1.torn_tail);
+        assert_eq!(scan1.frames.len(), 1);
+        // Reopen heals; the next append lands cleanly after the survivor.
+        let mut wal = WalWriter::open(&dir, 1 << 20).unwrap();
+        wal.append_frame(&Bytes::from(vec![3u8; 40])).unwrap();
+        let scan2 = scan(&dir).unwrap();
+        assert!(!scan2.torn_tail);
+        assert_eq!(scan2.frames.len(), 2);
+        assert_eq!(scan2.frames[1], vec![3u8; 40]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_an_empty_wal() {
+        let scan = scan(Path::new("/nonexistent/funnel-wal")).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.segments, 0);
+    }
+
+    #[test]
+    fn flipped_byte_ends_the_valid_prefix() {
+        let mut buf = encode_record(FRAME_RECORD, &[1, 2, 3, 4]);
+        let good = decode_records(&buf);
+        assert_eq!(good.records.len(), 1);
+        assert!(!good.torn);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let bad = decode_records(&buf);
+        assert!(bad.records.is_empty());
+        assert!(bad.torn);
+        assert_eq!(bad.valid_len, 0);
+    }
+}

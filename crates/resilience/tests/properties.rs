@@ -1,0 +1,261 @@
+//! Property tests for the durable formats.
+//!
+//! Both on-disk formats are trust boundaries crossed on every recovery:
+//! whatever a crash (or bit rot) left behind, decoding must be *total* —
+//! return the valid data or a clean error, never panic, never fabricate
+//! records, never allocate from a corrupted count. And for clean bytes
+//! the round trip must be lossless: recovery's correctness proof leans on
+//! `decode(encode(x)) == x` for the WAL and the checkpoint alike.
+//!
+//! The vendored proptest shim drives scalars and `Vec`s of scalars, so
+//! structured inputs (checkpoint entries, collector state, queue items)
+//! are derived deterministically from flat fuzz vectors.
+
+use funnel_core::reassess::{PendingItem, QueueState};
+use funnel_resilience::checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
+use funnel_resilience::wal::{decode_records, encode_record, EOS_RECORD, FRAME_RECORD};
+use funnel_sim::collector::{CollectorState, MinuteAccs};
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::wire::WireRecord;
+use funnel_timeseries::mask::CoverageMask;
+use funnel_timeseries::series::TimeSeries;
+use funnel_topology::change::ChangeId;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::{InstanceId, ServerId, ServiceId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const KINDS: [KpiKind; 8] = [
+    KpiKind::CpuUtilization,
+    KpiKind::MemoryUtilization,
+    KpiKind::NicThroughput,
+    KpiKind::CpuContextSwitch,
+    KpiKind::PageViewCount,
+    KpiKind::PageViewResponseDelay,
+    KpiKind::AccessFailureCount,
+    KpiKind::EffectiveClickCount,
+];
+
+fn key(entity_sel: u8, id: u32, kind_sel: usize) -> KpiKey {
+    let entity = match entity_sel % 3 {
+        0 => Entity::Server(ServerId(id)),
+        1 => Entity::Instance(InstanceId(id)),
+        _ => Entity::Service(ServiceId(id)),
+    };
+    KpiKey::new(entity, KINDS[kind_sel % KINDS.len()])
+}
+
+/// Builds a structurally valid checkpoint from flat fuzz vectors.
+fn checkpoint_from(
+    wal_frames: u64,
+    entry_sels: &[u8],
+    watermarks: &[u64],
+    seen: &[u64],
+    pend: &[u64],
+    queue_items: &[u32],
+) -> Checkpoint {
+    let entries = entry_sels
+        .iter()
+        .enumerate()
+        .map(|(i, &sel)| {
+            let len = usize::from(sel % 16);
+            let values: Vec<f64> = (0..len).map(|j| (i * 31 + j) as f64 * 0.5 - 3.0).collect();
+            let bits: Vec<bool> = (0..len).map(|j| (i + j) % 3 != 0).collect();
+            (
+                key(sel, u32::from(sel) * 37 + i as u32, i),
+                TimeSeries::new(i as u64 * 7, values),
+                CoverageMask::from_bits(i as u64 * 7, bits),
+            )
+        })
+        .collect();
+    let mut collector = CollectorState::new(watermarks.len());
+    collector.watermarks = watermarks
+        .iter()
+        .map(|&w| (w % 3 != 0).then_some(w))
+        .collect();
+    collector.seen = watermarks
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            seen.iter()
+                .map(|&m| m.wrapping_add(w).wrapping_mul(i as u64 + 1) % 10_000)
+                .collect::<BTreeSet<u64>>()
+        })
+        .collect();
+    for (i, &raw) in pend.iter().enumerate() {
+        let minute = raw % 10_000;
+        let id = (raw / 7) as u32 % 64;
+        let value = raw as f64 * 0.37 - 100.0;
+        let mut accs = MinuteAccs::new();
+        accs.insert(
+            (ServiceId(id % 5), KINDS[i % KINDS.len()]),
+            vec![(id, value), (id.wrapping_add(1), -value)],
+        );
+        if i % 2 == 0 {
+            collector.pending.insert(minute, (i, accs));
+        } else {
+            collector.partial.insert(minute, accs);
+        }
+        collector.backfill_stage.insert(
+            (id % 7, minute),
+            vec![WireRecord {
+                key: key(id as u8, id, i),
+                value,
+            }],
+        );
+    }
+    let queue = QueueState {
+        pending: queue_items
+            .iter()
+            .map(|&item| PendingItem {
+                change: ChangeId(item % 32),
+                key: key(item as u8, item, item as usize),
+                window: (u64::from(item) * 3, u64::from(item) * 3 + 60),
+                required_coverage: 0.8,
+            })
+            .collect(),
+        applied: queue_items
+            .iter()
+            .map(|&item| {
+                (
+                    ChangeId(item % 32),
+                    key(
+                        item.wrapping_add(1) as u8,
+                        item.wrapping_add(9),
+                        item as usize,
+                    ),
+                )
+            })
+            .collect(),
+    };
+    Checkpoint {
+        wal_frames,
+        entries,
+        collector,
+        queue,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wal_roundtrip_is_lossless(
+        payload_lens in prop::collection::vec(0usize..80, 0..20),
+        with_eos in any::<bool>(),
+    ) {
+        let mut log = Vec::new();
+        let payloads: Vec<Vec<u8>> = payload_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|j| ((i * 17 + j * 3) % 251) as u8).collect())
+            .collect();
+        for p in &payloads {
+            log.extend_from_slice(&encode_record(FRAME_RECORD, p));
+        }
+        if with_eos {
+            log.extend_from_slice(&encode_record(EOS_RECORD, &[]));
+        }
+        let decoded = decode_records(&log);
+        prop_assert!(!decoded.torn);
+        prop_assert_eq!(decoded.valid_len, log.len());
+        let frames: Vec<&Vec<u8>> = decoded
+            .records
+            .iter()
+            .filter(|r| r.kind == FRAME_RECORD)
+            .map(|r| &r.payload)
+            .collect();
+        prop_assert_eq!(frames.len(), payloads.len());
+        for (got, want) in frames.iter().zip(&payloads) {
+            prop_assert_eq!(*got, want);
+        }
+        prop_assert_eq!(
+            decoded.records.iter().any(|r| r.kind == EOS_RECORD),
+            with_eos
+        );
+    }
+
+    #[test]
+    fn truncated_wal_tail_is_detected_never_panics(
+        payload_lens in prop::collection::vec(0usize..60, 1..12),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, &len) in payload_lens.iter().enumerate() {
+            let payload: Vec<u8> = (0..len).map(|j| ((i + j) % 256) as u8).collect();
+            log.extend_from_slice(&encode_record(FRAME_RECORD, &payload));
+            boundaries.push(log.len());
+        }
+        let cut = ((cut_frac * log.len() as f64) as usize).min(log.len());
+        let truncated = &log[..cut];
+        let decoded = decode_records(truncated);
+        // The valid prefix always ends on a record boundary at or before
+        // the cut, and the tail past it is flagged torn.
+        prop_assert!(boundaries.contains(&decoded.valid_len));
+        prop_assert!(decoded.valid_len <= cut);
+        prop_assert_eq!(decoded.torn, decoded.valid_len < cut);
+        // Every surviving record is one of the originals, in order.
+        let whole = decode_records(&log);
+        prop_assert_eq!(&whole.records[..decoded.records.len()], &decoded.records[..]);
+    }
+
+    #[test]
+    fn arbitrary_wal_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let decoded = decode_records(&bytes);
+        prop_assert!(decoded.valid_len <= bytes.len());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_lossless(
+        wal_frames in 0u64..1_000_000,
+        entry_sels in prop::collection::vec(any::<u8>(), 0..8),
+        watermarks in prop::collection::vec(0u64..10_000, 0..6),
+        seen in prop::collection::vec(0u64..10_000, 0..10),
+        pend in prop::collection::vec(any::<u64>(), 0..6),
+        queue_items in prop::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let checkpoint =
+            checkpoint_from(wal_frames, &entry_sels, &watermarks, &seen, &pend, &queue_items);
+        let encoded = encode_checkpoint(&checkpoint);
+        let decoded = decode_checkpoint(&encoded);
+        prop_assert!(decoded.is_ok());
+        prop_assert_eq!(decoded.unwrap(), checkpoint);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_never_panics(
+        entry_sels in prop::collection::vec(any::<u8>(), 1..6),
+        pend in prop::collection::vec(any::<u64>(), 0..4),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let checkpoint = checkpoint_from(7, &entry_sels, &[3, 4], &[1, 2], &pend, &[]);
+        let encoded = encode_checkpoint(&checkpoint);
+        let cut = ((cut_frac * encoded.len() as f64) as usize).min(encoded.len() - 1);
+        // Strictly shorter than the original: must be cleanly rejected
+        // (the payload hash no longer covers what the header promised).
+        prop_assert!(decode_checkpoint(&encoded[..cut]).is_err());
+    }
+
+    #[test]
+    fn mutated_checkpoint_never_panics(
+        entry_sels in prop::collection::vec(any::<u8>(), 0..5),
+        flip_frac in 0.0..1.0f64,
+        mask in 1u8..255,
+    ) {
+        let checkpoint = checkpoint_from(3, &entry_sels, &[1], &[4], &[], &[]);
+        let mut bytes = encode_checkpoint(&checkpoint);
+        let idx = ((flip_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= mask;
+        // Totality is the property; the hash makes rejection overwhelmingly
+        // likely, but either way decoding must return, not panic.
+        let _ = decode_checkpoint(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_checkpoint_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = decode_checkpoint(&bytes);
+    }
+}

@@ -25,24 +25,19 @@
 //! lost one. Service aggregation sums instance values in instance-id order,
 //! so the aggregate bytes are identical no matter how threads interleave.
 
+use crate::collector::{Collector, CollectorState, IngestHooks, NoHooks};
 use crate::faults::HealMode;
-use crate::kpi::{Aggregation, KpiKey, KpiKind};
+use crate::kpi::{KpiKey, KpiKind};
 use crate::store::MetricStore;
-use crate::wire::{decode_frame, encode_frame, WireRecord};
+use crate::wire::{encode_frame, WireRecord};
 use crate::world::{SimError, World};
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use funnel_timeseries::series::TimeSeries;
 use funnel_topology::impact::Entity;
-use funnel_topology::model::{ServerId, ServiceId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use funnel_topology::model::ServerId;
 
 pub use crate::faults::FaultPlan;
-
-/// Largest record magnitude the collector accepts. Anything beyond this is
-/// treated as corruption, not measurement — see the rejection site for the
-/// rationale.
-const MAX_PLAUSIBLE_VALUE: f64 = 1e12;
 
 /// Counters describing one replay run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -147,6 +142,47 @@ pub fn replay_prefix(
     faults: FaultPlan,
     minutes: usize,
 ) -> Result<ReplayStats, SimError> {
+    replay_durable(world, store, shards, faults, minutes, None, &mut NoHooks).map(|o| o.stats)
+}
+
+/// What [`replay_durable`] produced: the run's counters plus whether an
+/// [`IngestHooks`] seam aborted the stream mid-flight (a simulated crash —
+/// the end-of-stream flush did not run and the store holds a prefix of the
+/// full ingestion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Counters for this run only (a resumed replay does not include the
+    /// crashed run's counts — those died with the crashed process).
+    pub stats: ReplayStats,
+    /// Whether a hook aborted the stream before end-of-stream.
+    pub aborted: bool,
+}
+
+/// [`replay_prefix`] with durability seams: every accepted frame and commit
+/// passes through `hooks` (where `funnel-resilience` appends its WAL and
+/// writes periodic checkpoints), and the collector can resume from a
+/// previously captured [`CollectorState`].
+///
+/// On resume, agents fast-forward past the minutes the restored watermarks
+/// prove durable — but only when the fault plan neither reorders nor
+/// partitions (either would break the "accepted in send order ⇒ watermark
+/// bounds durability" argument). Otherwise agents resend their whole
+/// timeline and the restored duplicate-suppression state discards the
+/// already-ingested prefix; both paths converge to the same bytes.
+///
+/// # Errors
+///
+/// Propagates series-generation errors (cannot occur for a well-formed
+/// world).
+pub fn replay_durable(
+    world: &World,
+    store: &MetricStore,
+    shards: usize,
+    faults: FaultPlan,
+    minutes: usize,
+    resume: Option<CollectorState>,
+    hooks: &mut dyn IngestHooks,
+) -> Result<ReplayOutcome, SimError> {
     // Observability (write-only; no-op unless `funnel_obs::enable` ran):
     // one span for the whole replay, counters at each fault-path site.
     let replay_span = funnel_obs::span!(funnel_obs::names::SPAN_COLLECT_REPLAY);
@@ -158,6 +194,28 @@ pub fn replay_prefix(
     }
     let schedule = faults.schedule();
     let horizon = schedule.reorder_horizon();
+
+    // Replay cursors: when the transport neither reorders nor partitions,
+    // frames from one agent are accepted in strictly ascending minute
+    // order, so a resumed collector's per-agent watermark pins down exactly
+    // which minutes are already durable — the agent fast-forwards past them
+    // instead of resending its whole timeline. Any reordering or partition
+    // voids that guarantee; agents then resend from the start and the
+    // collector's duplicate suppression (whose memory is part of the
+    // resumed state) discards what was already ingested.
+    let cursors: Vec<usize> = match &resume {
+        Some(state) if horizon == 0 && faults.partitions.is_empty() => (0..shards)
+            .map(|a| {
+                state
+                    .watermarks
+                    .get(a)
+                    .copied()
+                    .flatten()
+                    .map_or(0, |w| (w + 1).saturating_sub(start) as usize)
+            })
+            .collect(),
+        _ => vec![0; shards],
+    };
 
     // Pre-generate per-server payload series (the "agent's local state").
     struct ShardData {
@@ -189,21 +247,10 @@ pub fn replay_prefix(
         shard_data[sid % shards].servers.push(payload);
     }
 
-    // instance → service map for the collector's aggregation.
-    let mut instance_service: HashMap<u32, ServiceId> = HashMap::new();
-    for inst in world.topology().instances() {
-        instance_service.insert(inst.id.0, inst.service);
-    }
-    let service_sizes: HashMap<ServiceId, usize> = world
-        .topology()
-        .services()
-        .map(|(id, _)| (id, world.topology().instances_of(id).len()))
-        .collect();
-
     let (tx, rx) = bounded::<Bytes>(shards * 4);
-    let mut stats = ReplayStats {
-        minutes: duration,
-        ..Default::default()
+    let mut collector = match resume {
+        Some(state) => Collector::resume(world, store, shards, horizon, state),
+        None => Collector::for_world(world, store, shards, horizon),
     };
 
     /// Per-agent counters returned by each shard thread.
@@ -214,13 +261,16 @@ pub fn replay_prefix(
         glitched: usize,
         partition_lost: usize,
     }
+    let mut agent_totals = AgentStats::default();
+    let mut crashed_agents = 0usize;
 
-    std::thread::scope(|scope| {
+    let mut aborted = std::thread::scope(|scope| {
         // Agent shards.
         let mut handles = Vec::with_capacity(shards);
         for (shard_idx, data) in shard_data.iter().enumerate() {
             let tx = tx.clone();
             let schedule = &schedule;
+            let cursor = cursors[shard_idx];
             handles.push(scope.spawn(move || {
                 let mut local = AgentStats::default();
                 // Frames held back by the transport: (release minute, bytes).
@@ -256,7 +306,7 @@ pub fn replay_prefix(
                     }
                     records
                 };
-                for minute_idx in 0..duration {
+                for minute_idx in cursor..duration {
                     let minute = start + minute_idx as u64;
                     // Release previously delayed frames whose time has come
                     // (before this minute's frame, preserving the reorder
@@ -359,205 +409,28 @@ pub fn replay_prefix(
         }
         drop(tx);
 
-        // Collector: decode, store, aggregate when a minute completes.
-        // Per (service, kind): the (instance id, value) pairs seen so far.
-        // Summation happens in instance-id order at finalize time, so the
-        // aggregate is bit-identical no matter how frames interleave. A
-        // BTreeMap (not HashMap) fixes the order in which a finalized
-        // minute's aggregates are appended and published to subscribers —
-        // hasher order would leak into the subscriber-visible stream.
-        type MinuteAccs = BTreeMap<(ServiceId, KpiKind), Vec<(u32, f64)>>;
-        let mut pending: BTreeMap<u64, (usize, MinuteAccs)> = BTreeMap::new();
-        // Per-agent watermark: frames within one agent arrive in send order,
-        // so once agent a's watermark passes minute m + reorder horizon
-        // without a frame for m, that frame is lost — scheduling skew
-        // between agents can never be mistaken for loss, and a delayed frame
-        // is never declared lost inside the horizon.
-        let mut watermarks: Vec<Option<u64>> = vec![None; shards];
-        // Per-agent minutes already accepted, for duplicate suppression.
-        let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); shards];
-        // Late frames from healed partitions, staged keyed by
-        // (shard, minute): a BTreeMap so the post-stream flush walks them
-        // in deterministic (shard, minute) order no matter how the agent
-        // threads interleaved.
-        let mut backfill_stage: BTreeMap<(usize, u64), Vec<WireRecord>> = BTreeMap::new();
-        // Aggregation cells of finalized-but-incomplete minutes, kept (not
-        // discarded) so a healed span's backfilled cells can complete them.
-        let mut partial: BTreeMap<u64, MinuteAccs> = BTreeMap::new();
-
-        let finalize = |minute: u64,
-                        accs: MinuteAccs,
-                        stats: &mut ReplayStats,
-                        partial: &mut BTreeMap<u64, MinuteAccs>| {
-            for ((svc, kind), mut cells) in accs {
-                if cells.is_empty() {
-                    continue;
-                }
-                // Only aggregate when every instance reported; keep
-                // partial minutes around — a partition heal may still
-                // backfill the missing cells.
-                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) {
-                    partial
-                        .entry(minute)
-                        .or_default()
-                        .entry((svc, kind))
-                        .or_default()
-                        .append(&mut cells);
-                    continue;
-                }
-                cells.sort_by_key(|(id, _)| *id);
-                let sum: f64 = cells.iter().map(|(_, v)| v).sum();
-                let value = match kind.aggregation() {
-                    Aggregation::Sum => sum,
-                    Aggregation::Mean => sum / cells.len() as f64,
-                };
-                store.append(KpiKey::new(Entity::Service(svc), kind), minute, value);
-                stats.aggregates += 1;
-            }
-        };
-
+        // Drive the collector: classify (pure), then the WAL seam, then
+        // commit, then the checkpoint seam. An abort simulates the
+        // collector dying here — stop consuming, drop the channel so
+        // blocked agents unwind, and skip the end-of-stream flush exactly
+        // as a kill would. The classified-but-uncommitted frame is lost
+        // with the process; its WAL append (torn or not) is what recovery
+        // gets to see.
+        let mut aborted = false;
         while let Ok(frame) = rx.recv() {
-            let decoded = match decode_frame(frame) {
-                Ok(d) => d,
-                Err(_) => {
-                    // Undecodable bytes: quarantine, never panic. The frame
-                    // is gone; the watermark mechanism treats it as lost.
-                    stats.quarantined_frames += 1;
-                    store.note_quarantined_frame();
-                    funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
-                    continue;
-                }
-            };
-            let agent = decoded.agent_id as usize;
-            if agent >= shards {
-                // Header claims an agent we never started: quarantine.
-                stats.quarantined_frames += 1;
-                store.note_quarantined_frame();
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
-                continue;
+            let ingest = collector.classify(&frame);
+            let accepted = ingest.accepted();
+            if accepted && hooks.on_accepted_frame(&frame).is_err() {
+                aborted = true;
+                break;
             }
-            if !seen[agent].insert(decoded.minute) {
-                stats.duplicate_frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_DUP_SUPPRESSED, 1);
-                continue;
-            }
-            stats.frames += 1;
-            funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
-            // A frame whose original-minute stamp lies behind this agent's
-            // own watermark by more than the reorder horizon cannot be a
-            // delayed live frame — it is a healed partition's backlog.
-            // Stage it for the deterministic post-stream backfill flush
-            // instead of disturbing watermarks or minute finalization. The
-            // routing test is per-agent (frames within one agent arrive in
-            // send order), so it is independent of cross-shard thread
-            // interleaving.
-            if watermarks[agent].is_some_and(|w| decoded.minute + horizon < w) {
-                stats.backfilled_frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_BACKFILLED, 1);
-                backfill_stage.insert((agent, decoded.minute), decoded.records);
-                continue;
-            }
-            let w = &mut watermarks[agent];
-            *w = Some(w.map_or(decoded.minute, |x| x.max(decoded.minute)));
-            let entry = pending.entry(decoded.minute).or_default();
-            entry.0 += 1;
-            for rec in &decoded.records {
-                // Plausibility gate, not just finiteness: corrupted bytes
-                // can decode to a perfectly valid f64 of magnitude ~1e300,
-                // which would dominate every sum, mean, and DiD estimate
-                // downstream. No KPI this pipeline measures (counts,
-                // millisecond delays, utilization percentages) comes within
-                // orders of magnitude of the bound, even glitch-amplified.
-                if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
-                    stats.invalid_records += 1;
-                    continue;
-                }
-                stats.records += 1;
-                store.append(rec.key, decoded.minute, rec.value);
-                if let Entity::Instance(i) = rec.key.entity {
-                    if let Some(&svc) = instance_service.get(&i.0) {
-                        entry
-                            .1
-                            .entry((svc, rec.key.kind))
-                            .or_default()
-                            .push((i.0, rec.value));
-                    }
-                }
-            }
-            // Finalize a minute once every agent has either delivered it or
-            // demonstrably moved past its reorder horizon (its own watermark
-            // is beyond minute + horizon) — exact under any thread
-            // scheduling, robust to loss, and safe under delay-induced
-            // reordering.
-            while let Some((&minute, entry)) = pending.iter().next() {
-                let complete = entry.0 >= shards;
-                let all_past = watermarks
-                    .iter()
-                    .all(|w| w.is_some_and(|x| x >= minute + horizon));
-                if !complete && !all_past {
-                    break;
-                }
-                if let Some((_, accs)) = pending.remove(&minute) {
-                    finalize(minute, accs, &mut stats, &mut partial);
-                }
+            collector.commit(ingest);
+            if accepted && hooks.after_commit(&collector).is_err() {
+                aborted = true;
+                break;
             }
         }
-        // Channel closed: flush everything left.
-        for (minute, (_, accs)) in std::mem::take(&mut pending) {
-            finalize(minute, accs, &mut stats, &mut partial);
-        }
-        // Backfill flush: healed-span frames enter historical bins in
-        // (shard, minute) order — deterministic regardless of how agent
-        // threads interleaved during the replay. Each record passes the
-        // same plausibility gate as live ingestion, and the store's own
-        // duplicate suppression (first write wins per real bin) guards
-        // against re-delivery races.
-        for ((_, minute), records) in backfill_stage {
-            for rec in records {
-                if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
-                    stats.invalid_records += 1;
-                    store.note_backfill_rejected();
-                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
-                    continue;
-                }
-                if store.backfill(rec.key, minute, rec.value) {
-                    stats.backfilled_records += 1;
-                    funnel_obs::counter_add(funnel_obs::names::RECORDS_BACKFILLED, 1);
-                } else {
-                    stats.backfill_rejected_records += 1;
-                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
-                }
-                if let Entity::Instance(i) = rec.key.entity {
-                    if let Some(&svc) = instance_service.get(&i.0) {
-                        partial
-                            .entry(minute)
-                            .or_default()
-                            .entry((svc, rec.key.kind))
-                            .or_default()
-                            .push((i.0, rec.value));
-                    }
-                }
-            }
-        }
-        // Service aggregates the backfill completed, ascending minute then
-        // (service, kind). Emitted through the backfill path too: their
-        // minute is historical for the (forward-filled) aggregate series.
-        for (minute, accs) in partial {
-            for ((svc, kind), mut cells) in accs {
-                if cells.len() != *service_sizes.get(&svc).unwrap_or(&0) || cells.is_empty() {
-                    continue;
-                }
-                cells.sort_by_key(|(id, _)| *id);
-                let sum: f64 = cells.iter().map(|(_, v)| v).sum();
-                let value = match kind.aggregation() {
-                    Aggregation::Sum => sum,
-                    Aggregation::Mean => sum / cells.len() as f64,
-                };
-                if store.backfill(KpiKey::new(Entity::Service(svc), kind), minute, value) {
-                    stats.backfilled_aggregates += 1;
-                }
-            }
-        }
+        drop(rx);
         for handle in handles {
             // A crashed agent shard must not take the collector down with
             // it: the frames it sent before dying were already ingested,
@@ -565,21 +438,42 @@ pub fn replay_prefix(
             // operators see the degradation instead of a panic.
             match handle.join() {
                 Ok(local) => {
-                    stats.dropped_frames += local.dropped;
-                    stats.delayed_frames += local.delayed;
-                    stats.glitched_records += local.glitched;
-                    stats.partition_lost_frames += local.partition_lost;
+                    agent_totals.dropped += local.dropped;
+                    agent_totals.delayed += local.delayed;
+                    agent_totals.glitched += local.glitched;
+                    agent_totals.partition_lost += local.partition_lost;
                 }
-                Err(_) => stats.crashed_agents += 1,
+                Err(_) => crashed_agents += 1,
             }
         }
+        aborted
     });
+
+    if !aborted {
+        // Every agent finished and every frame was consumed: give the WAL
+        // its end-of-stream marker, then flush. A crash inside the marker
+        // write leaves a stream that recovery resumes (and fully
+        // dup-suppresses) rather than finishes — convergent either way.
+        if hooks.on_end_of_stream(&collector).is_err() {
+            aborted = true;
+        } else {
+            collector.finish();
+        }
+    }
+
+    let (_, mut stats) = collector.into_parts();
+    stats.minutes = duration;
+    stats.dropped_frames = agent_totals.dropped;
+    stats.delayed_frames = agent_totals.delayed;
+    stats.glitched_records = agent_totals.glitched;
+    stats.partition_lost_frames = agent_totals.partition_lost;
+    stats.crashed_agents = crashed_agents;
 
     // Record the replay span and merge this thread's span buffer now, so a
     // snapshot taken right after `replay` returns already contains it.
     drop(replay_span);
     funnel_obs::flush_thread();
-    Ok(stats)
+    Ok(ReplayOutcome { stats, aborted })
 }
 
 #[cfg(test)]
@@ -786,6 +680,124 @@ mod tests {
             if let Some(series) = store.get(&key) {
                 assert!(series.values().iter().all(|v| v.is_finite()), "{key:?}");
             }
+        }
+    }
+
+    /// The durable state a checkpoint would capture: collector state plus
+    /// store contents.
+    type CapturedState = (
+        CollectorState,
+        Vec<(KpiKey, TimeSeries, funnel_timeseries::mask::CoverageMask)>,
+    );
+
+    /// Hooks that "crash" the collector after a fixed number of accepted
+    /// frames, capturing the durable state (collector state + store
+    /// contents) exactly as a checkpoint taken at that instant would.
+    struct CrashingHooks<'a> {
+        store: &'a MetricStore,
+        kill_after: usize,
+        accepted: usize,
+        captured: Option<CapturedState>,
+    }
+
+    impl IngestHooks for CrashingHooks<'_> {
+        fn after_commit(
+            &mut self,
+            collector: &Collector<'_>,
+        ) -> Result<(), crate::collector::IngestAbort> {
+            self.accepted += 1;
+            if self.accepted == self.kill_after {
+                self.captured = Some((collector.state().clone(), self.store.export_entries()));
+                return Err(crate::collector::IngestAbort);
+            }
+            Ok(())
+        }
+    }
+
+    fn assert_resume_converges(plan: FaultPlan, kill_after: usize) {
+        let world = test_world();
+
+        // Golden: the uninterrupted run.
+        let golden = MetricStore::new();
+        replay_with_faults(&world, &golden, 3, plan.clone()).unwrap();
+
+        // Crashed: same run killed after `kill_after` accepted frames.
+        let crashed = MetricStore::new();
+        let mut hooks = CrashingHooks {
+            store: &crashed,
+            kill_after,
+            accepted: 0,
+            captured: None,
+        };
+        let out = replay_durable(
+            &world,
+            &crashed,
+            3,
+            plan.clone(),
+            usize::MAX,
+            None,
+            &mut hooks,
+        )
+        .unwrap();
+        assert!(out.aborted, "kill point never reached");
+        let (state, entries) = hooks.captured.expect("capture at kill point");
+
+        // Recovered: a fresh store rebuilt from the captured durable state,
+        // resumed through the same fault plan. The crashed process's
+        // in-memory store is dead — recovery only gets the checkpoint.
+        let recovered = MetricStore::new();
+        recovered.restore_entries(entries);
+        let out = replay_durable(
+            &world,
+            &recovered,
+            3,
+            plan,
+            usize::MAX,
+            Some(state),
+            &mut NoHooks,
+        )
+        .unwrap();
+        assert!(!out.aborted);
+
+        for key in world.all_keys() {
+            assert_eq!(golden.get(&key), recovered.get(&key), "{key:?} diverged");
+            assert_eq!(
+                golden.mask(&key),
+                recovered.mask(&key),
+                "{key:?} mask diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_resume_converges_with_fast_forward_cursor() {
+        // No reordering, no partitions: agents fast-forward past the
+        // restored watermarks instead of resending their whole timeline.
+        let plan = FaultPlan {
+            seed: 21,
+            drop_frame_prob: 0.1,
+            duplicate_prob: 0.1,
+            ..FaultPlan::none()
+        };
+        for kill_after in [1, 40, 170] {
+            assert_resume_converges(plan.clone(), kill_after);
+        }
+    }
+
+    #[test]
+    fn durable_resume_converges_under_reordering_via_dedup() {
+        // Delays force the full-resend path: the restored duplicate
+        // suppression must absorb the already-ingested prefix.
+        let plan = FaultPlan {
+            seed: 33,
+            drop_frame_prob: 0.1,
+            delay_prob: 0.2,
+            max_delay_minutes: 3,
+            duplicate_prob: 0.15,
+            ..FaultPlan::none()
+        };
+        for kill_after in [7, 120] {
+            assert_resume_converges(plan.clone(), kill_after);
         }
     }
 

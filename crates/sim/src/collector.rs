@@ -1,0 +1,527 @@
+//! The collector as a resumable state machine.
+//!
+//! [`crate::agent::replay`] originally held the collector inline in its
+//! receive loop. Crash-safe ingestion needs the collector's working state to
+//! be a first-class value — something a checkpoint can serialize and a
+//! recovery can resume from — so the loop's state and transition logic live
+//! here as [`Collector`] / [`CollectorState`], and the replay loop drives
+//! them through a narrow three-step protocol:
+//!
+//! 1. [`Collector::classify`] — pure: decode a raw frame and decide its
+//!    fate ([`Ingest`]) without mutating anything.
+//! 2. [`IngestHooks::on_accepted_frame`] — the durability seam: a WAL can
+//!    append the raw bytes *before* the store changes, so a crash between
+//!    append and commit replays the frame instead of losing it.
+//! 3. [`Collector::commit`] — apply the classified frame: store appends,
+//!    watermark advance, minute finalization.
+//!
+//! The split preserves the exact semantics of the original inline loop
+//! (same counters, same ordering, same byte-identical aggregates); the
+//! existing replay entry points drive it with [`NoHooks`] and are
+//! behaviourally unchanged.
+
+use crate::agent::ReplayStats;
+use crate::kpi::{Aggregation, KpiKey, KpiKind};
+use crate::store::MetricStore;
+use crate::wire::{decode_frame, WireFrame, WireRecord};
+use crate::world::World;
+use bytes::Bytes;
+use funnel_topology::impact::Entity;
+use funnel_topology::model::ServiceId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Largest record magnitude the collector accepts. Anything beyond this is
+/// treated as corruption, not measurement — see the rejection site in
+/// [`Collector::commit`] for the rationale.
+pub const MAX_PLAUSIBLE_VALUE: f64 = 1e12;
+
+/// Per (service, kind): the (instance id, value) pairs seen so far for one
+/// minute. Summation happens in instance-id order at finalize time, so the
+/// aggregate is bit-identical no matter how frames interleave. A BTreeMap
+/// (not HashMap) fixes the order in which a finalized minute's aggregates
+/// are appended and published to subscribers — hasher order would leak into
+/// the subscriber-visible stream.
+pub type MinuteAccs = BTreeMap<(ServiceId, KpiKind), Vec<(u32, f64)>>;
+
+/// The collector's complete mutable working state — everything a resumed
+/// collector needs besides the [`MetricStore`] contents themselves. Every
+/// container is ordered (`BTreeMap`/`BTreeSet`), so serializing the state
+/// is deterministic by construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollectorState {
+    /// Per-agent watermark: frames within one agent arrive in send order,
+    /// so once agent `a`'s watermark passes minute `m` + reorder horizon
+    /// without a frame for `m`, that frame is lost — scheduling skew
+    /// between agents can never be mistaken for loss, and a delayed frame
+    /// is never declared lost inside the horizon.
+    pub watermarks: Vec<Option<u64>>,
+    /// Per-agent minutes already accepted, for duplicate suppression.
+    /// Ordered sets so checkpoint serialization is deterministic.
+    pub seen: Vec<BTreeSet<u64>>,
+    /// Minutes awaiting finalization: how many agents reported the minute,
+    /// plus the per-service aggregation cells collected so far.
+    pub pending: BTreeMap<u64, (usize, MinuteAccs)>,
+    /// Late frames from healed partitions, staged keyed by (agent, minute):
+    /// a BTreeMap so the end-of-stream flush walks them in deterministic
+    /// (agent, minute) order no matter how the agent threads interleaved.
+    pub backfill_stage: BTreeMap<(u32, u64), Vec<WireRecord>>,
+    /// Aggregation cells of finalized-but-incomplete minutes, kept (not
+    /// discarded) so a healed span's backfilled cells can complete them.
+    pub partial: BTreeMap<u64, MinuteAccs>,
+}
+
+impl CollectorState {
+    /// Fresh state for a collector fed by `shards` agents.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            watermarks: vec![None; shards],
+            seen: vec![BTreeSet::new(); shards],
+            pending: BTreeMap::new(),
+            backfill_stage: BTreeMap::new(),
+            partial: BTreeMap::new(),
+        }
+    }
+}
+
+/// The classified fate of one raw frame, decided by [`Collector::classify`]
+/// without mutating anything. `Live` and `Backfill` frames are *accepted* —
+/// they change durable state and therefore pass through
+/// [`IngestHooks::on_accepted_frame`] before [`Collector::commit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ingest {
+    /// A current frame: appended to the store, advances its agent's
+    /// watermark, participates in minute finalization.
+    Live(WireFrame),
+    /// A healed partition's late frame (its minute lies behind the sending
+    /// agent's own watermark by more than the reorder horizon): staged for
+    /// the deterministic end-of-stream backfill flush.
+    Backfill(WireFrame),
+    /// A re-delivery of a minute this agent already sent: suppressed.
+    Duplicate,
+    /// Undecodable bytes or a header claiming an unknown agent: counted and
+    /// discarded, never a panic.
+    Quarantined,
+}
+
+impl Ingest {
+    /// Whether this frame changes durable state (and must therefore be
+    /// written to the WAL before [`Collector::commit`] applies it).
+    pub fn accepted(&self) -> bool {
+        matches!(self, Ingest::Live(_) | Ingest::Backfill(_))
+    }
+}
+
+/// Returned by an [`IngestHooks`] method to abort the replay, simulating a
+/// collector crash (or surfacing a real durability failure). The replay
+/// stops without flushing end-of-stream state, exactly like a kill would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAbort;
+
+/// Durability seams in the ingest path. The default implementation of every
+/// hook is a no-op, so plain replays pay nothing; `funnel-resilience`
+/// implements them to write a WAL and periodic checkpoints — and its chaos
+/// harness implements them to tear a write and abort mid-stream.
+pub trait IngestHooks {
+    /// Called with the raw bytes of every *accepted* frame (see
+    /// [`Ingest::accepted`]) before the commit mutates any state. Returning
+    /// an error aborts the replay as if the collector died here: the frame
+    /// is not committed.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestAbort`] to simulate (or surface) a crash at this seam.
+    fn on_accepted_frame(&mut self, raw: &Bytes) -> Result<(), IngestAbort> {
+        let _ = raw;
+        Ok(())
+    }
+
+    /// Called after each accepted frame's commit, with the collector's
+    /// post-commit state — the checkpoint seam. Returning an error aborts
+    /// the replay as if the collector died mid-checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestAbort`] to simulate (or surface) a crash at this seam.
+    fn after_commit(&mut self, collector: &Collector<'_>) -> Result<(), IngestAbort> {
+        let _ = collector;
+        Ok(())
+    }
+
+    /// Called once when every agent has finished sending, *before* the
+    /// collector's end-of-stream flush — where a WAL writes its
+    /// end-of-stream marker so recovery knows the stream completed.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestAbort`] to simulate (or surface) a crash at this seam.
+    fn on_end_of_stream(&mut self, collector: &Collector<'_>) -> Result<(), IngestAbort> {
+        let _ = collector;
+        Ok(())
+    }
+}
+
+/// The no-op hooks plain (non-durable) replays run with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl IngestHooks for NoHooks {}
+
+/// The collector state machine: owns a [`CollectorState`], borrows the
+/// [`MetricStore`] it appends into, and carries the world-derived lookup
+/// tables (instance → service, service sizes) aggregation needs.
+pub struct Collector<'a> {
+    store: &'a MetricStore,
+    shards: usize,
+    horizon: u64,
+    instance_service: HashMap<u32, ServiceId>,
+    service_sizes: HashMap<ServiceId, usize>,
+    state: CollectorState,
+    stats: ReplayStats,
+}
+
+impl<'a> Collector<'a> {
+    /// A fresh collector for `world`'s topology, fed by `shards` agents
+    /// whose transport reorders by at most `horizon` minutes.
+    pub fn for_world(world: &World, store: &'a MetricStore, shards: usize, horizon: u64) -> Self {
+        Self::resume(world, store, shards, horizon, CollectorState::new(shards))
+    }
+
+    /// A collector resuming from previously captured state (a checkpoint's
+    /// collector half). `state` must have been captured from a collector
+    /// with the same `shards`; per-shard vectors are resized defensively so
+    /// a mismatched checkpoint degrades to re-ingestion, never a panic.
+    pub fn resume(
+        world: &World,
+        store: &'a MetricStore,
+        shards: usize,
+        horizon: u64,
+        mut state: CollectorState,
+    ) -> Self {
+        let shards = shards.max(1);
+        state.watermarks.resize(shards, None);
+        state.seen.resize(shards, BTreeSet::new());
+        let mut instance_service: HashMap<u32, ServiceId> = HashMap::new();
+        for inst in world.topology().instances() {
+            instance_service.insert(inst.id.0, inst.service);
+        }
+        let service_sizes: HashMap<ServiceId, usize> = world
+            .topology()
+            .services()
+            .map(|(id, _)| (id, world.topology().instances_of(id).len()))
+            .collect();
+        Self {
+            store,
+            shards,
+            horizon,
+            instance_service,
+            service_sizes,
+            state,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// Decides a raw frame's fate without mutating anything. Pure with
+    /// respect to the collector: calling it twice on the same frame gives
+    /// the same answer, and discarding the result leaves no trace.
+    pub fn classify(&self, raw: &Bytes) -> Ingest {
+        let decoded = match decode_frame(raw.clone()) {
+            Ok(d) => d,
+            // Undecodable bytes: quarantine, never panic. The frame is
+            // gone; the watermark mechanism treats it as lost.
+            Err(_) => return Ingest::Quarantined,
+        };
+        let agent = decoded.agent_id as usize;
+        if agent >= self.shards {
+            // Header claims an agent we never started: quarantine.
+            return Ingest::Quarantined;
+        }
+        if self.state.seen[agent].contains(&decoded.minute) {
+            return Ingest::Duplicate;
+        }
+        // A frame whose original-minute stamp lies behind this agent's own
+        // watermark by more than the reorder horizon cannot be a delayed
+        // live frame — it is a healed partition's backlog. The routing test
+        // is per-agent (frames within one agent arrive in send order), so
+        // it is independent of cross-shard thread interleaving.
+        if self.state.watermarks[agent].is_some_and(|w| decoded.minute + self.horizon < w) {
+            return Ingest::Backfill(decoded);
+        }
+        Ingest::Live(decoded)
+    }
+
+    /// Applies a classified frame: counters for rejected fates, store
+    /// appends + watermark advance + minute finalization for live frames,
+    /// staging for backfill frames.
+    pub fn commit(&mut self, ingest: Ingest) {
+        match ingest {
+            Ingest::Quarantined => {
+                self.stats.quarantined_frames += 1;
+                self.store.note_quarantined_frame();
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
+            }
+            Ingest::Duplicate => {
+                self.stats.duplicate_frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_DUP_SUPPRESSED, 1);
+            }
+            Ingest::Backfill(frame) => {
+                self.state.seen[frame.agent_id as usize].insert(frame.minute);
+                self.stats.frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
+                self.stats.backfilled_frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_BACKFILLED, 1);
+                self.state
+                    .backfill_stage
+                    .insert((frame.agent_id, frame.minute), frame.records);
+            }
+            Ingest::Live(frame) => {
+                let agent = frame.agent_id as usize;
+                self.state.seen[agent].insert(frame.minute);
+                self.stats.frames += 1;
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
+                let w = &mut self.state.watermarks[agent];
+                *w = Some(w.map_or(frame.minute, |x| x.max(frame.minute)));
+                let entry = self.state.pending.entry(frame.minute).or_default();
+                entry.0 += 1;
+                for rec in &frame.records {
+                    // Plausibility gate, not just finiteness: corrupted
+                    // bytes can decode to a perfectly valid f64 of magnitude
+                    // ~1e300, which would dominate every sum, mean, and DiD
+                    // estimate downstream. No KPI this pipeline measures
+                    // (counts, millisecond delays, utilization percentages)
+                    // comes within orders of magnitude of the bound, even
+                    // glitch-amplified.
+                    if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
+                        self.stats.invalid_records += 1;
+                        continue;
+                    }
+                    self.stats.records += 1;
+                    self.store.append(rec.key, frame.minute, rec.value);
+                    if let Entity::Instance(i) = rec.key.entity {
+                        if let Some(&svc) = self.instance_service.get(&i.0) {
+                            entry
+                                .1
+                                .entry((svc, rec.key.kind))
+                                .or_default()
+                                .push((i.0, rec.value));
+                        }
+                    }
+                }
+                self.finalize_ready();
+            }
+        }
+    }
+
+    /// [`Collector::classify`] + [`Collector::commit`] in one step — the
+    /// shape recovery replay uses, where the durability seam is behind us.
+    /// Returns whether the frame was accepted.
+    pub fn ingest(&mut self, raw: &Bytes) -> bool {
+        let ingest = self.classify(raw);
+        let accepted = ingest.accepted();
+        self.commit(ingest);
+        accepted
+    }
+
+    /// Finalize a minute once every agent has either delivered it or
+    /// demonstrably moved past its reorder horizon (its own watermark is
+    /// beyond minute + horizon) — exact under any thread scheduling, robust
+    /// to loss, and safe under delay-induced reordering.
+    fn finalize_ready(&mut self) {
+        while let Some((&minute, entry)) = self.state.pending.iter().next() {
+            let complete = entry.0 >= self.shards;
+            let all_past = self
+                .state
+                .watermarks
+                .iter()
+                .all(|w| w.is_some_and(|x| x >= minute + self.horizon));
+            if !complete && !all_past {
+                break;
+            }
+            if let Some((_, accs)) = self.state.pending.remove(&minute) {
+                self.finalize_minute(minute, accs);
+            }
+        }
+    }
+
+    fn finalize_minute(&mut self, minute: u64, accs: MinuteAccs) {
+        for ((svc, kind), mut cells) in accs {
+            if cells.is_empty() {
+                continue;
+            }
+            // Only aggregate when every instance reported; keep partial
+            // minutes around — a partition heal may still backfill the
+            // missing cells.
+            if cells.len() != *self.service_sizes.get(&svc).unwrap_or(&0) {
+                self.state
+                    .partial
+                    .entry(minute)
+                    .or_default()
+                    .entry((svc, kind))
+                    .or_default()
+                    .append(&mut cells);
+                continue;
+            }
+            cells.sort_by_key(|(id, _)| *id);
+            let sum: f64 = cells.iter().map(|(_, v)| v).sum();
+            let value = match kind.aggregation() {
+                Aggregation::Sum => sum,
+                Aggregation::Mean => sum / cells.len() as f64,
+            };
+            self.store
+                .append(KpiKey::new(Entity::Service(svc), kind), minute, value);
+            self.stats.aggregates += 1;
+        }
+    }
+
+    /// End-of-stream flush: finalize every still-pending minute, merge the
+    /// staged backfill frames into historical bins in deterministic
+    /// (agent, minute) order, and emit the service aggregates the backfill
+    /// completed. Drains the state; a checkpoint taken afterwards records a
+    /// finished stream.
+    pub fn finish(&mut self) {
+        for (minute, (_, accs)) in std::mem::take(&mut self.state.pending) {
+            self.finalize_minute(minute, accs);
+        }
+        // Backfill flush: healed-span frames enter historical bins in
+        // (agent, minute) order — deterministic regardless of how agent
+        // threads interleaved during the replay. Each record passes the
+        // same plausibility gate as live ingestion, and the store's own
+        // duplicate suppression (first write wins per real bin) guards
+        // against re-delivery races.
+        for ((_, minute), records) in std::mem::take(&mut self.state.backfill_stage) {
+            for rec in records {
+                if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
+                    self.stats.invalid_records += 1;
+                    self.store.note_backfill_rejected();
+                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
+                    continue;
+                }
+                if self.store.backfill(rec.key, minute, rec.value) {
+                    self.stats.backfilled_records += 1;
+                    funnel_obs::counter_add(funnel_obs::names::RECORDS_BACKFILLED, 1);
+                } else {
+                    self.stats.backfill_rejected_records += 1;
+                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
+                }
+                if let Entity::Instance(i) = rec.key.entity {
+                    if let Some(&svc) = self.instance_service.get(&i.0) {
+                        self.state
+                            .partial
+                            .entry(minute)
+                            .or_default()
+                            .entry((svc, rec.key.kind))
+                            .or_default()
+                            .push((i.0, rec.value));
+                    }
+                }
+            }
+        }
+        // Service aggregates the backfill completed, ascending minute then
+        // (service, kind). Emitted through the backfill path too: their
+        // minute is historical for the (forward-filled) aggregate series.
+        for (minute, accs) in std::mem::take(&mut self.state.partial) {
+            for ((svc, kind), mut cells) in accs {
+                if cells.len() != *self.service_sizes.get(&svc).unwrap_or(&0) || cells.is_empty() {
+                    continue;
+                }
+                cells.sort_by_key(|(id, _)| *id);
+                let sum: f64 = cells.iter().map(|(_, v)| v).sum();
+                let value = match kind.aggregation() {
+                    Aggregation::Sum => sum,
+                    Aggregation::Mean => sum / cells.len() as f64,
+                };
+                if self
+                    .store
+                    .backfill(KpiKey::new(Entity::Service(svc), kind), minute, value)
+                {
+                    self.stats.backfilled_aggregates += 1;
+                }
+            }
+        }
+    }
+
+    /// The current working state — what a checkpoint serializes.
+    pub fn state(&self) -> &CollectorState {
+        &self.state
+    }
+
+    /// The metric store this collector writes into — checkpoint hooks
+    /// snapshot its entries together with [`Collector::state`] so the two
+    /// halves of a recovery point are captured at the same commit boundary.
+    pub fn store(&self) -> &MetricStore {
+        self.store
+    }
+
+    /// Collector-side counters accumulated since this collector was
+    /// constructed (a resumed collector counts only its own run).
+    pub fn stats(&self) -> &ReplayStats {
+        &self.stats
+    }
+
+    /// Consumes the collector, yielding its state and counters.
+    pub fn into_parts(self) -> (CollectorState, ReplayStats) {
+        (self.state, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_frame;
+    use crate::world::{SimConfig, WorldBuilder};
+
+    fn tiny_world() -> World {
+        let mut b = WorldBuilder::new(SimConfig {
+            seed: 3,
+            start: 0,
+            duration: 30,
+        });
+        b.add_service("prod.tiny", 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn classify_is_pure_and_commit_matches() {
+        let world = tiny_world();
+        let store = MetricStore::new();
+        let mut c = Collector::for_world(&world, &store, 2, 0);
+        let frame = encode_frame(0, 0, &[]);
+        // Classification without commit leaves no trace.
+        assert!(matches!(c.classify(&frame), Ingest::Live(_)));
+        assert!(matches!(c.classify(&frame), Ingest::Live(_)));
+        assert_eq!(c.stats().frames, 0);
+        assert!(c.ingest(&frame));
+        // Second delivery of the same (agent, minute) is a duplicate.
+        assert!(matches!(c.classify(&frame), Ingest::Duplicate));
+        assert!(!c.ingest(&frame));
+        assert_eq!(c.stats().frames, 1);
+        assert_eq!(c.stats().duplicate_frames, 1);
+    }
+
+    #[test]
+    fn garbage_and_unknown_agents_are_quarantined() {
+        let world = tiny_world();
+        let store = MetricStore::new();
+        let mut c = Collector::for_world(&world, &store, 2, 0);
+        assert!(!c.ingest(&Bytes::from(b"nonsense".to_vec())));
+        let from_unknown_agent = encode_frame(0, 99, &[]);
+        assert!(!c.ingest(&from_unknown_agent));
+        assert_eq!(c.stats().quarantined_frames, 2);
+    }
+
+    #[test]
+    fn resumed_state_remembers_duplicates() {
+        let world = tiny_world();
+        let store = MetricStore::new();
+        let mut c = Collector::for_world(&world, &store, 2, 0);
+        let frame = encode_frame(5, 1, &[]);
+        assert!(c.ingest(&frame));
+        let (state, _) = c.into_parts();
+
+        // A collector resumed from the captured state suppresses the same
+        // minute — the dedup memory survived the hand-off.
+        let store2 = MetricStore::new();
+        let mut resumed = Collector::resume(&world, &store2, 2, 0, state);
+        assert!(matches!(resumed.classify(&frame), Ingest::Duplicate));
+        assert!(!resumed.ingest(&frame));
+    }
+}

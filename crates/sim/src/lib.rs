@@ -20,6 +20,11 @@
 //! * [`agent`] — per-server agents that encode measurements into a compact
 //!   wire format ([`wire`]) and stream them to a collector thread, minute
 //!   by minute: the live ingestion path used by the online pipeline.
+//! * [`collector`] — the collector as a resumable state machine: its
+//!   working state is a first-class value a checkpoint can serialize, and
+//!   the ingest path exposes durability seams ([`collector::IngestHooks`])
+//!   that `funnel-resilience` uses for write-ahead logging and crash
+//!   recovery.
 //! * [`faults`] — seeded, deterministic telemetry fault injection (frame
 //!   drop/delay/duplication/corruption, sensor glitches, slow subscribers)
 //!   applied to the agent→collector path to exercise FUNNEL under the
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod agent;
+pub mod collector;
 pub mod effect;
 pub mod faults;
 pub mod kpi;
@@ -44,6 +50,7 @@ pub mod store;
 pub mod wire;
 pub mod world;
 
+pub use collector::{Collector, CollectorState, Ingest, IngestAbort, IngestHooks, NoHooks};
 pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
 pub use faults::{FaultPlan, FaultSchedule, FrameFate, HealMode, PartitionScope, PartitionWindow};
 pub use kpi::{Aggregation, KpiKey, KpiKind};

@@ -420,6 +420,45 @@ impl MetricStore {
     pub fn keys(&self) -> Vec<KpiKey> {
         self.series.read().keys().copied().collect()
     }
+
+    /// Deterministic export of every key's series and coverage mask, sorted
+    /// by key — the store half of a recovery checkpoint. Keys without an
+    /// explicit mask (inserted via batch materialization before the mask map
+    /// learned about them) export an empty mask anchored at the series
+    /// start, matching what [`MetricStore::coverage`] would report.
+    pub fn export_entries(&self) -> Vec<(KpiKey, TimeSeries, CoverageMask)> {
+        let series = self.series.read();
+        let masks = self.masks.read();
+        series
+            .iter()
+            .map(|(key, s)| {
+                let mask = masks
+                    .get(key)
+                    .cloned()
+                    .unwrap_or_else(|| CoverageMask::new(s.start()));
+                (*key, s.clone(), mask)
+            })
+            .collect()
+    }
+
+    /// Replaces the store's contents with previously exported entries — the
+    /// restore half of a recovery checkpoint. Unlike [`MetricStore::append`]
+    /// nothing is published to subscribers: recovery rebuilds state, it does
+    /// not re-measure, so a subscriber attached across a restore sees no
+    /// phantom replays.
+    pub fn restore_entries(
+        &self,
+        entries: impl IntoIterator<Item = (KpiKey, TimeSeries, CoverageMask)>,
+    ) {
+        let mut series = self.series.write();
+        let mut masks = self.masks.write();
+        series.clear();
+        masks.clear();
+        for (key, s, mask) in entries {
+            series.insert(key, s);
+            masks.insert(key, mask);
+        }
+    }
 }
 
 /// An immutable view of a [`MetricStore`] at one instant, created by

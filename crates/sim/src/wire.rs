@@ -78,6 +78,29 @@ fn entity_from(tag: u8, id: u32) -> Result<Entity, WireError> {
     })
 }
 
+/// Encodes one KPI key into the wire format's 6-byte record-key layout
+/// (`u8 entity_tag, u32 entity_id, u8 kpi_tag`). Checkpoint files reuse this
+/// layout so a key serializes identically on the wire and on disk.
+pub fn key_to_bytes(key: KpiKey) -> [u8; 6] {
+    let (tag, id) = entity_tag(key.entity);
+    let id = id.to_le_bytes();
+    [tag, id[0], id[1], id[2], id[3], key.kind.tag()]
+}
+
+/// Decodes a 6-byte record key written by [`key_to_bytes`].
+///
+/// # Errors
+///
+/// [`WireError`] on unknown entity or KPI tags.
+pub fn key_from_bytes(bytes: [u8; 6]) -> Result<KpiKey, WireError> {
+    let entity = entity_from(
+        bytes[0],
+        u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]),
+    )?;
+    let kind = KpiKind::from_tag(bytes[5]).ok_or(WireError::BadKpiTag(bytes[5]))?;
+    Ok(KpiKey::new(entity, kind))
+}
+
 /// Encodes one frame.
 pub fn encode_frame(minute: MinuteBin, agent_id: u32, records: &[WireRecord]) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + records.len() * 14);
@@ -152,6 +175,22 @@ mod tests {
                 value: 0.0,
             },
         ]
+    }
+
+    #[test]
+    fn key_bytes_roundtrip() {
+        for r in sample_records() {
+            let bytes = key_to_bytes(r.key);
+            assert_eq!(key_from_bytes(bytes), Ok(r.key));
+        }
+        assert_eq!(
+            key_from_bytes([7, 0, 0, 0, 0, 0]),
+            Err(WireError::BadEntityTag(7))
+        );
+        assert_eq!(
+            key_from_bytes([0, 0, 0, 0, 0, 200]),
+            Err(WireError::BadKpiTag(200))
+        );
     }
 
     #[test]

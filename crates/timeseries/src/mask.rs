@@ -153,6 +153,20 @@ impl CoverageMask {
             .unwrap_or(0)
     }
 
+    /// The raw presence bits, index 0 = [`CoverageMask::start`]. Together
+    /// with the anchor this is the mask's full state — what a recovery
+    /// checkpoint serializes ([`CoverageMask::from_bits`] is the inverse).
+    pub fn bits(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Rebuilds a mask from its anchor and raw presence bits — the inverse
+    /// of [`CoverageMask::bits`], used by checkpoint restore. The bits are
+    /// taken verbatim; a round trip through `bits`/`from_bits` is exact.
+    pub fn from_bits(start: MinuteBin, present: Vec<bool>) -> Self {
+        Self { start, present }
+    }
+
     /// Cumulative present counts: entry `i` is the number of measured bins
     /// among the first `i` bins. Lets callers score many overlapping windows
     /// in O(1) each (used by the masked detector runner).
