@@ -12,11 +12,18 @@
 use crate::lints::Diagnostic;
 use std::collections::BTreeMap;
 
-/// Parsed baseline: finding-key → grandfathered count.
+/// Parsed baseline: finding-key → grandfathered count, plus the
+/// call-graph resolution ratchet.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Counts per [`Diagnostic::baseline_key`].
     pub counts: BTreeMap<String, u32>,
+    /// Recorded ceiling for the call graph's unresolved-call ratio in
+    /// basis points ([`crate::graph::GraphStats::unresolved_ratio_bp`]).
+    /// `--deny-new` fails when the current ratio exceeds it — resolver
+    /// regressions (new call shapes the resolver cannot place) must be
+    /// either fixed or consciously re-baselined.
+    pub max_unresolved_bp: Option<u32>,
 }
 
 /// One reason the gate failed.
@@ -50,7 +57,10 @@ impl Baseline {
         for d in findings {
             *counts.entry(d.baseline_key()).or_insert(0) += 1;
         }
-        Self { counts }
+        Self {
+            counts,
+            max_unresolved_bp: None,
+        }
     }
 
     /// Total grandfathered findings.
@@ -64,6 +74,7 @@ impl Baseline {
         let mut counts = BTreeMap::new();
         let mut in_counts = false;
         let mut declared_total: Option<u32> = None;
+        let mut max_unresolved_bp: Option<u32> = None;
         for (no, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -95,6 +106,13 @@ impl Baseline {
                                 .map_err(|_| format!("line {}: bad total", no + 1))?,
                         )
                     }
+                    "max_unresolved_bp" => {
+                        max_unresolved_bp = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("line {}: bad max_unresolved_bp", no + 1))?,
+                        )
+                    }
                     other => return Err(format!("line {}: unknown field {other}", no + 1)),
                 }
                 continue;
@@ -106,7 +124,10 @@ impl Baseline {
                 return Err(format!("line {}: duplicate key {key}", no + 1));
             }
         }
-        let parsed = Self { counts };
+        let parsed = Self {
+            counts,
+            max_unresolved_bp,
+        };
         if let Some(t) = declared_total {
             if t != parsed.total() {
                 return Err(format!(
@@ -128,7 +149,11 @@ impl Baseline {
              #   cargo run -p funnel-analyze -- --write-baseline\n",
         );
         out.push_str("version = 1\n");
-        out.push_str(&format!("total = {}\n\n[counts]\n", self.total()));
+        out.push_str(&format!("total = {}\n", self.total()));
+        if let Some(bp) = self.max_unresolved_bp {
+            out.push_str(&format!("max_unresolved_bp = {bp}\n"));
+        }
+        out.push_str("\n[counts]\n");
         for (k, n) in &self.counts {
             out.push_str(&format!("\"{k}\" = {n}\n"));
         }
@@ -147,6 +172,7 @@ impl Baseline {
                 .filter(|(k, _)| pred(k.split(':').next().unwrap_or(k)))
                 .map(|(k, n)| (k.clone(), *n))
                 .collect(),
+            max_unresolved_bp: self.max_unresolved_bp,
         }
     }
 
@@ -242,6 +268,21 @@ mod tests {
         let findings = vec![diag("float-accumulation-order", "x.rs", "h")];
         let b = Baseline::from_findings(&findings);
         assert!(b.check(&findings).is_empty());
+    }
+
+    #[test]
+    fn max_unresolved_bp_roundtrips() {
+        let mut b = Baseline::from_findings(&[diag("x", "a.rs", "f")]);
+        b.max_unresolved_bp = Some(321);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed.max_unresolved_bp, Some(321));
+        assert_eq!(parsed, b);
+        // Absent field stays absent (older baselines parse unchanged).
+        b.max_unresolved_bp = None;
+        assert_eq!(
+            Baseline::parse(&b.render()).unwrap().max_unresolved_bp,
+            None
+        );
     }
 
     #[test]

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 pub mod scan;
+pub mod taint;
 
 use lints::{Diagnostic, Severity};
 use scan::FileScan;
@@ -148,16 +150,48 @@ pub fn gate(
     baseline.restricted_to(gate_active).check(&gated)
 }
 
-/// Runs every lint over every file of `ws`, returning findings sorted by
-/// `(file, line, lint)`.
-pub fn analyze(ws: &Workspace, overrides: &SeverityOverrides) -> std::io::Result<Vec<Diagnostic>> {
-    let files = ws.collect_files()?;
+/// A full workspace analysis: findings plus the call graph they were
+/// computed over (kept for `--dump-graph` and the stats/ratchet plumbing).
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by `(file, line, lint)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The workspace call graph.
+    pub graph: graph::CallGraph,
+}
+
+/// Runs every lint over every file of `ws`.
+pub fn analyze(ws: &Workspace, overrides: &SeverityOverrides) -> std::io::Result<Analysis> {
+    Ok(analyze_sources(&ws.collect_files()?, overrides))
+}
+
+/// Runs the full analysis — per-file lints, the workspace call graph, and
+/// the interprocedural passes — over an explicit `(path, contents)` set.
+/// Files are sorted (and deduped, last wins) internally, so the result is
+/// byte-identical for any input ordering; the determinism tests feed this
+/// shuffled inputs to prove it.
+pub fn analyze_sources(files: &[(String, String)], overrides: &SeverityOverrides) -> Analysis {
+    let sorted: BTreeMap<&str, &str> = files
+        .iter()
+        .map(|(p, c)| (p.as_str(), c.as_str()))
+        .collect();
+    let scans: Vec<(String, FileScan)> = sorted
+        .iter()
+        .map(|(p, c)| (p.to_string(), FileScan::of(c)))
+        .collect();
     let mut out = Vec::new();
-    for (rel, contents) in &files {
-        out.extend(analyze_file(rel, contents, overrides));
+    for (rel, scan) in &scans {
+        out.extend(lints::run_lints(rel, scan));
     }
+    out.extend(lints::lint_obs_names(&scans));
+    let graph = graph::build(&scans);
+    out.extend(taint::run_graph_lints(&graph, &scans));
+    out.retain_mut(|d| overrides.apply(d));
     out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    Ok(out)
+    Analysis {
+        diagnostics: out,
+        graph,
+    }
 }
 
 /// Runs every lint over one file given as `(relative path, contents)` —
@@ -228,8 +262,9 @@ pub fn render_human(diags: &[Diagnostic]) -> String {
     out
 }
 
-/// Per-lint, per-crate violation counts (`--stats`). Deterministic order.
-pub fn render_stats(diags: &[Diagnostic]) -> String {
+/// Per-lint, per-crate violation counts plus call-graph resolution
+/// figures (`--stats`). Deterministic order.
+pub fn render_stats(diags: &[Diagnostic], gstats: &graph::GraphStats) -> String {
     let mut per: BTreeMap<(&'static str, String), u32> = BTreeMap::new();
     for d in diags {
         *per.entry((d.lint, crate_of(&d.file))).or_insert(0) += 1;
@@ -246,6 +281,26 @@ pub fn render_stats(diags: &[Diagnostic]) -> String {
         }
     }
     out.push_str(&format!("{:<26} {:>5}\n", "total", total));
+    out.push_str("# call graph\n");
+    out.push_str(&format!("{:<26} {:>5}\n", "graph.nodes", gstats.nodes));
+    out.push_str(&format!("{:<26} {:>5}\n", "graph.calls", gstats.calls));
+    out.push_str(&format!(
+        "{:<26} {:>5}\n",
+        "graph.resolved", gstats.resolved
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>5}\n",
+        "graph.unresolved", gstats.unresolved
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>5}\n",
+        "graph.external", gstats.external
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>5}\n",
+        "graph.unresolved_bp",
+        gstats.unresolved_ratio_bp()
+    ));
     out
 }
 

@@ -42,8 +42,8 @@ pub struct LintInfo {
     pub description: &'static str,
 }
 
-/// L1–L6, in order.
-pub const REGISTRY: [LintInfo; 6] = [
+/// L1–L11, in order.
+pub const REGISTRY: [LintInfo; 11] = [
     LintInfo {
         id: "nondeterministic-time",
         default_severity: Severity::Deny,
@@ -78,6 +78,38 @@ pub const REGISTRY: [LintInfo; 6] = [
         default_severity: Severity::Deny,
         description: "unwrap()/expect() on a filesystem I/O result turns a full disk, missing \
                       path, or permission error into a crash; propagate the io::Error with `?`",
+    },
+    LintInfo {
+        id: "panic-reachability",
+        default_severity: Severity::Deny,
+        description: "a hot-path entry point can transitively reach unwrap()/expect()/panic!/\
+                      indexing through the call graph; make the chain fallible or suppress the \
+                      source with a note",
+    },
+    LintInfo {
+        id: "determinism-taint",
+        default_severity: Severity::Deny,
+        description: "a nondeterminism source (clock, hash iteration, thread identity, \
+                      unseeded RNG) flows along call edges into a report/serialization sink \
+                      without passing a sanctioned sanitizer",
+    },
+    LintInfo {
+        id: "journal-before-commit",
+        default_severity: Severity::Deny,
+        description: "in collector ingest paths the WAL journal hook must run — and be error-\
+                      checked — before the store commit, or a crash loses accepted frames",
+    },
+    LintInfo {
+        id: "undeclared-obs-name",
+        default_severity: Severity::Warn,
+        description: "every dotted name at a span!/counter/gauge/histogram call site must be a \
+                      constant declared in crates/obs/src/names.rs",
+    },
+    LintInfo {
+        id: "suppression-missing-note",
+        default_severity: Severity::Deny,
+        description: "every inline `funnel-lint: allow(...)` must carry a note explaining why \
+                      the finding is safe to silence",
     },
 ];
 
@@ -172,6 +204,7 @@ pub fn run_lints(path: &str, scan: &FileScan) -> Vec<Diagnostic> {
     lint_missing_forbid_unsafe(path, scan, &mut out);
     lint_float_accumulation_order(path, scan, &mut out);
     lint_fs_io_unwrap(path, scan, &mut out);
+    lint_suppression_note(path, scan, &mut out);
     out.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     out
 }
@@ -242,7 +275,7 @@ fn lint_nondeterministic_time(path: &str, scan: &FileScan, out: &mut Vec<Diagnos
 }
 
 /// Iteration-observing method names on hash containers.
-const ITER_METHODS: [&str; 9] = [
+pub(crate) const ITER_METHODS: [&str; 9] = [
     "iter",
     "iter_mut",
     "keys",
@@ -259,7 +292,7 @@ const ITER_METHODS: [&str; 9] = [
 /// each type-name token to the nearest `name:` or `name =` in the same
 /// statement). Heuristic by design: shadowing across scopes is not
 /// tracked, which is exactly what the baseline and suppressions absorb.
-fn container_bindings(scan: &FileScan, type_names: &[&str]) -> BTreeSet<String> {
+pub(crate) fn container_bindings(scan: &FileScan, type_names: &[&str]) -> BTreeSet<String> {
     let code = &scan.code;
     let mut names = BTreeSet::new();
     for i in 0..code.len() {
@@ -578,6 +611,176 @@ fn lint_fs_io_unwrap(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L11: every inline suppression must say *why*. A bare
+/// `// funnel-lint: allow(x)` silences a lint with no reviewable
+/// justification; `// funnel-lint: allow(x): reason` leaves one. This pass
+/// deliberately ignores the suppression machinery itself (no
+/// self-suppressing `allow(suppression-missing-note)` loophole) — only the
+/// test-region filter applies.
+fn lint_suppression_note(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>) {
+    for site in &scan.suppression_sites {
+        if site.has_note || scan.in_test(site.line) {
+            continue;
+        }
+        let info = lint_info("suppression-missing-note").expect("lint id registered");
+        let context = scan
+            .enclosing_fn(site.line)
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<file>".to_string());
+        out.push(Diagnostic {
+            lint: "suppression-missing-note",
+            severity: info.default_severity,
+            file: path.to_string(),
+            line: site.line,
+            context,
+            message: format!(
+                "`funnel-lint: allow({})` has no note; append `: <why this is safe>`",
+                site.lints.join(", ")
+            ),
+        });
+    }
+}
+
+/// The obs metric/span registration functions whose first argument is a
+/// dotted vocabulary name (L10 scope).
+const OBS_CALLS: [&str; 4] = ["counter_add", "gauge_set", "histogram_record", "span"];
+
+/// L10: workspace-level pass replacing the CI obs-vocabulary grep. Parses
+/// the declared constants out of `crates/obs/src/names.rs` (idents and
+/// string values), then checks every `span!` / counter / gauge / histogram
+/// call site: `names::IDENT` must be a declared constant, and any ad-hoc
+/// dotted string literal must match a declared value. Returns nothing when
+/// the workspace has no names.rs (single-file fixture runs).
+pub fn lint_obs_names(files: &[(String, FileScan)]) -> Vec<Diagnostic> {
+    let Some((_, names_scan)) = files.iter().find(|(p, _)| p.ends_with("obs/src/names.rs")) else {
+        return Vec::new();
+    };
+    let (declared_idents, declared_values) = declared_obs_names(names_scan);
+    let mut out = Vec::new();
+    for (path, scan) in files {
+        if path.ends_with("obs/src/names.rs") {
+            continue;
+        }
+        let code = &scan.code;
+        for i in 0..code.len() {
+            let t = &code[i];
+            if !OBS_CALLS.iter().any(|c| t.is_ident(c)) {
+                continue;
+            }
+            // `span` is a macro (`span!(...)`); the metric fns are plain
+            // calls. Find the argument-list `(` either way.
+            let open = if code.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+                i + 1
+            } else if t.is_ident("span")
+                && code.get(i + 1).is_some_and(|p| p.is_punct('!'))
+                && code.get(i + 2).is_some_and(|p| p.is_punct('('))
+            {
+                i + 2
+            } else {
+                continue;
+            };
+            let close = paren_close(code, open);
+            for j in (open + 1)..close.min(code.len()) {
+                let a = &code[j];
+                if a.kind == crate::lexer::TokenKind::Str {
+                    let value = unquote(&a.text);
+                    if value.contains('.') && !declared_values.contains(value) {
+                        emit(
+                            &mut out,
+                            scan,
+                            "undeclared-obs-name",
+                            path,
+                            a.line,
+                            format!(
+                                "obs name {:?} is not declared in crates/obs/src/names.rs; \
+                                 add a constant there and use it",
+                                value
+                            ),
+                        );
+                    }
+                } else if a.is_ident("names")
+                    && code.get(j + 1).is_some_and(|p| p.is_punct(':'))
+                    && code.get(j + 2).is_some_and(|p| p.is_punct(':'))
+                    && code
+                        .get(j + 3)
+                        .is_some_and(|p| p.kind == crate::lexer::TokenKind::Ident)
+                    && !declared_idents.contains(&code[j + 3].text)
+                {
+                    emit(
+                        &mut out,
+                        scan,
+                        "undeclared-obs-name",
+                        path,
+                        a.line,
+                        format!(
+                            "`names::{}` is not declared in crates/obs/src/names.rs",
+                            code[j + 3].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    out
+}
+
+/// `pub const IDENT: &str = "value";` pairs from the names registry.
+fn declared_obs_names(scan: &FileScan) -> (BTreeSet<String>, BTreeSet<String>) {
+    let code = &scan.code;
+    let mut idents = BTreeSet::new();
+    let mut values = BTreeSet::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("const") {
+            continue;
+        }
+        let Some(name) = code
+            .get(i + 1)
+            .filter(|t| t.kind == crate::lexer::TokenKind::Ident)
+        else {
+            continue;
+        };
+        // Walk to the `;`, grabbing the initializer string literal.
+        let mut j = i + 2;
+        while j < code.len() && !code[j].is_punct(';') {
+            if code[j].kind == crate::lexer::TokenKind::Str {
+                idents.insert(name.text.clone());
+                values.insert(unquote(&code[j].text).to_string());
+                break;
+            }
+            j += 1;
+        }
+    }
+    (idents, values)
+}
+
+/// Index of the `)` matching the `(` at `open` (or `code.len()`).
+fn paren_close(code: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len()
+}
+
+/// Strips the quotes (and any raw-string fence) off a string literal's
+/// source text.
+fn unquote(lit: &str) -> &str {
+    let s = lit
+        .trim_start_matches(['b', 'r'])
+        .trim_start_matches('#')
+        .trim_start_matches('#');
+    let s = s.strip_prefix('"').unwrap_or(s);
+    s.trim_end_matches('#').strip_suffix('"').unwrap_or(s)
+}
+
 /// Walks the expression backwards from the `.` at `dot_idx` until a
 /// statement boundary (`;`, `{`, `}`, `=`) and returns the first ident in
 /// [`FS_NAMES`] — i.e. whether this `.unwrap()`/`.expect()` consumes a
@@ -603,7 +806,7 @@ fn fs_chain_root(code: &[crate::lexer::Token], dot_idx: usize) -> Option<String>
 /// Walks a receiver chain backwards from the `.` at `dot_idx` (idents,
 /// `.`, `(`, `)`, `&`, `self`) and returns the first chain ident found in
 /// `names` — i.e. whether this method call is rooted at a hash container.
-fn chain_mentions(
+pub(crate) fn chain_mentions(
     names: &BTreeSet<String>,
     code: &[crate::lexer::Token],
     dot_idx: usize,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p funnel-analyze -- [--root DIR] [--format human|json]
-//!     [--deny-new] [--write-baseline] [--stats]
+//!     [--deny-new] [--write-baseline] [--stats] [--dump-graph]
 //!     [--allow LINT]... [--deny LINT]...
 //! ```
 //!
@@ -28,6 +28,7 @@ struct Args {
     deny_new: bool,
     write_baseline: bool,
     stats: bool,
+    dump_graph: bool,
     overrides: SeverityOverrides,
 }
 
@@ -35,7 +36,8 @@ fn usage() -> String {
     let mut s = String::from(
         "funnel-lint — FUNNEL's determinism/no-panic static analysis\n\n\
          USAGE: funnel-lint [--root DIR] [--format human|json] [--deny-new]\n\
-                [--write-baseline] [--stats] [--allow LINT]... [--deny LINT]...\n\n\
+                [--write-baseline] [--stats] [--dump-graph]\n\
+                [--allow LINT]... [--deny LINT]...\n\n\
          LINTS:\n",
     );
     for l in &REGISTRY {
@@ -56,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         deny_new: false,
         write_baseline: false,
         stats: false,
+        dump_graph: false,
         overrides: SeverityOverrides::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--deny-new" => args.deny_new = true,
             "--write-baseline" => args.write_baseline = true,
             "--stats" => args.stats = true,
+            "--dump-graph" => args.dump_graph = true,
             "--allow" => {
                 args.overrides
                     .allow
@@ -108,8 +112,8 @@ fn main() -> ExitCode {
     };
 
     let ws = Workspace::at(&args.root);
-    let findings = match analyze(&ws, &args.overrides) {
-        Ok(f) => f,
+    let analysis = match analyze(&ws, &args.overrides) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!(
                 "error: failed to read workspace at {}: {e}",
@@ -118,31 +122,39 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    let findings = &analysis.diagnostics;
+
+    if args.dump_graph {
+        print!("{}", analysis.graph.dump());
+        return ExitCode::SUCCESS;
+    }
 
     let baseline_path = args.root.join(BASELINE_FILE);
     if args.write_baseline {
-        let baseline = Baseline::from_findings(&findings);
+        let mut baseline = Baseline::from_findings(findings);
+        baseline.max_unresolved_bp = Some(analysis.graph.stats.unresolved_ratio_bp());
         if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
             eprintln!("error: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(1);
         }
         println!(
-            "wrote {} ({} grandfathered finding(s))",
+            "wrote {} ({} grandfathered finding(s), max_unresolved_bp {})",
             baseline_path.display(),
-            baseline.total()
+            baseline.total(),
+            analysis.graph.stats.unresolved_ratio_bp()
         );
         return ExitCode::SUCCESS;
     }
 
     if args.stats {
-        print!("{}", render_stats(&findings));
+        print!("{}", render_stats(findings, &analysis.graph.stats));
         return ExitCode::SUCCESS;
     }
 
     if args.json {
-        println!("{}", render_json(&findings));
+        println!("{}", render_json(findings));
     } else if !findings.is_empty() {
-        print!("{}", render_human(&findings));
+        print!("{}", render_human(findings));
     }
 
     if !args.deny_new {
@@ -180,10 +192,15 @@ fn main() -> ExitCode {
             Baseline::default()
         }
     };
-    let violations = funnel_analyze::gate(&findings, &baseline, &args.overrides);
-    if violations.is_empty() {
+    let violations = funnel_analyze::gate(findings, &baseline, &args.overrides);
+    let current_bp = analysis.graph.stats.unresolved_ratio_bp();
+    let ratio_regressed = baseline
+        .max_unresolved_bp
+        .is_some_and(|ceiling| current_bp > ceiling);
+    if violations.is_empty() && !ratio_regressed {
         println!(
-            "funnel-lint: gate clean — {} deny finding(s), all grandfathered ({} baselined)",
+            "funnel-lint: gate clean — {} deny finding(s), all grandfathered ({} baselined), \
+             unresolved-call ratio {current_bp}‱ within ceiling",
             deny_count,
             baseline.total()
         );
@@ -208,9 +225,17 @@ fn main() -> ExitCode {
             ),
         }
     }
+    if ratio_regressed {
+        eprintln!(
+            "RESOLVER regression: unresolved-call ratio {current_bp}\u{2031} exceeds the recorded \
+             ceiling {}\u{2031}; fix the new unresolvable call shapes or consciously re-baseline \
+             with --write-baseline",
+            baseline.max_unresolved_bp.unwrap_or(0)
+        );
+    }
     eprintln!(
         "funnel-lint: gate FAILED with {} violation(s)",
-        violations.len()
+        violations.len() + usize::from(ratio_regressed)
     );
     ExitCode::from(2)
 }

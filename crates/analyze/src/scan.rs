@@ -5,20 +5,49 @@
 //! which function encloses a finding (baseline keys are stable across line
 //! drift because they use the function name, not the line), whether the
 //! crate root carries `#![forbid(unsafe_code)]`, and which lines carry an
-//! inline `funnel-lint: allow(...)` suppression.
+//! inline `funnel-lint: allow(...)` suppression. The call-graph builder
+//! ([`crate::graph`]) additionally needs token-index spans per `fn`, the
+//! `impl`/`trait` block each method belongs to, and the token ranges
+//! covered by attributes (so `#[cfg(feature = "x")]` never reads as a call
+//! to `cfg`).
 
 use crate::lexer::{lex, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// One `fn` item: name and the line span of signature + body.
+/// One `fn` item: name, line span, token-index span, and owning
+/// `impl`/`trait` block if any.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnSpan {
     /// The function's name.
     pub name: String,
+    /// The `impl` type or `trait` name this fn is defined under, if any —
+    /// `Collector` for `impl<'a> Collector<'a> { fn commit … }`,
+    /// `IngestHooks` for a trait's default method body.
+    pub owner: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub start_line: u32,
     /// 1-based line of the closing brace.
     pub end_line: u32,
+    /// Index of the `fn` keyword in [`FileScan::code`].
+    pub fn_tok: usize,
+    /// Index of the body's opening `{` in [`FileScan::code`].
+    pub body_open: usize,
+    /// Index of the body's closing `}` (or `code.len()` when unbalanced).
+    pub body_close: usize,
+}
+
+/// One inline `funnel-lint: allow(...)` comment, with whatever explanatory
+/// note follows the closing paren — the raw material of the
+/// suppression-hygiene lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionSite {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The lint ids listed inside `allow(...)`.
+    pub lints: Vec<String>,
+    /// Whether a non-empty note follows the `allow(...)` — either
+    /// `allow(x): why it is safe` or `allow(x) note: why`.
+    pub has_note: bool,
 }
 
 /// Everything the lint passes need to know about one file.
@@ -33,8 +62,14 @@ pub struct FileScan {
     pub test_regions: Vec<(u32, u32)>,
     /// Lines on which findings of the named lints are suppressed.
     pub suppressions: BTreeMap<u32, BTreeSet<String>>,
+    /// Every `funnel-lint: allow` comment with its note status, in source
+    /// order.
+    pub suppression_sites: Vec<SuppressionSite>,
     /// Whether the file carries an inner `#![forbid(unsafe_code)]`.
     pub has_forbid_unsafe: bool,
+    /// Inclusive token-index ranges covered by `#[…]` / `#![…]` attributes
+    /// (from the `#` to the closing `]`).
+    pub attr_ranges: Vec<(usize, usize)>,
 }
 
 impl FileScan {
@@ -64,18 +99,33 @@ impl FileScan {
             .filter(|f| (f.start_line..=f.end_line).contains(&line))
             .min_by_key(|f| f.end_line - f.start_line)
     }
+
+    /// Whether token index `idx` falls inside an attribute (`#[…]`).
+    pub fn in_attr(&self, idx: usize) -> bool {
+        self.attr_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&idx))
+    }
 }
 
 fn build(all: Vec<Token>) -> FileScan {
     let mut suppressions: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut suppression_sites = Vec::new();
     for t in &all {
         if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
-            for lint in parse_suppression(&t.text) {
+            let Some(site) = parse_suppression(t.line, &t.text) else {
+                continue;
+            };
+            for lint in &site.lints {
                 // A suppression covers its own line and the next one, so it
                 // works both inline and as a standalone comment above.
                 suppressions.entry(t.line).or_default().insert(lint.clone());
-                suppressions.entry(t.line + 1).or_default().insert(lint);
+                suppressions
+                    .entry(t.line + 1)
+                    .or_default()
+                    .insert(lint.clone());
             }
+            suppression_sites.push(site);
         }
     }
 
@@ -85,6 +135,7 @@ fn build(all: Vec<Token>) -> FileScan {
         .collect();
 
     let has_forbid_unsafe = find_inner_forbid(&code);
+    let attr_ranges = scan_attr_ranges(&code);
     let fns = scan_fns(&code);
     let test_regions = scan_test_regions(&code);
 
@@ -93,28 +144,63 @@ fn build(all: Vec<Token>) -> FileScan {
         fns,
         test_regions,
         suppressions,
+        suppression_sites,
         has_forbid_unsafe,
+        attr_ranges,
     }
 }
 
-/// `funnel-lint: allow(a, b)` anywhere inside a comment.
-fn parse_suppression(comment: &str) -> Vec<String> {
-    let Some(idx) = comment.find("funnel-lint:") else {
-        return Vec::new();
-    };
+/// `funnel-lint: allow(a, b)` anywhere inside a comment, plus whether a
+/// note follows the closing paren.
+fn parse_suppression(line: u32, comment: &str) -> Option<SuppressionSite> {
+    let idx = comment.find("funnel-lint:")?;
     let rest = &comment[idx + "funnel-lint:".len()..];
     let rest = rest.trim_start();
-    let Some(args) = rest.strip_prefix("allow(") else {
-        return Vec::new();
-    };
-    let Some(close) = args.find(')') else {
-        return Vec::new();
-    };
-    args[..close]
+    let args = rest.strip_prefix("allow(")?;
+    let close = args.find(')')?;
+    let lints: Vec<String> = args[..close]
         .split(',')
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
-        .collect()
+        .collect();
+    // `allow(x): why` or `allow(x) note: why` — anything non-empty after
+    // the paren (modulo leading punctuation) counts as the note.
+    let tail = args[close + 1..]
+        .trim_start()
+        .trim_start_matches([':', '-', '—'])
+        .trim();
+    let has_note = !tail.is_empty();
+    Some(SuppressionSite {
+        line,
+        lints,
+        has_note,
+    })
+}
+
+/// Inclusive token ranges of `#[…]` / `#![…]` attributes.
+fn scan_attr_ranges(code: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct('#') {
+            let open = if code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                i + 1
+            } else if code.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct('['))
+            {
+                i + 2
+            } else {
+                i += 1;
+                continue;
+            };
+            let close = matching_bracket(code, open);
+            ranges.push((i, close.min(code.len().saturating_sub(1))));
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
 }
 
 /// Looks for `#![forbid(unsafe_code)]` among the file's inner attributes.
@@ -170,10 +256,95 @@ fn matching_brace(code: &[Token], open: usize) -> usize {
     code.len()
 }
 
+/// One `impl Type { … }`, `impl Trait for Type { … }`, or
+/// `trait Name { … }` block: the owner name lints and the call graph
+/// attribute contained fns to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OwnerBlock {
+    name: String,
+    open: usize,
+    close: usize,
+}
+
+/// Finds every `impl`/`trait` block and the self-type (or trait) name it
+/// owns. For `impl Trait for Type` the owner is `Type`; generics and
+/// lifetimes are skipped; a malformed header is simply not an owner block.
+fn scan_owner_blocks(code: &[Token]) -> Vec<OwnerBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let kw_impl = code[i].is_ident("impl");
+        let kw_trait = code[i].is_ident("trait");
+        if !kw_impl && !kw_trait {
+            i += 1;
+            continue;
+        }
+        // Collect the last path-segment ident seen before the body `{`,
+        // restarting after `for` so `impl Trait for Type` yields `Type`.
+        // Generic argument lists are skipped wholesale (their type names
+        // are parameters, not the self type).
+        let mut j = i + 1;
+        let mut name: Option<String> = None;
+        let mut open = None;
+        let mut angle = 0usize;
+        while j < code.len() {
+            let t = &code[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = angle.saturating_sub(1);
+            } else if angle == 0 {
+                if t.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("for") {
+                    name = None;
+                } else if t.kind == TokenKind::Ident
+                    && !matches!(
+                        t.text.as_str(),
+                        "dyn" | "where" | "pub" | "unsafe" | "Send" | "Sync"
+                    )
+                    && !t.text.is_empty()
+                {
+                    // `where` clauses end name collection: bounds name
+                    // other types.
+                    name = Some(t.text.clone());
+                }
+                if t.is_ident("where") {
+                    // Freeze whatever we have; skip to the `{`.
+                    while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if code.get(j).is_some_and(|t| t.is_punct('{')) {
+                        open = Some(j);
+                    }
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let (Some(name), Some(open)) = (name, open) else {
+            i += 1;
+            continue;
+        };
+        let close = matching_brace(code, open);
+        blocks.push(OwnerBlock { name, open, close });
+        // Continue scanning *inside* the block too (nested impls are rare
+        // but legal); the innermost block wins at lookup time.
+        i = open + 1;
+    }
+    blocks
+}
+
 /// All `fn name … { … }` items. `fn` pointer types (`fn(u32) -> u32`) are
 /// skipped because no identifier follows the keyword; trait method
 /// declarations are skipped because `;` arrives before `{`.
 fn scan_fns(code: &[Token]) -> Vec<FnSpan> {
+    let owners = scan_owner_blocks(code);
     let mut fns = Vec::new();
     for i in 0..code.len() {
         if !code[i].is_ident("fn") {
@@ -201,10 +372,19 @@ fn scan_fns(code: &[Token]) -> Vec<FnSpan> {
         }
         let Some(open) = open else { continue };
         let close = matching_brace(code, open);
+        let owner = owners
+            .iter()
+            .filter(|b| (b.open..=b.close).contains(&i))
+            .min_by_key(|b| b.close - b.open)
+            .map(|b| b.name.clone());
         fns.push(FnSpan {
             name: name_tok.text.clone(),
+            owner,
             start_line: code[i].line,
             end_line: code.get(close).map_or(code[i].line, |t| t.line),
+            fn_tok: i,
+            body_open: open,
+            body_close: close,
         });
     }
     fns
@@ -314,5 +494,68 @@ mod tests {
         let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {\n  body\n}\n";
         let s = FileScan::of(src);
         assert!(!s.in_test(4), "regions: {:?}", s.test_regions);
+    }
+
+    #[test]
+    fn impl_and_trait_owners_attach_to_methods() {
+        let src = "\
+impl<'a> Collector<'a> {\n  fn commit(&mut self) {}\n}\n\
+impl IngestHooks for DurableHooks {\n  fn on_accepted_frame(&mut self) {}\n}\n\
+trait IngestHooks {\n  fn hook(&self) { default() }\n}\n\
+fn free() {}\n";
+        let s = FileScan::of(src);
+        let owner_of = |name: &str| {
+            s.fns
+                .iter()
+                .find(|f| f.name == name)
+                .and_then(|f| f.owner.clone())
+        };
+        assert_eq!(owner_of("commit").as_deref(), Some("Collector"));
+        assert_eq!(
+            owner_of("on_accepted_frame").as_deref(),
+            Some("DurableHooks")
+        );
+        assert_eq!(owner_of("hook").as_deref(), Some("IngestHooks"));
+        assert_eq!(owner_of("free"), None);
+    }
+
+    #[test]
+    fn fn_token_spans_cover_the_body() {
+        let s = FileScan::of("fn a() { inner(1) }\n");
+        let f = &s.fns[0];
+        assert!(s.code[f.fn_tok].is_ident("fn"));
+        assert!(s.code[f.body_open].is_punct('{'));
+        assert!(s.code[f.body_close].is_punct('}'));
+    }
+
+    #[test]
+    fn suppression_notes_are_detected() {
+        let src = "\
+// funnel-lint: allow(panic-in-hot-path): bound checked above\n\
+// funnel-lint: allow(unordered-iteration)\n\
+// funnel-lint: allow(fs-io-unwrap) note: scratch dir always exists\n";
+        let s = FileScan::of(src);
+        assert_eq!(s.suppression_sites.len(), 3);
+        assert!(s.suppression_sites[0].has_note);
+        assert!(!s.suppression_sites[1].has_note);
+        assert!(s.suppression_sites[2].has_note);
+        assert_eq!(s.suppression_sites[1].line, 2);
+    }
+
+    #[test]
+    fn attr_ranges_cover_attribute_tokens() {
+        let s = FileScan::of("#[cfg(feature = \"x\")]\nfn a() { real(1) }\n");
+        let cfg_idx = s
+            .code
+            .iter()
+            .position(|t| t.is_ident("cfg"))
+            .expect("cfg token");
+        let real_idx = s
+            .code
+            .iter()
+            .position(|t| t.is_ident("real"))
+            .expect("real token");
+        assert!(s.in_attr(cfg_idx));
+        assert!(!s.in_attr(real_idx));
     }
 }

@@ -1,0 +1,8 @@
+//@file crates/obs/src/names.rs
+pub const PIPELINE_ASSESS: &str = "pipeline.assess";
+//@file crates/core/src/metrics.rs
+use funnel_obs::names;
+pub fn record(reg: &Registry) {
+    reg.counter_add(names::PIPELINE_ASSESS, 1);
+    reg.histogram_record("latency", 3);
+}

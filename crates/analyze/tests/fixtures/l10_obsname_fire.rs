@@ -1,0 +1,7 @@
+//@file crates/obs/src/names.rs
+pub const PIPELINE_ASSESS: &str = "pipeline.assess";
+//@file crates/core/src/metrics.rs
+pub fn record(reg: &Registry) {
+    reg.counter_add("pipeline.stale.reads", 1);
+    reg.gauge_set(names::QUEUE_DEPTH, 0);
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/cache.rs
+pub fn freshest(values: &[u64]) -> u64 {
+    // funnel-lint: allow(float-accumulation-order)
+    values.iter().copied().max().unwrap_or(0)
+}

@@ -1,0 +1,11 @@
+//@file crates/core/src/pipeline.rs
+pub fn assess_change() -> u32 {
+    read_frame()
+}
+//@file crates/resilience/src/frame.rs
+pub fn read_frame() -> u32 {
+    decode().unwrap()
+}
+fn decode() -> Option<u32> {
+    None
+}

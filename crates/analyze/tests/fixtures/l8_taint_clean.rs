@@ -1,0 +1,15 @@
+//@file crates/core/src/report.rs
+pub fn render_summary(rows: &[u32]) -> String {
+    let tags = gather_tags();
+    format!("{}:{}", tags.len(), rows.len())
+}
+//@file crates/core/src/ident.rs
+pub fn gather_tags() -> Vec<u64> {
+    let mut v = vec![worker_tag()];
+    v.sort();
+    v
+}
+pub fn worker_tag() -> u64 {
+    let _id = std::thread::current().id();
+    0
+}

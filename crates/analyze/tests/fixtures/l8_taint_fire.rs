@@ -1,0 +1,10 @@
+//@file crates/core/src/report.rs
+pub fn render_summary(rows: &[u32]) -> String {
+    let tag = worker_tag();
+    format!("{tag}:{}", rows.len())
+}
+//@file crates/core/src/ident.rs
+pub fn worker_tag() -> u64 {
+    let _id = std::thread::current().id();
+    0
+}

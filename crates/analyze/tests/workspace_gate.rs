@@ -25,7 +25,9 @@ fn read_baseline() -> Baseline {
 }
 
 fn findings(ws: &Workspace) -> Vec<Diagnostic> {
-    analyze(ws, &SeverityOverrides::default()).expect("workspace readable")
+    analyze(ws, &SeverityOverrides::default())
+        .expect("workspace readable")
+        .diagnostics
 }
 
 #[test]
@@ -114,6 +116,102 @@ fn injected_unwrap_in_parallel_engine_fails_the_gate() {
             GateViolation::New { key, .. } if key.starts_with("panic-in-hot-path:crates/core/src/parallel.rs")
         )),
         "unwrap() in the parallel engine must trip the gate: {violations:#?}"
+    );
+}
+
+/// Inserts `stmt` at the top of the body of the fn whose signature starts
+/// with `sig`, so interprocedural canaries can hang off a real entry point.
+fn inject_into_fn(orig: &str, sig: &str, stmt: &str) -> String {
+    let at = orig.find(sig).expect("signature present");
+    let brace = at + orig[at..].find('{').expect("body opens") + 1;
+    format!("{}\n    {stmt}\n{}", &orig[..brace], &orig[brace..])
+}
+
+#[test]
+fn injected_panic_chain_from_recover_fails_the_gate() {
+    // L7 is interprocedural: the panic source lives in a helper, and only
+    // the call edge from the `recover` entry point makes it a finding.
+    let root = repo_root();
+    let target = "crates/resilience/src/recover.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("recover module exists");
+    let body = inject_into_fn(&orig, "pub fn recover(", "_lint_canary_chain();");
+    let ws = Workspace::at(&root).overlay(
+        target,
+        &format!(
+            "{body}\nfn _lint_canary_chain() {{ _lint_canary_panics(None); }}\n\
+             fn _lint_canary_panics(v: Option<u32>) {{ let _ = v.unwrap(); }}\n"
+        ),
+    );
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. }
+                if key.starts_with("panic-reachability:crates/resilience/src/recover.rs:recover")
+        )),
+        "unwrap two calls below `recover` must trip L7: {violations:#?}"
+    );
+}
+
+#[test]
+fn injected_taint_into_report_sink_fails_the_gate() {
+    // L8: the clock read sits in a private helper; the pub render fn is the
+    // sink the taint must flow into along the call edge.
+    let root = repo_root();
+    let target = "crates/core/src/report.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("report module exists");
+    let injected = "\nfn _lint_canary_stamp() -> u64 {\n\
+                    \x20   let _ = std::time::Instant::now();\n\
+                    \x20   0\n\
+                    }\n\
+                    pub fn render_lint_canary() -> String {\n\
+                    \x20   let _ = _lint_canary_stamp();\n\
+                    \x20   String::new()\n\
+                    }\n";
+    let ws = Workspace::at(&root).overlay(target, &format!("{orig}{injected}"));
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. }
+                if key.starts_with("determinism-taint:crates/core/src/report.rs:render_lint_canary")
+        )),
+        "clock taint reaching a render sink must trip L8: {violations:#?}"
+    );
+}
+
+#[test]
+fn injected_commit_without_journal_fails_the_gate() {
+    // L9: a collector-side fn that touches IngestHooks and commits before
+    // journaling violates the WAL ⊇ store protocol.
+    let root = repo_root();
+    let target = "crates/sim/src/collector.rs";
+    let orig = std::fs::read_to_string(root.join(target)).expect("collector module exists");
+    let injected = "\nfn _lint_canary_ingest(hooks: &mut dyn IngestHooks, store: &mut Store) {\n\
+                    \x20   store.commit();\n\
+                    \x20   let _ = hooks.on_accepted_frame();\n\
+                    }\n";
+    let ws = Workspace::at(&root).overlay(target, &format!("{orig}{injected}"));
+    let violations = gate(
+        &findings(&ws),
+        &read_baseline(),
+        &SeverityOverrides::default(),
+    );
+    assert!(
+        violations.iter().any(|v| matches!(
+            v,
+            GateViolation::New { key, .. }
+                if key.starts_with("journal-before-commit:crates/sim/src/collector.rs:_lint_canary_ingest")
+        )),
+        "commit before journal must trip L9: {violations:#?}"
     );
 }
 

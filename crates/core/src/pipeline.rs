@@ -238,13 +238,25 @@ pub fn enumerate_work_units(
 pub struct Funnel {
     config: FunnelConfig,
     assessor: DidAssessor,
+    /// Pre-validated SST scorer: built (and config-checked) once in
+    /// [`Funnel::new`] so the per-item detector path never constructs —
+    /// and therefore never panics on — a scorer.
+    sst: FastSst,
 }
 
 impl Funnel {
     /// Creates the tool with an explicit configuration.
     pub fn new(config: FunnelConfig) -> Self {
         let assessor = DidAssessor::new(config.did.clone());
-        Self { config, assessor }
+        // Validate the SST config here, once: every later detector run
+        // clones this pre-validated scorer, so the assessment hot path
+        // contains no panic-capable constructor.
+        let sst = FastSst::new(config.sst.clone());
+        Self {
+            config,
+            assessor,
+            sst,
+        }
     }
 
     /// The paper's evaluation configuration.
@@ -540,7 +552,7 @@ impl Funnel {
 
     fn runner(&self) -> DetectorRunner<SstDetector<FastSst>> {
         DetectorRunner::new(
-            SstDetector::fast(FastSst::new(self.config.sst.clone())),
+            SstDetector::fast(self.sst.clone()),
             self.config.sst_threshold,
             self.config.persistence_minutes,
         )

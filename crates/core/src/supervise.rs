@@ -175,8 +175,13 @@ fn backoff_ms(config: &SupervisorConfig, key: KpiKey, attempt: u32) -> u64 {
     let exp = config
         .backoff_base_ms
         .saturating_mul(1u64 << attempt.min(16));
-    let kb = key_to_bytes(key);
-    let key_hash = u64::from_le_bytes([kb[0], kb[1], kb[2], kb[3], kb[4], kb[5], 0, 0]);
+    // Index-free LE packing of the 6 key bytes into the low 48 bits —
+    // identical to from_le_bytes([kb[0..6], 0, 0]) but structurally
+    // panic-proof for the reachability lint.
+    let key_hash = key_to_bytes(key)
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << (8 * i)));
     let jitter_span = config.backoff_base_ms.max(1);
     let jitter =
         splitmix64(config.seed ^ key_hash.rotate_left(17) ^ u64::from(attempt)) % jitter_span;

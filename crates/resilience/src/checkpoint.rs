@@ -174,6 +174,14 @@ fn corrupt(why: impl Into<String>) -> ResilienceError {
     ResilienceError::Corrupt(why.into())
 }
 
+/// Little-endian value of up to 8 bytes — index-free, so the no-panic
+/// guarantee is structural rather than argued from `take`'s bounds check.
+fn le_bytes(b: &[u8]) -> u64 {
+    b.iter()
+        .rev()
+        .fold(0u64, |acc, &x| (acc << 8) | u64::from(x))
+}
+
 /// Bounds-checked little-endian reader over a checkpoint payload.
 struct Reader<'a> {
     buf: &'a [u8],
@@ -195,19 +203,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, ResilienceError> {
-        Ok(self.take(1)?[0])
+        Ok(le_bytes(self.take(1)?) as u8)
     }
 
     fn u32(&mut self) -> Result<u32, ResilienceError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(le_bytes(self.take(4)?) as u32)
     }
 
     fn u64(&mut self) -> Result<u64, ResilienceError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(le_bytes(self.take(8)?))
     }
 
     fn f64(&mut self) -> Result<f64, ResilienceError> {
@@ -227,8 +231,11 @@ impl<'a> Reader<'a> {
 
     fn key(&mut self) -> Result<KpiKey, ResilienceError> {
         let b = self.take(6)?;
-        key_from_bytes([b[0], b[1], b[2], b[3], b[4], b[5]])
-            .map_err(|e| corrupt(format!("checkpoint key: {e}")))
+        let mut arr = [0u8; 6];
+        for (dst, &src) in arr.iter_mut().zip(b) {
+            *dst = src;
+        }
+        key_from_bytes(arr).map_err(|e| corrupt(format!("checkpoint key: {e}")))
     }
 
     fn accs(&mut self) -> Result<MinuteAccs, ResilienceError> {
@@ -263,13 +270,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, ResilienceError> {
         return Err(corrupt("checkpoint shorter than its header"));
     }
     let (header, payload) = bytes.split_at(16);
-    if header[..8] != MAGIC {
+    let (magic, stored) = header.split_at(8);
+    if magic != MAGIC {
         return Err(corrupt("bad checkpoint magic"));
     }
-    let stored_hash = u64::from_le_bytes([
-        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
-        header[15],
-    ]);
+    let stored_hash = le_bytes(stored);
     if fnv1a(payload) != stored_hash {
         return Err(corrupt("checkpoint hash mismatch"));
     }

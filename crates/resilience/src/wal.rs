@@ -74,18 +74,21 @@ pub fn decode_records(buf: &[u8]) -> DecodedSegment {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos < buf.len() {
-        let rest = &buf[pos..];
+        let Some(rest) = buf.get(pos..) else { break };
         if rest.len() < RECORD_HEADER {
             break;
         }
-        let kind = rest[0];
+        let kind = rest.first().copied().unwrap_or(0);
         if kind != FRAME_RECORD && kind != EOS_RECORD {
             break;
         }
-        let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
-        let stored_hash = u64::from_le_bytes([
-            rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11], rest[12],
-        ]);
+        let le = |b: &[u8]| {
+            b.iter()
+                .rev()
+                .fold(0u64, |acc, &x| (acc << 8) | u64::from(x))
+        };
+        let len = rest.get(1..5).map_or(0, &le) as usize;
+        let stored_hash = rest.get(5..RECORD_HEADER).map_or(0, &le);
         let Some(payload) = rest.get(RECORD_HEADER..RECORD_HEADER + len) else {
             break;
         };

@@ -244,7 +244,9 @@ pub fn replay_durable(
                 payload.push((key, world.series(&key)?));
             }
         }
-        shard_data[sid % shards].servers.push(payload);
+        if let Some(slot) = shard_data.get_mut(sid % shards) {
+            slot.servers.push(payload);
+        }
     }
 
     let (tx, rx) = bounded::<Bytes>(shards * 4);
@@ -270,7 +272,7 @@ pub fn replay_durable(
         for (shard_idx, data) in shard_data.iter().enumerate() {
             let tx = tx.clone();
             let schedule = &schedule;
-            let cursor = cursors[shard_idx];
+            let cursor = cursors.get(shard_idx).copied().unwrap_or(0);
             handles.push(scope.spawn(move || {
                 let mut local = AgentStats::default();
                 // Frames held back by the transport: (release minute, bytes).

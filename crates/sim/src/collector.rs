@@ -235,7 +235,12 @@ impl<'a> Collector<'a> {
             // Header claims an agent we never started: quarantine.
             return Ingest::Quarantined;
         }
-        if self.state.seen[agent].contains(&decoded.minute) {
+        if self
+            .state
+            .seen
+            .get(agent)
+            .is_some_and(|s| s.contains(&decoded.minute))
+        {
             return Ingest::Duplicate;
         }
         // A frame whose original-minute stamp lies behind this agent's own
@@ -243,7 +248,13 @@ impl<'a> Collector<'a> {
         // live frame — it is a healed partition's backlog. The routing test
         // is per-agent (frames within one agent arrive in send order), so
         // it is independent of cross-shard thread interleaving.
-        if self.state.watermarks[agent].is_some_and(|w| decoded.minute + self.horizon < w) {
+        if self
+            .state
+            .watermarks
+            .get(agent)
+            .and_then(|w| *w)
+            .is_some_and(|w| decoded.minute + self.horizon < w)
+        {
             return Ingest::Backfill(decoded);
         }
         Ingest::Live(decoded)
@@ -264,7 +275,9 @@ impl<'a> Collector<'a> {
                 funnel_obs::counter_add(funnel_obs::names::FRAMES_DUP_SUPPRESSED, 1);
             }
             Ingest::Backfill(frame) => {
-                self.state.seen[frame.agent_id as usize].insert(frame.minute);
+                if let Some(seen) = self.state.seen.get_mut(frame.agent_id as usize) {
+                    seen.insert(frame.minute);
+                }
                 self.stats.frames += 1;
                 funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
                 self.stats.backfilled_frames += 1;
@@ -275,11 +288,14 @@ impl<'a> Collector<'a> {
             }
             Ingest::Live(frame) => {
                 let agent = frame.agent_id as usize;
-                self.state.seen[agent].insert(frame.minute);
+                if let Some(seen) = self.state.seen.get_mut(agent) {
+                    seen.insert(frame.minute);
+                }
                 self.stats.frames += 1;
                 funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
-                let w = &mut self.state.watermarks[agent];
-                *w = Some(w.map_or(frame.minute, |x| x.max(frame.minute)));
+                if let Some(w) = self.state.watermarks.get_mut(agent) {
+                    *w = Some(w.map_or(frame.minute, |x| x.max(frame.minute)));
+                }
                 let entry = self.state.pending.entry(frame.minute).or_default();
                 entry.0 += 1;
                 for rec in &frame.records {

@@ -405,7 +405,9 @@ impl FaultSchedule {
             if out.len() > 12 {
                 let span = out.len() - 12;
                 let idx = 12 + ((pos_frac * span as f64) as usize).min(span - 1);
-                out[idx] ^= mask;
+                if let Some(slot) = out.get_mut(idx) {
+                    *slot ^= mask;
+                }
             }
         }
         if let Some(frac) = fate.truncate_frac {

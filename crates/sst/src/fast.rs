@@ -43,8 +43,18 @@ impl FastSst {
     ///
     /// Panics when the configuration fails [`SstConfig::validate`].
     pub fn new(config: SstConfig) -> Self {
-        config.validate().expect("invalid SST configuration");
-        Self { config }
+        Self::try_new(config).expect("invalid SST configuration")
+    }
+
+    /// Creates the scorer, rejecting an inconsistent configuration instead
+    /// of panicking — the constructor hot paths must use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SstConfig::validate`] message on an invalid config.
+    pub fn try_new(config: SstConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// Creates the scorer with the paper's evaluation configuration
