@@ -32,10 +32,11 @@ use std::collections::BTreeMap;
 
 /// The hot-path entry points whose panic-freedom the paper's robustness
 /// story depends on: assessment pipeline, parallel engine, supervisor,
-/// collector accept/backfill, and crash recovery. `(file, fn)` pairs;
-/// entries missing from the workspace are simply skipped, so fixture
-/// workspaces can exercise the pass with their own names.
-pub const ENTRY_POINTS: [(&str, &str); 14] = [
+/// collector accept/backfill, streaming engine, and crash recovery.
+/// `(file, fn)` pairs; entries missing from the workspace are simply
+/// skipped, so fixture workspaces can exercise the pass with their own
+/// names.
+pub const ENTRY_POINTS: [(&str, &str); 18] = [
     ("crates/core/src/pipeline.rs", "assess_change"),
     ("crates/core/src/pipeline.rs", "assess_change_with"),
     ("crates/core/src/pipeline.rs", "assess_key"),
@@ -50,6 +51,10 @@ pub const ENTRY_POINTS: [(&str, &str); 14] = [
     ("crates/sim/src/store.rs", "backfill"),
     ("crates/sim/src/agent.rs", "replay_durable"),
     ("crates/resilience/src/recover.rs", "recover"),
+    ("crates/core/src/stream.rs", "offer"),
+    ("crates/core/src/stream.rs", "tick"),
+    ("crates/core/src/stream.rs", "track_change"),
+    ("crates/timeseries/src/ring.rs", "push"),
 ];
 
 /// Runs L7, L8, and L9 over the graph. `scans` must cover every file the

@@ -1,0 +1,552 @@
+//! Stream sweep — the streaming engine under an overload grid.
+//!
+//! Builds shifted worlds of increasing fleet size, flattens each into a
+//! [`LiveFeed`], and drives the feed tick-by-tick through a
+//! [`StreamEngine`] across a grid of ingest-rate multipliers (how many
+//! minutes of frames land between consecutive ticks) and tick budgets
+//! (key-minute folds the scheduler may spend per tick; 0 = unbounded).
+//! Reported per cell: sustained fold rate (KPI-minute updates scored per
+//! wall second), p50/p99 tick latency, detection latency of the injected
+//! change, the shed fraction, and the resident window memory against its
+//! configured bound.
+//!
+//! Four contracts are asserted, smoke or full:
+//!
+//! * **Byte identity** — at 1× ingest with no budget, the streamed items
+//!   are byte-identical to the batch pipeline run on a store replayed
+//!   from the same feed, at 1, 3, and 8 workers. Under a budget, every
+//!   non-shed, non-stale item still matches its batch counterpart.
+//! * **Bounded memory** — at 10× overload the resident window bytes equal
+//!   the configured rings × capacity bound; nothing grows with backlog.
+//! * **Deterministic shedding** — re-running an overloaded cell with the
+//!   same seed sheds the identical (minute, key) log.
+//! * **No stall under faults** — a feed replayed through the lossy
+//!   fault-injection transport (drops, corruption, delays, duplicates)
+//!   still completes its assessment at 10× overload, twice, identically.
+//!
+//! Writes `results/stream_sweep.csv` and `results/BENCH_stream.json` and
+//! prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (smallest
+//! fleet, 1× and 10× only — same four contracts); FUNNEL_OBS=1 to write
+//! `results/obs_report.json` for the sweep's own pipeline activity.
+
+use funnel_bench::report::BenchReport;
+use funnel_core::stream::StreamAssessment;
+use funnel_core::{FunnelConfig, StreamConfig, StreamEngine};
+use funnel_sim::agent::replay_with_faults;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::faults::FaultPlan;
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::live::LiveFeed;
+use funnel_sim::store::MetricStore;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sst::SstConfig;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use funnel_topology::model::ServiceId;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Two simulated days: a day of history before the change, an hour of
+/// assessment, and slack for the backfill/staleness paths.
+const DURATION: u64 = 2880;
+
+/// Deployment minute — leaves the full warmup + history inside the feed.
+const T0: u64 = 1700;
+
+/// Quick-SST pipeline config: the sweep replays every minute of the feed
+/// through the scheduler several times per cell, and byte-identity is
+/// asserted against a batch run of the *same* config, so the shorter
+/// window changes nothing about what is being compared.
+fn pipeline_config(workers: usize) -> FunnelConfig {
+    let mut c = FunnelConfig::paper_default();
+    c.sst = SstConfig::quick();
+    c.assess.workers = workers;
+    c
+}
+
+fn stream_config(funnel: &FunnelConfig, budget: u64, workers: usize) -> StreamConfig {
+    let mut s = StreamConfig::paired_with(funnel);
+    s.ring_capacity = StreamConfig::capacity_for(funnel, DURATION);
+    s.tick_budget = budget;
+    s.workers = workers;
+    s
+}
+
+/// A world with `instances` instances (half treated, at least one) and a
+/// real treated-side delay shift, so detection and DiD do full work.
+fn build_world(seed: u64, instances: usize) -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed,
+        start: 0,
+        duration: DURATION as usize,
+    });
+    let svc = b.add_service("prod.stream", instances).expect("fresh");
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        9.0,
+    );
+    let id = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            (instances / 2).max(1),
+            T0,
+            effect,
+            "stream sweep upgrade",
+        )
+        .expect("valid");
+    (b.build(), id)
+}
+
+fn service_kinds(world: &World) -> BTreeMap<ServiceId, Vec<KpiKind>> {
+    world
+        .topology()
+        .services()
+        .map(|(id, _)| (id, world.kinds_of_service(id).to_vec()))
+        .collect()
+}
+
+/// Replays `feed` into a fresh store — the batch pipeline's input, built
+/// from the exact measurement sequence the engine saw.
+fn replay_feed(feed: &LiveFeed) -> MetricStore {
+    let store = MetricStore::new();
+    for (_, batch) in feed.arrivals() {
+        for m in batch {
+            store.append(m.key, m.minute, m.value);
+        }
+    }
+    store
+}
+
+/// Batch items for the change as `(debug key, debug item)` pairs in the
+/// batch pipeline's own item order, at `workers` workers.
+fn batch_items(
+    world: &World,
+    change: ChangeId,
+    feed: &LiveFeed,
+    workers: usize,
+) -> Vec<(String, String)> {
+    let record = world.change_log().get(change).expect("logged").clone();
+    let kinds = service_kinds(world);
+    let snapshot = replay_feed(feed).snapshot();
+    funnel_core::Funnel::new(pipeline_config(workers))
+        .assess_change_with(&snapshot, world.topology(), &record, &|svc| {
+            kinds.get(&svc).cloned().unwrap_or_default()
+        })
+        .expect("batch assessment")
+        .items
+        .into_iter()
+        .map(|i| (format!("{:?}", i.key), format!("{i:?}")))
+        .collect()
+}
+
+/// The outcome of one engine run over `feed`.
+struct CellRun {
+    engine: StreamEngine,
+    completed: Vec<StreamAssessment>,
+    tick_ms: Vec<f64>,
+    scored_key_ticks: u64,
+    wall_s: f64,
+}
+
+/// Drives `feed` through a fresh engine, delivering `rate` minutes of
+/// frames between consecutive ticks (1 = real time, 10 = 10× overload).
+fn run_cell(
+    world: &World,
+    change: ChangeId,
+    feed: &LiveFeed,
+    funnel_cfg: FunnelConfig,
+    stream_cfg: StreamConfig,
+    rate: u64,
+) -> CellRun {
+    let record = world.change_log().get(change).expect("logged").clone();
+    let mut engine = StreamEngine::new(funnel_cfg, stream_cfg, service_kinds(world));
+    engine
+        .track_change(world.topology(), record)
+        .expect("tracked");
+    let mut completed = Vec::new();
+    let mut tick_ms = Vec::new();
+    let mut scored_key_ticks = 0u64;
+    let mut pending = 0u64;
+    let mut last = 0;
+    let started = Instant::now();
+    for (minute, batch) in feed.arrivals() {
+        for &m in batch {
+            engine.offer(m);
+        }
+        pending += 1;
+        last = minute;
+        if pending >= rate {
+            let t = Instant::now();
+            let report = engine.tick(minute);
+            tick_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            scored_key_ticks += report.scored_keys as u64;
+            completed.extend(report.completed);
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        let t = Instant::now();
+        let report = engine.tick(last);
+        tick_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        scored_key_ticks += report.scored_keys as u64;
+        completed.extend(report.completed);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    CellRun {
+        engine,
+        completed,
+        tick_ms,
+        scored_key_ticks,
+        wall_s,
+    }
+}
+
+/// `p`-th percentile (0–100) of `samples`, nearest-rank on sorted data.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One sweep cell, reported.
+#[derive(Debug, Clone)]
+struct SweepRow {
+    instances: usize,
+    keys: usize,
+    rate: u64,
+    budget: u64,
+    ticks: u64,
+    folds: u64,
+    folds_per_sec: f64,
+    p50_tick_ms: f64,
+    p99_tick_ms: f64,
+    shed_frac: f64,
+    detection_latency_min: i64,
+    window_bytes: usize,
+    window_bound: usize,
+}
+
+impl SweepRow {
+    fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.1},{:.3},{:.3},{:.4},{},{},{}",
+            self.instances,
+            self.keys,
+            self.rate,
+            self.budget,
+            self.ticks,
+            self.folds,
+            self.folds_per_sec,
+            self.p50_tick_ms,
+            self.p99_tick_ms,
+            self.shed_frac,
+            self.detection_latency_min,
+            self.window_bytes,
+            self.window_bound
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"instances\": {}, \"keys\": {}, \"ingest_rate\": {}, \
+             \"tick_budget\": {}, \"ticks\": {}, \"folds\": {}, \
+             \"folds_per_sec\": {:.1}, \"p50_tick_ms\": {:.3}, \
+             \"p99_tick_ms\": {:.3}, \"shed_frac\": {:.4}, \
+             \"detection_latency_min\": {}, \"window_bytes\": {}, \
+             \"window_bound_bytes\": {}}}",
+            self.instances,
+            self.keys,
+            self.rate,
+            self.budget,
+            self.ticks,
+            self.folds,
+            self.folds_per_sec,
+            self.p50_tick_ms,
+            self.p99_tick_ms,
+            self.shed_frac,
+            self.detection_latency_min,
+            self.window_bytes,
+            self.window_bound
+        )
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    funnel_obs::init_from_env();
+    let smoke = funnel_bench::smoke();
+    let seed = std::env::var("FUNNEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2015);
+    let fleet_sizes: &[usize] = if smoke { &[3] } else { &[3, 6] };
+    let rates: &[u64] = if smoke { &[1, 10] } else { &[1, 4, 10] };
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut survivor_checks = 0usize;
+    for &instances in fleet_sizes {
+        let (world, change) = build_world(seed, instances);
+        let feed = LiveFeed::from_store(&world.materialize().expect("materialize"));
+        let keys = replay_feed(&feed).keys().len();
+        let pairs = batch_items(&world, change, &feed, 1);
+        let reference: String = pairs.iter().map(|(_, item)| item.clone()).collect();
+        let batch: BTreeMap<String, String> = pairs.into_iter().collect();
+
+        // Budgets: unbounded, and sized for 1× ingest (so 10× must shed).
+        for &rate in rates {
+            for &budget in &[0u64, keys as u64] {
+                let funnel_cfg = pipeline_config(1);
+                let stream_cfg = stream_config(&funnel_cfg, budget, 1);
+                let run = run_cell(&world, change, &feed, funnel_cfg, stream_cfg.clone(), rate);
+                let stats = run.engine.stats();
+                assert_eq!(
+                    run.completed.len(),
+                    1,
+                    "{instances}x{rate}x{budget}: the change never completed"
+                );
+                let got = run.completed.first().expect("one assessment");
+
+                // Bounded memory, overload or not: resident window bytes
+                // never exceed rings × capacity; at full rings they equal it.
+                let bound = keys * stream_cfg.ring_capacity * 9;
+                assert!(
+                    run.engine.window_bytes() <= bound,
+                    "{instances}x{rate}x{budget}: window memory above bound"
+                );
+                assert_eq!(stats.peak_window_bytes, run.engine.window_bytes());
+
+                if budget == 0 {
+                    // Unbudgeted cells shed nothing and must be
+                    // byte-identical to batch regardless of ingest rate.
+                    assert_eq!(stats.shed, 0, "{instances}x{rate}: unbudgeted cell shed");
+                    let streamed: String = got.items.iter().map(|i| format!("{i:?}")).collect();
+                    assert_eq!(
+                        streamed, reference,
+                        "{instances}x{rate}: streaming != batch"
+                    );
+                } else {
+                    // Budgeted cells may shed; every survivor still
+                    // matches its batch counterpart byte-for-byte.
+                    for item in &got.items {
+                        if got.shed.contains(&item.key) || got.stale.contains(&item.key) {
+                            continue;
+                        }
+                        assert_eq!(
+                            batch.get(&format!("{:?}", item.key)),
+                            Some(&format!("{item:?}")),
+                            "{instances}x{rate}x{budget}: survivor diverged from batch"
+                        );
+                        survivor_checks += 1;
+                    }
+                    if rate >= 10 {
+                        assert!(
+                            stats.shed > 0,
+                            "{instances}x{rate}x{budget}: 10x overload never shed"
+                        );
+                        // Deterministic shedding: the same seed sheds the
+                        // same (minute, key) log on a fresh engine.
+                        let again = run_cell(
+                            &world,
+                            change,
+                            &feed,
+                            pipeline_config(1),
+                            stream_cfg.clone(),
+                            rate,
+                        );
+                        assert_eq!(
+                            run.engine.shed_log(),
+                            again.engine.shed_log(),
+                            "{instances}x{rate}x{budget}: shed log not deterministic"
+                        );
+                    }
+                }
+
+                let shed_frac = if stats.shed == 0 {
+                    0.0
+                } else {
+                    stats.shed as f64 / (stats.shed as f64 + run.scored_key_ticks as f64)
+                };
+                let row = SweepRow {
+                    instances,
+                    keys,
+                    rate,
+                    budget,
+                    ticks: stats.ticks,
+                    folds: stats.folds,
+                    folds_per_sec: stats.folds as f64 / run.wall_s,
+                    p50_tick_ms: percentile(&run.tick_ms, 50.0),
+                    p99_tick_ms: percentile(&run.tick_ms, 99.0),
+                    shed_frac,
+                    detection_latency_min: got
+                        .detection_latency
+                        .map_or(-1, |l| i64::try_from(l).unwrap_or(i64::MAX)),
+                    window_bytes: run.engine.window_bytes(),
+                    window_bound: bound,
+                };
+                eprintln!(
+                    "{} instances x {}x ingest, budget {}: {:.0} folds/s, \
+                     p99 tick {:.2}ms, shed {:.1}%, detect {}min",
+                    row.instances,
+                    row.rate,
+                    row.budget,
+                    row.folds_per_sec,
+                    row.p99_tick_ms,
+                    100.0 * row.shed_frac,
+                    row.detection_latency_min
+                );
+                rows.push(row);
+            }
+        }
+
+        // Worker-count identity on this fleet's unbudgeted 1× cell: the
+        // streamed items are one byte string at 1, 3, and 8 workers.
+        let serials: Vec<String> = [1usize, 3, 8]
+            .iter()
+            .map(|&w| {
+                let funnel_cfg = pipeline_config(w);
+                let stream_cfg = stream_config(&funnel_cfg, 0, w);
+                let run = run_cell(&world, change, &feed, funnel_cfg, stream_cfg, 1);
+                run.completed
+                    .first()
+                    .expect("one assessment")
+                    .items
+                    .iter()
+                    .map(|i| format!("{i:?}"))
+                    .collect()
+            })
+            .collect();
+        assert!(
+            serials.windows(2).all(|w| w[0] == w[1]),
+            "{instances}: streaming diverged across worker counts"
+        );
+        assert_eq!(
+            serials[0], reference,
+            "{instances}: worker-identity run diverged from batch"
+        );
+    }
+    assert!(
+        survivor_checks > 0,
+        "no budgeted cell produced a non-shed survivor to verify"
+    );
+
+    // Fault leg: the same world's telemetry pushed through the lossy
+    // fault-injection transport (drops, corruption, delays, duplicates),
+    // then streamed at 10× overload under a 1×-sized budget. The engine
+    // must complete without stalling, twice, with identical results.
+    let (world, change) = build_world(seed, fleet_sizes[0]);
+    let plan = FaultPlan {
+        seed: seed ^ 0xfa17,
+        drop_frame_prob: 0.05,
+        corrupt_prob: 0.02,
+        delay_prob: 0.05,
+        max_delay_minutes: 3,
+        duplicate_prob: 0.02,
+        ..FaultPlan::none()
+    };
+    let faulted = MetricStore::new();
+    let replay = replay_with_faults(&world, &faulted, 4, plan).expect("faulted replay");
+    let feed = LiveFeed::from_store(&faulted);
+    let keys = replay_feed(&feed).keys().len();
+    let fault_run = || {
+        let funnel_cfg = pipeline_config(1);
+        let stream_cfg = stream_config(&funnel_cfg, keys as u64, 1);
+        run_cell(&world, change, &feed, funnel_cfg, stream_cfg, 10)
+    };
+    let fa = fault_run();
+    let fb = fault_run();
+    assert_eq!(fa.completed.len(), 1, "fault leg: change never completed");
+    assert_eq!(
+        fa.engine.stats().assess_errors,
+        0,
+        "fault leg: assess error"
+    );
+    assert_eq!(
+        fa.engine.shed_log(),
+        fb.engine.shed_log(),
+        "fault leg: shed log not deterministic"
+    );
+    assert_eq!(
+        format!("{:?}", fa.completed),
+        format!("{:?}", fb.completed),
+        "fault leg: assessments not deterministic"
+    );
+    eprintln!(
+        "fault leg: {} dropped / {} quarantined frames, {} shed events, completed twice identically",
+        replay.dropped_frames,
+        replay.quarantined_frames,
+        fa.engine.stats().shed
+    );
+
+    println!("Stream sweep: fold rate, tick latency, and shedding vs overload\n");
+    println!(
+        "{:>9} {:>5} {:>5} {:>7} {:>6} {:>9} {:>11} {:>9} {:>9} {:>7} {:>7}",
+        "instances",
+        "keys",
+        "rate",
+        "budget",
+        "ticks",
+        "folds",
+        "folds/s",
+        "p50_ms",
+        "p99_ms",
+        "shed%",
+        "detect"
+    );
+    for row in &rows {
+        println!(
+            "{:>9} {:>5} {:>5} {:>7} {:>6} {:>9} {:>11.0} {:>9.2} {:>9.2} {:>6.1}% {:>7}",
+            row.instances,
+            row.keys,
+            row.rate,
+            row.budget,
+            row.ticks,
+            row.folds,
+            row.folds_per_sec,
+            row.p50_tick_ms,
+            row.p99_tick_ms,
+            100.0 * row.shed_frac,
+            row.detection_latency_min
+        );
+    }
+
+    let header = "instances,keys,ingest_rate,tick_budget,ticks,folds,folds_per_sec,\
+                  p50_tick_ms,p99_tick_ms,shed_frac,detection_latency_min,\
+                  window_bytes,window_bound_bytes";
+    funnel_bench::report::write_csv("stream_sweep", header, rows.iter().map(SweepRow::csv))
+        .expect("write csv");
+
+    let mut report = BenchReport::new("stream", seed, smoke)
+        .field("duration_minutes", DURATION.to_string())
+        .field("byte_identical_worker_counts", "[1, 3, 8]")
+        .field("survivor_identity_checks", survivor_checks.to_string())
+        .field(
+            "fault_leg_dropped_frames",
+            replay.dropped_frames.to_string(),
+        )
+        .field(
+            "fault_leg_quarantined_frames",
+            replay.quarantined_frames.to_string(),
+        )
+        .field("fault_leg_shed_events", fa.engine.stats().shed.to_string());
+    for row in &rows {
+        report.push_row(row.json());
+    }
+    report.write().expect("write json");
+    println!(
+        "\nwrote results/stream_sweep.csv and results/BENCH_stream.json; \
+         streaming byte-identical to batch on every non-shed key."
+    );
+
+    if let Ok(Some(obs)) = funnel_obs::report::write_default_if_enabled() {
+        println!("\nwrote {}", funnel_obs::report::DEFAULT_PATH);
+        print!("{}", obs.human_summary());
+    }
+}

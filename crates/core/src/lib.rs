@@ -52,6 +52,7 @@ pub mod quality;
 pub mod reassess;
 pub mod report;
 pub mod source;
+pub mod stream;
 pub mod supervise;
 
 pub use config::{AssessConfig, FunnelConfig};
@@ -61,6 +62,10 @@ pub use pipeline::{
 };
 pub use reassess::{PendingItem, QueueState, ReassessmentQueue};
 pub use source::KpiSource;
+pub use stream::{
+    StreamAssessment, StreamConfig, StreamDetection, StreamEngine, StreamIngest, StreamStats,
+    StreamVerdict, TickReport,
+};
 pub use supervise::{
     FaultProbe, InjectedFault, NoFaults, Supervised, SupervisorConfig, SupervisorReport,
 };

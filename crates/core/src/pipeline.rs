@@ -269,6 +269,13 @@ impl Funnel {
         &self.config
     }
 
+    /// The pre-validated SST scorer built in [`Funnel::new`]. Hot paths
+    /// (the streaming engine's per-key monitors) clone this instead of
+    /// constructing a scorer, so they contain no panic-capable constructor.
+    pub(crate) fn scorer(&self) -> &FastSst {
+        &self.sst
+    }
+
     /// Assesses a change recorded in a simulated [`World`].
     ///
     /// # Errors

@@ -32,6 +32,13 @@ pub enum QualityIssue {
     /// refused to guess: the data was never fully assessed. Set by
     /// [`crate::supervise`], not by screening.
     SupervisorQuarantined,
+    /// The streaming engine's load-shedding policy dropped this work unit's
+    /// re-scores while it was under assessment (tick budget exhausted, or
+    /// its window went stale past the watermark), so no trustworthy verdict
+    /// exists: the engine degrades to `Inconclusive` rather than stalling
+    /// ingest or guessing from stale data. Set by [`crate::stream`], not by
+    /// screening.
+    LoadShed,
 }
 
 /// The screening verdict for one KPI series.

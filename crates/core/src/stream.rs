@@ -1,0 +1,1008 @@
+//! The streaming assessment engine — bounded memory, backpressure, and
+//! graceful load shedding.
+//!
+//! The batch pipeline ([`Funnel::assess_change_with`]) re-reads full series
+//! from an unbounded store every time it runs. This module is the
+//! continuously-running form: frames flow tick-by-tick into fixed-capacity
+//! per-KPI ring buffers ([`RingSeries`] — resident window memory is bounded
+//! regardless of uptime), a dirty-set scheduler re-scores only the
+//! `(entity, kpi)` pairs whose window actually changed, and per-KPI SST
+//! state ([`StreamingSst`]) folds each new minute in incrementally instead
+//! of re-scoring the whole window history.
+//!
+//! # Robustness contract
+//!
+//! * **Every inter-stage queue is bounded.** The scoring fan-out uses a
+//!   bounded job channel (the submitter blocks — explicit backpressure —
+//!   rather than queueing unboundedly) and the verdict output channel is
+//!   bounded drop-not-block (a slow consumer loses verdicts, counted in
+//!   [`StreamStats::verdicts_dropped`], and never stalls ingest — the same
+//!   discipline as the store's subscriber fan-out).
+//! * **Deterministic load shedding.** When a tick's pending re-scores
+//!   exceed [`StreamConfig::tick_budget`], the lowest-priority keys are
+//!   dropped for that tick by a pure function of `(seed, tick, key)` —
+//!   recorded, never randomized, exactly like the supervisor's backoff
+//!   schedule. Service-level KPIs outrank server KPIs outrank instance
+//!   KPIs (aggregates are few and answer for many). A work unit that was
+//!   shed inside its assessment window is *not* silently assessed from a
+//!   degraded monitor: it completes as [`Verdict::Inconclusive`] flagged
+//!   [`QualityIssue::LoadShed`].
+//! * **Staleness watermark.** A verdict is only computed from a window
+//!   whose newest data is at most [`StreamConfig::staleness_limit`]
+//!   minutes older than the window it needs; keys whose feed died are
+//!   flagged `LoadShed` instead of being judged on stale data.
+//! * **Late frames** behind the tick watermark route through
+//!   [`RingSeries::backfill`] (the store's backfill semantics), mark the
+//!   key dirty, and force the key's SST monitor to re-prime — the cheap
+//!   incremental fold is only valid while history is immutable.
+//!
+//! # Streaming ≡ batch
+//!
+//! For every key that was neither shed nor stale, the final verdict is
+//! produced by the *same* [`Funnel`] assessment code as the batch path,
+//! reading through a [`KpiSource`] view of the rings. While nothing a
+//! change needs has been evicted (see [`StreamConfig::capacity_for`]),
+//! the ring content is byte-identical to the unbounded store's series —
+//! proven by the `ring_model` property tests — so streaming verdicts are
+//! byte-identical to `assess_change_with` on a snapshot, at any worker
+//! count. The incremental SST monitors only drive *detection latency*
+//! reporting and dirty-set bookkeeping; they never replace the
+//! assessment-window scoring.
+
+use crate::config::FunnelConfig;
+use crate::parallel;
+use crate::pipeline::{
+    enumerate_work_units, AssessmentMode, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
+};
+use crate::quality::{QualityIssue, QualityReport};
+use crate::source::KpiSource;
+use crate::supervise::splitmix64;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use funnel_obs::names;
+use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::store::Measurement;
+use funnel_sim::wire::key_to_bytes;
+use funnel_sst::{FastSst, StreamingSst};
+use funnel_timeseries::mask::CoverageMask;
+use funnel_timeseries::ring::{RingSeries, RingWrite};
+use funnel_timeseries::series::{MinuteBin, TimeSeries};
+use funnel_topology::change::{ChangeId, SoftwareChange};
+use funnel_topology::impact::{identify_impact_set, Entity, ImpactSet};
+use funnel_topology::model::{ServiceId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning for one [`StreamEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Per-KPI ring capacity in one-minute bins: the resident window.
+    /// Memory is bounded by `keys × ring_capacity × 9` bytes no matter how
+    /// long the engine runs. Size with [`StreamConfig::capacity_for`] when
+    /// streaming verdicts must be byte-identical to batch.
+    pub ring_capacity: usize,
+    /// Deadline budget per tick, measured in key-minute folds (the unit of
+    /// scoring work — wall clocks are banned from the pipeline, and a work
+    /// count is deterministic where a clock is not). `0` means unbounded:
+    /// never shed. When a tick's pending folds exceed the budget, the
+    /// shedding policy drops the lowest-priority keys for this tick.
+    pub tick_budget: u64,
+    /// Seed for the shed-rank mixer. Same seed + same tick + same keys →
+    /// the same shed set, on every machine, at every worker count.
+    pub shed_seed: u64,
+    /// Maximum age, in minutes, of a window's newest data relative to the
+    /// window a due verdict needs. Keys whose feed fell further behind are
+    /// flagged [`QualityIssue::LoadShed`] instead of judged on stale data.
+    pub staleness_limit: u64,
+    /// Capacity of the bounded scoring job queue. The tick's submitter
+    /// blocks when it fills — backpressure, not unbounded queueing.
+    pub queue_capacity: usize,
+    /// Capacity of the bounded verdict output channel; when full, further
+    /// verdicts are dropped (and counted), never allowed to stall a tick.
+    pub verdict_capacity: usize,
+    /// Worker threads for the per-tick scoring fan-out (the due-change
+    /// final assessments use the [`FunnelConfig::assess`] worker count).
+    pub workers: usize,
+}
+
+impl StreamConfig {
+    /// Defaults paired with `funnel`: ring sized for a 7-day horizon, no
+    /// tick budget (never shed), a 60-minute staleness watermark.
+    pub fn paired_with(funnel: &FunnelConfig) -> Self {
+        Self {
+            ring_capacity: Self::capacity_for(funnel, 7 * 1440),
+            tick_budget: 0,
+            shed_seed: 2015,
+            staleness_limit: 60,
+            queue_capacity: 1024,
+            verdict_capacity: 65_536,
+            workers: 1,
+        }
+    }
+
+    /// The ring capacity that guarantees streaming verdicts are
+    /// byte-identical to batch for any change assessed within
+    /// `horizon_minutes` of its series anchor: the batch pipeline's
+    /// seasonal-history control reads the *full* series, so nothing may be
+    /// evicted between the anchor and the due tick. `horizon_minutes`
+    /// covers anchor → change; the assessment tail and detector lookback
+    /// are added here.
+    pub fn capacity_for(config: &FunnelConfig, horizon_minutes: u64) -> usize {
+        let tail = config.assessment_minutes
+            + config.warmup_minutes()
+            + config.sst.window_len() as u64
+            + 2;
+        usize::try_from(horizon_minutes.saturating_add(tail)).unwrap_or(usize::MAX)
+    }
+}
+
+/// How [`StreamEngine::offer`] routed one measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamIngest {
+    /// Appended at (or ahead of) the frontier — the live path.
+    Live,
+    /// Behind the watermark but inside the retained window: backfilled,
+    /// key re-marked dirty, monitor scheduled for a re-prime.
+    Late,
+    /// The bin already held a real measurement; first write wins.
+    Duplicate,
+    /// Behind the retained window — the bin was already evicted.
+    Evicted,
+}
+
+/// A live change declaration from a streaming monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDetection {
+    /// Which KPI changed.
+    pub key: KpiKey,
+    /// The minute the persistence rule declared the change.
+    pub declared_at: MinuteBin,
+    /// The minute the score first exceeded the threshold.
+    pub first_exceeded_at: MinuteBin,
+    /// Peak filtered SST score in the run.
+    pub peak_score: f64,
+}
+
+/// One item verdict on the streaming output channel.
+#[derive(Debug, Clone)]
+pub struct StreamVerdict {
+    /// The change the verdict belongs to.
+    pub change: ChangeId,
+    /// The item, byte-identical to the batch pipeline's unless flagged
+    /// [`QualityIssue::LoadShed`].
+    pub item: ItemAssessment,
+    /// The tick minute the verdict was emitted.
+    pub emitted_at: MinuteBin,
+    /// Minutes from the change to the first streaming detection on any of
+    /// the change's work keys, when one fired before emission.
+    pub detection_latency: Option<u64>,
+}
+
+/// A completed change assessment returned from [`StreamEngine::tick`].
+#[derive(Debug, Clone)]
+pub struct StreamAssessment {
+    /// The assessed change.
+    pub change: ChangeId,
+    /// All work-unit items in key order: assessed items for keys that were
+    /// neither shed nor stale, `LoadShed`-flagged `Inconclusive` items for
+    /// the rest.
+    pub items: Vec<ItemAssessment>,
+    /// Work keys dropped by the shedding policy inside the assessment
+    /// window (sorted).
+    pub shed: Vec<KpiKey>,
+    /// Work keys whose window data was stale (or absent) past the
+    /// watermark at assessment time (sorted).
+    pub stale: Vec<KpiKey>,
+    /// The tick minute the assessment completed.
+    pub emitted_at: MinuteBin,
+    /// Minutes from the change to the first streaming detection on any of
+    /// its work keys.
+    pub detection_latency: Option<u64>,
+}
+
+/// What one [`StreamEngine::tick`] did.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// The tick minute.
+    pub minute: MinuteBin,
+    /// Dirty keys at the top of the tick.
+    pub dirty: usize,
+    /// Keys actually re-scored this tick.
+    pub scored_keys: usize,
+    /// Key-minute folds performed this tick.
+    pub folds: u64,
+    /// Keys dropped by the shedding policy this tick.
+    pub shed_keys: usize,
+    /// Change declarations fired this tick, in work-order.
+    pub detections: Vec<StreamDetection>,
+    /// Changes whose assessment window completed this tick.
+    pub completed: Vec<StreamAssessment>,
+}
+
+/// Monotonic counters over the engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Ticks processed.
+    pub ticks: u64,
+    /// Key-minute folds performed.
+    pub folds: u64,
+    /// Key re-scores dropped by the shedding policy.
+    pub shed: u64,
+    /// Work keys flagged stale at assessment time.
+    pub stale: u64,
+    /// Streaming change declarations.
+    pub detections: u64,
+    /// Verdicts delivered on the output channel.
+    pub verdicts: u64,
+    /// Verdicts dropped because the output channel was full.
+    pub verdicts_dropped: u64,
+    /// Late frames folded in via ring backfill.
+    pub late_backfilled: u64,
+    /// Late frames refused (duplicate bin or evicted window).
+    pub late_rejected: u64,
+    /// Live frames refused as duplicates.
+    pub duplicates: u64,
+    /// Due-change assessments that failed internally and were degraded to
+    /// `LoadShed` items instead of stalling the engine.
+    pub assess_errors: u64,
+    /// Peak total resident window memory observed, in accounted bytes.
+    pub peak_window_bytes: usize,
+    /// Peak dirty-set depth observed at the top of a tick.
+    pub peak_dirty: usize,
+}
+
+/// Per-key incremental monitor: rolling SST window + persistence counter.
+struct KeyMonitor {
+    sst: StreamingSst<FastSst>,
+    /// First minute not yet folded. Valid only while `primed`.
+    next_minute: MinuteBin,
+    /// Cleared when a backfill rewrites folded history: the next scoring
+    /// pass resets the rolling window and re-primes from the ring.
+    primed: bool,
+    run_len: usize,
+    run_start: MinuteBin,
+    run_peak: f64,
+    armed: bool,
+}
+
+impl KeyMonitor {
+    fn new(scorer: FastSst, start: MinuteBin) -> Self {
+        Self {
+            sst: StreamingSst::new(scorer),
+            next_minute: start,
+            primed: true,
+            run_len: 0,
+            run_start: 0,
+            run_peak: 0.0,
+            armed: true,
+        }
+    }
+}
+
+/// A change under streaming assessment.
+struct TrackedChange {
+    record: SoftwareChange,
+    impact_set: ImpactSet,
+    /// The enumerated work units, sorted (the batch enumeration).
+    work: Vec<KpiKey>,
+    /// The last minute the assessment window needs; the change completes
+    /// on the first tick at or after it.
+    due: MinuteBin,
+    /// Work keys shed inside the assessment window.
+    shed: BTreeSet<KpiKey>,
+    /// First streaming detection on any work key at/after the change.
+    first_detection: Option<MinuteBin>,
+    done: bool,
+}
+
+/// A [`KpiSource`] view over the engine's rings, handed to the batch
+/// assessment code at due time. While nothing relevant was evicted the
+/// views are byte-identical to the unbounded store's series and masks.
+struct RingView<'a> {
+    rings: &'a BTreeMap<KpiKey, RingSeries>,
+}
+
+impl KpiSource for RingView<'_> {
+    fn series(&self, key: &KpiKey) -> Option<TimeSeries> {
+        let ring = self.rings.get(key)?;
+        if ring.is_empty() {
+            return None;
+        }
+        Some(ring.to_series())
+    }
+
+    fn coverage(&self, key: &KpiKey, from: MinuteBin, to: MinuteBin) -> f64 {
+        self.rings
+            .get(key)
+            .map_or(0.0, |ring| ring.coverage(from, to))
+    }
+
+    fn mask(&self, key: &KpiKey) -> Option<CoverageMask> {
+        let ring = self.rings.get(key)?;
+        if ring.is_empty() {
+            return None;
+        }
+        Some(ring.to_mask())
+    }
+}
+
+/// Shedding priority class: lower keeps longer. Service aggregates are few
+/// and answer for many KPIs; instance KPIs are plentiful and redundant.
+fn shed_class(entity: Entity) -> u8 {
+    match entity {
+        Entity::Service(_) => 0,
+        Entity::Server(_) => 1,
+        Entity::Instance(_) => 2,
+    }
+}
+
+/// Index-free LE packing of the 6 key bytes into the low 48 bits — the
+/// same key hash the supervisor's backoff schedule uses.
+fn key_hash(key: KpiKey) -> u64 {
+    key_to_bytes(key)
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << (8 * i)))
+}
+
+/// The shed rank of `key` at `tick`: a pure, recorded function of the seed
+/// — never a random draw, so a re-run with the same seed sheds the same
+/// set and the decision can be audited after the fact.
+fn shed_rank(seed: u64, tick: MinuteBin, key: KpiKey) -> u64 {
+    splitmix64(seed ^ key_hash(key).rotate_left(17) ^ tick)
+}
+
+/// The synthesized verdict for a shed or stale work unit: `Inconclusive`,
+/// zero trusted coverage, flagged [`QualityIssue::LoadShed`]. Mirrors the
+/// supervisor's quarantine item — the window comes from the change and
+/// config alone, because the data was never trustworthily scored.
+fn shed_item(funnel: &Funnel, change: &SoftwareChange, key: KpiKey) -> ItemAssessment {
+    let config = funnel.config();
+    let lookback = config.sst.window_len() as u64 + config.warmup_minutes();
+    let from = change.minute.saturating_sub(lookback);
+    let to = change.minute + config.assessment_minutes + 1;
+    funnel_obs::counter_add(names::VERDICT_INCONCLUSIVE, 1);
+    ItemAssessment {
+        key,
+        detection: None,
+        did: None,
+        mode: AssessmentMode::SeasonalHistory,
+        caused: false,
+        verdict: Verdict::Inconclusive {
+            awaiting_backfill: false,
+        },
+        quality: DataQuality {
+            coverage: 0.0,
+            report: QualityReport {
+                issues: vec![QualityIssue::LoadShed],
+            },
+        },
+        window: (from, to),
+    }
+}
+
+/// One scoring assignment: fold ring minutes `[lo, to)` into the monitor.
+struct ScorePlan {
+    lo: MinuteBin,
+    to: MinuteBin,
+    /// Reset the rolling window before folding (re-prime after backfill).
+    reprime: bool,
+    cost: u64,
+}
+
+/// Folds the planned ring minutes into one monitor, applying the
+/// threshold-persistence rule; returns the folds done and any declaration.
+/// Runs on scoring workers — must stay panic-free (hot path).
+fn score_key(
+    monitor: &mut KeyMonitor,
+    ring: &RingSeries,
+    plan: &ScorePlan,
+    threshold: f64,
+    persistence: usize,
+    key: KpiKey,
+) -> (u64, Vec<StreamDetection>) {
+    let mut detections = Vec::new();
+    if plan.reprime {
+        monitor.sst.reset();
+        monitor.run_len = 0;
+        monitor.run_peak = 0.0;
+        monitor.armed = true;
+    }
+    let mut folds = 0u64;
+    let mut minute = plan.lo;
+    while minute < plan.to {
+        let Some(value) = ring.at(minute) else {
+            // Planned past the retained window (cannot happen by
+            // construction; defensive skip keeps the path panic-free).
+            minute += 1;
+            continue;
+        };
+        folds += 1;
+        if let Some(score) = monitor.sst.fold(value) {
+            if score >= threshold {
+                if monitor.run_len == 0 {
+                    monitor.run_start = minute;
+                    monitor.run_peak = score;
+                } else {
+                    monitor.run_peak = monitor.run_peak.max(score);
+                }
+                monitor.run_len += 1;
+                if monitor.armed && monitor.run_len >= persistence {
+                    monitor.armed = false;
+                    detections.push(StreamDetection {
+                        key,
+                        declared_at: minute,
+                        first_exceeded_at: monitor.run_start,
+                        peak_score: monitor.run_peak,
+                    });
+                }
+            } else {
+                monitor.run_len = 0;
+                monitor.armed = true;
+            }
+        }
+        minute += 1;
+    }
+    monitor.next_minute = plan.to;
+    monitor.primed = true;
+    (folds, detections)
+}
+
+/// The streaming assessment engine. Single-threaded at the API surface
+/// (`offer`/`track_change`/`tick` take `&mut self`); each tick fans its
+/// scoring across [`StreamConfig::workers`] scoped threads internally.
+pub struct StreamEngine {
+    funnel: Funnel,
+    config: StreamConfig,
+    service_kinds: BTreeMap<ServiceId, Vec<KpiKind>>,
+    rings: BTreeMap<KpiKey, RingSeries>,
+    monitors: BTreeMap<KpiKey, KeyMonitor>,
+    dirty: BTreeSet<KpiKey>,
+    watermark: Option<MinuteBin>,
+    changes: Vec<TrackedChange>,
+    shed_log: Vec<(MinuteBin, KpiKey)>,
+    verdict_tx: Sender<StreamVerdict>,
+    verdict_rx: Receiver<StreamVerdict>,
+    stats: StreamStats,
+}
+
+impl StreamEngine {
+    /// Creates an engine. `service_kinds` maps each service to the
+    /// instance KPI kinds it carries (the same table the batch
+    /// enumeration consumes).
+    pub fn new(
+        funnel: FunnelConfig,
+        config: StreamConfig,
+        service_kinds: BTreeMap<ServiceId, Vec<KpiKind>>,
+    ) -> Self {
+        let (verdict_tx, verdict_rx) = bounded(config.verdict_capacity.max(1));
+        Self {
+            funnel: Funnel::new(funnel),
+            config,
+            service_kinds,
+            rings: BTreeMap::new(),
+            monitors: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            watermark: None,
+            changes: Vec::new(),
+            shed_log: Vec::new(),
+            verdict_tx,
+            verdict_rx,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The engine's stream tuning.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The wrapped assessment pipeline.
+    pub fn funnel(&self) -> &Funnel {
+        &self.funnel
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// The bounded verdict output channel (drop-not-block on overflow).
+    pub fn verdicts(&self) -> &Receiver<StreamVerdict> {
+        &self.verdict_rx
+    }
+
+    /// Every `(tick, key)` the shedding policy dropped, in decision order
+    /// — the audit trail proving sheds are recorded, never random.
+    pub fn shed_log(&self) -> &[(MinuteBin, KpiKey)] {
+        &self.shed_log
+    }
+
+    /// The last tick minute processed.
+    pub fn watermark(&self) -> Option<MinuteBin> {
+        self.watermark
+    }
+
+    /// KPI keys with resident ring state.
+    pub fn key_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Total resident window memory across all rings, in accounted bytes
+    /// (capacity × bin size — the deterministic bound, not an allocator
+    /// measurement).
+    pub fn window_bytes(&self) -> usize {
+        self.rings
+            .values()
+            .map(RingSeries::window_bytes)
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Changes tracked and not yet completed.
+    pub fn pending_changes(&self) -> usize {
+        self.changes.iter().filter(|c| !c.done).count()
+    }
+
+    /// Registers a change for streaming assessment. The work units are
+    /// enumerated exactly as the batch pipeline would; the assessment
+    /// completes on the first tick at or after
+    /// `change.minute + assessment_minutes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates impact-set identification failures.
+    pub fn track_change(
+        &mut self,
+        topology: &Topology,
+        record: SoftwareChange,
+    ) -> Result<ChangeId, FunnelError> {
+        let impact_set = identify_impact_set(topology, &record)?;
+        let kinds = &self.service_kinds;
+        let work = enumerate_work_units(&impact_set, &record, &|svc| {
+            kinds.get(&svc).cloned().unwrap_or_default()
+        });
+        let due = record.minute + self.funnel.config().assessment_minutes;
+        let id = record.id;
+        self.changes.push(TrackedChange {
+            record,
+            impact_set,
+            work,
+            due,
+            shed: BTreeSet::new(),
+            first_detection: None,
+            done: false,
+        });
+        Ok(id)
+    }
+
+    /// Ingests one measurement. Never blocks, never panics: live frames
+    /// append to the key's ring (evicting the oldest bin when full), late
+    /// frames behind the tick watermark take the backfill path, and either
+    /// way an accepted write marks the key dirty for the next tick.
+    pub fn offer(&mut self, m: Measurement) -> StreamIngest {
+        if !m.value.is_finite() {
+            // The collector quarantines non-finite values before the store;
+            // a directly-driven engine applies the same plausibility gate.
+            self.stats.late_rejected += 1;
+            return StreamIngest::Duplicate;
+        }
+        let late = self.watermark.is_some_and(|w| m.minute <= w);
+        let capacity = self.config.ring_capacity;
+        let ring = self
+            .rings
+            .entry(m.key)
+            .or_insert_with(|| RingSeries::new(capacity));
+        if late {
+            match ring.backfill(m.minute, m.value) {
+                RingWrite::Accepted => {
+                    self.stats.late_backfilled += 1;
+                    funnel_obs::counter_add(names::STREAM_LATE_BACKFILLED, 1);
+                    self.dirty.insert(m.key);
+                    if let Some(monitor) = self.monitors.get_mut(&m.key) {
+                        if m.minute < monitor.next_minute {
+                            monitor.primed = false;
+                        }
+                    }
+                    StreamIngest::Late
+                }
+                RingWrite::Duplicate => {
+                    self.stats.late_rejected += 1;
+                    funnel_obs::counter_add(names::STREAM_LATE_REJECTED, 1);
+                    StreamIngest::Duplicate
+                }
+                RingWrite::Evicted => {
+                    self.stats.late_rejected += 1;
+                    funnel_obs::counter_add(names::STREAM_LATE_REJECTED, 1);
+                    StreamIngest::Evicted
+                }
+            }
+        } else {
+            match ring.push(m.minute, m.value) {
+                RingWrite::Accepted => {
+                    self.dirty.insert(m.key);
+                    StreamIngest::Live
+                }
+                _ => {
+                    self.stats.duplicates += 1;
+                    StreamIngest::Duplicate
+                }
+            }
+        }
+    }
+
+    /// Processes one tick: advance the watermark to `minute`, shed if the
+    /// pending work exceeds the budget, re-score the surviving dirty keys
+    /// across the worker pool, then complete every change whose assessment
+    /// window closed. Never blocks on a slow consumer and never panics;
+    /// overload degrades to recorded sheds, not stalls.
+    pub fn tick(&mut self, minute: MinuteBin) -> TickReport {
+        let _span = funnel_obs::span!(names::SPAN_STREAM_TICK);
+        self.watermark = Some(self.watermark.map_or(minute, |w| w.max(minute)));
+        self.stats.ticks += 1;
+        funnel_obs::counter_add(names::STREAM_TICKS, 1);
+
+        let mut report = TickReport {
+            minute,
+            dirty: self.dirty.len(),
+            ..TickReport::default()
+        };
+        self.stats.peak_dirty = self.stats.peak_dirty.max(self.dirty.len());
+        funnel_obs::histogram_record(names::STREAM_DIRTY_DEPTH, self.dirty.len() as u64);
+
+        let plans = self.plan_scoring(minute);
+        let lag = plans
+            .values()
+            .map(|p| (minute + 1).saturating_sub(p.lo))
+            .max()
+            .unwrap_or(0);
+        funnel_obs::histogram_record(names::STREAM_WATERMARK_LAG, lag);
+
+        let (admitted, shed) = self.shed_policy(minute, plans);
+        report.shed_keys = shed.len();
+        self.apply_sheds(minute, shed);
+
+        let (folds, detections) = self.run_scoring(minute, &admitted);
+        report.scored_keys = admitted.len();
+        report.folds = folds;
+        self.stats.folds += folds;
+        funnel_obs::counter_add(names::STREAM_SCORES, folds);
+        for d in &detections {
+            self.stats.detections += 1;
+            funnel_obs::counter_add(names::STREAM_DETECTIONS, 1);
+            for change in self.changes.iter_mut().filter(|c| !c.done) {
+                if d.declared_at >= change.record.minute
+                    && change.work.binary_search(&d.key).is_ok()
+                {
+                    let first = change.first_detection.get_or_insert(d.declared_at);
+                    *first = (*first).min(d.declared_at);
+                }
+            }
+        }
+        report.detections = detections;
+
+        report.completed = self.complete_due_changes(minute);
+
+        funnel_obs::gauge_set(names::STREAM_KEYS, self.rings.len() as u64);
+        let window_bytes = self.window_bytes();
+        self.stats.peak_window_bytes = self.stats.peak_window_bytes.max(window_bytes);
+        funnel_obs::gauge_set(names::STREAM_WINDOW_BYTES, window_bytes as u64);
+        report
+    }
+
+    /// Plans the fold range for every dirty key (and creates missing
+    /// monitors). Pure bookkeeping; no scoring happens here.
+    fn plan_scoring(&mut self, minute: MinuteBin) -> BTreeMap<KpiKey, ScorePlan> {
+        let window = self.funnel.config().sst.window_len() as u64;
+        let scorer = self.funnel.scorer().clone();
+        let mut plans = BTreeMap::new();
+        let mut clean = Vec::new();
+        for &key in &self.dirty {
+            let Some(ring) = self.rings.get(&key) else {
+                clean.push(key);
+                continue;
+            };
+            let monitor = self
+                .monitors
+                .entry(key)
+                .or_insert_with(|| KeyMonitor::new(scorer.clone(), ring.start()));
+            let to = ring.end().min(minute + 1);
+            let (lo, reprime) = if monitor.primed {
+                (monitor.next_minute.max(ring.start()), false)
+            } else {
+                // Rewind far enough that every window ending at or after
+                // the first unfolded minute gets scored from a fully
+                // re-primed rolling window.
+                let lo = monitor
+                    .next_minute
+                    .saturating_add(1)
+                    .saturating_sub(window)
+                    .max(ring.start());
+                (lo, true)
+            };
+            if to <= lo {
+                if ring.end() <= minute + 1 {
+                    clean.push(key);
+                }
+                continue;
+            }
+            plans.insert(
+                key,
+                ScorePlan {
+                    lo,
+                    to,
+                    reprime,
+                    cost: to - lo,
+                },
+            );
+        }
+        for key in clean {
+            self.dirty.remove(&key);
+        }
+        plans
+    }
+
+    /// Applies the deterministic shedding policy: admit plans in priority
+    /// order until the tick budget is spent. The first key is always
+    /// admitted so sustained overload still makes progress (no livelock).
+    fn shed_policy(
+        &self,
+        minute: MinuteBin,
+        plans: BTreeMap<KpiKey, ScorePlan>,
+    ) -> (BTreeMap<KpiKey, ScorePlan>, Vec<KpiKey>) {
+        let budget = self.config.tick_budget;
+        let total: u64 = plans.values().map(|p| p.cost).sum();
+        if budget == 0 || total <= budget {
+            return (plans, Vec::new());
+        }
+        let mut ranked: Vec<(u8, u64, KpiKey)> = plans
+            .keys()
+            .map(|&key| {
+                (
+                    shed_class(key.entity),
+                    shed_rank(self.config.shed_seed, minute, key),
+                    key,
+                )
+            })
+            .collect();
+        ranked.sort_unstable();
+        let mut admitted = BTreeMap::new();
+        let mut shed = Vec::new();
+        let mut spent = 0u64;
+        let mut open = true;
+        let mut plans = plans;
+        for (_, _, key) in ranked {
+            let Some(plan) = plans.remove(&key) else {
+                continue;
+            };
+            let fits = spent.saturating_add(plan.cost) <= budget;
+            if open && (fits || admitted.is_empty()) {
+                spent = spent.saturating_add(plan.cost);
+                admitted.insert(key, plan);
+                open = fits || admitted.len() == 1;
+            } else {
+                open = false;
+                shed.push(key);
+            }
+        }
+        shed.sort_unstable();
+        (admitted, shed)
+    }
+
+    /// Records this tick's sheds: counters, the audit log, and the shed
+    /// set of every change whose assessment window covers the tick. Shed
+    /// keys stay dirty — they are retried next tick.
+    fn apply_sheds(&mut self, minute: MinuteBin, shed: Vec<KpiKey>) {
+        for key in shed {
+            self.stats.shed += 1;
+            funnel_obs::counter_add(names::STREAM_SHED, 1);
+            self.shed_log.push((minute, key));
+            for change in self.changes.iter_mut().filter(|c| !c.done) {
+                if minute >= change.record.minute
+                    && minute <= change.due
+                    && change.work.binary_search(&key).is_ok()
+                {
+                    change.shed.insert(key);
+                }
+            }
+        }
+    }
+
+    /// Scores the admitted keys, serially or across the bounded-queue
+    /// worker pool; detections come back in key order either way.
+    fn run_scoring(
+        &mut self,
+        minute: MinuteBin,
+        admitted: &BTreeMap<KpiKey, ScorePlan>,
+    ) -> (u64, Vec<StreamDetection>) {
+        let _ = minute;
+        if admitted.is_empty() {
+            return (0, Vec::new());
+        }
+        let threshold = self.funnel.config().sst_threshold;
+        let persistence = self.funnel.config().persistence_minutes;
+        let workers = self.config.workers.clamp(1, admitted.len());
+        funnel_obs::histogram_record(names::STREAM_QUEUE_DEPTH, admitted.len() as u64);
+
+        let rings = &self.rings;
+        // Disjoint `&mut` monitors for exactly the admitted keys, in key
+        // order (both maps iterate sorted).
+        let mut jobs: Vec<(usize, KpiKey, &mut KeyMonitor, &ScorePlan)> = Vec::new();
+        for (idx, (key, monitor)) in self
+            .monitors
+            .iter_mut()
+            .filter(|(key, _)| admitted.contains_key(*key))
+            .enumerate()
+        {
+            if let Some(plan) = admitted.get(key) {
+                jobs.push((idx, *key, monitor, plan));
+            }
+        }
+
+        let mut folds = 0u64;
+        let mut per_key: Vec<(usize, Vec<StreamDetection>)> = Vec::with_capacity(jobs.len());
+        if workers == 1 {
+            for (idx, key, monitor, plan) in jobs {
+                let ring = rings.get(&key);
+                let Some(ring) = ring else { continue };
+                let (f, dets) = score_key(monitor, ring, plan, threshold, persistence, key);
+                folds += f;
+                per_key.push((idx, dets));
+            }
+        } else {
+            let queue = self.config.queue_capacity.max(1);
+            let (job_tx, job_rx) = bounded::<(usize, KpiKey, &mut KeyMonitor, &ScorePlan)>(queue);
+            // Sized so a result send can never block: at most one message
+            // per job. Bounded all the same — no queue in the engine is
+            // unbounded.
+            let (result_tx, result_rx) =
+                bounded::<(usize, u64, Vec<StreamDetection>)>(jobs.len().max(1));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let jobs_in = job_rx.clone();
+                    let results = result_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok((idx, key, monitor, plan)) = jobs_in.recv() {
+                            let Some(ring) = rings.get(&key) else {
+                                continue;
+                            };
+                            let (f, dets) =
+                                score_key(monitor, ring, plan, threshold, persistence, key);
+                            if results.send((idx, f, dets)).is_err() {
+                                break;
+                            }
+                        }
+                        funnel_obs::flush_thread();
+                    });
+                }
+                drop(result_tx);
+                drop(job_rx);
+                for job in jobs {
+                    // Blocking send on the bounded queue: backpressure on
+                    // the submitter, not unbounded buffering.
+                    if job_tx.send(job).is_err() {
+                        break;
+                    }
+                }
+                drop(job_tx);
+                while let Ok((idx, f, dets)) = result_rx.recv() {
+                    folds += f;
+                    per_key.push((idx, dets));
+                }
+            });
+        }
+        per_key.sort_unstable_by_key(|(idx, _)| *idx);
+        let detections = per_key.into_iter().flat_map(|(_, d)| d).collect();
+        for key in admitted.keys() {
+            let fully_folded = self
+                .monitors
+                .get(key)
+                .zip(self.rings.get(key))
+                .is_some_and(|(m, r)| m.primed && m.next_minute >= r.end());
+            if fully_folded {
+                self.dirty.remove(key);
+            }
+        }
+        (folds, detections)
+    }
+
+    /// Completes every tracked change whose assessment window closed by
+    /// this tick: the batch assessment runs over the ring view for keys
+    /// that were neither shed nor stale; the rest get `LoadShed` items.
+    fn complete_due_changes(&mut self, minute: MinuteBin) -> Vec<StreamAssessment> {
+        let mut completed = Vec::new();
+        let due: Vec<usize> = self
+            .changes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done && minute >= c.due)
+            .map(|(i, _)| i)
+            .collect();
+        for index in due {
+            let Some(change) = self.changes.get(index) else {
+                continue;
+            };
+            let _span = funnel_obs::span!(names::SPAN_STREAM_ASSESS);
+            let to = change.record.minute + self.funnel.config().assessment_minutes + 1;
+            let mut live = Vec::new();
+            let mut stale = Vec::new();
+            for &key in &change.work {
+                if change.shed.contains(&key) {
+                    continue;
+                }
+                let fresh = self.rings.get(&key).is_some_and(|ring| {
+                    !ring.is_empty() && ring.end().saturating_add(self.config.staleness_limit) >= to
+                });
+                if fresh {
+                    live.push(key);
+                } else {
+                    stale.push(key);
+                }
+            }
+            self.stats.stale += stale.len() as u64;
+            funnel_obs::counter_add(names::STREAM_STALE, stale.len() as u64);
+
+            let view = RingView { rings: &self.rings };
+            let workers = self.funnel.config().assess.effective_workers();
+            let mut items = match parallel::assess_work_units(
+                &self.funnel,
+                &view,
+                &change.record,
+                &change.impact_set,
+                &live,
+                workers,
+            ) {
+                Ok(items) => items,
+                Err(_) => {
+                    // A deterministic pipeline error mid-stream must not
+                    // stall the engine: degrade the whole change to
+                    // LoadShed items and count it.
+                    self.stats.assess_errors += 1;
+                    live.iter()
+                        .map(|&key| shed_item(&self.funnel, &change.record, key))
+                        .collect()
+                }
+            };
+            items.extend(
+                change
+                    .shed
+                    .iter()
+                    .chain(stale.iter())
+                    .map(|&key| shed_item(&self.funnel, &change.record, key)),
+            );
+            items.sort_by_key(|a| a.key);
+
+            let detection_latency = change
+                .first_detection
+                .map(|d| d.saturating_sub(change.record.minute));
+            let assessment = StreamAssessment {
+                change: change.record.id,
+                items,
+                shed: change.shed.iter().copied().collect(),
+                stale,
+                emitted_at: minute,
+                detection_latency,
+            };
+            for item in &assessment.items {
+                let verdict = StreamVerdict {
+                    change: assessment.change,
+                    item: item.clone(),
+                    emitted_at: minute,
+                    detection_latency,
+                };
+                match self.verdict_tx.try_send(verdict) {
+                    Ok(()) => {
+                        self.stats.verdicts += 1;
+                        funnel_obs::counter_add(names::STREAM_VERDICTS, 1);
+                    }
+                    Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                        self.stats.verdicts_dropped += 1;
+                        funnel_obs::counter_add(names::STREAM_VERDICTS_DROPPED, 1);
+                    }
+                }
+            }
+            completed.push(assessment);
+            if let Some(change) = self.changes.get_mut(index) {
+                change.done = true;
+            }
+        }
+        completed
+    }
+}

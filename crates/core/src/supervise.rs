@@ -160,8 +160,9 @@ pub struct Supervised {
 }
 
 /// SplitMix64 — the workspace's standard seeded mixer; bit-identical across
-/// platforms, which keeps recorded backoff schedules reproducible.
-fn splitmix64(state: u64) -> u64 {
+/// platforms, which keeps recorded backoff schedules (and the streaming
+/// engine's shed ranks) reproducible.
+pub(crate) fn splitmix64(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -11,10 +11,12 @@
 use funnel_core::pipeline::{ChangeAssessment, Funnel};
 use funnel_core::report::render;
 use funnel_core::supervise::{supervise_change, FaultProbe, InjectedFault, SupervisorConfig};
-use funnel_core::FunnelConfig;
+use funnel_core::{FunnelConfig, StreamConfig, StreamEngine};
 use funnel_sim::effect::{ChangeEffect, EffectScope};
 use funnel_sim::kpi::{KpiKey, KpiKind};
+use funnel_sim::live::LiveFeed;
 use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sst::SstConfig;
 use funnel_topology::change::{ChangeId, ChangeKind};
 
 fn shifted_world() -> (World, ChangeId) {
@@ -169,8 +171,101 @@ fn recording_never_changes_assessment_bytes() {
         );
     }
 
+    // The streaming engine closes the matrix: ticking the same feed
+    // through `StreamEngine` with recording {off, on} × {1, 3, 8} workers
+    // produces one fingerprint of completed assessments and engine stats.
+    let (stream_world, stream_change) = streamed_world();
+    let feed = LiveFeed::from_store(&stream_world.materialize().unwrap());
+
     funnel_obs::disable();
     funnel_obs::reset();
+    let stream_baseline = stream_fingerprint(&stream_world, stream_change, &feed, 1);
+    for workers in [3, 8] {
+        assert_eq!(
+            stream_baseline,
+            stream_fingerprint(&stream_world, stream_change, &feed, workers),
+            "obs off: streaming diverged at {workers} workers"
+        );
+    }
+
+    funnel_obs::enable();
+    for workers in [1, 3, 8] {
+        funnel_obs::reset();
+        assert_eq!(
+            stream_baseline,
+            stream_fingerprint(&stream_world, stream_change, &feed, workers),
+            "obs on: streaming diverged at {workers} workers"
+        );
+        // Streaming instrumentation genuinely ran, and its aggregate is
+        // order-insensitive: tick/fold counters don't depend on workers.
+        let report = funnel_obs::snapshot();
+        assert_eq!(
+            report.counters[funnel_obs::names::STREAM_TICKS],
+            feed.arrivals().count() as u64,
+            "obs on ({workers} workers): tick counter"
+        );
+        assert!(
+            report.counters[funnel_obs::names::STREAM_SCORES] > 0,
+            "obs on ({workers} workers): no folds recorded"
+        );
+        assert!(
+            report.counters[funnel_obs::names::STREAM_VERDICTS] > 0,
+            "obs on ({workers} workers): no verdicts recorded"
+        );
+        assert_eq!(
+            report.spans[funnel_obs::names::SPAN_STREAM_TICK].count,
+            feed.arrivals().count() as u64,
+            "obs on ({workers} workers): tick span count"
+        );
+    }
+
+    funnel_obs::disable();
+    funnel_obs::reset();
+}
+
+/// A compact shifted world for the streaming leg (quick SST keeps the
+/// tick-by-tick replay fast enough to run six times).
+fn streamed_world() -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed: 5,
+        start: 0,
+        duration: 2880,
+    });
+    let svc = b.add_service("prod.obs.stream", 3).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        9.0,
+    );
+    let id = b
+        .deploy_change(ChangeKind::Upgrade, svc, 2, 1700, effect, "t")
+        .unwrap();
+    (b.build(), id)
+}
+
+fn stream_fingerprint(world: &World, change: ChangeId, feed: &LiveFeed, workers: usize) -> String {
+    let mut config = FunnelConfig::paper_default();
+    config.sst = SstConfig::quick();
+    config.assess.workers = workers;
+    let mut stream_cfg = StreamConfig::paired_with(&config);
+    stream_cfg.ring_capacity = StreamConfig::capacity_for(&config, 2880);
+    stream_cfg.workers = workers;
+    let kinds: std::collections::BTreeMap<_, _> = world
+        .topology()
+        .services()
+        .map(|(id, _)| (id, world.kinds_of_service(id).to_vec()))
+        .collect();
+    let record = world.change_log().get(change).unwrap().clone();
+    let mut engine = StreamEngine::new(config, stream_cfg, kinds);
+    engine.track_change(world.topology(), record).unwrap();
+    let mut completed = Vec::new();
+    for (minute, batch) in feed.arrivals() {
+        for &m in batch {
+            engine.offer(m);
+        }
+        completed.extend(engine.tick(minute).completed);
+    }
+    format!("{completed:?}\n{:?}", engine.stats())
 }
 
 /// Injects one transient fault on the target key's first attempt.

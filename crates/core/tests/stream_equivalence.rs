@@ -1,0 +1,326 @@
+//! The streaming engine's headline contracts.
+//!
+//! * Streaming verdicts are **byte-identical** to the batch pipeline on
+//!   every key that was neither shed nor stale, at every worker count.
+//! * Late frames heal through the backfill path and still converge on the
+//!   batch verdicts.
+//! * Load shedding is a pure function of the seed — two runs shed the same
+//!   set — and every shed work unit completes as `Inconclusive` flagged
+//!   `LoadShed` instead of stalling or guessing.
+//! * The verdict channel drops (and counts) rather than blocking.
+
+use funnel_core::quality::QualityIssue;
+use funnel_core::stream::StreamAssessment;
+use funnel_core::{FunnelConfig, StreamConfig, StreamEngine, Verdict};
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::live::LiveFeed;
+use funnel_sim::store::{Measurement, MetricStore};
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sst::SstConfig;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use funnel_topology::model::ServiceId;
+use std::collections::BTreeMap;
+
+const DURATION: u64 = 2880;
+const CHANGE_MINUTE: u64 = 1700;
+
+fn test_config(workers: usize) -> FunnelConfig {
+    let mut c = FunnelConfig::paper_default();
+    c.sst = SstConfig::quick();
+    c.assess.workers = workers;
+    c
+}
+
+fn stream_config(funnel: &FunnelConfig) -> StreamConfig {
+    let mut s = StreamConfig::paired_with(funnel);
+    s.ring_capacity = StreamConfig::capacity_for(funnel, DURATION);
+    s
+}
+
+fn shifted_world() -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed: 5,
+        start: 0,
+        duration: DURATION as usize,
+    });
+    let svc = b.add_service("prod.stream", 3).unwrap();
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        9.0,
+    );
+    let id = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            2,
+            CHANGE_MINUTE,
+            effect,
+            "stream equivalence",
+        )
+        .unwrap();
+    (b.build(), id)
+}
+
+fn service_kinds(world: &World) -> BTreeMap<ServiceId, Vec<KpiKind>> {
+    world
+        .topology()
+        .services()
+        .map(|(id, _)| (id, world.kinds_of_service(id).to_vec()))
+        .collect()
+}
+
+/// Replays `feed` into a fresh store — the batch pipeline's input, built
+/// from the exact same measurement sequence the engine saw.
+fn replay_feed(feed: &LiveFeed) -> MetricStore {
+    let store = MetricStore::new();
+    for (_, batch) in feed.arrivals() {
+        for m in batch {
+            store.append(m.key, m.minute, m.value);
+        }
+    }
+    store
+}
+
+fn batch_items(world: &World, change: ChangeId, feed: &LiveFeed, workers: usize) -> String {
+    let record = world.change_log().get(change).unwrap().clone();
+    let kinds = service_kinds(world);
+    let snapshot = replay_feed(feed).snapshot();
+    let batch = funnel_core::Funnel::new(test_config(workers))
+        .assess_change_with(&snapshot, world.topology(), &record, &|svc| {
+            kinds.get(&svc).cloned().unwrap_or_default()
+        })
+        .unwrap();
+    format!("{:?}", batch.items)
+}
+
+fn run_engine(
+    world: &World,
+    change: ChangeId,
+    funnel_cfg: FunnelConfig,
+    stream_cfg: StreamConfig,
+    feed: &LiveFeed,
+) -> (StreamEngine, Vec<StreamAssessment>) {
+    let record = world.change_log().get(change).unwrap().clone();
+    let mut engine = StreamEngine::new(funnel_cfg, stream_cfg, service_kinds(world));
+    engine.track_change(world.topology(), record).unwrap();
+    let mut completed = Vec::new();
+    for (minute, batch) in feed.arrivals() {
+        for &m in batch {
+            engine.offer(m);
+        }
+        completed.extend(engine.tick(minute).completed);
+    }
+    (engine, completed)
+}
+
+#[test]
+fn streaming_matches_batch_at_every_worker_count() {
+    let (world, change) = shifted_world();
+    let feed = LiveFeed::from_store(&world.materialize().unwrap());
+    let reference = batch_items(&world, change, &feed, 1);
+    for workers in [1usize, 3, 8] {
+        let funnel_cfg = test_config(workers);
+        let mut stream_cfg = stream_config(&funnel_cfg);
+        stream_cfg.workers = workers;
+        let (engine, completed) = run_engine(&world, change, funnel_cfg, stream_cfg, &feed);
+        assert_eq!(completed.len(), 1, "workers={workers}");
+        let got = completed.first().unwrap();
+        assert!(got.shed.is_empty(), "workers={workers}");
+        assert!(got.stale.is_empty(), "workers={workers}");
+        assert_eq!(
+            format!("{:?}", got.items),
+            reference,
+            "streaming != batch at workers={workers}"
+        );
+        assert_eq!(engine.stats().shed, 0);
+        // The shifted KPI should actually have been caught live.
+        assert!(got.detection_latency.is_some(), "workers={workers}");
+        assert_eq!(
+            batch_items(&world, change, &feed, workers),
+            reference,
+            "batch itself drifted at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn late_frames_heal_through_backfill() {
+    let (world, change) = shifted_world();
+    let feed = LiveFeed::from_store(&world.materialize().unwrap());
+    let reference = batch_items(&world, change, &feed, 1);
+
+    // Hold back every frame of minutes [200, 260) and deliver each 30
+    // minutes late — out of order, but all healed long before the change's
+    // assessment window closes.
+    let mut arrivals: BTreeMap<u64, Vec<Measurement>> = BTreeMap::new();
+    for (minute, batch) in feed.arrivals() {
+        for &m in batch {
+            let when = if (200..260).contains(&m.minute) {
+                minute + 30
+            } else {
+                minute
+            };
+            arrivals.entry(when).or_default().push(m);
+        }
+    }
+
+    let funnel_cfg = test_config(1);
+    let stream_cfg = stream_config(&funnel_cfg);
+    let record = world.change_log().get(change).unwrap().clone();
+    let mut engine = StreamEngine::new(funnel_cfg, stream_cfg, service_kinds(&world));
+    engine.track_change(world.topology(), record).unwrap();
+    let mut completed = Vec::new();
+    for (&minute, batch) in &arrivals {
+        for &m in batch {
+            engine.offer(m);
+        }
+        completed.extend(engine.tick(minute).completed);
+    }
+
+    assert!(
+        engine.stats().late_backfilled > 0,
+        "the late path never fired"
+    );
+    assert_eq!(completed.len(), 1);
+    let got = completed.first().unwrap();
+    assert!(got.shed.is_empty());
+    assert_eq!(
+        format!("{:?}", got.items),
+        reference,
+        "backfilled stream diverged from batch"
+    );
+}
+
+#[test]
+fn shedding_is_deterministic_and_flagged() {
+    let (world, change) = shifted_world();
+    let feed = LiveFeed::from_store(&world.materialize().unwrap());
+    let reference = batch_items(&world, change, &feed, 1);
+
+    let run = || {
+        let funnel_cfg = test_config(1);
+        let mut stream_cfg = stream_config(&funnel_cfg);
+        stream_cfg.tick_budget = 10; // far fewer folds than keys per tick
+        stream_cfg.shed_seed = 77;
+        run_engine(&world, change, funnel_cfg, stream_cfg, &feed)
+    };
+    let (engine_a, completed_a) = run();
+    let (engine_b, _) = run();
+
+    assert!(engine_a.stats().shed > 0, "budget never triggered shedding");
+    assert_eq!(
+        engine_a.shed_log(),
+        engine_b.shed_log(),
+        "same seed must shed the same set"
+    );
+
+    assert_eq!(completed_a.len(), 1);
+    let got = completed_a.first().unwrap();
+    assert!(!got.shed.is_empty(), "no work key was shed in-window");
+    for item in &got.items {
+        if got.shed.contains(&item.key) {
+            assert_eq!(
+                item.verdict,
+                Verdict::Inconclusive {
+                    awaiting_backfill: false
+                },
+                "{:?}",
+                item.key
+            );
+            assert!(
+                item.quality.report.issues.contains(&QualityIssue::LoadShed),
+                "{:?}",
+                item.key
+            );
+        }
+    }
+    // Non-shed, non-stale keys still match the batch items byte-for-byte.
+    let batch_by_key: BTreeMap<String, String> = {
+        let record = world.change_log().get(change).unwrap().clone();
+        let kinds = service_kinds(&world);
+        let snapshot = replay_feed(&feed).snapshot();
+        funnel_core::Funnel::new(test_config(1))
+            .assess_change_with(&snapshot, world.topology(), &record, &|svc| {
+                kinds.get(&svc).cloned().unwrap_or_default()
+            })
+            .unwrap()
+            .items
+            .into_iter()
+            .map(|i| (format!("{:?}", i.key), format!("{i:?}")))
+            .collect()
+    };
+    let mut survivors = 0;
+    for item in &got.items {
+        if got.shed.contains(&item.key) || got.stale.contains(&item.key) {
+            continue;
+        }
+        survivors += 1;
+        assert_eq!(
+            batch_by_key.get(&format!("{:?}", item.key)),
+            Some(&format!("{item:?}")),
+            "surviving key diverged from batch"
+        );
+    }
+    assert!(survivors > 0, "everything was shed — budget too small");
+    let _ = reference;
+}
+
+#[test]
+fn verdict_channel_drops_instead_of_blocking() {
+    let (world, change) = shifted_world();
+    let feed = LiveFeed::from_store(&world.materialize().unwrap());
+    let funnel_cfg = test_config(1);
+    let mut stream_cfg = stream_config(&funnel_cfg);
+    stream_cfg.verdict_capacity = 2; // nobody drains it in this test
+    let (engine, completed) = run_engine(&world, change, funnel_cfg, stream_cfg, &feed);
+    assert_eq!(completed.len(), 1, "engine stalled on a full channel");
+    let items = completed.first().unwrap().items.len();
+    assert!(items > 2);
+    let stats = engine.stats();
+    assert_eq!(stats.verdicts, 2);
+    assert_eq!(stats.verdicts_dropped as usize, items - 2);
+    assert_eq!(engine.verdicts().len(), 2);
+}
+
+#[test]
+fn overload_stays_bounded_and_makes_progress() {
+    let (world, change) = shifted_world();
+    let feed = LiveFeed::from_store(&world.materialize().unwrap());
+    let funnel_cfg = test_config(1);
+    let mut stream_cfg = stream_config(&funnel_cfg);
+    let keys = replay_feed(&feed).keys().len();
+    stream_cfg.tick_budget = keys as u64; // sized for 1× ingest
+    let record = world.change_log().get(change).unwrap().clone();
+    let mut engine = StreamEngine::new(funnel_cfg, stream_cfg.clone(), service_kinds(&world));
+    engine.track_change(world.topology(), record).unwrap();
+
+    // 10× overload: ten minutes of frames land between consecutive ticks.
+    let mut completed = Vec::new();
+    let mut pending = 0u64;
+    let mut last = 0;
+    for (minute, batch) in feed.arrivals() {
+        for &m in batch {
+            engine.offer(m);
+        }
+        pending += 1;
+        last = minute;
+        if pending == 10 {
+            completed.extend(engine.tick(minute).completed);
+            pending = 0;
+        }
+    }
+    completed.extend(engine.tick(last).completed);
+
+    let stats = engine.stats();
+    assert!(stats.shed > 0, "10x overload never shed");
+    assert_eq!(completed.len(), 1, "the change never completed");
+    // Resident window memory is exactly the configured bound.
+    assert_eq!(
+        engine.window_bytes(),
+        keys * stream_cfg.ring_capacity * 9,
+        "window memory drifted from the accounting bound"
+    );
+    assert_eq!(stats.peak_window_bytes, engine.window_bytes());
+}

@@ -5,7 +5,7 @@
 //! compile time, greppable, and documented in one place (mirrored in
 //! DESIGN.md §9). Naming convention: `<stage>.<what>` with the stage
 //! prefixes `collector`, `detect`, `did`, `assess`, `supervisor`, `wal`,
-//! `recover`, and `reassess`.
+//! `recover`, `reassess`, and `stream`.
 
 // ------------------------------------------------------------- counters --
 
@@ -22,6 +22,15 @@ pub const FRAMES_BACKFILLED: &str = "collector.frames_backfilled";
 pub const RECORDS_BACKFILLED: &str = "collector.records_backfilled";
 /// Late measurements refused by backfill duplicate suppression.
 pub const BACKFILL_REJECTED: &str = "collector.backfill_rejected";
+/// Measurements carrying a NaN or ±Inf value, quarantined by the
+/// plausibility gate before they could poison a window.
+pub const RECORDS_NONFINITE: &str = "collector.records_nonfinite";
+/// Measurements whose value fell implausibly far below the key's previous
+/// measurement (a counter reset reported as a raw gauge), quarantined.
+pub const RECORDS_COUNTER_RESET: &str = "collector.records_counter_reset";
+/// Frames whose timestamps sit further ahead of the agent's watermark than
+/// clock skew can explain, quarantined instead of ingested.
+pub const FRAMES_CLOCK_SKEWED: &str = "collector.frames_clock_skewed";
 
 /// Change points declared by the detector runner (before gap suppression).
 pub const DETECT_CHANGE_POINTS: &str = "detect.change_points";
@@ -59,6 +68,27 @@ pub const REASSESS_READY: &str = "reassess.ready";
 /// Re-runs that produced a firm verdict and left the queue.
 pub const REASSESS_UPGRADED: &str = "reassess.upgraded";
 
+/// Ticks the streaming engine processed.
+pub const STREAM_TICKS: &str = "stream.ticks";
+/// Window scores folded by the dirty-set scheduler (one per key-minute).
+pub const STREAM_SCORES: &str = "stream.scores";
+/// Re-scores dropped by the deterministic shedding policy under overload.
+pub const STREAM_SHED: &str = "stream.shed";
+/// Work keys whose verdict was refused because their window data had gone
+/// stale past the staleness watermark at assessment time.
+pub const STREAM_STALE: &str = "stream.stale";
+/// Change points declared by the streaming monitors.
+pub const STREAM_DETECTIONS: &str = "stream.detections";
+/// Item verdicts emitted on the streaming output channel.
+pub const STREAM_VERDICTS: &str = "stream.verdicts";
+/// Item verdicts dropped because the bounded output channel was full
+/// (drop-not-block: slow consumers never stall ingest).
+pub const STREAM_VERDICTS_DROPPED: &str = "stream.verdicts_dropped";
+/// Late frames folded into a retained ring window via backfill.
+pub const STREAM_LATE_BACKFILLED: &str = "stream.late_backfilled";
+/// Late frames refused (bin already measured, or evicted past retention).
+pub const STREAM_LATE_REJECTED: &str = "stream.late_rejected";
+
 // --------------------------------------------------------------- gauges --
 
 /// Work units enumerated for the most recent change assessment.
@@ -67,6 +97,10 @@ pub const WORK_UNITS_TOTAL: &str = "assess.work_units_total";
 pub const WORKERS: &str = "assess.workers";
 /// Items left in the re-assessment queue after the last absorb/reassess.
 pub const REASSESS_QUEUE_DEPTH: &str = "reassess.queue_depth";
+/// KPI keys with live ring state in the streaming engine.
+pub const STREAM_KEYS: &str = "stream.keys";
+/// Total resident window memory across all rings, in accounted bytes.
+pub const STREAM_WINDOW_BYTES: &str = "stream.window_bytes";
 
 // ----------------------------------------------------------- histograms --
 
@@ -77,6 +111,13 @@ pub const WORK_QUEUE_DEPTH: &str = "assess.work_queue_depth";
 /// Size in bytes of each WAL segment at sealing time (or at recovery scan
 /// for the unsealed tail segment).
 pub const WAL_SEGMENT_BYTES: &str = "wal.segment_bytes";
+/// Dirty-set depth at the top of each streaming tick (pre-shed).
+pub const STREAM_DIRTY_DEPTH: &str = "stream.dirty_depth";
+/// Scoring job-queue depth sampled as each tick fans out.
+pub const STREAM_QUEUE_DEPTH: &str = "stream.queue_depth";
+/// Minutes between the tick watermark and the oldest un-scored dirty
+/// window at the top of each tick.
+pub const STREAM_WATERMARK_LAG: &str = "stream.watermark_lag";
 
 // ----------------------------------------------------------- span paths --
 
@@ -96,6 +137,10 @@ pub const SPAN_COLLECT_REPLAY: &str = "collect.replay";
 pub const SPAN_REASSESS: &str = "reassess.run";
 /// One crash-recovery replay: checkpoint restore + WAL-tail re-ingestion.
 pub const SPAN_RECOVER_REPLAY: &str = "recover.replay";
+/// One streaming tick (shed → score → due assessments).
+pub const SPAN_STREAM_TICK: &str = "stream.tick";
+/// One due-change final assessment inside a streaming tick.
+pub const SPAN_STREAM_ASSESS: &str = "stream.assess";
 
 /// The core counters every instrumented pipeline run must populate — the
 /// set the CI `obs-smoke` and `chaos-smoke` steps assert on. The
@@ -124,6 +169,9 @@ mod tests {
             super::FRAMES_BACKFILLED,
             super::RECORDS_BACKFILLED,
             super::BACKFILL_REJECTED,
+            super::RECORDS_NONFINITE,
+            super::RECORDS_COUNTER_RESET,
+            super::FRAMES_CLOCK_SKEWED,
             super::DETECT_CHANGE_POINTS,
             super::DETECT_GAP_SUPPRESSED,
             super::CONTROL_CACHE_HITS,
@@ -138,12 +186,26 @@ mod tests {
             super::REASSESS_ABSORBED,
             super::REASSESS_READY,
             super::REASSESS_UPGRADED,
+            super::STREAM_TICKS,
+            super::STREAM_SCORES,
+            super::STREAM_SHED,
+            super::STREAM_STALE,
+            super::STREAM_DETECTIONS,
+            super::STREAM_VERDICTS,
+            super::STREAM_VERDICTS_DROPPED,
+            super::STREAM_LATE_BACKFILLED,
+            super::STREAM_LATE_REJECTED,
             super::WORK_UNITS_TOTAL,
             super::WORKERS,
             super::REASSESS_QUEUE_DEPTH,
+            super::STREAM_KEYS,
+            super::STREAM_WINDOW_BYTES,
             super::DID_CONTROL_POOL_SIZE,
             super::WORK_QUEUE_DEPTH,
             super::WAL_SEGMENT_BYTES,
+            super::STREAM_DIRTY_DEPTH,
+            super::STREAM_QUEUE_DEPTH,
+            super::STREAM_WATERMARK_LAG,
             super::SPAN_ASSESS_CHANGE,
             super::SPAN_ASSESS_ITEM,
             super::SPAN_ASSESS_WORKER,
@@ -152,6 +214,8 @@ mod tests {
             super::SPAN_COLLECT_REPLAY,
             super::SPAN_REASSESS,
             super::SPAN_RECOVER_REPLAY,
+            super::SPAN_STREAM_TICK,
+            super::SPAN_STREAM_ASSESS,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate metric name");

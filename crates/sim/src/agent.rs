@@ -66,6 +66,16 @@ pub struct ReplayStats {
     /// NaN/∞ — or into a "valid" number of magnitude 1e300 that would
     /// silently poison every aggregate it touches).
     pub invalid_records: usize,
+    /// The subset of `invalid_records` that carried NaN or ±Inf.
+    pub nonfinite_records: usize,
+    /// The subset of `invalid_records` whose value fell implausibly far
+    /// below the key's previous live measurement — a counter reset
+    /// reported through a raw-gauge channel.
+    pub counter_reset_records: usize,
+    /// Frames quarantined because their minute stamp ran further ahead of
+    /// the sending agent's watermark than clock skew can explain (also
+    /// counted in `quarantined_frames`).
+    pub clock_skewed_frames: usize,
     /// Agent shard threads that panicked mid-replay. Their already-sent
     /// frames were ingested; only their local fault counters are lost.
     pub crashed_agents: usize,

@@ -35,6 +35,20 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// [`Collector::commit`] for the rationale.
 pub const MAX_PLAUSIBLE_VALUE: f64 = 1e12;
 
+/// Largest single-minute *drop* the collector accepts for one key. A
+/// monotonic counter that resets (process restart, u32 wraparound) reported
+/// through a raw-gauge channel shows up as a huge negative delta; no KPI
+/// this pipeline measures moves anywhere near this much in one minute, so
+/// anything past it is a reset artifact, not a measurement.
+pub const MAX_COUNTER_RESET_DROP: f64 = 1e9;
+
+/// How far ahead of its own agent's watermark a frame's minute stamp may
+/// run before the collector refuses to believe the clock. The reorder
+/// horizon explains *late* frames; a frame a week in the *future* can only
+/// be a skewed or corrupted clock, and ingesting it would poison minute
+/// finalization for every agent.
+pub const MAX_CLOCK_SKEW_MINUTES: u64 = 10_080;
+
 /// Per (service, kind): the (instance id, value) pairs seen so far for one
 /// minute. Summation happens in instance-id order at finalize time, so the
 /// aggregate is bit-identical no matter how frames interleave. A BTreeMap
@@ -101,6 +115,11 @@ pub enum Ingest {
     /// Undecodable bytes or a header claiming an unknown agent: counted and
     /// discarded, never a panic.
     Quarantined,
+    /// A frame whose minute stamp runs further ahead of its own agent's
+    /// watermark than [`MAX_CLOCK_SKEW_MINUTES`] plus the reorder horizon:
+    /// a skewed or corrupted clock, quarantined with its own counter so a
+    /// fleet-wide skew incident is visible at a glance.
+    ClockSkewed,
 }
 
 impl Ingest {
@@ -177,6 +196,11 @@ pub struct Collector<'a> {
     service_sizes: HashMap<ServiceId, usize>,
     state: CollectorState,
     stats: ReplayStats,
+    /// Last live value accepted per key, for the counter-reset gate.
+    /// Deliberately *not* part of [`CollectorState`]: it is a plausibility
+    /// heuristic, not durable ingest state — a recovery re-arms it from
+    /// the replayed WAL tail, and checkpoints stay format-stable.
+    last_values: BTreeMap<KpiKey, f64>,
 }
 
 impl<'a> Collector<'a> {
@@ -217,6 +241,7 @@ impl<'a> Collector<'a> {
             service_sizes,
             state,
             stats: ReplayStats::default(),
+            last_values: BTreeMap::new(),
         }
     }
 
@@ -242,6 +267,19 @@ impl<'a> Collector<'a> {
             .is_some_and(|s| s.contains(&decoded.minute))
         {
             return Ingest::Duplicate;
+        }
+        // A minute stamp running implausibly far *ahead* of the agent's own
+        // watermark is a skewed clock. The check is per-agent (like the
+        // backfill routing below), so cross-shard scheduling skew can never
+        // trip it, and an agent's very first frame is always believed.
+        if self
+            .state
+            .watermarks
+            .get(agent)
+            .and_then(|w| *w)
+            .is_some_and(|w| decoded.minute > w + self.horizon + MAX_CLOCK_SKEW_MINUTES)
+        {
+            return Ingest::ClockSkewed;
         }
         // A frame whose original-minute stamp lies behind this agent's own
         // watermark by more than the reorder horizon cannot be a delayed
@@ -269,6 +307,13 @@ impl<'a> Collector<'a> {
                 self.stats.quarantined_frames += 1;
                 self.store.note_quarantined_frame();
                 funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
+            }
+            Ingest::ClockSkewed => {
+                self.stats.quarantined_frames += 1;
+                self.stats.clock_skewed_frames += 1;
+                self.store.note_quarantined_frame();
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
+                funnel_obs::counter_add(funnel_obs::names::FRAMES_CLOCK_SKEWED, 1);
             }
             Ingest::Duplicate => {
                 self.stats.duplicate_frames += 1;
@@ -306,10 +351,34 @@ impl<'a> Collector<'a> {
                     // (counts, millisecond delays, utilization percentages)
                     // comes within orders of magnitude of the bound, even
                     // glitch-amplified.
-                    if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
+                    if !rec.value.is_finite() {
+                        // NaN/±Inf would propagate through every sum, mean,
+                        // and SST window it touches; own counter so a NaN
+                        // storm is distinguishable from byte corruption.
+                        self.stats.invalid_records += 1;
+                        self.stats.nonfinite_records += 1;
+                        funnel_obs::counter_add(funnel_obs::names::RECORDS_NONFINITE, 1);
+                        continue;
+                    }
+                    if rec.value.abs() > MAX_PLAUSIBLE_VALUE {
                         self.stats.invalid_records += 1;
                         continue;
                     }
+                    // Counter-reset gate: a one-minute drop beyond any
+                    // physically possible movement is a reset artifact.
+                    // Live path only — backfilled history arrives out of
+                    // order, so deltas there are meaningless.
+                    if self
+                        .last_values
+                        .get(&rec.key)
+                        .is_some_and(|prev| rec.value - prev < -MAX_COUNTER_RESET_DROP)
+                    {
+                        self.stats.invalid_records += 1;
+                        self.stats.counter_reset_records += 1;
+                        funnel_obs::counter_add(funnel_obs::names::RECORDS_COUNTER_RESET, 1);
+                        continue;
+                    }
+                    self.last_values.insert(rec.key, rec.value);
                     self.stats.records += 1;
                     self.store.append(rec.key, frame.minute, rec.value);
                     if let Entity::Instance(i) = rec.key.entity {
@@ -407,6 +476,10 @@ impl<'a> Collector<'a> {
             for rec in records {
                 if !rec.value.is_finite() || rec.value.abs() > MAX_PLAUSIBLE_VALUE {
                     self.stats.invalid_records += 1;
+                    if !rec.value.is_finite() {
+                        self.stats.nonfinite_records += 1;
+                        funnel_obs::counter_add(funnel_obs::names::RECORDS_NONFINITE, 1);
+                    }
                     self.store.note_backfill_rejected();
                     funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
                     continue;

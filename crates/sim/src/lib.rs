@@ -44,6 +44,7 @@ pub mod collector;
 pub mod effect;
 pub mod faults;
 pub mod kpi;
+pub mod live;
 pub mod scenario;
 pub mod spec;
 pub mod store;
@@ -54,5 +55,6 @@ pub use collector::{Collector, CollectorState, Ingest, IngestAbort, IngestHooks,
 pub use effect::{ChangeEffect, EffectScope, ExternalShock, KpiEffect};
 pub use faults::{FaultPlan, FaultSchedule, FrameFate, HealMode, PartitionScope, PartitionWindow};
 pub use kpi::{Aggregation, KpiKey, KpiKind};
+pub use live::LiveFeed;
 pub use store::{MetricStore, StoreSnapshot, StoreStats, Subscription};
 pub use world::{GroundTruthItem, SimConfig, World, WorldBuilder};

@@ -7,8 +7,10 @@
 //! the bytes cannot hold.
 
 use bytes::Bytes;
+use funnel_sim::collector::{MAX_CLOCK_SKEW_MINUTES, MAX_COUNTER_RESET_DROP};
 use funnel_sim::wire::{decode_frame, encode_frame, WireRecord};
-use funnel_sim::{KpiKey, KpiKind};
+use funnel_sim::world::SimConfig;
+use funnel_sim::{Collector, Ingest, KpiKey, KpiKind, MetricStore, World, WorldBuilder};
 use funnel_topology::impact::Entity;
 use funnel_topology::model::{InstanceId, ServerId, ServiceId};
 use proptest::prelude::*;
@@ -119,5 +121,114 @@ proptest! {
         prop_assert_eq!(decoded.minute, minute);
         prop_assert_eq!(decoded.agent_id, agent);
         prop_assert_eq!(decoded.records, records);
+    }
+}
+
+/// A minimal world whose collector the gate tests feed by hand.
+fn small_world(seed: u64) -> World {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed,
+        start: 0,
+        duration: 16,
+    });
+    b.add_service("prod.fuzz", 2).unwrap();
+    b.build()
+}
+
+// The collector's plausibility gates sit behind the codec: bytes that
+// *decode* cleanly can still carry hostile payloads — NaN/±Inf values,
+// counter resets, clock-skewed minute stamps. Each gate must quarantine
+// with its own counter and leave no trace in the store.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nonfinite_record_values_are_gated_with_their_own_counter(
+        seed in 0u64..1000,
+        sels in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let world = small_world(seed);
+        let store = MetricStore::new();
+        let mut collector = Collector::for_world(&world, &store, 1, 3);
+        let mut bad = 0usize;
+        let records: Vec<WireRecord> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let value = match s % 4 {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    _ => i as f64,
+                };
+                if !value.is_finite() {
+                    bad += 1;
+                }
+                record(s, i as u32, i, value)
+            })
+            .collect();
+        let frame = encode_frame(5, 0, &records);
+        // The frame itself is live — only the hostile records are dropped.
+        prop_assert!(matches!(collector.classify(&frame), Ingest::Live(_)));
+        collector.ingest(&frame);
+        let stats = collector.stats();
+        prop_assert_eq!(stats.nonfinite_records, bad);
+        prop_assert_eq!(stats.invalid_records, bad);
+        prop_assert_eq!(stats.records, records.len() - bad);
+    }
+
+    #[test]
+    fn counter_resets_are_gated_with_their_own_counter(
+        seed in 0u64..1000,
+        base in 2.0e9f64..1.0e12,
+        extra in 0.0..1.0f64,
+    ) {
+        let world = small_world(seed);
+        let store = MetricStore::new();
+        let mut collector = Collector::for_world(&world, &store, 1, 3);
+        let one = |value: f64| vec![record(0, 7, 0, value)];
+        collector.ingest(&encode_frame(0, 0, &one(base)));
+        // A one-minute drop beyond the gate is a reset artifact…
+        let reset = base - MAX_COUNTER_RESET_DROP - 1.0 - extra * 1e9;
+        collector.ingest(&encode_frame(1, 0, &one(reset)));
+        prop_assert_eq!(collector.stats().counter_reset_records, 1);
+        prop_assert_eq!(collector.stats().invalid_records, 1);
+        // …while a large-but-plausible drop from the same last value is
+        // believed (the gated record never became the reference).
+        let plausible = base - 0.5 * MAX_COUNTER_RESET_DROP;
+        collector.ingest(&encode_frame(2, 0, &one(plausible)));
+        prop_assert_eq!(collector.stats().counter_reset_records, 1);
+        prop_assert_eq!(collector.stats().records, 2);
+    }
+
+    #[test]
+    fn clock_skew_beyond_the_bound_is_quarantined(
+        seed in 0u64..1000,
+        start in 0u64..10_000,
+        ahead in 1u64..5_000,
+    ) {
+        let world = small_world(seed);
+        let store = MetricStore::new();
+        let horizon = 3u64;
+        let mut collector = Collector::for_world(&world, &store, 2, horizon);
+        let recs = vec![record(0, 1, 0, 1.0)];
+        // An agent's very first frame is always believed, however far
+        // ahead: there is no watermark to measure skew against.
+        let first = encode_frame(start + 1_000_000, 1, &recs);
+        prop_assert!(matches!(collector.classify(&first), Ingest::Live(_)));
+        // Establish agent 0's watermark, then probe the bound.
+        collector.ingest(&encode_frame(start, 0, &recs));
+        let edge = start + horizon + MAX_CLOCK_SKEW_MINUTES;
+        let at_edge = encode_frame(edge, 0, &recs);
+        prop_assert!(matches!(collector.classify(&at_edge), Ingest::Live(_)));
+        let skewed = encode_frame(edge + ahead, 0, &recs);
+        prop_assert!(matches!(collector.classify(&skewed), Ingest::ClockSkewed));
+        collector.ingest(&skewed);
+        prop_assert_eq!(collector.stats().clock_skewed_frames, 1);
+        prop_assert_eq!(collector.stats().quarantined_frames, 1);
+        // The skewed frame moved no watermark: the agent keeps working at
+        // sane minutes instead of having its future frames misrouted.
+        let next = encode_frame(start + 1, 0, &recs);
+        prop_assert!(matches!(collector.classify(&next), Ingest::Live(_)));
     }
 }

@@ -38,11 +38,13 @@ pub mod fast;
 pub mod filter;
 pub mod layout;
 pub mod robust;
+pub mod stream;
 
 pub use classic::ClassicSst;
 pub use config::{EigSelection, SstConfig};
 pub use fast::FastSst;
 pub use robust::RobustSst;
+pub use stream::StreamingSst;
 
 /// A change-point scorer over fixed-width windows.
 pub trait SstScorer {

@@ -14,6 +14,8 @@
 //! * [`inject`] — level-shift and ramp change injection (paper Fig. 2),
 //! * [`mask`] — per-minute coverage masks distinguishing real measurements
 //!   from substrate gap-fills in degraded-telemetry runs,
+//! * [`ring`] — fixed-capacity sliding windows ([`RingSeries`]) for the
+//!   streaming engine: bounded resident memory per KPI regardless of uptime,
 //! * [`window`] — sliding-window iteration used by every detector.
 //!
 //! All randomness flows through explicitly seeded [`rand::rngs::StdRng`]
@@ -25,6 +27,7 @@
 pub mod generate;
 pub mod inject;
 pub mod mask;
+pub mod ring;
 pub mod series;
 pub mod stats;
 pub mod window;
@@ -32,6 +35,7 @@ pub mod window;
 pub use generate::{KpiClass, KpiGenerator, SeasonalProfile};
 pub use inject::{ChangeShape, InjectedChange};
 pub use mask::CoverageMask;
+pub use ring::{RingSeries, RingWrite};
 pub use series::{MinuteBin, TimeSeries};
 pub use stats::{mad, mean, median, population_std, RobustSummary};
 pub use window::SlidingWindows;
