@@ -32,11 +32,13 @@ use std::collections::BTreeMap;
 
 /// The hot-path entry points whose panic-freedom the paper's robustness
 /// story depends on: assessment pipeline, parallel engine, supervisor,
-/// collector accept/backfill, streaming engine, and crash recovery.
+/// collector accept/backfill, streaming engine, crash recovery, and the
+/// diagnosis stage (it runs inside the streaming completion path, so a
+/// panic there stalls the engine exactly like an assessment panic would).
 /// `(file, fn)` pairs; entries missing from the workspace are simply
 /// skipped, so fixture workspaces can exercise the pass with their own
 /// names.
-pub const ENTRY_POINTS: [(&str, &str); 18] = [
+pub const ENTRY_POINTS: [(&str, &str); 20] = [
     ("crates/core/src/pipeline.rs", "assess_change"),
     ("crates/core/src/pipeline.rs", "assess_change_with"),
     ("crates/core/src/pipeline.rs", "assess_key"),
@@ -55,6 +57,8 @@ pub const ENTRY_POINTS: [(&str, &str); 18] = [
     ("crates/core/src/stream.rs", "tick"),
     ("crates/core/src/stream.rs", "track_change"),
     ("crates/timeseries/src/ring.rs", "push"),
+    ("crates/core/src/diagnose.rs", "diagnose_assessment"),
+    ("crates/diag/src/lib.rs", "diagnose_change"),
 ];
 
 /// Runs L7, L8, and L9 over the graph. `scans` must cover every file the

@@ -1,0 +1,206 @@
+//! Diag sweep — what the opt-in diagnosis stage costs next to assessment.
+//!
+//! Builds shifted worlds of increasing fleet size, runs the batch
+//! assessment and then the diagnosis pass over the same store snapshot,
+//! and times both. The stage's cost contract is asserted per cell: the
+//! diagnosis p50 must stay under 5% of the assessment p50 — explaining a
+//! verdict re-reads a handful of pre-windows and re-scores ~2·radius SST
+//! windows per caused item, while assessing scores every minute of every
+//! work unit, so a diagnosis pass that costs a material fraction of an
+//! assessment means something regressed structurally.
+//!
+//! Also asserted: diagnosis report bytes are identical run-to-run (the
+//! determinism the `diag_determinism` test proves across worker counts
+//! must survive the timing harness), and every cell diagnoses at least
+//! one caused item (a sweep that times empty reports proves nothing).
+//!
+//! Writes `results/BENCH_diag.json` and prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (smallest
+//! fleet, fewer timing iterations — same contracts).
+
+use funnel_bench::report::BenchReport;
+use funnel_core::pipeline::{ChangeAssessment, Funnel};
+use funnel_core::{DiagConfig, FunnelConfig};
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::store::StoreSnapshot;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sst::SstConfig;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::time::Instant;
+
+/// Two simulated days: history before the change plus the assessment hour.
+const DURATION: u64 = 2880;
+
+/// Deployment minute — leaves the full warmup + DiD history in the store.
+const T0: u64 = 1700;
+
+fn pipeline_config() -> FunnelConfig {
+    let mut c = FunnelConfig::paper_default();
+    c.sst = SstConfig::quick();
+    c.diagnose = DiagConfig::on();
+    c
+}
+
+/// A world with `instances` instances (half treated) and a real
+/// treated-side delay shift, so both assessment and diagnosis do full
+/// work: detection, DiD, bias checks, traces.
+fn build_world(seed: u64, instances: usize) -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed,
+        start: 0,
+        duration: DURATION as usize,
+    });
+    let svc = b.add_service("prod.diag", instances).expect("fresh");
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        9.0,
+    );
+    let id = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            (instances / 2).max(1),
+            T0,
+            effect,
+            "diag sweep upgrade",
+        )
+        .expect("valid");
+    (b.build(), id)
+}
+
+fn assess(
+    funnel: &Funnel,
+    world: &World,
+    snapshot: &StoreSnapshot,
+    change: ChangeId,
+) -> ChangeAssessment {
+    let record = world.change_log().get(change).expect("logged");
+    funnel
+        .assess_change_with(snapshot, world.topology(), record, &|s| {
+            world.kinds_of_service(s).to_vec()
+        })
+        .expect("assessable")
+}
+
+/// Median of `samples`, nearest-rank on sorted data.
+fn p50(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.get(sorted.len() / 2).copied().unwrap_or(0.0)
+}
+
+struct Row {
+    instances: usize,
+    work_units: usize,
+    diagnosed: usize,
+    mismatches: usize,
+    assess_p50_ms: f64,
+    diag_p50_ms: f64,
+    ratio: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"instances\": {}, \"work_units\": {}, \"diagnosed\": {}, \
+             \"mismatches\": {}, \"assess_p50_ms\": {:.3}, \"diag_p50_ms\": {:.3}, \
+             \"ratio\": {:.5}}}",
+            self.instances,
+            self.work_units,
+            self.diagnosed,
+            self.mismatches,
+            self.assess_p50_ms,
+            self.diag_p50_ms,
+            self.ratio
+        )
+    }
+}
+
+fn main() {
+    let seed = funnel_bench::seed();
+    let smoke = funnel_bench::smoke();
+    let fleets: &[usize] = if smoke { &[8] } else { &[8, 16, 32] };
+    let iterations = if smoke { 3 } else { 9 };
+    let funnel = Funnel::new(pipeline_config());
+
+    let mut report = BenchReport::new("diag", seed, smoke)
+        .field("iterations", format!("{iterations}"))
+        .field("max_ratio", "0.05");
+    println!("instances  work  diagnosed  assess_p50_ms  diag_p50_ms  ratio");
+
+    for &instances in fleets {
+        let (world, change) = build_world(seed, instances);
+        let snapshot = world.materialize().expect("materialize").snapshot();
+        let record = world.change_log().get(change).expect("logged");
+
+        let mut assess_ms = Vec::new();
+        let mut diag_ms = Vec::new();
+        let mut assessment = None;
+        let mut diag_json = None;
+        for _ in 0..iterations {
+            let t = Instant::now();
+            let a = assess(&funnel, &world, &snapshot, change);
+            assess_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            let d = funnel
+                .diagnose(&snapshot, world.topology(), record, &a)
+                .expect("diagnosis enabled");
+            diag_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let json = d.to_json();
+            if let Some(first) = &diag_json {
+                assert_eq!(first, &json, "diagnosis bytes diverged run-to-run");
+            } else {
+                diag_json = Some(json);
+            }
+            assessment = Some((a, d));
+        }
+        let (a, d) = assessment.expect("at least one iteration");
+        assert!(
+            !d.items.is_empty(),
+            "{instances}-instance cell diagnosed nothing — the timing proves nothing"
+        );
+
+        let assess_p50_ms = p50(&assess_ms);
+        let diag_p50_ms = p50(&diag_ms);
+        let ratio = if assess_p50_ms > 0.0 {
+            diag_p50_ms / assess_p50_ms
+        } else {
+            f64::INFINITY
+        };
+        assert!(
+            ratio < 0.05,
+            "diagnosis p50 {diag_p50_ms:.3} ms is {:.1}% of assessment p50 {assess_p50_ms:.3} ms \
+             (contract: < 5%)",
+            ratio * 100.0
+        );
+
+        let row = Row {
+            instances,
+            work_units: a.items.len(),
+            diagnosed: d.items.len(),
+            mismatches: d.mismatch_count(),
+            assess_p50_ms,
+            diag_p50_ms,
+            ratio,
+        };
+        println!(
+            "{:>9}  {:>4}  {:>9}  {:>13.3}  {:>11.3}  {:.4}",
+            row.instances,
+            row.work_units,
+            row.diagnosed,
+            row.assess_p50_ms,
+            row.diag_p50_ms,
+            row.ratio
+        );
+        report.push_row(row.json());
+    }
+
+    let path = report.write().expect("write bench report");
+    println!("wrote {}", path.display());
+}

@@ -1,5 +1,6 @@
 //! FUNNEL's operational configuration.
 
+use funnel_diag::DiagConfig;
 use funnel_did::DidConfig;
 use funnel_sst::SstConfig;
 
@@ -90,6 +91,11 @@ pub struct FunnelConfig {
     pub reassess_coverage: f64,
     /// How the batch pipeline fans assessment work units across threads.
     pub assess: AssessConfig,
+    /// The opt-in diagnosis stage ([`crate::diagnose`]): off by default so
+    /// the assessment path is byte-for-byte what it was before the stage
+    /// existed. Enabling it adds a strictly read-only explanation pass over
+    /// the finished assessment; it never alters a verdict.
+    pub diagnose: DiagConfig,
 }
 
 impl FunnelConfig {
@@ -112,6 +118,7 @@ impl FunnelConfig {
             min_partition_gap: funnel_detect::PERSISTENCE_MINUTES as u64,
             reassess_coverage: 0.8,
             assess: AssessConfig::default(),
+            diagnose: DiagConfig::default(),
         }
     }
 
@@ -145,6 +152,9 @@ mod tests {
         assert_eq!(c.reassess_coverage, 0.8);
         assert_eq!(c.assess.workers, 1);
         assert_eq!(c.assess.effective_workers(), 1);
+        // Diagnosis is opt-in: the paper default must not enable it.
+        assert!(!c.diagnose.enabled);
+        assert_eq!(c.diagnose, DiagConfig::default());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod diagnose;
 pub mod online;
 pub mod online_assess;
 pub mod parallel;
@@ -56,6 +57,7 @@ pub mod stream;
 pub mod supervise;
 
 pub use config::{AssessConfig, FunnelConfig};
+pub use funnel_diag::{DiagConfig, DiagReport};
 pub use pipeline::{
     enumerate_work_units, AssessmentMode, ChangeAssessment, DataQuality, Funnel, FunnelError,
     ItemAssessment, Verdict,

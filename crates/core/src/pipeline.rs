@@ -35,6 +35,10 @@ pub enum AssessmentMode {
 }
 
 /// Final per-item verdict, coverage-aware.
+///
+/// Operator-facing definitions of every variant (and every
+/// [`QualityIssue`](crate::quality::QualityIssue) that can accompany one)
+/// live in the glossary table of `OPERATORS.md` at the repository root.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
     /// A KPI change exists *and* it is attributed to the software change.
@@ -231,6 +235,38 @@ pub fn enumerate_work_units(
     work.sort_unstable();
     work.dedup();
     work
+}
+
+/// Control-pool KPI keys for one treated item (§3.2.4): server items
+/// contrast against the cservers, instance- and service-level items against
+/// the cinstances. Shared by the DiD contrast and the diagnosis layer's
+/// bias check so the two can never disagree about pool membership.
+pub(crate) fn control_keys_for(impact_set: &ImpactSet, key: KpiKey) -> Vec<KpiKey> {
+    match key.entity {
+        Entity::Server(_) => impact_set
+            .cservers
+            .iter()
+            .map(|&s| KpiKey::new(Entity::Server(s), key.kind))
+            .collect(),
+        Entity::Instance(_) | Entity::Service(_) => impact_set
+            .cinstances
+            .iter()
+            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+            .collect(),
+    }
+}
+
+/// Treated-group KPI keys for one item: server/instance items are their own
+/// treated group; the changed service's item aggregates the tinstances.
+pub(crate) fn treated_keys_for(impact_set: &ImpactSet, key: KpiKey) -> Vec<KpiKey> {
+    match key.entity {
+        Entity::Server(_) | Entity::Instance(_) => vec![key],
+        Entity::Service(_) => impact_set
+            .tinstances
+            .iter()
+            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
+            .collect(),
+    }
 }
 
 /// The FUNNEL tool.
@@ -599,18 +635,7 @@ impl Funnel {
                     cache
                         .control
                         .get_or_insert_with((control_level(key.entity), key.kind), || {
-                            let control_keys: Vec<KpiKey> = match key.entity {
-                                Entity::Server(_) => impact_set
-                                    .cservers
-                                    .iter()
-                                    .map(|&s| KpiKey::new(Entity::Server(s), key.kind))
-                                    .collect(),
-                                Entity::Instance(_) | Entity::Service(_) => impact_set
-                                    .cinstances
-                                    .iter()
-                                    .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
-                                    .collect(),
-                            };
+                            let control_keys = control_keys_for(impact_set, key);
                             let coverage = if control_keys.is_empty() {
                                 0.0
                             } else {
@@ -641,14 +666,7 @@ impl Funnel {
                     // For the changed service's KPI the treated group is
                     // the tinstances; server/instance items are their own
                     // treated group.
-                    let treated_keys: Vec<KpiKey> = match key.entity {
-                        Entity::Server(_) | Entity::Instance(_) => vec![key],
-                        Entity::Service(_) => impact_set
-                            .tinstances
-                            .iter()
-                            .map(|&i| KpiKey::new(Entity::Instance(i), key.kind))
-                            .collect(),
-                    };
+                    let treated_keys = treated_keys_for(impact_set, key);
                     let treated: Vec<(TimeSeries, Option<CoverageMask>)> = treated_keys
                         .iter()
                         .filter_map(|k| source.series(k).map(|s| (s, source.mask(k))))

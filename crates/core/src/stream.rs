@@ -50,6 +50,7 @@
 //! assessment-window scoring.
 
 use crate::config::FunnelConfig;
+use crate::diagnose::diagnose_assessment;
 use crate::parallel;
 use crate::pipeline::{
     enumerate_work_units, AssessmentMode, DataQuality, Funnel, FunnelError, ItemAssessment, Verdict,
@@ -58,6 +59,7 @@ use crate::quality::{QualityIssue, QualityReport};
 use crate::source::KpiSource;
 use crate::supervise::splitmix64;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use funnel_diag::DiagReport;
 use funnel_obs::names;
 use funnel_sim::kpi::{KpiKey, KpiKind};
 use funnel_sim::store::Measurement;
@@ -196,6 +198,10 @@ pub struct StreamAssessment {
     /// Minutes from the change to the first streaming detection on any of
     /// its work keys.
     pub detection_latency: Option<u64>,
+    /// The diagnosis of the completed assessment, when the opt-in stage
+    /// ([`FunnelConfig::diagnose`]) is enabled — `None` otherwise. Strictly
+    /// derived *from* the items above; its presence never alters them.
+    pub diagnosis: Option<DiagReport>,
 }
 
 /// What one [`StreamEngine::tick`] did.
@@ -281,6 +287,10 @@ impl KeyMonitor {
 struct TrackedChange {
     record: SoftwareChange,
     impact_set: ImpactSet,
+    /// The topology snapshot at tracking time, kept only when the
+    /// diagnosis stage is enabled (it needs entity names and zones at
+    /// completion; the engine itself never reads topology after tracking).
+    topology: Option<Topology>,
     /// The enumerated work units, sorted (the batch enumeration).
     work: Vec<KpiKey>,
     /// The last minute the assessment window needs; the change completes
@@ -561,9 +571,16 @@ impl StreamEngine {
         });
         let due = record.minute + self.funnel.config().assessment_minutes;
         let id = record.id;
+        let diag_topology = self
+            .funnel
+            .config()
+            .diagnose
+            .enabled
+            .then(|| topology.clone());
         self.changes.push(TrackedChange {
             record,
             impact_set,
+            topology: diag_topology,
             work,
             due,
             shed: BTreeSet::new(),
@@ -969,6 +986,20 @@ impl StreamEngine {
             );
             items.sort_by_key(|a| a.key);
 
+            // The opt-in diagnosis stage: runs over the same ring view the
+            // assessment just read, after the items are final — it can
+            // explain them but never change them.
+            let diagnosis = change.topology.as_ref().map(|topology| {
+                diagnose_assessment(
+                    &self.funnel,
+                    &view,
+                    topology,
+                    &change.record,
+                    &change.impact_set,
+                    &items,
+                )
+            });
+
             let detection_latency = change
                 .first_detection
                 .map(|d| d.saturating_sub(change.record.minute));
@@ -979,6 +1010,7 @@ impl StreamEngine {
                 stale,
                 emitted_at: minute,
                 detection_latency,
+                diagnosis,
             };
             for item in &assessment.items {
                 let verdict = StreamVerdict {

@@ -44,6 +44,15 @@ impl DidEstimate {
         self.alpha.abs() > alpha_threshold
             && (self.t_stat.abs() > 3.5 || self.alpha.abs() > 3.0 * alpha_threshold)
     }
+
+    /// The 95% normal-approximation confidence interval on α,
+    /// `α ± 1.96·SE(α̂)` — what the diagnosis layer's evidence dossier
+    /// reports alongside the point estimate. Degenerate fits
+    /// (`std_err == 0`) collapse to the point estimate.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err;
+        (self.alpha - half, self.alpha + half)
+    }
 }
 
 /// Errors from [`did_estimate`].
@@ -299,5 +308,17 @@ mod tests {
             .collect();
         let big = did_estimate(&tp, &tq, &cp, &cp.clone()).unwrap();
         assert!(big.std_err < small.std_err);
+    }
+
+    #[test]
+    fn ci95_brackets_alpha_and_collapses_when_exact() {
+        let e = did_estimate(&[9.0, 11.0], &[14.0, 16.0], &[10.0, 12.0], &[10.0, 12.0]).unwrap();
+        let (lo, hi) = e.ci95();
+        assert!(lo <= e.alpha && e.alpha <= hi);
+        assert!((hi - lo - 2.0 * 1.96 * e.std_err).abs() < 1e-12);
+        // A noiseless fit has zero SE: the interval is the point estimate.
+        let exact =
+            did_estimate(&[10.0, 10.0], &[15.0, 15.0], &[20.0, 20.0], &[22.0, 22.0]).unwrap();
+        assert_eq!(exact.ci95(), (exact.alpha, exact.alpha));
     }
 }

@@ -5,7 +5,7 @@
 //! compile time, greppable, and documented in one place (mirrored in
 //! DESIGN.md §9). Naming convention: `<stage>.<what>` with the stage
 //! prefixes `collector`, `detect`, `did`, `assess`, `supervisor`, `wal`,
-//! `recover`, `reassess`, and `stream`.
+//! `recover`, `reassess`, `stream`, and `diag`.
 
 // ------------------------------------------------------------- counters --
 
@@ -89,6 +89,13 @@ pub const STREAM_LATE_BACKFILLED: &str = "stream.late_backfilled";
 /// Late frames refused (bin already measured, or evicted past retention).
 pub const STREAM_LATE_REJECTED: &str = "stream.late_rejected";
 
+/// Diagnosis reports produced (one per diagnosed change).
+pub const DIAG_REPORTS: &str = "diag.reports";
+/// Items diagnosed (bias-checked and dossiered) across all reports.
+pub const DIAG_ITEMS: &str = "diag.items";
+/// Items whose bias check flagged a control-pool population mismatch.
+pub const DIAG_POPULATION_MISMATCH: &str = "diag.population_mismatch";
+
 // --------------------------------------------------------------- gauges --
 
 /// Work units enumerated for the most recent change assessment.
@@ -141,6 +148,8 @@ pub const SPAN_RECOVER_REPLAY: &str = "recover.replay";
 pub const SPAN_STREAM_TICK: &str = "stream.tick";
 /// One due-change final assessment inside a streaming tick.
 pub const SPAN_STREAM_ASSESS: &str = "stream.assess";
+/// One whole-change diagnosis pass (bias checks + ranking + dossiers).
+pub const SPAN_DIAG_CHANGE: &str = "diag.change";
 
 /// The core counters every instrumented pipeline run must populate — the
 /// set the CI `obs-smoke` and `chaos-smoke` steps assert on. The
@@ -195,6 +204,9 @@ mod tests {
             super::STREAM_VERDICTS_DROPPED,
             super::STREAM_LATE_BACKFILLED,
             super::STREAM_LATE_REJECTED,
+            super::DIAG_REPORTS,
+            super::DIAG_ITEMS,
+            super::DIAG_POPULATION_MISMATCH,
             super::WORK_UNITS_TOTAL,
             super::WORKERS,
             super::REASSESS_QUEUE_DEPTH,
@@ -216,6 +228,7 @@ mod tests {
             super::SPAN_RECOVER_REPLAY,
             super::SPAN_STREAM_TICK,
             super::SPAN_STREAM_ASSESS,
+            super::SPAN_DIAG_CHANGE,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate metric name");

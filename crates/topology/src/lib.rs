@@ -26,6 +26,7 @@ pub mod change;
 pub mod impact;
 pub mod model;
 pub mod naming;
+pub mod zone;
 
 pub use change::{
     combine_consecutive, ChangeId, ChangeKind, ChangeLog, LaunchMode, SoftwareChange,
@@ -33,3 +34,4 @@ pub use change::{
 pub use impact::{identify_impact_set, Entity, ImpactSet};
 pub use model::{InstanceId, ServerId, ServiceId, Topology, TopologyError};
 pub use naming::ServiceName;
+pub use zone::ZoneMap;

@@ -1,0 +1,87 @@
+//! Zone striping over the server fleet.
+//!
+//! The studied company's fleet is sharded across failure domains, and the
+//! simulator's fault planner already partitions replay agents by
+//! `shard % zones` (`PartitionScope::Zone` in `funnel-sim`). The
+//! diagnosis layer needs the same notion on the *topology* side so it can
+//! rank where a regression concentrates; [`ZoneMap`] provides the matching
+//! deterministic striping — `server_id % zones` — without storing any new
+//! state on the topology itself.
+
+use crate::impact::Entity;
+use crate::model::{ServerId, Topology};
+
+/// A deterministic server → zone assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    zones: u32,
+}
+
+impl ZoneMap {
+    /// Modulo striping over `zones` zones (clamped to at least 1),
+    /// mirroring the simulator's replay-shard striping.
+    pub fn striped(zones: u32) -> Self {
+        Self {
+            zones: zones.max(1),
+        }
+    }
+
+    /// The zone count.
+    pub fn zones(&self) -> u32 {
+        self.zones
+    }
+
+    /// The zone a server belongs to.
+    pub fn of_server(&self, server: ServerId) -> u32 {
+        server.0 % self.zones
+    }
+
+    /// The zone an impact-set entity belongs to: servers map directly,
+    /// instances map through their host server, and services — which
+    /// aggregate across every zone — have none.
+    pub fn of_entity(&self, topology: &Topology, entity: Entity) -> Option<u32> {
+        match entity {
+            Entity::Server(s) => Some(self.of_server(s)),
+            Entity::Instance(i) => topology
+                .instance(i)
+                .ok()
+                .map(|inst| self.of_server(inst.server)),
+            Entity::Service(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InstanceId;
+    use crate::naming::ServiceName;
+
+    #[test]
+    fn striping_matches_modulo_and_services_have_no_zone() {
+        let mut t = Topology::new();
+        let svc = t
+            .add_service(ServiceName::parse("prod.x").unwrap())
+            .unwrap();
+        let s0 = t.add_server("h0");
+        let s1 = t.add_server("h1");
+        let i0 = t.add_instance(svc, s0).unwrap();
+        let _i1 = t.add_instance(svc, s1).unwrap();
+
+        let zm = ZoneMap::striped(4);
+        assert_eq!(zm.zones(), 4);
+        assert_eq!(zm.of_server(s0), s0.0 % 4);
+        assert_eq!(zm.of_entity(&t, Entity::Server(s1)), Some(s1.0 % 4));
+        assert_eq!(zm.of_entity(&t, Entity::Instance(i0)), Some(s0.0 % 4));
+        assert_eq!(zm.of_entity(&t, Entity::Service(svc)), None);
+        // Unknown instances resolve to no zone rather than faulting.
+        assert_eq!(zm.of_entity(&t, Entity::Instance(InstanceId(99))), None);
+    }
+
+    #[test]
+    fn zero_zone_request_clamps_to_one() {
+        let zm = ZoneMap::striped(0);
+        assert_eq!(zm.zones(), 1);
+        assert_eq!(zm.of_server(ServerId(17)), 0);
+    }
+}

@@ -8,6 +8,7 @@
 
 pub use funnel_core as core;
 pub use funnel_detect as detect;
+pub use funnel_diag as diag;
 pub use funnel_did as did;
 pub use funnel_eval as eval;
 pub use funnel_linalg as linalg;
