@@ -642,8 +642,17 @@ fn lint_suppression_note(path: &str, scan: &FileScan, out: &mut Vec<Diagnostic>)
 }
 
 /// The obs metric/span registration functions whose first argument is a
-/// dotted vocabulary name (L10 scope).
-const OBS_CALLS: [&str; 4] = ["counter_add", "gauge_set", "histogram_record", "span"];
+/// dotted vocabulary name (L10 scope). The `timeline_*` variants take the
+/// same name-first signature as their aggregate twins.
+const OBS_CALLS: [&str; 7] = [
+    "counter_add",
+    "gauge_set",
+    "histogram_record",
+    "span",
+    "timeline_counter_add",
+    "timeline_gauge_set",
+    "timeline_histogram_record",
+];
 
 /// L10: workspace-level pass replacing the CI obs-vocabulary grep. Parses
 /// the declared constants out of `crates/obs/src/names.rs` (idents and

@@ -34,11 +34,13 @@ use std::collections::BTreeMap;
 /// story depends on: assessment pipeline, parallel engine, supervisor,
 /// collector accept/backfill, streaming engine, crash recovery, and the
 /// diagnosis stage (it runs inside the streaming completion path, so a
-/// panic there stalls the engine exactly like an assessment panic would).
+/// panic there stalls the engine exactly like an assessment panic would),
+/// and the self-monitor (its health verdict is only trustworthy if
+/// reading the pipeline's own telemetry can never panic).
 /// `(file, fn)` pairs; entries missing from the workspace are simply
 /// skipped, so fixture workspaces can exercise the pass with their own
 /// names.
-pub const ENTRY_POINTS: [(&str, &str); 20] = [
+pub const ENTRY_POINTS: [(&str, &str); 22] = [
     ("crates/core/src/pipeline.rs", "assess_change"),
     ("crates/core/src/pipeline.rs", "assess_change_with"),
     ("crates/core/src/pipeline.rs", "assess_key"),
@@ -59,6 +61,8 @@ pub const ENTRY_POINTS: [(&str, &str); 20] = [
     ("crates/timeseries/src/ring.rs", "push"),
     ("crates/core/src/diagnose.rs", "diagnose_assessment"),
     ("crates/diag/src/lib.rs", "diagnose_change"),
+    ("crates/core/src/selfmon.rs", "run_selfmon"),
+    ("crates/core/src/selfmon.rs", "timeline_series"),
 ];
 
 /// Runs L7, L8, and L9 over the graph. `scans` must cover every file the

@@ -5,4 +5,6 @@ use funnel_obs::names;
 pub fn record(reg: &Registry) {
     reg.counter_add(names::PIPELINE_ASSESS, 1);
     reg.histogram_record("latency", 3);
+    funnel_obs::timeline_counter_add(names::PIPELINE_ASSESS, 7, 1);
+    funnel_obs::timeline_histogram_record("pipeline.assess", 7, 3);
 }

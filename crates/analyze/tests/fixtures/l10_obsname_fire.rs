@@ -5,3 +5,8 @@ pub fn record(reg: &Registry) {
     reg.counter_add("pipeline.stale.reads", 1);
     reg.gauge_set(names::QUEUE_DEPTH, 0);
 }
+//@file crates/core/src/timeline_use.rs
+pub fn tick() {
+    funnel_obs::timeline_counter_add("stream.bogus.ticks", 7, 1);
+    funnel_obs::timeline_gauge_set(names::BOGUS_DEPTH, 7, 2);
+}

@@ -1,0 +1,253 @@
+//! Meta sweep — what watching FUNNEL costs FUNNEL.
+//!
+//! The windowed telemetry layer ("FUNNEL watches FUNNEL") adds one
+//! mutex-guarded `BTreeMap` upsert per windowed metric write on top of the
+//! aggregate counters. This sweep prices that: a microbenchmark times the
+//! per-record cost of the windowed write path against a registry
+//! pre-populated with a realistic window spread, an instrumented serial
+//! assessment counts how many windowed records one assessment actually
+//! emits (`timeline.records`), and the product — the telemetry bill for
+//! the whole assessment — must stay under 2% of the uninstrumented serial
+//! assessment p50. A violation means the hot-path instrumentation grew a
+//! structural cost (lock contention, allocation per write), not noise.
+//!
+//! Also asserted: recording stays write-only (instrumented and
+//! uninstrumented assessments are byte-identical) and the instrumented
+//! run genuinely recorded windowed telemetry.
+//!
+//! Writes `results/BENCH_meta.json` and prints the same table.
+//!
+//! Env knobs: FUNNEL_SEED (world seed, default 2015); FUNNEL_SMOKE set to
+//! a non-empty value other than 0 for the CI-sized subset (smallest
+//! fleet, fewer timing iterations — same contracts).
+
+use funnel_bench::report::BenchReport;
+use funnel_core::pipeline::{ChangeAssessment, Funnel};
+use funnel_core::FunnelConfig;
+use funnel_sim::effect::{ChangeEffect, EffectScope};
+use funnel_sim::kpi::KpiKind;
+use funnel_sim::store::StoreSnapshot;
+use funnel_sim::world::{SimConfig, World, WorldBuilder};
+use funnel_sst::SstConfig;
+use funnel_topology::change::{ChangeId, ChangeKind};
+use std::time::Instant;
+
+/// Two simulated days: history before the change plus the assessment hour.
+const DURATION: u64 = 2880;
+
+/// Deployment minute — leaves the full warmup + DiD history in the store.
+const T0: u64 = 1700;
+
+/// The overhead contract: windowed-telemetry cost per assessment must stay
+/// under this fraction of the serial assessment p50.
+const MAX_RATIO: f64 = 0.02;
+
+/// Microbenchmark volume (halved in smoke mode).
+const MICRO_WRITES: u64 = 200_000;
+
+fn pipeline_config() -> FunnelConfig {
+    let mut c = FunnelConfig::paper_default();
+    c.sst = SstConfig::quick();
+    c.assess.workers = 1; // serial: the contract baseline
+    c
+}
+
+fn build_world(seed: u64, instances: usize) -> (World, ChangeId) {
+    let mut b = WorldBuilder::new(SimConfig {
+        seed,
+        start: 0,
+        duration: DURATION as usize,
+    });
+    let svc = b.add_service("prod.meta", instances).expect("fresh");
+    let effect = ChangeEffect::none().with_level_shift(
+        KpiKind::PageViewResponseDelay,
+        EffectScope::TreatedInstances,
+        9.0,
+    );
+    let id = b
+        .deploy_change(
+            ChangeKind::Upgrade,
+            svc,
+            (instances / 2).max(1),
+            T0,
+            effect,
+            "meta sweep upgrade",
+        )
+        .expect("valid");
+    (b.build(), id)
+}
+
+fn assess(
+    funnel: &Funnel,
+    world: &World,
+    snapshot: &StoreSnapshot,
+    change: ChangeId,
+) -> ChangeAssessment {
+    let record = world.change_log().get(change).expect("logged");
+    funnel
+        .assess_change_with(snapshot, world.topology(), record, &|s| {
+            world.kinds_of_service(s).to_vec()
+        })
+        .expect("assessable")
+}
+
+/// Median of `samples`, nearest-rank on sorted data.
+fn p50(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.get(sorted.len() / 2).copied().unwrap_or(0.0)
+}
+
+/// Times the windowed write path: `writes` upserts spread across the
+/// realistic shape of an assessment timeline (a handful of names, many
+/// windows), against an enabled recorder. Returns nanoseconds per write.
+fn per_record_ns(writes: u64) -> f64 {
+    funnel_obs::enable();
+    funnel_obs::reset();
+    // Pre-populate the window spread so the measured upserts pay realistic
+    // BTreeMap depth, not empty-map insertion.
+    for w in 0..DURATION {
+        funnel_obs::timeline_counter_add(funnel_obs::names::FRAMES_INGESTED, w, 1);
+    }
+    let names = [
+        funnel_obs::names::VERDICT_CAUSED,
+        funnel_obs::names::VERDICT_NOT_CAUSED,
+        funnel_obs::names::STREAM_SCORES,
+        funnel_obs::names::FRAMES_INGESTED,
+    ];
+    let t = Instant::now();
+    for i in 0..writes {
+        let name = names[(i % names.len() as u64) as usize];
+        funnel_obs::timeline_counter_add(name, i % DURATION, 1);
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    funnel_obs::reset();
+    funnel_obs::disable();
+    elapsed * 1e9 / writes as f64
+}
+
+struct Row {
+    instances: usize,
+    work_units: usize,
+    timeline_records: u64,
+    per_record_ns: f64,
+    overhead_ms: f64,
+    assess_p50_ms: f64,
+    ratio: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"instances\": {}, \"work_units\": {}, \"timeline_records\": {}, \
+             \"per_record_ns\": {:.1}, \"overhead_ms\": {:.4}, \"assess_p50_ms\": {:.3}, \
+             \"ratio\": {:.5}}}",
+            self.instances,
+            self.work_units,
+            self.timeline_records,
+            self.per_record_ns,
+            self.overhead_ms,
+            self.assess_p50_ms,
+            self.ratio
+        )
+    }
+}
+
+fn main() {
+    let seed = funnel_bench::seed();
+    let smoke = funnel_bench::smoke();
+    let fleets: &[usize] = if smoke { &[8] } else { &[8, 16, 32] };
+    let iterations = if smoke { 3 } else { 9 };
+    let micro_writes = if smoke {
+        MICRO_WRITES / 2
+    } else {
+        MICRO_WRITES
+    };
+    let funnel = Funnel::new(pipeline_config());
+
+    let write_ns = per_record_ns(micro_writes);
+    let mut report = BenchReport::new("meta", seed, smoke)
+        .field("iterations", format!("{iterations}"))
+        .field("micro_writes", format!("{micro_writes}"))
+        .field("max_ratio", format!("{MAX_RATIO}"));
+    println!("per-record windowed write: {write_ns:.1} ns");
+    println!("instances  work  records  overhead_ms  assess_p50_ms  ratio");
+
+    for &instances in fleets {
+        let (world, change) = build_world(seed, instances);
+        let snapshot = world.materialize().expect("materialize").snapshot();
+
+        // Baseline: the uninstrumented serial assessment.
+        funnel_obs::disable();
+        funnel_obs::reset();
+        let mut assess_ms = Vec::new();
+        let mut baseline = None;
+        for _ in 0..iterations {
+            let t = Instant::now();
+            let a = assess(&funnel, &world, &snapshot, change);
+            assess_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            baseline = Some(a);
+        }
+        let baseline = baseline.expect("at least one iteration");
+
+        // One instrumented run: write-only, and it counts its own records.
+        funnel_obs::enable();
+        funnel_obs::reset();
+        let instrumented = assess(&funnel, &world, &snapshot, change);
+        let obs = funnel_obs::snapshot();
+        let timeline = funnel_obs::timeline_snapshot();
+        funnel_obs::disable();
+        assert_eq!(
+            format!("{baseline:?}"),
+            format!("{instrumented:?}"),
+            "recording changed the assessment"
+        );
+        let timeline_records = obs
+            .counters
+            .get(funnel_obs::names::TIMELINE_RECORDS)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            timeline_records > 0 && !timeline.is_empty(),
+            "{instances}-instance cell recorded no windowed telemetry — the pricing proves nothing"
+        );
+
+        let assess_p50_ms = p50(&assess_ms);
+        let overhead_ms = timeline_records as f64 * write_ns / 1e6;
+        let ratio = if assess_p50_ms > 0.0 {
+            overhead_ms / assess_p50_ms
+        } else {
+            f64::INFINITY
+        };
+        assert!(
+            ratio < MAX_RATIO,
+            "windowed telemetry costs {overhead_ms:.4} ms ({:.2}% of the {assess_p50_ms:.3} ms \
+             serial assessment p50; contract: < {:.0}%)",
+            ratio * 100.0,
+            MAX_RATIO * 100.0
+        );
+
+        let row = Row {
+            instances,
+            work_units: baseline.items.len(),
+            timeline_records,
+            per_record_ns: write_ns,
+            overhead_ms,
+            assess_p50_ms,
+            ratio,
+        };
+        println!(
+            "{:>9}  {:>4}  {:>7}  {:>11.4}  {:>13.3}  {:.5}",
+            row.instances,
+            row.work_units,
+            row.timeline_records,
+            row.overhead_ms,
+            row.assess_p50_ms,
+            row.ratio
+        );
+        report.push_row(row.json());
+    }
+
+    let path = report.write().expect("write bench report");
+    println!("wrote {}", path.display());
+}

@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod quality;
 pub mod reassess;
 pub mod report;
+pub mod selfmon;
 pub mod source;
 pub mod stream;
 pub mod supervise;
@@ -63,6 +64,7 @@ pub use pipeline::{
     ItemAssessment, Verdict,
 };
 pub use reassess::{PendingItem, QueueState, ReassessmentQueue};
+pub use selfmon::{run_selfmon, PipelineHealthReport, SelfMonConfig, SeriesHealth};
 pub use source::KpiSource;
 pub use stream::{
     StreamAssessment, StreamConfig, StreamDetection, StreamEngine, StreamIngest, StreamStats,

@@ -79,8 +79,13 @@ impl AssessCache {
 /// addition commutes, so the totals are independent of worker scheduling.
 pub(crate) fn record_cache_stats(cache: &AssessCache) {
     let stats = cache.control.stats();
-    funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_HITS, stats.hits);
-    funnel_obs::counter_add(funnel_obs::names::CONTROL_CACHE_MISSES, stats.misses);
+    let window = funnel_obs::timeline::current_window();
+    funnel_obs::timeline_counter_add(funnel_obs::names::CONTROL_CACHE_HITS, window, stats.hits);
+    funnel_obs::timeline_counter_add(
+        funnel_obs::names::CONTROL_CACHE_MISSES,
+        window,
+        stats.misses,
+    );
 }
 
 /// Deterministically merges per-item results into the final report order.
@@ -131,8 +136,13 @@ pub(crate) fn assess_work_units<S: KpiSource + Sync>(
     workers: usize,
 ) -> Result<Vec<ItemAssessment>, FunnelError> {
     let workers = workers.clamp(1, work.len().max(1));
-    funnel_obs::gauge_set(funnel_obs::names::WORKERS, workers as u64);
-    funnel_obs::histogram_record(funnel_obs::names::WORK_QUEUE_DEPTH, work.len() as u64);
+    let window = funnel_obs::timeline::current_window();
+    funnel_obs::timeline_gauge_set(funnel_obs::names::WORKERS, window, workers as u64);
+    funnel_obs::timeline_histogram_record(
+        funnel_obs::names::WORK_QUEUE_DEPTH,
+        window,
+        work.len() as u64,
+    );
     if workers == 1 {
         let mut cache = AssessCache::new();
         let mut items = Vec::with_capacity(work.len());

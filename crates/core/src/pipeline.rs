@@ -367,10 +367,18 @@ impl Funnel {
         change: &SoftwareChange,
         service_kinds: &dyn Fn(ServiceId) -> Vec<KpiKind>,
     ) -> Result<ChangeAssessment, FunnelError> {
+        // Pin the timeline window to the change's deploy minute before the
+        // span opens, so this assessment's spans and counters all land in
+        // the data minute whose impact is being judged.
+        funnel_obs::timeline::set_window(change.minute);
         let _span = funnel_obs::span!(funnel_obs::names::SPAN_ASSESS_CHANGE);
         let impact_set = identify_impact_set(topology, change)?;
         let work = enumerate_work_units(&impact_set, change, service_kinds);
-        funnel_obs::gauge_set(funnel_obs::names::WORK_UNITS_TOTAL, work.len() as u64);
+        funnel_obs::timeline_gauge_set(
+            funnel_obs::names::WORK_UNITS_TOTAL,
+            change.minute,
+            work.len() as u64,
+        );
         let items = parallel::assess_work_units(
             self,
             source,
@@ -547,15 +555,33 @@ impl Funnel {
             (None, Verdict::NotCaused)
         };
 
+        // Verdicts attribute to the change's own minute — workers inherit
+        // the cursor pinned by the single-threaded assessment entry, so
+        // every thread writes the same window.
+        let tl_window = funnel_obs::timeline::current_window();
         match verdict {
-            Verdict::Caused => funnel_obs::counter_add(funnel_obs::names::VERDICT_CAUSED, 1),
+            Verdict::Caused => {
+                funnel_obs::timeline_counter_add(funnel_obs::names::VERDICT_CAUSED, tl_window, 1);
+            }
             Verdict::NotCaused => {
-                funnel_obs::counter_add(funnel_obs::names::VERDICT_NOT_CAUSED, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::VERDICT_NOT_CAUSED,
+                    tl_window,
+                    1,
+                );
             }
             Verdict::Inconclusive { awaiting_backfill } => {
-                funnel_obs::counter_add(funnel_obs::names::VERDICT_INCONCLUSIVE, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::VERDICT_INCONCLUSIVE,
+                    tl_window,
+                    1,
+                );
                 if awaiting_backfill {
-                    funnel_obs::counter_add(funnel_obs::names::VERDICT_AWAITING_BACKFILL, 1);
+                    funnel_obs::timeline_counter_add(
+                        funnel_obs::names::VERDICT_AWAITING_BACKFILL,
+                        tl_window,
+                        1,
+                    );
                 }
             }
         }

@@ -133,9 +133,18 @@ impl ReassessmentQueue {
             });
             added += 1;
         }
-        funnel_obs::counter_add(funnel_obs::names::REASSESS_ABSORBED, added as u64);
-        funnel_obs::gauge_set(
+        // Attributed to the window cursor: absorb runs right after the
+        // assessment that produced these items, so the cursor still holds
+        // that change's minute.
+        let window = funnel_obs::timeline::current_window();
+        funnel_obs::timeline_counter_add(
+            funnel_obs::names::REASSESS_ABSORBED,
+            window,
+            added as u64,
+        );
+        funnel_obs::timeline_gauge_set(
             funnel_obs::names::REASSESS_QUEUE_DEPTH,
+            window,
             self.pending.len() as u64,
         );
         added
@@ -170,6 +179,7 @@ impl ReassessmentQueue {
         topology: &Topology,
         change: &SoftwareChange,
     ) -> Result<Vec<ItemAssessment>, FunnelError> {
+        funnel_obs::timeline::set_window(change.minute);
         let _span = funnel_obs::span!(funnel_obs::names::SPAN_REASSESS);
         let ready_keys: Vec<KpiKey> = self
             .pending
@@ -183,7 +193,11 @@ impl ReassessmentQueue {
         if ready_keys.is_empty() {
             return Ok(Vec::new());
         }
-        funnel_obs::counter_add(funnel_obs::names::REASSESS_READY, ready_keys.len() as u64);
+        funnel_obs::timeline_counter_add(
+            funnel_obs::names::REASSESS_READY,
+            change.minute,
+            ready_keys.len() as u64,
+        );
 
         // Re-run everything first: an error must not half-drain the queue.
         let upgrades = funnel.assess_keys(source, topology, change, &ready_keys)?;
@@ -193,14 +207,19 @@ impl ReassessmentQueue {
             .filter(|item| !item.verdict.awaiting_backfill())
             .map(|item| item.key)
             .collect();
-        funnel_obs::counter_add(funnel_obs::names::REASSESS_UPGRADED, firm.len() as u64);
+        funnel_obs::timeline_counter_add(
+            funnel_obs::names::REASSESS_UPGRADED,
+            change.minute,
+            firm.len() as u64,
+        );
         for key in &firm {
             self.applied.insert((change.id, *key));
         }
         self.pending
             .retain(|p| !(p.change == change.id && firm.contains(&p.key)));
-        funnel_obs::gauge_set(
+        funnel_obs::timeline_gauge_set(
             funnel_obs::names::REASSESS_QUEUE_DEPTH,
+            change.minute,
             self.pending.len() as u64,
         );
         Ok(upgrades)

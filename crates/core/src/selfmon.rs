@@ -1,0 +1,344 @@
+//! Self-monitoring — FUNNEL watches FUNNEL.
+//!
+//! The paper's thesis is that a service's own KPI timelines, run through
+//! SST + persistence, reveal behaviour changes rapidly and robustly. The
+//! assessment pipeline is itself an internet-scale service component, and
+//! its windowed telemetry (`funnel_obs::timeline`) is a set of per-minute
+//! KPIs: frames ingested per minute, frames quarantined per minute, work
+//! units shed per minute. This module closes the loop: it adapts those
+//! timeline series into [`TimeSeries`] form and runs the *same* detector
+//! the pipeline applies to customer KPIs — [`DetectorRunner`] over
+//! IKA-accelerated robust SST with the persistence rule — so a collector
+//! partition, a quarantine storm, or sustained load shedding is detected
+//! from the pipeline's own telemetry alone, with no second monitoring
+//! stack.
+//!
+//! Determinism: the input is a [`TimelineReport`] snapshot (byte-stable by
+//! construction), the adaptation is a dense zero-fill over the snapshot's
+//! own window range, and the detector is the deterministic batch runner —
+//! so [`PipelineHealthReport::to_json`] is byte-identical across runs and
+//! worker counts for any worker-invariant series selection.
+//!
+//! ```
+//! use funnel_core::selfmon::{run_selfmon, SelfMonConfig};
+//!
+//! funnel_obs::reset();
+//! funnel_obs::enable();
+//! for minute in 0..60 {
+//!     funnel_obs::timeline_counter_add(funnel_obs::names::FRAMES_INGESTED, minute, 100);
+//! }
+//! let report = run_selfmon(&funnel_obs::timeline_snapshot(), &SelfMonConfig::default()).unwrap();
+//! assert!(report.healthy()); // a flat ingest rate raises no alert
+//! funnel_obs::disable();
+//! ```
+
+use funnel_detect::detector::DetectorRunner;
+use funnel_detect::sst_adapter::SstDetector;
+use funnel_obs::names;
+use funnel_obs::timeline::TimelineReport;
+use funnel_sst::{FastSst, SstConfig};
+use funnel_timeseries::series::{MinuteBin, TimeSeries};
+
+/// Schema version of the [`PipelineHealthReport`] JSON document.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default artifact path for [`PipelineHealthReport::write_json`].
+pub const DEFAULT_HEALTH_PATH: &str = "results/pipeline_health.json";
+
+/// Which timeline counters the self-monitor watches and how it scores
+/// them. The defaults watch the three series whose behaviour changes map
+/// onto the pipeline's failure modes: a collector partition dents
+/// `collector.frames_ingested`, a decode/agent fault spikes
+/// `collector.frames_quarantined`, and overload shows up as sustained
+/// `stream.shed`.
+#[derive(Debug, Clone)]
+pub struct SelfMonConfig {
+    /// Timeline counter names to watch (each becomes one SST run).
+    pub series: Vec<String>,
+    /// SST layout for the health detector. Defaults to
+    /// [`SstConfig::paper_default`] (ω = 9, W = 34) — the *same* layout the
+    /// pipeline applies to customer KPIs, and wide enough that a clean
+    /// level shift keeps its score elevated across the whole persistence
+    /// run (the narrower `quick` preset spikes for only ~2 windows and
+    /// never satisfies the 7-minute rule).
+    pub sst: SstConfig,
+    /// Declaration threshold on the min–max-normalized series.
+    pub threshold: f64,
+    /// Persistence rule in minutes (windows), as in the main pipeline.
+    pub persistence: usize,
+}
+
+impl Default for SelfMonConfig {
+    fn default() -> Self {
+        Self {
+            series: vec![
+                names::FRAMES_INGESTED.to_string(),
+                names::FRAMES_QUARANTINED.to_string(),
+                names::STREAM_SHED.to_string(),
+            ],
+            sst: SstConfig::paper_default(),
+            threshold: 0.5,
+            persistence: 7,
+        }
+    }
+}
+
+/// One declared behaviour change in a watched pipeline series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthAlert {
+    /// Minute the change was declared (persistence run completed).
+    pub declared_at: MinuteBin,
+    /// Detector's estimate of when the change became visible.
+    pub first_exceeded_at: MinuteBin,
+    /// Peak SST score during the persistent run.
+    pub peak_score: f64,
+}
+
+/// Health verdict for one watched series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesHealth {
+    /// The timeline counter name.
+    pub name: String,
+    /// Number of minute windows the adapted series spans (dense length).
+    pub windows: u64,
+    /// Sum over all windows — the counter's total in the snapshot.
+    pub total: u64,
+    /// Declared behaviour changes, in declaration order. Empty means the
+    /// series was flat enough (or too short to score).
+    pub alerts: Vec<HealthAlert>,
+}
+
+/// The "FUNNEL watches FUNNEL" report: one SST verdict per watched
+/// pipeline telemetry series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineHealthReport {
+    /// Per-series verdicts, in the order configured.
+    pub series: Vec<SeriesHealth>,
+}
+
+impl PipelineHealthReport {
+    /// True when no watched series raised an alert.
+    pub fn healthy(&self) -> bool {
+        self.series.iter().all(|s| s.alerts.is_empty())
+    }
+
+    /// Total alerts across every watched series.
+    pub fn alert_count(&self) -> usize {
+        self.series.iter().map(|s| s.alerts.len()).sum()
+    }
+
+    /// Serializes the report as deterministic JSON (fixed key order,
+    /// `{:?}`-formatted floats), mirroring the other `results/` artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"healthy\": {},\n", self.healthy()));
+        out.push_str(&format!("  \"alerts_total\": {},\n", self.alert_count()));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {:?}, \"windows\": {}, \"total\": {}, \"alerts\": [",
+                s.name, s.windows, s.total
+            ));
+            for (j, a) in s.alerts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"declared_at\": {}, \"first_exceeded_at\": {}, \"peak_score\": {:?}}}",
+                    a.declared_at, a.first_exceeded_at, a.peak_score
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes [`PipelineHealthReport::to_json`] to `path`, creating parent
+    /// directories as needed.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Adapts one timeline counter into a dense [`TimeSeries`]: the counter's
+/// per-window sums, zero-filled over the *snapshot's* full window range
+/// (not just the counter's own), so "this series went silent while the
+/// pipeline kept running" reads as a drop to zero rather than a shorter
+/// series. Returns an empty series when the snapshot has no windows at
+/// all.
+pub fn timeline_series(report: &TimelineReport, name: &str) -> TimeSeries {
+    let Some((start, end)) = snapshot_range(report) else {
+        return TimeSeries::empty(0);
+    };
+    let len = (end - start + 1) as usize;
+    let mut series = TimeSeries::zeros(start, len);
+    for (window, value) in report.counter_series(name) {
+        series.set(window, value as f64);
+    }
+    series
+}
+
+/// The `[min, max]` window range across every record in the snapshot, or
+/// `None` when the timeline is empty.
+fn snapshot_range(report: &TimelineReport) -> Option<(MinuteBin, MinuteBin)> {
+    let mut range: Option<(MinuteBin, MinuteBin)> = None;
+    let counters = report.counters.keys().map(|(_, w)| *w);
+    let gauges = report.gauges.keys().map(|(_, w)| *w);
+    let histograms = report.histograms.keys().map(|(_, w)| *w);
+    let spans = report.spans.keys().map(|(_, _, w)| *w);
+    for w in counters.chain(gauges).chain(histograms).chain(spans) {
+        range = Some(match range {
+            None => (w, w),
+            Some((lo, hi)) => (lo.min(w), hi.max(w)),
+        });
+    }
+    range
+}
+
+/// Runs the self-monitor: every configured series is adapted with
+/// [`timeline_series`], min–max normalized (as the paper normalizes its
+/// KPI plots), and scored by SST + persistence. A series shorter than one
+/// SST window scores no alerts — too little telemetry to judge.
+///
+/// Emits its own telemetry while running (`selfmon.run` span,
+/// `selfmon.series_checked` / `selfmon.alerts` counters) — aggregate-only,
+/// so analyzing a snapshot never perturbs windowed timelines.
+///
+/// # Errors
+///
+/// Returns the validation message when `config.sst` is not a usable SST
+/// layout — the self-monitor never panics, because it runs inside the
+/// pipeline it is judging.
+pub fn run_selfmon(
+    report: &TimelineReport,
+    config: &SelfMonConfig,
+) -> Result<PipelineHealthReport, String> {
+    let _span = funnel_obs::span!(names::SPAN_SELFMON);
+    let runner = DetectorRunner::new(
+        SstDetector::fast(FastSst::try_new(config.sst.clone())?),
+        config.threshold,
+        config.persistence,
+    );
+    let mut series_out = Vec::with_capacity(config.series.len());
+    for name in &config.series {
+        funnel_obs::counter_add(names::SELFMON_SERIES, 1);
+        let series = timeline_series(report, name);
+        let total: u64 = report.counter_series(name).iter().map(|(_, v)| v).sum();
+        let alerts: Vec<HealthAlert> = if series.len() >= config.sst.window_len() {
+            runner
+                .run(&series.normalized())
+                .into_iter()
+                .map(|e| HealthAlert {
+                    declared_at: e.declared_at,
+                    first_exceeded_at: e.first_exceeded_at,
+                    peak_score: e.peak_score,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        funnel_obs::counter_add(names::SELFMON_ALERTS, alerts.len() as u64);
+        series_out.push(SeriesHealth {
+            name: name.clone(),
+            windows: series.len() as u64,
+            total,
+            alerts,
+        });
+    }
+    Ok(PipelineHealthReport { series: series_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_report(build: impl FnOnce()) -> TimelineReport {
+        funnel_obs::reset();
+        funnel_obs::enable();
+        build();
+        let snapshot = funnel_obs::timeline_snapshot();
+        funnel_obs::disable();
+        snapshot
+    }
+
+    #[test]
+    fn flat_series_is_healthy() {
+        let report = synthetic_report(|| {
+            for minute in 0..120 {
+                funnel_obs::timeline_counter_add(names::FRAMES_INGESTED, minute, 500);
+            }
+        });
+        let health = run_selfmon(&report, &SelfMonConfig::default()).unwrap();
+        assert!(health.healthy(), "flat ingest must not alert: {health:?}");
+        assert_eq!(health.series.len(), 3);
+        assert_eq!(health.series[0].windows, 120);
+        assert_eq!(health.series[0].total, 120 * 500);
+    }
+
+    #[test]
+    fn ingest_collapse_raises_an_alert() {
+        let report = synthetic_report(|| {
+            for minute in 0..120 {
+                // A partition at minute 60 silences ingest entirely.
+                let rate = if minute < 60 { 500 } else { 0 };
+                if rate > 0 {
+                    funnel_obs::timeline_counter_add(names::FRAMES_INGESTED, minute, rate);
+                }
+                // Keep the snapshot range anchored past the silence.
+                funnel_obs::timeline_counter_add(names::STREAM_TICKS, minute, 1);
+            }
+        });
+        let health = run_selfmon(&report, &SelfMonConfig::default()).unwrap();
+        let ingest = &health.series[0];
+        assert_eq!(ingest.name, names::FRAMES_INGESTED);
+        assert_eq!(
+            ingest.windows, 120,
+            "zero-fill must extend to the snapshot's full range"
+        );
+        assert!(
+            !ingest.alerts.is_empty(),
+            "a total ingest collapse must raise an alert: {health:?}"
+        );
+        let alert = &ingest.alerts[0];
+        assert!(
+            (55..=80).contains(&alert.first_exceeded_at),
+            "change point should bracket the fault minute: {alert:?}"
+        );
+        assert!(!health.healthy());
+    }
+
+    #[test]
+    fn too_short_series_never_alerts() {
+        let report = synthetic_report(|| {
+            funnel_obs::timeline_counter_add(names::FRAMES_INGESTED, 3, 1);
+            funnel_obs::timeline_counter_add(names::FRAMES_INGESTED, 5, 900);
+        });
+        let health = run_selfmon(&report, &SelfMonConfig::default()).unwrap();
+        assert!(health.healthy());
+        assert_eq!(health.series[0].windows, 3);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_versioned() {
+        let report = synthetic_report(|| {
+            for minute in 0..40 {
+                funnel_obs::timeline_counter_add(names::FRAMES_INGESTED, minute, 10);
+            }
+        });
+        let config = SelfMonConfig::default();
+        let a = run_selfmon(&report, &config).unwrap().to_json();
+        let b = run_selfmon(&report, &config).unwrap().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema_version\": 1,"));
+        assert!(a.contains("\"healthy\": true"));
+    }
+}

@@ -369,7 +369,7 @@ fn shed_item(funnel: &Funnel, change: &SoftwareChange, key: KpiKey) -> ItemAsses
     let lookback = config.sst.window_len() as u64 + config.warmup_minutes();
     let from = change.minute.saturating_sub(lookback);
     let to = change.minute + config.assessment_minutes + 1;
-    funnel_obs::counter_add(names::VERDICT_INCONCLUSIVE, 1);
+    funnel_obs::timeline_counter_add(names::VERDICT_INCONCLUSIVE, change.minute, 1);
     ItemAssessment {
         key,
         detection: None,
@@ -611,7 +611,7 @@ impl StreamEngine {
             match ring.backfill(m.minute, m.value) {
                 RingWrite::Accepted => {
                     self.stats.late_backfilled += 1;
-                    funnel_obs::counter_add(names::STREAM_LATE_BACKFILLED, 1);
+                    funnel_obs::timeline_counter_add(names::STREAM_LATE_BACKFILLED, m.minute, 1);
                     self.dirty.insert(m.key);
                     if let Some(monitor) = self.monitors.get_mut(&m.key) {
                         if m.minute < monitor.next_minute {
@@ -622,12 +622,12 @@ impl StreamEngine {
                 }
                 RingWrite::Duplicate => {
                     self.stats.late_rejected += 1;
-                    funnel_obs::counter_add(names::STREAM_LATE_REJECTED, 1);
+                    funnel_obs::timeline_counter_add(names::STREAM_LATE_REJECTED, m.minute, 1);
                     StreamIngest::Duplicate
                 }
                 RingWrite::Evicted => {
                     self.stats.late_rejected += 1;
-                    funnel_obs::counter_add(names::STREAM_LATE_REJECTED, 1);
+                    funnel_obs::timeline_counter_add(names::STREAM_LATE_REJECTED, m.minute, 1);
                     StreamIngest::Evicted
                 }
             }
@@ -651,10 +651,15 @@ impl StreamEngine {
     /// window closed. Never blocks on a slow consumer and never panics;
     /// overload degrades to recorded sheds, not stalls.
     pub fn tick(&mut self, minute: MinuteBin) -> TickReport {
+        // The tick minute is the stream's timeline window: pinned at this
+        // single-threaded choke point before the span opens, so every
+        // metric and span below (including the scoring fan-out's) lands in
+        // the minute being processed.
+        funnel_obs::timeline::set_window(minute);
         let _span = funnel_obs::span!(names::SPAN_STREAM_TICK);
         self.watermark = Some(self.watermark.map_or(minute, |w| w.max(minute)));
         self.stats.ticks += 1;
-        funnel_obs::counter_add(names::STREAM_TICKS, 1);
+        funnel_obs::timeline_counter_add(names::STREAM_TICKS, minute, 1);
 
         let mut report = TickReport {
             minute,
@@ -662,7 +667,11 @@ impl StreamEngine {
             ..TickReport::default()
         };
         self.stats.peak_dirty = self.stats.peak_dirty.max(self.dirty.len());
-        funnel_obs::histogram_record(names::STREAM_DIRTY_DEPTH, self.dirty.len() as u64);
+        funnel_obs::timeline_histogram_record(
+            names::STREAM_DIRTY_DEPTH,
+            minute,
+            self.dirty.len() as u64,
+        );
 
         let plans = self.plan_scoring(minute);
         let lag = plans
@@ -670,7 +679,7 @@ impl StreamEngine {
             .map(|p| (minute + 1).saturating_sub(p.lo))
             .max()
             .unwrap_or(0);
-        funnel_obs::histogram_record(names::STREAM_WATERMARK_LAG, lag);
+        funnel_obs::timeline_histogram_record(names::STREAM_WATERMARK_LAG, minute, lag);
 
         let (admitted, shed) = self.shed_policy(minute, plans);
         report.shed_keys = shed.len();
@@ -680,10 +689,10 @@ impl StreamEngine {
         report.scored_keys = admitted.len();
         report.folds = folds;
         self.stats.folds += folds;
-        funnel_obs::counter_add(names::STREAM_SCORES, folds);
+        funnel_obs::timeline_counter_add(names::STREAM_SCORES, minute, folds);
         for d in &detections {
             self.stats.detections += 1;
-            funnel_obs::counter_add(names::STREAM_DETECTIONS, 1);
+            funnel_obs::timeline_counter_add(names::STREAM_DETECTIONS, minute, 1);
             for change in self.changes.iter_mut().filter(|c| !c.done) {
                 if d.declared_at >= change.record.minute
                     && change.work.binary_search(&d.key).is_ok()
@@ -697,10 +706,10 @@ impl StreamEngine {
 
         report.completed = self.complete_due_changes(minute);
 
-        funnel_obs::gauge_set(names::STREAM_KEYS, self.rings.len() as u64);
+        funnel_obs::timeline_gauge_set(names::STREAM_KEYS, minute, self.rings.len() as u64);
         let window_bytes = self.window_bytes();
         self.stats.peak_window_bytes = self.stats.peak_window_bytes.max(window_bytes);
-        funnel_obs::gauge_set(names::STREAM_WINDOW_BYTES, window_bytes as u64);
+        funnel_obs::timeline_gauge_set(names::STREAM_WINDOW_BYTES, minute, window_bytes as u64);
         report
     }
 
@@ -809,7 +818,7 @@ impl StreamEngine {
     fn apply_sheds(&mut self, minute: MinuteBin, shed: Vec<KpiKey>) {
         for key in shed {
             self.stats.shed += 1;
-            funnel_obs::counter_add(names::STREAM_SHED, 1);
+            funnel_obs::timeline_counter_add(names::STREAM_SHED, minute, 1);
             self.shed_log.push((minute, key));
             for change in self.changes.iter_mut().filter(|c| !c.done) {
                 if minute >= change.record.minute
@@ -829,14 +838,17 @@ impl StreamEngine {
         minute: MinuteBin,
         admitted: &BTreeMap<KpiKey, ScorePlan>,
     ) -> (u64, Vec<StreamDetection>) {
-        let _ = minute;
         if admitted.is_empty() {
             return (0, Vec::new());
         }
         let threshold = self.funnel.config().sst_threshold;
         let persistence = self.funnel.config().persistence_minutes;
         let workers = self.config.workers.clamp(1, admitted.len());
-        funnel_obs::histogram_record(names::STREAM_QUEUE_DEPTH, admitted.len() as u64);
+        funnel_obs::timeline_histogram_record(
+            names::STREAM_QUEUE_DEPTH,
+            minute,
+            admitted.len() as u64,
+        );
 
         let rings = &self.rings;
         // Disjoint `&mut` monitors for exactly the admitted keys, in key
@@ -936,6 +948,10 @@ impl StreamEngine {
             let Some(change) = self.changes.get(index) else {
                 continue;
             };
+            // The embedded batch assessment is attributed to the change's
+            // own minute (like the batch path), not the tick that happened
+            // to complete it; the cursor is restored before returning.
+            funnel_obs::timeline::set_window(change.record.minute);
             let _span = funnel_obs::span!(names::SPAN_STREAM_ASSESS);
             let to = change.record.minute + self.funnel.config().assessment_minutes + 1;
             let mut live = Vec::new();
@@ -954,7 +970,11 @@ impl StreamEngine {
                 }
             }
             self.stats.stale += stale.len() as u64;
-            funnel_obs::counter_add(names::STREAM_STALE, stale.len() as u64);
+            funnel_obs::timeline_counter_add(
+                names::STREAM_STALE,
+                change.record.minute,
+                stale.len() as u64,
+            );
 
             let view = RingView { rings: &self.rings };
             let workers = self.funnel.config().assess.effective_workers();
@@ -1022,11 +1042,11 @@ impl StreamEngine {
                 match self.verdict_tx.try_send(verdict) {
                     Ok(()) => {
                         self.stats.verdicts += 1;
-                        funnel_obs::counter_add(names::STREAM_VERDICTS, 1);
+                        funnel_obs::timeline_counter_add(names::STREAM_VERDICTS, minute, 1);
                     }
                     Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                         self.stats.verdicts_dropped += 1;
-                        funnel_obs::counter_add(names::STREAM_VERDICTS_DROPPED, 1);
+                        funnel_obs::timeline_counter_add(names::STREAM_VERDICTS_DROPPED, minute, 1);
                     }
                 }
             }
@@ -1035,6 +1055,8 @@ impl StreamEngine {
                 change.done = true;
             }
         }
+        // Restore the tick window for whatever runs after this call.
+        funnel_obs::timeline::set_window(minute);
         completed
     }
 }

@@ -199,7 +199,7 @@ fn quarantined_item(funnel: &Funnel, change: &SoftwareChange, key: KpiKey) -> It
     let lookback = config.sst.window_len() as u64 + config.warmup_minutes();
     let from = change.minute.saturating_sub(lookback);
     let to = change.minute + config.assessment_minutes + 1;
-    funnel_obs::counter_add(names::VERDICT_INCONCLUSIVE, 1);
+    funnel_obs::timeline_counter_add(names::VERDICT_INCONCLUSIVE, change.minute, 1);
     ItemAssessment {
         key,
         detection: None,
@@ -333,6 +333,9 @@ pub fn supervise_change<S: KpiSource + Sync>(
     config: &SupervisorConfig,
     probe: &dyn FaultProbe,
 ) -> Result<Supervised, FunnelError> {
+    // Pin the timeline window to the change minute before the span opens
+    // (same choke-point discipline as the unsupervised entry).
+    funnel_obs::timeline::set_window(change.minute);
     let span = funnel_obs::span!(names::SPAN_ASSESS_CHANGE);
     // Seed the supervisor counters so they appear in every obs report,
     // fault or no fault — the CI chaos-smoke step greps for them.
@@ -342,10 +345,14 @@ pub fn supervise_change<S: KpiSource + Sync>(
 
     let impact_set = identify_impact_set(topology, change)?;
     let work = crate::pipeline::enumerate_work_units(&impact_set, change, service_kinds);
-    funnel_obs::gauge_set(names::WORK_UNITS_TOTAL, work.len() as u64);
+    funnel_obs::timeline_gauge_set(names::WORK_UNITS_TOTAL, change.minute, work.len() as u64);
     let workers = config.workers.clamp(1, work.len().max(1));
-    funnel_obs::gauge_set(names::WORKERS, workers as u64);
-    funnel_obs::histogram_record(names::WORK_QUEUE_DEPTH, work.len() as u64);
+    funnel_obs::timeline_gauge_set(names::WORKERS, change.minute, workers as u64);
+    funnel_obs::timeline_histogram_record(
+        names::WORK_QUEUE_DEPTH,
+        change.minute,
+        work.len() as u64,
+    );
 
     let abort_limit = config.abort_after_units.unwrap_or(u64::MAX);
     let completed = AtomicU64::new(0);
@@ -421,6 +428,17 @@ pub fn supervise_change<S: KpiSource + Sync>(
         report.retries += run.retries;
         report.restarts += run.restarts;
         if !run.backoff_ms.is_empty() {
+            // One histogram sample per scheduled backoff sleep, attributed
+            // to the change minute. Recorded here on the aggregation
+            // thread, in runs order — the histogram fold commutes, so the
+            // result is worker-schedule independent.
+            for &ms in &run.backoff_ms {
+                funnel_obs::timeline_histogram_record(
+                    names::SUPERVISOR_BACKOFF_MS,
+                    change.minute,
+                    ms,
+                );
+            }
             report.backoff_ms.insert(run.key, run.backoff_ms);
         }
         match run.outcome {
@@ -440,12 +458,13 @@ pub fn supervise_change<S: KpiSource + Sync>(
     report.quarantined.sort_unstable();
     report.aborted = aborted;
 
-    funnel_obs::counter_add(names::SUPERVISOR_RETRIES, report.retries);
-    funnel_obs::counter_add(
+    funnel_obs::timeline_counter_add(names::SUPERVISOR_RETRIES, change.minute, report.retries);
+    funnel_obs::timeline_counter_add(
         names::SUPERVISOR_QUARANTINED,
+        change.minute,
         report.quarantined.len() as u64,
     );
-    funnel_obs::counter_add(names::SUPERVISOR_RESTARTS, report.restarts);
+    funnel_obs::timeline_counter_add(names::SUPERVISOR_RESTARTS, change.minute, report.restarts);
     drop(span);
 
     if let Some((_, e)) = first_error {

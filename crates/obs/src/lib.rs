@@ -38,12 +38,15 @@ pub mod metrics;
 pub mod names;
 pub mod report;
 pub mod span;
+pub mod timeline;
+pub mod trace;
 
 use metrics::{Histogram, Registry, StageStat};
 use parking_lot::Mutex;
 use report::ObsReport;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
+use timeline::TimelineReport;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -70,9 +73,11 @@ pub fn disable() {
 }
 
 /// Clears everything recorded so far (including the calling thread's span
-/// buffer). The enabled flag is left as-is.
+/// buffer, the timeline, and the window cursor). The enabled flag is left
+/// as-is.
 pub fn reset() {
     span::clear_thread();
+    timeline::reset_window();
     *registry().lock() = Registry::default();
 }
 
@@ -136,6 +141,51 @@ impl Recorder {
                 .record(v);
         }
     }
+
+    /// Adds `n` to the counter `name` in timeline window `window`, and to
+    /// the plain (aggregate) counter — one lock for both.
+    #[inline]
+    pub fn add_windowed(self, name: &'static str, window: u64, n: u64) {
+        if let Recorder::Active(reg) = self {
+            let mut reg = reg.lock();
+            *reg.counters.entry(name).or_insert(0) += n;
+            *reg.timeline.counters.entry((name, window)).or_insert(0) += n;
+            *reg.counters.entry(names::TIMELINE_RECORDS).or_insert(0) += 1;
+        }
+    }
+
+    /// Sets the gauge `name` for window `window` (max-wins within the
+    /// window — a last-write rule would leak thread scheduling into the
+    /// bytes) and last-write-wins into the plain gauge.
+    #[inline]
+    pub fn gauge_windowed(self, name: &'static str, window: u64, v: u64) {
+        if let Recorder::Active(reg) = self {
+            let mut reg = reg.lock();
+            reg.gauges.insert(name, v);
+            let slot = reg.timeline.gauges.entry((name, window)).or_insert(0);
+            *slot = (*slot).max(v);
+            *reg.counters.entry(names::TIMELINE_RECORDS).or_insert(0) += 1;
+        }
+    }
+
+    /// Records `v` into the histogram `name` for window `window` and into
+    /// the plain histogram.
+    #[inline]
+    pub fn observe_windowed(self, name: &'static str, window: u64, v: u64) {
+        if let Recorder::Active(reg) = self {
+            let mut reg = reg.lock();
+            reg.histograms
+                .entry(name)
+                .or_insert_with(Histogram::new)
+                .record(v);
+            reg.timeline
+                .histograms
+                .entry((name, window))
+                .or_insert_with(Histogram::new)
+                .record(v);
+            *reg.counters.entry(names::TIMELINE_RECORDS).or_insert(0) += 1;
+        }
+    }
 }
 
 /// Adds `n` to the counter `name` (no-op while disabled).
@@ -156,6 +206,29 @@ pub fn histogram_record(name: &'static str, v: u64) {
     recorder().observe(name, v);
 }
 
+/// Adds `n` to the counter `name` both in aggregate and in timeline window
+/// `window` (no-op while disabled). Pass the event's own data minute — the
+/// decoded frame minute, the change minute, the tick minute — so
+/// attribution is independent of thread interleaving.
+#[inline]
+pub fn timeline_counter_add(name: &'static str, window: u64, n: u64) {
+    recorder().add_windowed(name, window, n);
+}
+
+/// Sets the gauge `name` for timeline window `window` (max-wins within the
+/// window) and in aggregate (no-op while disabled).
+#[inline]
+pub fn timeline_gauge_set(name: &'static str, window: u64, v: u64) {
+    recorder().gauge_windowed(name, window, v);
+}
+
+/// Records `v` into the histogram `name` both in aggregate and in timeline
+/// window `window` (no-op while disabled).
+#[inline]
+pub fn timeline_histogram_record(name: &'static str, window: u64, v: u64) {
+    recorder().observe_windowed(name, window, v);
+}
+
 /// Merges the calling thread's span buffer into the global registry. Worker
 /// threads call this before exiting (the thread-local destructor is the
 /// fallback); [`snapshot`] calls it for the current thread.
@@ -163,7 +236,10 @@ pub fn flush_thread() {
     span::flush_thread_into(registry());
 }
 
-pub(crate) fn merge_spans(spans: &std::collections::BTreeMap<&'static str, StageStat>) {
+pub(crate) fn merge_spans(
+    spans: &std::collections::BTreeMap<&'static str, StageStat>,
+    windowed: &std::collections::BTreeMap<(&'static str, &'static str, u64), StageStat>,
+) {
     let mut reg = registry().lock();
     for (path, stat) in spans {
         reg.spans
@@ -171,6 +247,7 @@ pub(crate) fn merge_spans(spans: &std::collections::BTreeMap<&'static str, Stage
             .or_insert_with(StageStat::empty)
             .merge(stat);
     }
+    reg.timeline.merge_spans(windowed);
 }
 
 /// Freezes everything recorded so far into an [`ObsReport`] (flushing the
@@ -178,6 +255,13 @@ pub(crate) fn merge_spans(spans: &std::collections::BTreeMap<&'static str, Stage
 pub fn snapshot() -> ObsReport {
     flush_thread();
     ObsReport::from_registry(&registry().lock())
+}
+
+/// Freezes the telemetry timeline recorded so far into a
+/// [`TimelineReport`] (flushing the calling thread's span buffer first).
+pub fn timeline_snapshot() -> TimelineReport {
+    flush_thread();
+    TimelineReport::from_data(&registry().lock().timeline)
 }
 
 // The registry and clock mode are process-wide; tests that touch them

@@ -94,6 +94,31 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// An upper bound on the `q`-quantile sample (nearest-rank over the
+    /// log2 buckets, capped at the exact observed max; 0 while empty).
+    /// Bucket resolution means the bound can overshoot the true quantile
+    /// by up to 2×, but it is exact-in, exact-out deterministic — no
+    /// sample retention, no interpolation.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    k => (1u64 << k) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// Merged timing statistics for one span path.
@@ -170,6 +195,8 @@ pub struct Registry {
     pub histograms: BTreeMap<&'static str, Histogram>,
     /// Merged span timings by span path.
     pub spans: BTreeMap<&'static str, StageStat>,
+    /// Window-bucketed metrics (the telemetry timeline).
+    pub timeline: crate::timeline::TimelineData,
 }
 
 #[cfg(test)]
@@ -207,6 +234,23 @@ mod tests {
         assert_eq!(ab.min, 0);
         assert_eq!(ab.max, 1024);
         assert_eq!(ab.nonzero_buckets().len(), 6);
+    }
+
+    #[test]
+    fn quantile_bound_brackets_the_sample() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile_upper_bound(0.99), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(
+            (99..=127).contains(&p99),
+            "p99 bound {p99} outside [99, 127]"
+        );
+        assert_eq!(h.quantile_upper_bound(1.0), 100);
+        h.record(0);
+        assert_eq!(h.quantile_upper_bound(0.001), 0);
     }
 
     #[test]

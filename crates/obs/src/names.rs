@@ -5,7 +5,7 @@
 //! compile time, greppable, and documented in one place (mirrored in
 //! DESIGN.md §9). Naming convention: `<stage>.<what>` with the stage
 //! prefixes `collector`, `detect`, `did`, `assess`, `supervisor`, `wal`,
-//! `recover`, `reassess`, `stream`, and `diag`.
+//! `recover`, `reassess`, `stream`, `diag`, `timeline`, and `selfmon`.
 
 // ------------------------------------------------------------- counters --
 
@@ -96,6 +96,15 @@ pub const DIAG_ITEMS: &str = "diag.items";
 /// Items whose bias check flagged a control-pool population mismatch.
 pub const DIAG_POPULATION_MISMATCH: &str = "diag.population_mismatch";
 
+/// Windowed data points written into the telemetry timeline (the
+/// timeline's own cost meter — what `meta_sweep` prices).
+pub const TIMELINE_RECORDS: &str = "timeline.records";
+
+/// Timeline series the self-monitor ran the change detector over.
+pub const SELFMON_SERIES: &str = "selfmon.series_checked";
+/// Health alerts the self-monitor raised across all series.
+pub const SELFMON_ALERTS: &str = "selfmon.alerts";
+
 // --------------------------------------------------------------- gauges --
 
 /// Work units enumerated for the most recent change assessment.
@@ -108,6 +117,9 @@ pub const REASSESS_QUEUE_DEPTH: &str = "reassess.queue_depth";
 pub const STREAM_KEYS: &str = "stream.keys";
 /// Total resident window memory across all rings, in accounted bytes.
 pub const STREAM_WINDOW_BYTES: &str = "stream.window_bytes";
+/// The timeline window cursor's most recent value (the data minute the
+/// pipeline is currently attributing work to).
+pub const TIMELINE_WINDOW: &str = "timeline.window";
 
 // ----------------------------------------------------------- histograms --
 
@@ -125,6 +137,9 @@ pub const STREAM_QUEUE_DEPTH: &str = "stream.queue_depth";
 /// Minutes between the tick watermark and the oldest un-scored dirty
 /// window at the top of each tick.
 pub const STREAM_WATERMARK_LAG: &str = "stream.watermark_lag";
+/// Per-retry backoff sleep lengths (milliseconds) scheduled by the
+/// supervisor, one sample per retry.
+pub const SUPERVISOR_BACKOFF_MS: &str = "supervisor.backoff_ms";
 
 // ----------------------------------------------------------- span paths --
 
@@ -150,6 +165,8 @@ pub const SPAN_STREAM_TICK: &str = "stream.tick";
 pub const SPAN_STREAM_ASSESS: &str = "stream.assess";
 /// One whole-change diagnosis pass (bias checks + ranking + dossiers).
 pub const SPAN_DIAG_CHANGE: &str = "diag.change";
+/// One self-monitoring pass (timeline series → detector → health report).
+pub const SPAN_SELFMON: &str = "selfmon.run";
 
 /// The core counters every instrumented pipeline run must populate — the
 /// set the CI `obs-smoke` and `chaos-smoke` steps assert on. The
@@ -207,17 +224,22 @@ mod tests {
             super::DIAG_REPORTS,
             super::DIAG_ITEMS,
             super::DIAG_POPULATION_MISMATCH,
+            super::TIMELINE_RECORDS,
+            super::SELFMON_SERIES,
+            super::SELFMON_ALERTS,
             super::WORK_UNITS_TOTAL,
             super::WORKERS,
             super::REASSESS_QUEUE_DEPTH,
             super::STREAM_KEYS,
             super::STREAM_WINDOW_BYTES,
+            super::TIMELINE_WINDOW,
             super::DID_CONTROL_POOL_SIZE,
             super::WORK_QUEUE_DEPTH,
             super::WAL_SEGMENT_BYTES,
             super::STREAM_DIRTY_DEPTH,
             super::STREAM_QUEUE_DEPTH,
             super::STREAM_WATERMARK_LAG,
+            super::SUPERVISOR_BACKOFF_MS,
             super::SPAN_ASSESS_CHANGE,
             super::SPAN_ASSESS_ITEM,
             super::SPAN_ASSESS_WORKER,
@@ -229,6 +251,7 @@ mod tests {
             super::SPAN_STREAM_TICK,
             super::SPAN_STREAM_ASSESS,
             super::SPAN_DIAG_CHANGE,
+            super::SPAN_SELFMON,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len(), "duplicate metric name");

@@ -8,9 +8,18 @@
 //! and the merge uses only the commutative ops of
 //! [`StageStat::merge`](crate::metrics::StageStat::merge), so flush order —
 //! i.e. thread scheduling — is unobservable in the aggregate.
+//!
+//! Each span additionally records into the telemetry timeline: at start it
+//! captures the current window cursor
+//! ([`crate::timeline::current_window`]) and the innermost span already
+//! open on the same thread (its *parent*), and on drop lands a second
+//! `StageStat` under `(path, parent, window)`. The parent stack is purely
+//! thread-local and guards drop in LIFO scope order, so causality capture
+//! costs one `Vec` push/pop and never synchronizes.
 
 use crate::clock;
 use crate::metrics::{Registry, StageStat};
+use crate::timeline;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -21,12 +30,15 @@ use std::collections::BTreeMap;
 #[derive(Default)]
 struct LocalSpans {
     map: BTreeMap<&'static str, StageStat>,
+    windowed: BTreeMap<(&'static str, &'static str, u64), StageStat>,
+    /// Paths of spans currently open on this thread, innermost last.
+    stack: Vec<&'static str>,
 }
 
 impl Drop for LocalSpans {
     fn drop(&mut self) {
-        if !self.map.is_empty() {
-            crate::merge_spans(&self.map);
+        if !self.map.is_empty() || !self.windowed.is_empty() {
+            crate::merge_spans(&self.map, &self.windowed);
         }
     }
 }
@@ -39,7 +51,7 @@ thread_local! {
 pub(crate) fn flush_thread_into(registry: &Mutex<Registry>) {
     LOCAL.with(|local| {
         let mut local = local.borrow_mut();
-        if local.map.is_empty() {
+        if local.map.is_empty() && local.windowed.is_empty() {
             return;
         }
         let mut reg = registry.lock();
@@ -49,14 +61,21 @@ pub(crate) fn flush_thread_into(registry: &Mutex<Registry>) {
                 .or_insert_with(StageStat::empty)
                 .merge(stat);
         }
+        reg.timeline.merge_spans(&local.windowed);
         local.map.clear();
+        local.windowed.clear();
     });
 }
 
 /// Clears the calling thread's buffer without flushing (used by
-/// [`crate::reset`]).
+/// [`crate::reset`]). Leaves the parent stack alone: any guards still
+/// in-flight will pop their own entries on drop.
 pub(crate) fn clear_thread() {
-    LOCAL.with(|local| local.borrow_mut().map.clear());
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        local.map.clear();
+        local.windowed.clear();
+    });
 }
 
 /// An in-flight timing span; created by [`crate::span!`], recorded on drop.
@@ -65,6 +84,8 @@ pub(crate) fn clear_thread() {
 #[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
 pub struct SpanGuard {
     path: &'static str,
+    parent: &'static str,
+    window: u64,
     index: u64,
     start_ns: u64,
     active: bool,
@@ -74,10 +95,23 @@ impl SpanGuard {
     /// Starts a span (called by the [`crate::span!`] macro).
     pub fn start(path: &'static str, index: u64) -> Self {
         let active = crate::enabled();
+        let (parent, window, start_ns) = if active {
+            let parent = LOCAL.with(|local| {
+                let mut local = local.borrow_mut();
+                let parent = local.stack.last().copied().unwrap_or(timeline::ROOT);
+                local.stack.push(path);
+                parent
+            });
+            (parent, timeline::current_window(), clock::now_ns())
+        } else {
+            (timeline::ROOT, 0, 0)
+        };
         Self {
             path,
+            parent,
+            window,
             index,
-            start_ns: if active { clock::now_ns() } else { 0 },
+            start_ns,
             active,
         }
     }
@@ -90,10 +124,16 @@ impl Drop for SpanGuard {
         }
         let elapsed = clock::now_ns().saturating_sub(self.start_ns);
         LOCAL.with(|local| {
+            let mut local = local.borrow_mut();
+            local.stack.pop();
             local
-                .borrow_mut()
                 .map
                 .entry(self.path)
+                .or_insert_with(StageStat::empty)
+                .observe(elapsed, self.index);
+            local
+                .windowed
+                .entry((self.path, self.parent, self.window))
                 .or_insert_with(StageStat::empty)
                 .observe(elapsed, self.index);
         });
@@ -123,6 +163,7 @@ macro_rules! span {
 #[cfg(test)]
 mod tests {
     use crate::clock::SimClock;
+    use crate::timeline;
 
     #[test]
     fn nested_spans_record_hierarchically() {
@@ -130,6 +171,7 @@ mod tests {
         crate::reset();
         crate::enable();
         SimClock::install();
+        timeline::set_window(42);
         {
             let _outer = span!(crate::names::SPAN_ASSESS_CHANGE);
             SimClock::advance_ns(10);
@@ -142,6 +184,18 @@ mod tests {
         let report = crate::snapshot();
         assert_eq!(report.spans[crate::names::SPAN_ASSESS_CHANGE].total_ns, 45);
         assert_eq!(report.spans[crate::names::SPAN_DETECT].total_ns, 30);
+
+        let tl = crate::timeline_snapshot();
+        let inner = tl.spans[&(
+            crate::names::SPAN_DETECT,
+            crate::names::SPAN_ASSESS_CHANGE,
+            42,
+        )];
+        assert_eq!(inner.total_ns, 30);
+        let outer = tl.spans[&(crate::names::SPAN_ASSESS_CHANGE, timeline::ROOT, 42)];
+        assert_eq!(outer.total_ns, 45);
+        let edges = tl.edges();
+        assert_eq!(edges[&("assess.change>detect.sst".to_string(), 42)], 1);
         crate::reset();
         crate::disable();
         SimClock::uninstall();

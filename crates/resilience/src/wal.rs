@@ -143,6 +143,12 @@ pub struct WalWriter {
     segment_limit: u64,
     seq: u64,
     written: u64,
+    /// Data minute of the most recent frame appended, peeked from the wire
+    /// header — attributes segment-seal events to a timeline window. At
+    /// more than one agent shard the frame→segment assignment depends on
+    /// channel interleaving, so `wal.*` timeline windows are only
+    /// run-to-run stable at shards=1 (aggregate totals are always stable).
+    last_minute: u64,
 }
 
 impl WalWriter {
@@ -176,6 +182,7 @@ impl WalWriter {
             segment_limit: segment_limit.max(1),
             seq,
             written,
+            last_minute: 0,
         })
     }
 
@@ -191,7 +198,11 @@ impl WalWriter {
         file.write_all(bytes)?;
         self.written += bytes.len() as u64;
         if self.written >= self.segment_limit {
-            funnel_obs::histogram_record(funnel_obs::names::WAL_SEGMENT_BYTES, self.written);
+            funnel_obs::timeline_histogram_record(
+                funnel_obs::names::WAL_SEGMENT_BYTES,
+                self.last_minute,
+                self.written,
+            );
             self.seq += 1;
             self.written = 0;
         }
@@ -204,6 +215,9 @@ impl WalWriter {
     ///
     /// [`ResilienceError::Io`] on filesystem failure.
     pub fn append_frame(&mut self, raw: &Bytes) -> Result<(), ResilienceError> {
+        if let Some(minute) = funnel_sim::wire::peek_minute(raw) {
+            self.last_minute = minute;
+        }
         self.append_bytes(&encode_record(FRAME_RECORD, raw.as_ref()))
     }
 

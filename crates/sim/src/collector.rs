@@ -26,6 +26,7 @@ use crate::store::MetricStore;
 use crate::wire::{decode_frame, WireFrame, WireRecord};
 use crate::world::World;
 use bytes::Bytes;
+use funnel_timeseries::series::MinuteBin;
 use funnel_topology::impact::Entity;
 use funnel_topology::model::ServiceId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -110,16 +111,21 @@ pub enum Ingest {
     /// agent's own watermark by more than the reorder horizon): staged for
     /// the deterministic end-of-stream backfill flush.
     Backfill(WireFrame),
-    /// A re-delivery of a minute this agent already sent: suppressed.
-    Duplicate,
+    /// A re-delivery of a minute this agent already sent: suppressed. The
+    /// re-delivered minute rides along for timeline attribution.
+    Duplicate(MinuteBin),
     /// Undecodable bytes or a header claiming an unknown agent: counted and
-    /// discarded, never a panic.
-    Quarantined,
+    /// discarded, never a panic. Carries the claimed frame minute when the
+    /// header decoded (unknown agent); `None` when the bytes were torn too
+    /// badly to trust even the header, in which case the quarantine shows
+    /// up only in the aggregate counter, never on the timeline.
+    Quarantined(Option<MinuteBin>),
     /// A frame whose minute stamp runs further ahead of its own agent's
     /// watermark than [`MAX_CLOCK_SKEW_MINUTES`] plus the reorder horizon:
     /// a skewed or corrupted clock, quarantined with its own counter so a
-    /// fleet-wide skew incident is visible at a glance.
-    ClockSkewed,
+    /// fleet-wide skew incident is visible at a glance. Carries the skewed
+    /// minute stamp itself.
+    ClockSkewed(MinuteBin),
 }
 
 impl Ingest {
@@ -253,12 +259,12 @@ impl<'a> Collector<'a> {
             Ok(d) => d,
             // Undecodable bytes: quarantine, never panic. The frame is
             // gone; the watermark mechanism treats it as lost.
-            Err(_) => return Ingest::Quarantined,
+            Err(_) => return Ingest::Quarantined(None),
         };
         let agent = decoded.agent_id as usize;
         if agent >= self.shards {
             // Header claims an agent we never started: quarantine.
-            return Ingest::Quarantined;
+            return Ingest::Quarantined(Some(decoded.minute));
         }
         if self
             .state
@@ -266,7 +272,7 @@ impl<'a> Collector<'a> {
             .get(agent)
             .is_some_and(|s| s.contains(&decoded.minute))
         {
-            return Ingest::Duplicate;
+            return Ingest::Duplicate(decoded.minute);
         }
         // A minute stamp running implausibly far *ahead* of the agent's own
         // watermark is a skewed clock. The check is per-agent (like the
@@ -279,7 +285,7 @@ impl<'a> Collector<'a> {
             .and_then(|w| *w)
             .is_some_and(|w| decoded.minute > w + self.horizon + MAX_CLOCK_SKEW_MINUTES)
         {
-            return Ingest::ClockSkewed;
+            return Ingest::ClockSkewed(decoded.minute);
         }
         // A frame whose original-minute stamp lies behind this agent's own
         // watermark by more than the reorder horizon cannot be a delayed
@@ -303,30 +309,54 @@ impl<'a> Collector<'a> {
     /// staging for backfill frames.
     pub fn commit(&mut self, ingest: Ingest) {
         match ingest {
-            Ingest::Quarantined => {
+            Ingest::Quarantined(minute) => {
                 self.stats.quarantined_frames += 1;
                 self.store.note_quarantined_frame();
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
+                // The frame's claimed minute attributes the quarantine to a
+                // timeline window; torn-beyond-the-header frames have no
+                // trustworthy minute and stay aggregate-only.
+                match minute {
+                    Some(m) => {
+                        funnel_obs::timeline_counter_add(
+                            funnel_obs::names::FRAMES_QUARANTINED,
+                            m,
+                            1,
+                        );
+                    }
+                    None => funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1),
+                }
             }
-            Ingest::ClockSkewed => {
+            Ingest::ClockSkewed(minute) => {
                 self.stats.quarantined_frames += 1;
                 self.stats.clock_skewed_frames += 1;
                 self.store.note_quarantined_frame();
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_QUARANTINED, 1);
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_CLOCK_SKEWED, 1);
+                funnel_obs::timeline_counter_add(funnel_obs::names::FRAMES_QUARANTINED, minute, 1);
+                funnel_obs::timeline_counter_add(funnel_obs::names::FRAMES_CLOCK_SKEWED, minute, 1);
             }
-            Ingest::Duplicate => {
+            Ingest::Duplicate(minute) => {
                 self.stats.duplicate_frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_DUP_SUPPRESSED, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::FRAMES_DUP_SUPPRESSED,
+                    minute,
+                    1,
+                );
             }
             Ingest::Backfill(frame) => {
                 if let Some(seen) = self.state.seen.get_mut(frame.agent_id as usize) {
                     seen.insert(frame.minute);
                 }
                 self.stats.frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::FRAMES_INGESTED,
+                    frame.minute,
+                    1,
+                );
                 self.stats.backfilled_frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_BACKFILLED, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::FRAMES_BACKFILLED,
+                    frame.minute,
+                    1,
+                );
                 self.state
                     .backfill_stage
                     .insert((frame.agent_id, frame.minute), frame.records);
@@ -337,7 +367,11 @@ impl<'a> Collector<'a> {
                     seen.insert(frame.minute);
                 }
                 self.stats.frames += 1;
-                funnel_obs::counter_add(funnel_obs::names::FRAMES_INGESTED, 1);
+                funnel_obs::timeline_counter_add(
+                    funnel_obs::names::FRAMES_INGESTED,
+                    frame.minute,
+                    1,
+                );
                 if let Some(w) = self.state.watermarks.get_mut(agent) {
                     *w = Some(w.map_or(frame.minute, |x| x.max(frame.minute)));
                 }
@@ -357,7 +391,11 @@ impl<'a> Collector<'a> {
                         // storm is distinguishable from byte corruption.
                         self.stats.invalid_records += 1;
                         self.stats.nonfinite_records += 1;
-                        funnel_obs::counter_add(funnel_obs::names::RECORDS_NONFINITE, 1);
+                        funnel_obs::timeline_counter_add(
+                            funnel_obs::names::RECORDS_NONFINITE,
+                            frame.minute,
+                            1,
+                        );
                         continue;
                     }
                     if rec.value.abs() > MAX_PLAUSIBLE_VALUE {
@@ -375,7 +413,11 @@ impl<'a> Collector<'a> {
                     {
                         self.stats.invalid_records += 1;
                         self.stats.counter_reset_records += 1;
-                        funnel_obs::counter_add(funnel_obs::names::RECORDS_COUNTER_RESET, 1);
+                        funnel_obs::timeline_counter_add(
+                            funnel_obs::names::RECORDS_COUNTER_RESET,
+                            frame.minute,
+                            1,
+                        );
                         continue;
                     }
                     self.last_values.insert(rec.key, rec.value);
@@ -478,18 +520,34 @@ impl<'a> Collector<'a> {
                     self.stats.invalid_records += 1;
                     if !rec.value.is_finite() {
                         self.stats.nonfinite_records += 1;
-                        funnel_obs::counter_add(funnel_obs::names::RECORDS_NONFINITE, 1);
+                        funnel_obs::timeline_counter_add(
+                            funnel_obs::names::RECORDS_NONFINITE,
+                            minute,
+                            1,
+                        );
                     }
                     self.store.note_backfill_rejected();
-                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
+                    funnel_obs::timeline_counter_add(
+                        funnel_obs::names::BACKFILL_REJECTED,
+                        minute,
+                        1,
+                    );
                     continue;
                 }
                 if self.store.backfill(rec.key, minute, rec.value) {
                     self.stats.backfilled_records += 1;
-                    funnel_obs::counter_add(funnel_obs::names::RECORDS_BACKFILLED, 1);
+                    funnel_obs::timeline_counter_add(
+                        funnel_obs::names::RECORDS_BACKFILLED,
+                        minute,
+                        1,
+                    );
                 } else {
                     self.stats.backfill_rejected_records += 1;
-                    funnel_obs::counter_add(funnel_obs::names::BACKFILL_REJECTED, 1);
+                    funnel_obs::timeline_counter_add(
+                        funnel_obs::names::BACKFILL_REJECTED,
+                        minute,
+                        1,
+                    );
                 }
                 if let Entity::Instance(i) = rec.key.entity {
                     if let Some(&svc) = self.instance_service.get(&i.0) {
@@ -580,7 +638,7 @@ mod tests {
         assert_eq!(c.stats().frames, 0);
         assert!(c.ingest(&frame));
         // Second delivery of the same (agent, minute) is a duplicate.
-        assert!(matches!(c.classify(&frame), Ingest::Duplicate));
+        assert!(matches!(c.classify(&frame), Ingest::Duplicate(_)));
         assert!(!c.ingest(&frame));
         assert_eq!(c.stats().frames, 1);
         assert_eq!(c.stats().duplicate_frames, 1);
@@ -610,7 +668,7 @@ mod tests {
         // minute — the dedup memory survived the hand-off.
         let store2 = MetricStore::new();
         let mut resumed = Collector::resume(&world, &store2, 2, 0, state);
-        assert!(matches!(resumed.classify(&frame), Ingest::Duplicate));
+        assert!(matches!(resumed.classify(&frame), Ingest::Duplicate(_)));
         assert!(!resumed.ingest(&frame));
     }
 }

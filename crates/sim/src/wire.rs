@@ -117,6 +117,20 @@ pub fn encode_frame(minute: MinuteBin, agent_id: u32, records: &[WireRecord]) ->
     buf.freeze()
 }
 
+/// Reads just the minute header from an encoded frame without decoding
+/// the payload — `None` if the buffer is too short to carry one. Used by
+/// observers (WAL sealing, timeline attribution) that need the frame's
+/// data minute but must not pay a full decode.
+pub fn peek_minute(raw: &Bytes) -> Option<MinuteBin> {
+    let bytes = raw.as_ref();
+    if bytes.len() < 8 {
+        return None;
+    }
+    let mut header = [0u8; 8];
+    header.copy_from_slice(&bytes[..8]);
+    Some(u64::from_le_bytes(header))
+}
+
 /// Decodes one frame.
 ///
 /// # Errors
@@ -209,6 +223,17 @@ mod tests {
         let d = decode_frame(frame).unwrap();
         assert_eq!(d.minute, 1);
         assert!(d.records.is_empty());
+    }
+
+    #[test]
+    fn peek_minute_reads_header_only() {
+        let frame = encode_frame(777, 42, &sample_records());
+        assert_eq!(peek_minute(&frame), Some(777));
+        let cut = frame.slice(0..5);
+        assert_eq!(peek_minute(&cut), None);
+        // A frame that will fail full decode still yields its minute.
+        let torn = frame.slice(0..10);
+        assert_eq!(peek_minute(&torn), Some(777));
     }
 
     #[test]

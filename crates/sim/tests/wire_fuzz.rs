@@ -222,7 +222,7 @@ proptest! {
         let at_edge = encode_frame(edge, 0, &recs);
         prop_assert!(matches!(collector.classify(&at_edge), Ingest::Live(_)));
         let skewed = encode_frame(edge + ahead, 0, &recs);
-        prop_assert!(matches!(collector.classify(&skewed), Ingest::ClockSkewed));
+        prop_assert!(matches!(collector.classify(&skewed), Ingest::ClockSkewed(_)));
         collector.ingest(&skewed);
         prop_assert_eq!(collector.stats().clock_skewed_frames, 1);
         prop_assert_eq!(collector.stats().quarantined_frames, 1);
